@@ -1,0 +1,191 @@
+"""Shared workload builders for the experiment benchmarks (E1-E10).
+
+Each experiment bench imports from here so workload parameters live in one
+place and the harness (``python benchmarks/harness.py``) reproduces the
+EXPERIMENTS.md tables from the same definitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BigDataContext, RewriteOptions, col
+from repro.core import algebra as A
+from repro.core.intents import matmul_as_join_aggregate
+from repro.datasets import (
+    customers, dense_matrix_table, matrix_schema, orders,
+    random_edges, sensor_grid, vertex_table,
+)
+from repro.frontends.matrix import Matrix
+from repro.graph import queries as graph_queries
+from repro.providers import (
+    ArrayProvider, GraphProvider, LinalgProvider, ReferenceProvider,
+    RelationalProvider,
+)
+from repro.array.engine import ArrayEngineOptions
+from repro.federation.channels import NetworkModel
+
+#: a slow-ish WAN-like model so simulated network time is legible
+WAN = NetworkModel(latency_s=5e-3, bandwidth_bytes_per_s=100e6)
+
+
+def full_context(routing: str = "direct",
+                 rewrite: RewriteOptions | None = None) -> BigDataContext:
+    """Four specialized servers plus datasets for the canonical suite."""
+    ctx = BigDataContext(routing=routing, rewrite=rewrite, network=WAN)
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.add_provider(ArrayProvider("scidb"))
+    ctx.add_provider(LinalgProvider("scalapack"))
+    ctx.add_provider(GraphProvider("graphd"))
+    return ctx
+
+
+# -- canonical query suite (E1 coverage / E2 translatability) ------------------
+
+def load_suite_data(ctx: BigDataContext, scale: int = 1) -> None:
+    ctx.load("customers", customers(200 * scale, seed=0), on="sql")
+    ctx.load("orders", orders(1000 * scale, 200 * scale, seed=1), on="sql")
+    ctx.load("grid", sensor_grid(24, 24, seed=2), on="scidb")
+    ctx.load("ma", dense_matrix_table(16, 16, seed=3), on="scalapack")
+    ctx.load("mb", dense_matrix_table(
+        16, 16, seed=4, row_name="j", col_name="k", value_name="w"
+    ), on="scalapack")
+    ctx.load("edges", random_edges(60, 240, seed=5), on="graphd")
+    ctx.load("vertices", vertex_table(60), on="graphd")
+
+
+def canonical_suite(ctx: BigDataContext) -> list[tuple[str, A.Node]]:
+    """Named queries spanning relational, array, linear algebra and graphs."""
+    grid = ctx.table("grid")
+    suite = [
+        ("rel-filter", ctx.table("orders").where(col("amount") > 100.0).node),
+        ("rel-join", ctx.table("customers").join(
+            ctx.table("orders"), on=[("cid", "cust")]).node),
+        ("rel-aggregate", ctx.table("orders").aggregate(
+            ["status"], total=("sum", col("amount")), n=("count", None)).node),
+        ("rel-sort-limit", ctx.table("orders").order_by(
+            "amount", ascending=False).limit(10).node),
+        ("rel-distinct", ctx.table("customers").select("country").distinct().node),
+        ("rel-set-ops", ctx.table("orders").select("cust").rename(cust="cid")
+            .intersect(ctx.table("customers").select("cid")).node),
+        ("arr-slice", grid.slice_dims(x=(0, 9), y=(0, 9)).node),
+        ("arr-regrid", grid.regrid({"x": 4, "y": 4},
+                                   reading=("mean", col("reading"))).node),
+        ("arr-window", grid.window({"x": 1, "y": 1},
+                                   reading=("mean", col("reading"))).node),
+        ("arr-reduce", grid.reduce_dims(["x"], total=("sum", col("reading"))).node),
+        ("la-matmul", ctx.table("ma").matmul(ctx.table("mb")).node),
+        ("la-transpose", ctx.table("ma").transpose("j", "i").node),
+        ("graph-pagerank", graph_queries.pagerank(
+            ctx.table("vertices").node, ctx.table("edges").node, 60,
+            tolerance=1e-6, max_iter=50)),
+        ("graph-bfs", graph_queries.bfs_levels(
+            ctx.table("vertices").node, ctx.table("edges").node, 0,
+            max_iter=100)),
+    ]
+    return suite
+
+
+# -- E3 intent preservation -------------------------------------------------------
+
+def intent_context(n: int, recognize: bool) -> tuple[BigDataContext, A.Node]:
+    """A lowered (join-aggregate) matmul of two dense n x n matrices.
+
+    Data is replicated on the relational and linalg servers so the planner's
+    choice is purely about operators, not data placement.
+    """
+    rewrite = RewriteOptions(recognize_intents=recognize)
+    ctx = BigDataContext(rewrite=rewrite, network=WAN)
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.add_provider(LinalgProvider("scalapack"))
+    a = dense_matrix_table(n, n, seed=10)
+    b = dense_matrix_table(n, n, seed=11, row_name="j", col_name="k",
+                           value_name="w")
+    ctx.load("a", a, on=["sql", "scalapack"])
+    ctx.load("b", b, on=["sql", "scalapack"])
+    lowered = matmul_as_join_aggregate(
+        ctx.table("a").node, ctx.table("b").node
+    )
+    return ctx, lowered
+
+
+# -- E4 interoperation ---------------------------------------------------------------
+
+def interop_context(n: int, routing: str) -> tuple[BigDataContext, A.Node]:
+    """relational filter -> matmul -> array regrid across three servers."""
+    ctx = full_context(routing=routing)
+    a = dense_matrix_table(n, n, seed=20)
+    b = dense_matrix_table(n, n, seed=21, row_name="j", col_name="k",
+                           value_name="w")
+    ctx.load("fa", a, on="sql")
+    ctx.load("fb", b, on="scalapack")
+    filtered = A.Filter(ctx.table("fa").node, col("v") > 0.6)
+    keyed = A.AsDims(filtered, ("i", "j"))
+    product = A.MatMul(keyed, ctx.table("fb").node)
+    tree = A.Regrid(product, (("i", 4), ("k", 4)),
+                    (A.AggSpec("v", "mean", col("v")),))
+    return ctx, tree
+
+
+# -- E5 control iteration --------------------------------------------------------------
+
+def pagerank_setup(n: int, avg_degree: int = 4,
+                   max_iter: int = 50, tolerance: float = 1e-8):
+    ctx = full_context()
+    ctx.load("edges", random_edges(n, n * avg_degree, seed=30), on="graphd")
+    ctx.load("vertices", vertex_table(n), on="graphd")
+    tree = graph_queries.pagerank(
+        ctx.table("vertices").node, ctx.table("edges").node, n,
+        tolerance=tolerance, max_iter=max_iter,
+    )
+    return ctx, tree
+
+
+# -- E8 rewriter ablation ----------------------------------------------------------------
+
+def ablation_context(options: RewriteOptions, scale: int = 20) -> BigDataContext:
+    ctx = BigDataContext(rewrite=options)
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.load("customers", customers(100 * scale, seed=40), on="sql")
+    ctx.load("orders", orders(500 * scale, 100 * scale, seed=41), on="sql")
+    return ctx
+
+
+def ablation_query(ctx: BigDataContext) -> A.Node:
+    """Selective filter over a join with wide inputs: the rewriter's bread
+    and butter (pushdown shrinks the join; pruning narrows the columns)."""
+    return (
+        ctx.table("customers")
+        .join(ctx.table("orders"), on=[("cid", "cust")])
+        .where((col("country") == "jp") & (col("amount") > 50.0))
+        .select("name", "amount")
+        .node
+    )
+
+
+# -- E9 chunking -----------------------------------------------------------------------------
+
+def chunked_window_context(chunk_side: int, grid_side: int = 192,
+                           slice_frac: float = 0.25):
+    """A windowed query over a *slice* of a larger grid.
+
+    This is where chunk size genuinely trades off: tiny chunks pay per-chunk
+    dispatch and halo-gather overhead; one giant chunk cannot skip anything —
+    slicing keeps the whole block resident and the window gathers the full
+    array box even though only a quarter of it is asked for.
+    """
+    ctx = BigDataContext()
+    ctx.add_provider(
+        ArrayProvider("scidb", ArrayEngineOptions(chunk_side=chunk_side))
+    )
+    ctx.load("grid", sensor_grid(grid_side, grid_side, seed=50,
+                                 missing_fraction=0.0, null_fraction=0.0),
+             on="scidb")
+    lo = int(grid_side * 0.5)
+    hi = lo + int(grid_side * slice_frac) - 1
+    query = (
+        ctx.table("grid")
+        .slice_dims(x=(lo, hi), y=(lo, hi))
+        .window({"x": 2, "y": 2}, reading=("mean", col("reading")))
+    )
+    return ctx, query.node, (hi - lo + 1) ** 2

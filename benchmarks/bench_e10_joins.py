@@ -1,0 +1,119 @@
+"""E10 — Join-algorithm ablation.
+
+The same equi-join executed with the engine's three physical algorithms.
+Expected shape: hash wins on unsorted inputs; merge wins when inputs are
+pre-sorted on the key (no sort, single pass); the nested loop is quadratic
+and falls off a cliff as inputs grow.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.relational import joins
+from repro.core.schema import Attribute, Schema
+from repro.core.types import DType
+from repro.storage.table import ColumnTable
+
+LEFT = Schema([Attribute("k", DType.INT64), Attribute("a", DType.FLOAT64)])
+RIGHT = Schema([Attribute("k2", DType.INT64), Attribute("b", DType.FLOAT64)])
+
+
+def make_inputs(n_left: int, n_right: int, key_range: int, seed: int = 0,
+                presorted: bool = False):
+    rng = np.random.default_rng(seed)
+    lk = rng.integers(0, key_range, n_left)
+    rk = rng.integers(0, key_range, n_right)
+    if presorted:
+        lk = np.sort(lk)
+        rk = np.sort(rk)
+    left = ColumnTable.from_arrays(LEFT, {
+        "k": lk, "a": rng.uniform(0, 1, n_left),
+    })
+    right = ColumnTable.from_arrays(RIGHT, {
+        "k2": rk, "b": rng.uniform(0, 1, n_right),
+    })
+    return left, right
+
+
+SIZES = {"small": (2000, 2000, 4000), "medium": (8000, 8000, 16000)}
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+@pytest.mark.benchmark(group="e10-joins-unsorted")
+def test_bench_hash_join(benchmark, size):
+    left, right = make_inputs(*SIZES[size])
+    pairs = benchmark(lambda: joins.hash_join(left, right, ["k"], ["k2"]))
+    assert len(pairs[0]) > 0
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+@pytest.mark.benchmark(group="e10-joins-unsorted")
+def test_bench_merge_join_unsorted(benchmark, size):
+    left, right = make_inputs(*SIZES[size])
+    pairs = benchmark(lambda: joins.merge_join(left, right, ["k"], ["k2"]))
+    assert len(pairs[0]) > 0
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+@pytest.mark.benchmark(group="e10-joins-presorted")
+def test_bench_merge_join_presorted(benchmark, size):
+    left, right = make_inputs(*SIZES[size], presorted=True)
+    pairs = benchmark(
+        lambda: joins.merge_join(left, right, ["k"], ["k2"], presorted=True)
+    )
+    assert len(pairs[0]) > 0
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+@pytest.mark.benchmark(group="e10-joins-presorted")
+def test_bench_hash_join_presorted_inputs(benchmark, size):
+    left, right = make_inputs(*SIZES[size], presorted=True)
+    pairs = benchmark(lambda: joins.hash_join(left, right, ["k"], ["k2"]))
+    assert len(pairs[0]) > 0
+
+
+@pytest.mark.benchmark(group="e10-joins-nested")
+def test_bench_nested_loop_small(benchmark):
+    left, right = make_inputs(400, 400, 800)
+    pairs = benchmark.pedantic(
+        lambda: joins.nested_loop_join(left, right, ["k"], ["k2"]),
+        rounds=2, iterations=1,
+    )
+    assert len(pairs[0]) > 0
+
+
+def test_nested_loop_is_quadratic():
+    timings = []
+    for n in (200, 400):
+        left, right = make_inputs(n, n, 2 * n)
+        start = time.perf_counter()
+        joins.nested_loop_join(left, right, ["k"], ["k2"])
+        timings.append(time.perf_counter() - start)
+    # doubling input should much-more-than-double work (allow noise: 2.5x)
+    assert timings[1] > 2.5 * timings[0], timings
+
+
+def join_rows():
+    """(variant, n, wall_s) rows for the harness."""
+    rows = []
+    n = 8000
+    left, right = make_inputs(n, n, 2 * n)
+    sleft, sright = make_inputs(n, n, 2 * n, presorted=True)
+    variants = [
+        ("hash/unsorted", lambda: joins.hash_join(left, right, ["k"], ["k2"])),
+        ("merge/unsorted", lambda: joins.merge_join(left, right, ["k"], ["k2"])),
+        ("merge/presorted", lambda: joins.merge_join(
+            sleft, sright, ["k"], ["k2"], presorted=True)),
+        ("hash/presorted", lambda: joins.hash_join(sleft, sright, ["k"], ["k2"])),
+    ]
+    for name, run in variants:
+        start = time.perf_counter()
+        run()
+        rows.append((name, n, time.perf_counter() - start))
+    small_left, small_right = make_inputs(400, 400, 800)
+    start = time.perf_counter()
+    joins.nested_loop_join(small_left, small_right, ["k"], ["k2"])
+    rows.append(("nested/unsorted", 400, time.perf_counter() - start))
+    return rows

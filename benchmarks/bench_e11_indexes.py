@@ -1,0 +1,109 @@
+"""E11 — Index ablation on the relational server.
+
+Selective equality and range filters over a stored table, with and without
+secondary indexes, across selectivities.  Expected shape: index probes win
+when few rows match (they touch only those rows); as selectivity approaches
+1 the full vectorized scan catches up — indexes are an access-path choice,
+not a universal win.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import algebra as A
+from repro.core.expressions import col
+from repro.providers import RelationalProvider
+from repro.core.schema import Attribute, Schema
+from repro.core.types import DType
+from repro.storage.table import ColumnTable
+
+ROWS = 200_000
+SCHEMA = Schema([
+    Attribute("k", DType.INT64),
+    Attribute("grp", DType.INT64),
+    Attribute("v", DType.FLOAT64),
+])
+
+
+def make_provider(groups: int, indexed: bool, seed: int = 0) -> RelationalProvider:
+    rng = np.random.default_rng(seed)
+    table = ColumnTable.from_arrays(SCHEMA, {
+        "k": np.arange(ROWS, dtype=np.int64),
+        "grp": rng.integers(0, groups, ROWS),
+        "v": rng.uniform(0, 1, ROWS),
+    })
+    provider = RelationalProvider("sql")
+    provider.register_dataset("data", table)
+    if indexed:
+        provider.create_index("data", "grp", "hash")
+        provider.create_index("data", "k", "sorted")
+    return provider
+
+
+EQUALITY = A.Filter(A.Scan("data", SCHEMA), col("grp") == 3)
+RANGE = A.Filter(A.Scan("data", SCHEMA), col("k") < 500)
+
+
+@pytest.mark.parametrize("indexed", [True, False],
+                         ids=["indexed", "full-scan"])
+@pytest.mark.benchmark(group="e11-equality")
+def test_bench_selective_equality(benchmark, indexed):
+    provider = make_provider(groups=1000, indexed=indexed)
+    result = benchmark(lambda: provider.execute(EQUALITY))
+    assert result.num_rows > 0
+    assert (provider.engine.index_hits > 0) == indexed
+
+
+@pytest.mark.parametrize("indexed", [True, False],
+                         ids=["indexed", "full-scan"])
+@pytest.mark.benchmark(group="e11-range")
+def test_bench_selective_range(benchmark, indexed):
+    provider = make_provider(groups=1000, indexed=indexed)
+    result = benchmark(lambda: provider.execute(RANGE))
+    assert result.num_rows == 500
+    assert (provider.engine.index_hits > 0) == indexed
+
+
+def test_results_identical_with_and_without_index():
+    with_index = make_provider(groups=100, indexed=True)
+    without = make_provider(groups=100, indexed=False)
+    for tree in (EQUALITY, RANGE):
+        assert with_index.execute(tree).same_rows(without.execute(tree))
+
+
+def test_index_wins_when_selective():
+    indexed = make_provider(groups=1000, indexed=True)
+    plain = make_provider(groups=1000, indexed=False)
+    for p in (indexed, plain):
+        p.execute(EQUALITY)  # warm
+    times = {}
+    for name, p in (("indexed", indexed), ("scan", plain)):
+        samples = []
+        for _ in range(3):
+            start = time.perf_counter()
+            p.execute(EQUALITY)
+            samples.append(time.perf_counter() - start)
+        times[name] = min(samples)
+    assert times["indexed"] < times["scan"], times
+
+
+def index_rows():
+    """(query, selectivity, access path, wall_s) rows for the harness."""
+    rows = []
+    for groups, label in ((1000, "0.1%"), (10, "10%"), (2, "50%")):
+        for indexed in (True, False):
+            provider = make_provider(groups=groups, indexed=indexed)
+            tree = A.Filter(A.Scan("data", SCHEMA), col("grp") == 1)
+            provider.execute(tree)  # warm
+            samples = []
+            for _ in range(3):
+                start = time.perf_counter()
+                provider.execute(tree)
+                samples.append(time.perf_counter() - start)
+            rows.append((
+                "grp equality", label,
+                "index" if indexed else "scan", min(samples),
+            ))
+    return rows

@@ -1,0 +1,71 @@
+"""E1 — Coverage (desideratum 1).
+
+The algebra must span standard relational *and* array operations.  We run a
+canonical 14-query suite (relational, array, linear-algebra, graph) against
+the federation and measure per-provider coverage: no single specialized
+server covers the algebra, their union covers 100%, and the federation
+executes the entire suite.
+"""
+
+import pytest
+
+from _workloads import canonical_suite, full_context, load_suite_data
+from repro.core import algebra as A
+
+
+def coverage_table():
+    """operator-suite coverage per provider; printed by the harness."""
+    ctx = full_context()
+    load_suite_data(ctx)
+    suite = canonical_suite(ctx)
+    rows = []
+    for provider in ctx.providers:
+        accepted = sum(1 for _, tree in suite if provider.accepts(tree))
+        rows.append((provider.name, accepted, len(suite)))
+    federated = sum(
+        1 for _, tree in suite
+        if _plannable(ctx, tree)
+    )
+    rows.append(("FEDERATION", federated, len(suite)))
+    return rows
+
+
+def _plannable(ctx, tree) -> bool:
+    try:
+        ctx.planner.plan(ctx.rewriter.rewrite(tree))
+        return True
+    except Exception:
+        return False
+
+
+def test_union_covers_everything_no_single_server_does():
+    rows = dict((name, (got, total)) for name, got, total in coverage_table())
+    got, total = rows["FEDERATION"]
+    assert got == total, "the federation must cover the whole suite"
+    for name in ("scidb", "scalapack", "graphd"):
+        got, total = rows[name]
+        assert got < total, f"{name} should not cover the whole suite alone"
+
+
+def test_every_operator_has_a_provider():
+    ctx = full_context()
+    for op in A.ALL_OPERATORS:
+        assert any(
+            op.__name__ in p.capabilities for p in ctx.providers
+        ), f"no provider claims {op.__name__}"
+
+
+@pytest.mark.benchmark(group="e1-coverage")
+def test_bench_full_suite_federated(benchmark):
+    ctx = full_context()
+    load_suite_data(ctx)
+    suite = canonical_suite(ctx)
+
+    def run_suite():
+        total_rows = 0
+        for _, tree in suite:
+            total_rows += len(ctx.run(ctx.query(tree)))
+        return total_rows
+
+    total = benchmark(run_suite)
+    assert total > 0

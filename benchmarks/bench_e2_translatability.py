@@ -1,0 +1,100 @@
+"""E2 — Translatability (desideratum 2).
+
+Every algebra operator must translate to at least one back end — and
+translation must be worth it: a specialized engine should beat the naive
+reference interpreter by a wide margin, while the cost of shipping the
+expression tree (serialize + parse) stays negligible next to execution.
+"""
+
+import pytest
+
+from _workloads import full_context
+from repro import BigDataContext, col
+from repro.core import algebra as A
+from repro.core import serialize
+from repro.datasets import customers, orders
+from repro.providers import ReferenceProvider, RelationalProvider
+
+
+def translatability_table():
+    """operator -> providers that claim it (excluding the reference)."""
+    ctx = full_context()
+    rows = []
+    for op in A.ALL_OPERATORS:
+        claimants = [
+            p.name for p in ctx.providers if op.__name__ in p.capabilities
+        ]
+        rows.append((op.__name__, claimants))
+    return rows
+
+
+def test_every_operator_translates_to_a_specialized_engine():
+    for op_name, claimants in translatability_table():
+        specialized = [c for c in claimants if c != "reference"]
+        assert specialized, f"{op_name} translates to no specialized engine"
+
+
+def _pipeline(ctx: BigDataContext) -> A.Node:
+    return (
+        ctx.table("customers")
+        .join(ctx.table("orders"), on=[("cid", "cust")])
+        .where(col("amount") > 40.0)
+        .aggregate(["country"], total=("sum", col("amount")),
+                   n=("count", None))
+        .order_by("total", ascending=False)
+        .node
+    )
+
+
+def _context_on(provider) -> BigDataContext:
+    ctx = BigDataContext()
+    ctx.add_provider(provider)
+    ctx.load("customers", customers(500, seed=0), on=provider.name)
+    ctx.load("orders", orders(4000, 500, seed=1), on=provider.name)
+    return ctx
+
+
+@pytest.mark.benchmark(group="e2-engine-vs-reference")
+def test_bench_relational_engine(benchmark):
+    ctx = _context_on(RelationalProvider("sql"))
+    tree = _pipeline(ctx)
+    result = benchmark(lambda: ctx.run(ctx.query(tree)))
+    assert len(result) > 0
+
+
+@pytest.mark.benchmark(group="e2-engine-vs-reference")
+def test_bench_reference_interpreter(benchmark):
+    ctx = _context_on(ReferenceProvider("naive"))
+    tree = _pipeline(ctx)
+    result = benchmark(lambda: ctx.run(ctx.query(tree)))
+    assert len(result) > 0
+
+
+@pytest.mark.benchmark(group="e2-translation-overhead")
+def test_bench_wire_round_trip(benchmark):
+    """Serialize + parse of the whole tree: the translation cost itself."""
+    ctx = _context_on(RelationalProvider("sql"))
+    tree = _pipeline(ctx)
+
+    def round_trip():
+        return serialize.loads(serialize.dumps(tree))
+
+    decoded = benchmark(round_trip)
+    assert decoded.same_as(tree)
+
+
+def engine_vs_reference_times(repeat: int = 3):
+    """(engine_s, reference_s) medians for the harness table."""
+    import time
+
+    out = []
+    for provider in (RelationalProvider("sql"), ReferenceProvider("naive")):
+        ctx = _context_on(provider)
+        tree = _pipeline(ctx)
+        samples = []
+        for _ in range(repeat):
+            start = time.perf_counter()
+            ctx.run(ctx.query(tree))
+            samples.append(time.perf_counter() - start)
+        out.append(sorted(samples)[len(samples) // 2])
+    return tuple(out)

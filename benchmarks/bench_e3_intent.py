@@ -1,0 +1,87 @@
+"""E3 — Intent preservation (desideratum 3).
+
+A matrix multiply written in *relational* form (join + multiply + group-by
++ sum) is executed two ways:
+
+* recognition OFF — the lowered form runs as-is on the relational engine;
+* recognition ON — the optimizer's recognizer restores a native ``MatMul``,
+  the planner routes it to the linear-algebra server, and blocked kernels
+  run it.
+
+Expected shape: the recognized path wins by a factor that grows with n
+(matmul is O(n^3) work that the join-aggregate formulation handles row by
+row at n^3 joined tuples).
+"""
+
+import time
+
+import pytest
+
+from _workloads import intent_context
+from repro.core import algebra as A
+
+SIZES = (32, 64, 96)
+
+
+def _run(n: int, recognize: bool):
+    ctx, lowered = intent_context(n, recognize)
+    return ctx, lambda: ctx.run(ctx.query(lowered))
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e3-intent")
+def test_bench_lowered_on_relational(benchmark, n):
+    __, run = _run(n, recognize=False)
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(result) == n * n
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e3-intent")
+def test_bench_recognized_on_linalg(benchmark, n):
+    ctx, run = _run(n, recognize=True)
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(result) == n * n
+    # the matmul fragment must actually land on the linalg server
+    assert "scalapack" in {
+        f.server for f in ctx.planner.plan(
+            ctx.rewriter.rewrite(intent_context(n, True)[1])
+        ).fragments
+    }
+
+
+def test_results_identical_both_paths():
+    ctx_off, lowered = intent_context(24, recognize=False)
+    ctx_on, lowered_on = intent_context(24, recognize=True)
+    off = ctx_off.run(ctx_off.query(lowered))
+    on = ctx_on.run(ctx_on.query(lowered_on))
+    assert on.table.same_rows(off.table, float_tol=1e-6)
+
+
+def test_recognized_path_wins_at_largest_size():
+    n = SIZES[-1]
+    ctx_off, run_off = _run(n, recognize=False)
+    ctx_on, run_on = _run(n, recognize=True)
+    start = time.perf_counter()
+    run_off()
+    t_off = time.perf_counter() - start
+    start = time.perf_counter()
+    run_on()
+    t_on = time.perf_counter() - start
+    assert t_on < t_off, (
+        f"recognized path ({t_on:.3f}s) should beat relational ({t_off:.3f}s)"
+    )
+
+
+def intent_times(sizes=SIZES):
+    """(n, lowered_s, recognized_s) rows for the harness table."""
+    rows = []
+    for n in sizes:
+        times = []
+        for recognize in (False, True):
+            __, run = _run(n, recognize)
+            start = time.perf_counter()
+            run()
+            times.append(time.perf_counter() - start)
+        rows.append((n, times[0], times[1]))
+    return rows

@@ -1,0 +1,74 @@
+"""E4 — Server interoperation (desideratum 4).
+
+A three-server pipeline (relational filter -> linalg matmul -> array
+regrid) executed with intermediates passed directly between servers versus
+routed through the application tier.  Direct routing must move **zero**
+bytes through the application; app routing moves every intermediate twice,
+and its simulated network time grows with the intermediate size.
+"""
+
+import pytest
+
+from _workloads import interop_context
+
+SIZES = (32, 64)
+
+
+def _execute(n: int, routing: str):
+    ctx, tree = interop_context(n, routing)
+    result = ctx.run(ctx.query(tree))
+    return ctx.last_report, result
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e4-interop")
+def test_bench_direct_routing(benchmark, n):
+    report, __ = benchmark.pedantic(
+        lambda: _execute(n, "direct"), rounds=2, iterations=1
+    )
+    assert report.metrics.bytes_through_application == 0
+    assert report.metrics.bytes_direct > 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e4-interop")
+def test_bench_application_routing(benchmark, n):
+    report, __ = benchmark.pedantic(
+        lambda: _execute(n, "application"), rounds=2, iterations=1
+    )
+    assert report.metrics.bytes_direct == 0
+    assert report.metrics.bytes_through_application > 0
+
+
+def test_same_results_and_app_pays_double():
+    direct_report, direct = _execute(48, "direct")
+    app_report, app = _execute(48, "application")
+    assert direct.table.same_rows(app.table, float_tol=1e-6)
+    moved = sum(t.nbytes for t in direct_report.metrics.transfers)
+    assert app_report.metrics.bytes_through_application == 2 * moved
+    assert (
+        app_report.metrics.simulated_network_s
+        > direct_report.metrics.simulated_network_s
+    )
+    assert app_report.metrics.hop_count == 2 * direct_report.metrics.hop_count
+
+
+def test_plan_spans_multiple_servers():
+    ctx, tree = interop_context(32, "direct")
+    plan = ctx.planner.plan(ctx.rewriter.rewrite(tree))
+    assert len(plan.servers_used) >= 2
+
+
+def interop_rows(sizes=SIZES):
+    """(n, routing, app_bytes, direct_bytes, simulated_s) for the harness."""
+    rows = []
+    for n in sizes:
+        for routing in ("direct", "application"):
+            report, __ = _execute(n, routing)
+            rows.append((
+                n, routing,
+                report.metrics.bytes_through_application,
+                report.metrics.bytes_direct,
+                report.metrics.simulated_network_s,
+            ))
+    return rows

@@ -1,0 +1,101 @@
+"""E5 — Control iteration.
+
+PageRank expressed as an algebra ``Iterate``, executed three ways:
+
+* **native in-server** — the graph provider recognizes the tree and runs
+  its vectorized CSR kernel (one round trip);
+* **generic in-server** — no intent tag; the provider's embedded relational
+  executor iterates, still inside the server (one round trip);
+* **client-driven loop** — the E5 baseline: one federated query per
+  iteration, loop state shipped inside each query and pulled back out.
+
+Expected shape: one round trip vs dozens; client bytes grow with
+iterations x state size; in-server wins and the gap widens with graph size.
+"""
+
+import pytest
+
+from _workloads import pagerank_setup
+
+SIZES = (300, 1000)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e5-iteration")
+def test_bench_native_in_server(benchmark, n):
+    ctx, tree = pagerank_setup(n)
+    result = benchmark.pedantic(
+        lambda: ctx.run(ctx.query(tree)), rounds=2, iterations=1
+    )
+    assert len(result) == n
+    assert ctx.last_report.round_trips == 1
+    assert ctx.catalog.provider("graphd").stats_native_hits > 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="e5-iteration")
+def test_bench_generic_in_server(benchmark, n):
+    ctx, tree = pagerank_setup(n)
+    untagged = tree.with_intent(None)
+    result = benchmark.pedantic(
+        lambda: ctx.run(ctx.query(untagged)), rounds=2, iterations=1
+    )
+    assert len(result) == n
+    assert ctx.last_report.round_trips == 1
+    assert ctx.catalog.provider("graphd").stats_native_hits == 0
+
+
+@pytest.mark.parametrize("n", SIZES[:1])
+@pytest.mark.benchmark(group="e5-iteration")
+def test_bench_client_driven_loop(benchmark, n):
+    ctx, tree = pagerank_setup(n)
+    result = benchmark.pedantic(
+        lambda: ctx.run_clientside_loop(ctx.query(tree)),
+        rounds=2, iterations=1,
+    )
+    assert len(result) == n
+    assert ctx.last_report.round_trips > 5
+
+
+def test_all_three_paths_agree():
+    ctx, tree = pagerank_setup(200, max_iter=60)
+    native = ctx.run(ctx.query(tree))
+    generic = ctx.run(ctx.query(tree.with_intent(None)))
+    client = ctx.run_clientside_loop(ctx.query(tree))
+    assert native.table.same_rows(generic.table, float_tol=1e-6)
+    assert native.table.same_rows(client.table, float_tol=1e-6)
+
+
+def test_client_loop_pays_communication():
+    ctx, tree = pagerank_setup(200, max_iter=60)
+    ctx.run(ctx.query(tree))
+    in_server = ctx.last_report
+    ctx.run_clientside_loop(ctx.query(tree))
+    client = ctx.last_report
+    assert in_server.round_trips == 1
+    assert client.round_trips > 10
+    assert client.metrics.query_bytes > 20 * in_server.metrics.query_bytes
+    assert client.result_bytes > 10 * in_server.result_bytes
+
+
+def iteration_rows(sizes=SIZES):
+    """(n, mode, round_trips, client_bytes, wall_s) for the harness."""
+    import time
+
+    rows = []
+    for n in sizes:
+        ctx, tree = pagerank_setup(n)
+        modes = [
+            ("native", lambda: ctx.run(ctx.query(tree))),
+            ("generic", lambda: ctx.run(ctx.query(tree.with_intent(None)))),
+            ("client-loop", lambda: ctx.run_clientside_loop(ctx.query(tree))),
+        ]
+        for name, run in modes:
+            start = time.perf_counter()
+            run()
+            wall = time.perf_counter() - start
+            report = ctx.last_report
+            rows.append((
+                n, name, report.round_trips, report.client_bytes, wall
+            ))
+    return rows

@@ -1,0 +1,95 @@
+"""E6 — Portability (framework goal 1).
+
+The same client program — unchanged — runs against different back ends by
+swapping the target server (a parameter, not code).  Results must be
+identical; the specialized engine should be faster than the reference
+interpreter.
+"""
+
+import pytest
+
+from repro import BigDataContext, col
+from repro.datasets import customers, orders, sensor_grid
+from repro.providers import ArrayProvider, ReferenceProvider, RelationalProvider
+
+
+def portable_context() -> BigDataContext:
+    ctx = BigDataContext()
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.add_provider(ArrayProvider("scidb"))
+    ctx.add_provider(ReferenceProvider("naive"))
+    ctx.load("customers", customers(300, seed=0), on=["sql", "naive"])
+    ctx.load("orders", orders(2000, 300, seed=1), on=["sql", "naive"])
+    ctx.load("grid", sensor_grid(48, 48, seed=2), on=["scidb", "naive"])
+    return ctx
+
+
+def relational_program(ctx: BigDataContext):
+    """A client program written once; the server is chosen at collect()."""
+    return (
+        ctx.table("orders")
+        .where(col("amount") > 30.0)
+        .join(ctx.table("customers"), on=[("cust", "cid")])
+        .aggregate(["segment"], total=("sum", col("amount")),
+                   biggest=("max", col("amount")))
+        .order_by("total", ascending=False)
+    )
+
+
+def array_program(ctx: BigDataContext):
+    return (
+        ctx.table("grid")
+        .slice_dims(x=(4, 43), y=(4, 43))
+        .regrid({"x": 4, "y": 4}, reading=("mean", col("reading")))
+    )
+
+
+def test_identical_results_across_servers():
+    ctx = portable_context()
+    rel = relational_program(ctx)
+    assert rel.collect(on="sql").table.same_rows(
+        rel.collect(on="naive").table, float_tol=1e-9
+    )
+    arr = array_program(ctx)
+    assert arr.collect(on="scidb").table.same_rows(
+        arr.collect(on="naive").table, float_tol=1e-9
+    )
+
+
+@pytest.mark.parametrize("server", ["sql", "naive"])
+@pytest.mark.benchmark(group="e6-relational-program")
+def test_bench_relational_program(benchmark, server):
+    ctx = portable_context()
+    program = relational_program(ctx)
+    result = benchmark.pedantic(
+        lambda: program.collect(on=server), rounds=2, iterations=1
+    )
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("server", ["scidb", "naive"])
+@pytest.mark.benchmark(group="e6-array-program")
+def test_bench_array_program(benchmark, server):
+    ctx = portable_context()
+    program = array_program(ctx)
+    result = benchmark.pedantic(
+        lambda: program.collect(on=server), rounds=2, iterations=1
+    )
+    assert len(result) > 0
+
+
+def portability_rows():
+    """(program, server, wall_s, rows) for the harness."""
+    import time
+
+    ctx = portable_context()
+    rows = []
+    for name, program, servers in (
+        ("relational", relational_program(ctx), ("sql", "naive")),
+        ("array", array_program(ctx), ("scidb", "naive")),
+    ):
+        for server in servers:
+            start = time.perf_counter()
+            result = program.collect(on=server)
+            rows.append((name, server, time.perf_counter() - start, len(result)))
+    return rows

@@ -1,0 +1,120 @@
+"""E7 — Expression-tree shipping (LINQ property 2).
+
+The framework sends a whole query as ONE serialized expression tree; a
+call-at-a-time remote API sends one message per operator and materializes
+every intermediate back at the client.  We emulate the latter by splitting
+a five-operator pipeline into one query per operator, inlining each
+intermediate into the next query.
+
+Expected shape: tree shipping sends 1 query message and moves only the
+final result; call-at-a-time sends k messages whose payloads *contain the
+data* — and forfeits provider-side optimization (the pushdown the optimizer
+applies to the whole tree cannot happen across call boundaries).
+"""
+
+import pytest
+
+from repro import BigDataContext, col
+from repro.client.query import Query
+from repro.core import algebra as A
+from repro.datasets import customers, orders
+from repro.providers import RelationalProvider
+
+
+def make_context() -> BigDataContext:
+    ctx = BigDataContext()
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.load("customers", customers(200, seed=0), on="sql")
+    ctx.load("orders", orders(1500, 200, seed=1), on="sql")
+    return ctx
+
+
+def pipeline_stages(ctx: BigDataContext):
+    """The pipeline as five single-operator steps."""
+    return [
+        lambda q: q.join(ctx.table("customers"), on=[("cust", "cid")]),
+        lambda q: q.where(col("amount") > 40.0),
+        lambda q: q.derive(taxed=col("amount") * 1.21),
+        lambda q: q.aggregate(["country"], total=("sum", col("taxed"))),
+        lambda q: q.order_by("total", ascending=False),
+    ]
+
+
+def run_tree_shipped(ctx: BigDataContext):
+    query = ctx.table("orders")
+    for stage in pipeline_stages(ctx):
+        query = stage(query)
+    return ctx.run(query)
+
+
+def run_call_at_a_time(ctx: BigDataContext):
+    """One round trip per operator; intermediates inlined into each call."""
+    current = ctx.run(ctx.table("orders"))
+    total_reports = [ctx.last_report]
+    for stage in pipeline_stages(ctx):
+        base = ctx.inline(current.schema, current.rows())
+        current = ctx.run(stage(base))
+        total_reports.append(ctx.last_report)
+    return current, total_reports
+
+
+def test_same_answers_both_ways():
+    ctx = make_context()
+    shipped = run_tree_shipped(ctx)
+    called, __ = run_call_at_a_time(ctx)
+    assert shipped.table.same_rows(called.table, float_tol=1e-9)
+
+
+def test_message_and_byte_asymmetry():
+    ctx = make_context()
+    run_tree_shipped(ctx)
+    tree_report = ctx.last_report
+    __, call_reports = run_call_at_a_time(ctx)
+    tree_queries = len(tree_report.metrics.queries)
+    call_queries = sum(len(r.metrics.queries) for r in call_reports)
+    assert tree_queries == 1
+    assert call_queries == len(call_reports) == 6
+    tree_bytes = tree_report.metrics.query_bytes
+    call_bytes = sum(r.metrics.query_bytes for r in call_reports)
+    assert call_bytes > 50 * tree_bytes, (
+        f"call-at-a-time should ship data in queries: {call_bytes} vs {tree_bytes}"
+    )
+
+
+@pytest.mark.benchmark(group="e7-shipping")
+def test_bench_tree_shipping(benchmark):
+    ctx = make_context()
+    result = benchmark(lambda: run_tree_shipped(ctx))
+    assert len(result) > 0
+
+
+@pytest.mark.benchmark(group="e7-shipping")
+def test_bench_call_at_a_time(benchmark):
+    ctx = make_context()
+    result = benchmark(lambda: run_call_at_a_time(ctx)[0])
+    assert len(result) > 0
+
+
+def shipping_rows():
+    """(mode, query_messages, query_bytes, result_bytes, wall_s) rows."""
+    import time
+
+    ctx = make_context()
+    rows = []
+    start = time.perf_counter()
+    run_tree_shipped(ctx)
+    wall = time.perf_counter() - start
+    r = ctx.last_report
+    rows.append(("tree", len(r.metrics.queries), r.metrics.query_bytes,
+                 r.result_bytes, wall))
+    start = time.perf_counter()
+    __, reports = run_call_at_a_time(ctx)
+    wall = time.perf_counter() - start
+    rows.append((
+        "call-at-a-time",
+        sum(len(r.metrics.queries) for r in reports),
+        sum(r.metrics.query_bytes for r in reports),
+        sum(r.result_bytes for r in reports),
+        wall,
+    ))
+    return rows

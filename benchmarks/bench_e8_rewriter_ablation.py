@@ -1,0 +1,78 @@
+"""E8 — Logical-optimizer ablation.
+
+A selective filter over a wide join, executed with each rewrite rule
+toggled.  Expected shape: predicate pushdown gives the big multiplicative
+win (the join shrinks before it happens); projection pruning adds a smaller
+win (narrower columns through the join); all-off is the slowest.
+"""
+
+import time
+
+import pytest
+
+from _workloads import ablation_context, ablation_query
+from repro import RewriteOptions
+
+CONFIGS = {
+    "all-on": RewriteOptions(),
+    "no-pushdown": RewriteOptions(predicate_pushdown=False),
+    "no-pruning": RewriteOptions(projection_pruning=False),
+    "all-off": RewriteOptions(
+        filter_fusion=False, predicate_pushdown=False,
+        projection_pruning=False, extend_fusion=False,
+        recognize_intents=False,
+    ),
+}
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+@pytest.mark.benchmark(group="e8-rewriter")
+def test_bench_rewriter_config(benchmark, config):
+    ctx = ablation_context(CONFIGS[config])
+    tree = ablation_query(ctx)
+    result = benchmark.pedantic(
+        lambda: ctx.run(ctx.query(tree)), rounds=3, iterations=1
+    )
+    assert len(result) > 0
+
+
+def test_all_configs_agree():
+    results = []
+    for options in CONFIGS.values():
+        ctx = ablation_context(options, scale=3)
+        tree = ablation_query(ctx)
+        results.append(ctx.run(ctx.query(tree)).table)
+    baseline = results[0]
+    for other in results[1:]:
+        assert baseline.same_rows(other, float_tol=1e-9)
+
+
+def test_pushdown_wins():
+    times = {}
+    for name in ("all-on", "all-off"):
+        ctx = ablation_context(CONFIGS[name], scale=20)
+        tree = ablation_query(ctx)
+        ctx.run(ctx.query(tree))  # warm caches (numpy, schema inference)
+        samples = []
+        for _ in range(3):
+            start = time.perf_counter()
+            ctx.run(ctx.query(tree))
+            samples.append(time.perf_counter() - start)
+        times[name] = min(samples)
+    assert times["all-on"] < times["all-off"], times
+
+
+def ablation_rows(scale: int = 80):
+    """(config, wall_s) rows for the harness."""
+    rows = []
+    for name, options in CONFIGS.items():
+        ctx = ablation_context(options, scale=scale)
+        tree = ablation_query(ctx)
+        ctx.run(ctx.query(tree))  # warm
+        samples = []
+        for _ in range(3):
+            start = time.perf_counter()
+            ctx.run(ctx.query(tree))
+            samples.append(time.perf_counter() - start)
+        rows.append((name, min(samples)))
+    return rows

@@ -1,0 +1,59 @@
+"""E9 — Array-engine chunking ablation.
+
+A 5x5 mean window over a *slice* of a dense grid, swept across chunk sides.
+Expected shape: a U-curve.  Tiny chunks pay per-chunk dispatch and
+halo-gather overhead; one array-sized chunk defeats slicing (the partial
+chunk stays resident, so the window gathers the full array box for a query
+that asks for a quarter of it); the sweet spot sits in the middle.
+"""
+
+import time
+
+import pytest
+
+from _workloads import chunked_window_context
+
+CHUNK_SIDES = (6, 12, 24, 48, 192)
+
+
+@pytest.mark.parametrize("chunk_side", CHUNK_SIDES)
+@pytest.mark.benchmark(group="e9-chunking")
+def test_bench_window_by_chunk_side(benchmark, chunk_side):
+    ctx, tree, expected_cells = chunked_window_context(chunk_side)
+    result = benchmark.pedantic(
+        lambda: ctx.run(ctx.query(tree)), rounds=2, iterations=1
+    )
+    assert len(result) == expected_cells
+
+
+def test_all_chunk_sizes_agree():
+    reference = None
+    for chunk_side in (6, 48, 192):
+        ctx, tree, __ = chunked_window_context(chunk_side, grid_side=64)
+        result = ctx.run(ctx.query(tree)).table
+        if reference is None:
+            reference = result
+        else:
+            assert result.same_rows(reference, float_tol=1e-9)
+
+
+def test_middle_chunk_beats_extremes():
+    times = chunking_rows(chunk_sides=(6, 24, 192))
+    by_side = dict(times)
+    assert by_side[24] < by_side[6], times
+    assert by_side[24] < by_side[192], times
+
+
+def chunking_rows(chunk_sides=CHUNK_SIDES):
+    """(chunk_side, wall_s) rows for the harness."""
+    rows = []
+    for chunk_side in chunk_sides:
+        ctx, tree, __ = chunked_window_context(chunk_side)
+        ctx.run(ctx.query(tree))  # warm
+        samples = []
+        for _ in range(3):
+            start = time.perf_counter()
+            ctx.run(ctx.query(tree))
+            samples.append(time.perf_counter() - start)
+        rows.append((chunk_side, min(samples)))
+    return rows

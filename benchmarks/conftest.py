@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+This conftest puts the benchmarks directory on sys.path (so the shared
+``_workloads`` module imports from any rootdir) and registers the pedantic
+defaults: experiments are comparisons, so we keep rounds small and rely on
+the asserted *shape* (who wins, by what factor) rather than absolute time.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,157 @@
+"""Experiment harness: regenerates every table in EXPERIMENTS.md.
+
+Run with:  python benchmarks/harness.py  [e1 e3 ...]
+
+Each section prints the same rows EXPERIMENTS.md records, computed fresh
+from the shared workload definitions in ``_workloads`` — so the documented
+numbers and the reproducible ones come from one source.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1_000_000:
+        return f"{n / 1e6:.2f} MB"
+    if n >= 1_000:
+        return f"{n / 1e3:.1f} kB"
+    return f"{n} B"
+
+
+def e1() -> None:
+    from bench_e1_coverage import coverage_table
+
+    print("\n== E1: coverage of the canonical 14-query suite ==")
+    print(f"{'provider':12s} {'queries accepted':>18s}")
+    for name, got, total in coverage_table():
+        print(f"{name:12s} {got:>8d} / {total}")
+
+
+def e2() -> None:
+    from bench_e2_translatability import (
+        engine_vs_reference_times, translatability_table,
+    )
+
+    print("\n== E2: translatability ==")
+    unclaimed = [
+        op for op, claimants in translatability_table() if not claimants
+    ]
+    print(f"operators with no provider: {unclaimed or 'none'}")
+    engine_s, reference_s = engine_vs_reference_times()
+    print(f"join+filter+aggregate pipeline (4k orders):")
+    print(f"  relational engine: {engine_s * 1e3:8.1f} ms")
+    print(f"  reference interp:  {reference_s * 1e3:8.1f} ms   "
+          f"({reference_s / engine_s:.1f}x slower)")
+
+
+def e3() -> None:
+    from bench_e3_intent import intent_times
+
+    print("\n== E3: intent preservation (lowered matmul) ==")
+    print(f"{'n':>4s} {'join-agg on sql':>16s} {'recognized->linalg':>20s} {'speedup':>8s}")
+    for n, lowered, recognized in intent_times():
+        print(f"{n:>4d} {lowered * 1e3:>13.1f} ms {recognized * 1e3:>17.1f} ms "
+              f"{lowered / recognized:>7.1f}x")
+
+
+def e4() -> None:
+    from bench_e4_interop import interop_rows
+
+    print("\n== E4: server interoperation (3-server pipeline) ==")
+    print(f"{'n':>4s} {'routing':>12s} {'app bytes':>12s} {'direct bytes':>13s} "
+          f"{'simulated net':>14s}")
+    for n, routing, app_bytes, direct_bytes, sim in interop_rows():
+        print(f"{n:>4d} {routing:>12s} {_fmt_bytes(app_bytes):>12s} "
+              f"{_fmt_bytes(direct_bytes):>13s} {sim * 1e3:>11.2f} ms")
+
+
+def e5() -> None:
+    from bench_e5_iteration import iteration_rows
+
+    print("\n== E5: control iteration (PageRank) ==")
+    print(f"{'n':>5s} {'mode':>12s} {'round trips':>12s} {'client bytes':>13s} "
+          f"{'wall':>10s}")
+    for n, mode, trips, client_bytes, wall in iteration_rows():
+        print(f"{n:>5d} {mode:>12s} {trips:>12d} "
+              f"{_fmt_bytes(client_bytes):>13s} {wall * 1e3:>7.1f} ms")
+
+
+def e6() -> None:
+    from bench_e6_portability import portability_rows
+
+    print("\n== E6: portability (same program, swapped server) ==")
+    print(f"{'program':>12s} {'server':>8s} {'wall':>10s} {'rows':>6s}")
+    for program, server, wall, rows in portability_rows():
+        print(f"{program:>12s} {server:>8s} {wall * 1e3:>7.1f} ms {rows:>6d}")
+
+
+def e7() -> None:
+    from bench_e7_shipping import shipping_rows
+
+    print("\n== E7: expression-tree shipping vs call-at-a-time ==")
+    print(f"{'mode':>16s} {'messages':>9s} {'query bytes':>12s} "
+          f"{'result bytes':>13s} {'wall':>10s}")
+    for mode, messages, qbytes, rbytes, wall in shipping_rows():
+        print(f"{mode:>16s} {messages:>9d} {_fmt_bytes(qbytes):>12s} "
+              f"{_fmt_bytes(rbytes):>13s} {wall * 1e3:>7.1f} ms")
+
+
+def e8() -> None:
+    from bench_e8_rewriter_ablation import ablation_rows
+
+    print("\n== E8: rewriter ablation (selective filter over wide join) ==")
+    print(f"{'config':>14s} {'wall':>10s}")
+    for config, wall in ablation_rows():
+        print(f"{config:>14s} {wall * 1e3:>7.1f} ms")
+
+
+def e9() -> None:
+    from bench_e9_chunking import chunking_rows
+
+    print("\n== E9: array chunk-size sweep (windowed slice) ==")
+    print(f"{'chunk side':>11s} {'wall':>10s}")
+    for side, wall in chunking_rows():
+        print(f"{side:>11d} {wall * 1e3:>7.1f} ms")
+
+
+def e10() -> None:
+    from bench_e10_joins import join_rows
+
+    print("\n== E10: join algorithms ==")
+    print(f"{'variant':>18s} {'n':>6s} {'wall':>10s}")
+    for variant, n, wall in join_rows():
+        print(f"{variant:>18s} {n:>6d} {wall * 1e3:>7.1f} ms")
+
+
+def e11() -> None:
+    from bench_e11_indexes import index_rows
+
+    print("\n== E11: index vs scan (equality filter, 200k rows) ==")
+    print(f"{'query':>14s} {'selectivity':>12s} {'path':>6s} {'wall':>10s}")
+    for query, selectivity, path, wall in index_rows():
+        print(f"{query:>14s} {selectivity:>12s} {path:>6s} "
+              f"{wall * 1e3:>7.2f} ms")
+
+
+ALL = {
+    "e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5,
+    "e6": e6, "e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11,
+}
+
+
+def main(argv: list[str]) -> None:
+    wanted = [a.lower() for a in argv] or list(ALL)
+    unknown = [w for w in wanted if w not in ALL]
+    if unknown:
+        raise SystemExit(f"unknown experiments {unknown}; have {list(ALL)}")
+    for name in wanted:
+        ALL[name]()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,73 @@
+"""Quickstart: one context, two servers, queries as expression trees.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import BigDataContext, DType, Schema, Attribute, col
+from repro.providers import ArrayProvider, RelationalProvider
+
+# -- 1. a context with two specialized back-end servers ----------------------
+
+ctx = BigDataContext()
+ctx.add_provider(RelationalProvider("sql"))       # SQLServer-like
+ctx.add_provider(ArrayProvider("scidb"))          # SciDB-like
+
+# -- 2. load data: a plain relation on the relational server -----------------
+
+orders_schema = Schema([
+    Attribute("oid", DType.INT64),
+    Attribute("customer", DType.STRING),
+    Attribute("amount", DType.FLOAT64),
+])
+ctx.load_rows("orders", orders_schema, [
+    (1, "ada", 120.0),
+    (2, "bob", 80.0),
+    (3, "ada", 300.0),
+    (4, "cho", 45.0),
+    (5, "bob", 210.0),
+], on="sql")
+
+# -- ...and a small 2-d array (note the dimension-tagged attributes) ----------
+
+grid_schema = Schema([
+    Attribute("x", DType.INT64, dimension=True),
+    Attribute("y", DType.INT64, dimension=True),
+    Attribute("t", DType.FLOAT64),
+])
+ctx.load_rows("grid", grid_schema, [
+    (x, y, float(10 * x + y)) for x in range(4) for y in range(4)
+], on="scidb")
+
+# -- 3. relational query: built fluently, shipped as ONE expression tree ------
+
+top = (
+    ctx.table("orders")
+    .where(col("amount") > 50.0)
+    .aggregate(["customer"], total=("sum", col("amount")),
+               n=("count", None))
+    .order_by("total", ascending=False)
+    .collect()
+)
+print("customer totals over 50:")
+for customer, total, n in top:
+    print(f"  {customer:4s} {total:8.2f}  ({n} orders)")
+
+# -- 4. array query: dimension-aware operators on the array server ------------
+
+smoothed = (
+    ctx.table("grid")
+    .window({"x": 1, "y": 1}, t=("mean", col("t")))   # 3x3 moving mean
+    .slice_dims(x=(1, 2), y=(1, 2))                   # then crop the middle
+    .collect()
+)
+print("\nsmoothed 2x2 center of the grid:")
+for x, y, t in smoothed:
+    print(f"  ({x},{y}) -> {t:6.2f}")
+
+# -- 5. results are plain client collections (no cursors) ---------------------
+
+print(f"\nresult type: {type(top).__name__}, len={len(top)}, "
+      f"first row={top[0]}")
+print(f"the query ran as {ctx.last_report.fragments} fragment(s); "
+      f"bytes moved between servers: "
+      f"{ctx.last_report.metrics.bytes_direct}")

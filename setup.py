@@ -1,0 +1,17 @@
+"""Setup shim.
+
+The project is configured in ``pyproject.toml``; this file exists so that
+editable installs work in offline environments whose setuptools predates
+PEP 660 (no ``wheel`` package available).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

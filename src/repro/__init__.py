@@ -1,0 +1,55 @@
+"""repro — a Big Data algebra framework.
+
+A from-scratch implementation of the multi-server Big Data framework
+proposed in *Desiderata for a Big Data Language* (David Maier, CIDR 2015):
+a LINQ-like architecture where clients build queries as expression trees
+over an algebra that fuses tabular and array data models, and a federation
+layer routes (pieces of) those trees to specialized back-end servers —
+relational, array, linear-algebra and graph engines, all included here —
+with intermediate results passed directly between servers.
+
+Quickstart::
+
+    from repro import BigDataContext, col
+    from repro.providers import RelationalProvider
+
+    ctx = BigDataContext()
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.load_rows("orders", schema, rows, on="sql")
+    big = ctx.table("orders").where(col("amount") > 100).collect()
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the experiment
+suite that operationalizes the paper's four desiderata.
+"""
+
+from .client.collection import Collection
+from .client.context import BigDataContext
+from .client.query import Query
+from .core import algebra
+from .core.algebra import AggSpec, Convergence
+from .core.expressions import col, func, if_, lit
+from .core.rewriter import RewriteOptions, Rewriter
+from .core.schema import Attribute, Schema
+from .core.types import DType
+from .storage.table import ColumnTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggSpec",
+    "Attribute",
+    "BigDataContext",
+    "Collection",
+    "ColumnTable",
+    "Convergence",
+    "DType",
+    "Query",
+    "RewriteOptions",
+    "Rewriter",
+    "Schema",
+    "algebra",
+    "col",
+    "func",
+    "if_",
+    "lit",
+]

@@ -1,0 +1,26 @@
+"""Analytics workloads expressed in the Big Data algebra.
+
+The paper names *data mining* (alongside graph analytics) as the workload
+class that needs control iteration, and "SciDB and ScaLAPACK" as the
+canonical multi-server pairing.  This package provides both: k-means
+clustering as an algebra fixpoint loop, and least-squares regression whose
+normal-equation products route to the linear-algebra server.
+"""
+
+from .kmeans import (
+    POINT_SCHEMA, assignments_query, kmeans_fit, kmeans_numpy, kmeans_query,
+)
+from .regression import (
+    design_matrix_tables, fit_linear_regression, normal_equation_trees,
+)
+
+__all__ = [
+    "POINT_SCHEMA",
+    "assignments_query",
+    "design_matrix_tables",
+    "fit_linear_regression",
+    "kmeans_fit",
+    "kmeans_numpy",
+    "kmeans_query",
+    "normal_equation_trees",
+]

@@ -1,0 +1,127 @@
+"""Least-squares regression across servers.
+
+The paper's motivating multi-server example is "SciDB and ScaLAPACK": data
+lives in a data server, the heavy linear algebra runs in a compute server.
+This module fits ordinary least squares that way:
+
+* the Gram matrix ``X^T X`` and moment vector ``X^T y`` are algebra trees
+  (``TransposeDims`` + intent-tagged ``MatMul``) that the planner routes to
+  the linear-algebra server;
+* the tiny d x d normal-equation solve then runs on the blocked LU kernels.
+
+Matrices are dimensioned tables: X is ``(i, j, v)`` (row, feature, value)
+and y is ``(i, j, v)`` with a single column ``j = 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import algebra as A
+from ..core.errors import ExecutionError
+from ..core.intents import INTENT_MATMUL
+from ..linalg import kernels
+from ..linalg.blocked import BlockedMatrix
+from ..storage.table import ColumnTable
+
+
+def _matmul(left: A.Node, right: A.Node) -> A.Node:
+    return A.MatMul(left, right, intent=INTENT_MATMUL)
+
+
+def normal_equation_trees(x: A.Node, y: A.Node) -> tuple[A.Node, A.Node]:
+    """Algebra trees for (X^T X, X^T y).
+
+    ``X^T`` must not share its *outer* dimension name with the right-hand
+    side (MatMul contracts exactly one shared dimension), so the transposed
+    copy renames its column dimension before transposing:
+    ``X^T: (jT, i)``, ``X: (i, j)`` — contraction over ``i``.
+    """
+    row_dim, col_dim = x.schema.dimension_names
+    out_dim = f"{col_dim}T"
+    renamed = A.Rename(x, ((col_dim, out_dim),))
+    xt = A.TransposeDims(renamed, (out_dim, row_dim), intent="transpose")
+    return _matmul(xt, x), _matmul(xt, y)
+
+
+def _to_dense(table: ColumnTable, shape: tuple[int, int]) -> np.ndarray:
+    dense = np.zeros(shape)
+    d0, d1 = table.schema.dimension_names
+    value = table.schema.value_names[0]
+    rows = table.array(d0)
+    cols = table.array(d1)
+    vals = table.column(value)
+    if vals.null_count:
+        raise ExecutionError("regression inputs may not contain nulls")
+    dense[rows, cols] = vals.values.astype(np.float64)
+    return dense
+
+
+def fit_linear_regression(
+    ctx,
+    x_name: str,
+    y_name: str,
+    *,
+    block_size: int = 32,
+) -> np.ndarray:
+    """Fit OLS coefficients for registered matrix datasets X and y.
+
+    The Gram/moment products execute through the federation (landing on the
+    linear-algebra server when one is registered); the final d x d solve
+    uses the blocked LU kernels locally, the way a driver program would.
+    Returns the coefficient vector (d,).
+    """
+    x = ctx.table(x_name).node
+    y = ctx.table(y_name).node
+    d = _feature_count(ctx, x_name)
+    gram_tree, moment_tree = normal_equation_trees(x, y)
+    gram = ctx.run(ctx.query(gram_tree)).table
+    moment = ctx.run(ctx.query(moment_tree)).table
+    gram_dense = _to_dense(gram, (d, d))
+    moment_dense = _to_dense(moment, (d, 1)).reshape(-1)
+    blocked = BlockedMatrix.from_dense(gram_dense, block_size)
+    return kernels.solve(blocked, moment_dense)
+
+
+def _feature_count(ctx, x_name: str) -> int:
+    for provider in ctx.providers:
+        if provider.has_dataset(x_name):
+            table = provider.dataset(x_name)
+            col_dim = table.schema.dimension_names[1]
+            return int(table.array(col_dim).max()) + 1
+    raise ExecutionError(f"dataset {x_name!r} is not registered anywhere")
+
+
+def design_matrix_tables(
+    features: np.ndarray,
+    targets: np.ndarray,
+    *,
+    intercept: bool = True,
+) -> tuple[ColumnTable, ColumnTable]:
+    """Build (X, y) dimensioned tables from numpy data.
+
+    ``features`` is (n, d); with ``intercept`` a leading all-ones column is
+    prepended.  ``targets`` is (n,).
+    """
+    from ..datasets.matrices import matrix_schema
+
+    features = np.asarray(features, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if features.ndim != 2 or targets.ndim != 1:
+        raise ExecutionError("features must be (n, d) and targets (n,)")
+    if len(features) != len(targets):
+        raise ExecutionError("features and targets disagree on n")
+    if intercept:
+        features = np.hstack([np.ones((len(features), 1)), features])
+    n, d = features.shape
+    ii, jj = np.meshgrid(np.arange(n), np.arange(d), indexing="ij")
+    x = ColumnTable.from_arrays(matrix_schema(), {
+        "i": ii.reshape(-1), "j": jj.reshape(-1),
+        "v": features.reshape(-1),
+    })
+    y = ColumnTable.from_arrays(matrix_schema(), {
+        "i": np.arange(n, dtype=np.int64),
+        "j": np.zeros(n, dtype=np.int64),
+        "v": targets,
+    })
+    return x, y

@@ -1,0 +1,330 @@
+"""Chunked n-dimensional arrays: the array engine's native storage.
+
+This is the SciDB stand-in's physical layer.  A :class:`ChunkedArray` covers
+an axis-aligned bounding box of integer coordinates, split into regular
+chunks.  Each :class:`Chunk` stores a dense ``present`` bitmap (array cells
+may be *empty*, distinct from null) plus one dense value block per attribute
+(with an optional null mask).
+
+Logical contents are exactly a dimensioned table: one row per present cell.
+``from_table``/``to_table`` convert to and from the COO representation the
+rest of the framework uses, and ``get_region`` extracts any dense box —
+including cells outside the bounding box, which are simply absent — which is
+what the halo-based window operator builds on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..core.errors import ExecutionError, SchemaError
+from ..core.schema import Schema
+from ..core.types import DType
+from ..storage.column import Column
+from ..storage.table import ColumnTable
+
+DEFAULT_CHUNK = 32
+
+
+@dataclass
+class Chunk:
+    """One dense block: presence bitmap + per-attribute values (and masks)."""
+
+    present: np.ndarray  # bool, shape == chunk block shape
+    values: dict[str, np.ndarray]
+    masks: dict[str, np.ndarray | None]
+
+    def cell_count(self) -> int:
+        return int(self.present.sum())
+
+
+class ChunkedArray:
+    """A regular-chunked, possibly sparse, n-dimensional array."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        origin: tuple[int, ...],
+        shape: tuple[int, ...],
+        chunk_shape: tuple[int, ...],
+        chunks: dict[tuple[int, ...], Chunk] | None = None,
+    ):
+        dims = schema.dimension_names
+        if not dims:
+            raise SchemaError("ChunkedArray needs at least one dimension")
+        if not (len(origin) == len(shape) == len(chunk_shape) == len(dims)):
+            raise SchemaError("origin/shape/chunk_shape must match dimension count")
+        if any(c < 1 for c in chunk_shape):
+            raise SchemaError("chunk sides must be >= 1")
+        self.schema = schema
+        self.dims = dims
+        self.attrs = tuple(schema.values)
+        self.origin = tuple(int(o) for o in origin)
+        self.shape = tuple(int(s) for s in shape)
+        self.chunk_shape = tuple(int(c) for c in chunk_shape)
+        self.chunks = chunks if chunks is not None else {}
+
+    # -- basic accessors --------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    @property
+    def cell_count(self) -> int:
+        return sum(c.cell_count() for c in self.chunks.values())
+
+    def chunk_grid(self) -> tuple[int, ...]:
+        return tuple(
+            -(-s // c) if s else 0 for s, c in zip(self.shape, self.chunk_shape)
+        )
+
+    def iter_chunks(self) -> Iterator[tuple[tuple[int, ...], Chunk]]:
+        return iter(self.chunks.items())
+
+    def block_shape(self, chunk_coord: tuple[int, ...]) -> tuple[int, ...]:
+        """Dense shape of the chunk at ``chunk_coord`` (edge chunks clip)."""
+        out = []
+        for axis, cc in enumerate(chunk_coord):
+            start = cc * self.chunk_shape[axis]
+            stop = min(start + self.chunk_shape[axis], self.shape[axis])
+            out.append(stop - start)
+        return tuple(out)
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_table(
+        cls,
+        table: ColumnTable,
+        chunk_shape: int | Sequence[int] = DEFAULT_CHUNK,
+    ) -> "ChunkedArray":
+        """Build from COO rows (a dimensioned ColumnTable)."""
+        schema = table.schema
+        dims = schema.dimension_names
+        if not dims:
+            raise SchemaError("from_table needs a schema with dimensions")
+        if isinstance(chunk_shape, int):
+            chunk_shape = (chunk_shape,) * len(dims)
+        chunk_shape = tuple(int(c) for c in chunk_shape)
+
+        n = table.num_rows
+        if n == 0:
+            return cls(schema, (0,) * len(dims), (0,) * len(dims), chunk_shape)
+
+        coords = np.stack([table.array(d) for d in dims], axis=1)
+        origin = tuple(int(v) for v in coords.min(axis=0))
+        upper = coords.max(axis=0)
+        shape = tuple(int(u - o + 1) for u, o in zip(upper, origin))
+
+        rel = coords - np.array(origin, dtype=np.int64)
+        chunk_coords = rel // np.array(chunk_shape, dtype=np.int64)
+        offsets = rel - chunk_coords * np.array(chunk_shape, dtype=np.int64)
+
+        out = cls(schema, origin, shape, chunk_shape)
+        # group rows by chunk
+        order = np.lexsort(chunk_coords.T[::-1])
+        sorted_cc = chunk_coords[order]
+        boundaries = np.nonzero(
+            np.any(np.diff(sorted_cc, axis=0) != 0, axis=1)
+        )[0] + 1
+        groups = np.split(order, boundaries)
+        attr_columns = {a.name: table.column(a.name) for a in out.attrs}
+        for group in groups:
+            if len(group) == 0:
+                continue
+            cc = tuple(int(v) for v in chunk_coords[group[0]])
+            block = out._empty_chunk(cc)
+            flat = np.ravel_multi_index(
+                tuple(offsets[group].T), block.present.shape
+            )
+            if len(np.unique(flat)) != len(flat):
+                raise ExecutionError(
+                    "duplicate cell coordinates while building chunked array"
+                )
+            block.present.reshape(-1)[flat] = True
+            for attr in out.attrs:
+                column = attr_columns[attr.name]
+                block.values[attr.name].reshape(-1)[flat] = column.values[group]
+                if column.mask is not None:
+                    mask = block.masks[attr.name]
+                    if mask is None:
+                        mask = np.zeros(block.present.shape, dtype=bool)
+                        block.masks[attr.name] = mask
+                    mask.reshape(-1)[flat] = column.mask[group]
+            out.chunks[cc] = block
+        return out
+
+    def _empty_chunk(self, chunk_coord: tuple[int, ...]) -> Chunk:
+        shape = self.block_shape(chunk_coord)
+        return Chunk(
+            present=np.zeros(shape, dtype=bool),
+            values={
+                a.name: np.zeros(shape, dtype=a.dtype.to_numpy())
+                if a.dtype is not DType.STRING
+                else np.full(shape, "", dtype=object)
+                for a in self.attrs
+            },
+            masks={a.name: None for a in self.attrs},
+        )
+
+    @classmethod
+    def from_dense_region(
+        cls,
+        schema: Schema,
+        origin: tuple[int, ...],
+        present: np.ndarray,
+        values: Mapping[str, np.ndarray],
+        masks: Mapping[str, np.ndarray | None],
+        chunk_shape: int | Sequence[int] = DEFAULT_CHUNK,
+    ) -> "ChunkedArray":
+        """Build from a dense box (used by regrid/window/matmul outputs)."""
+        dims = schema.dimension_names
+        if isinstance(chunk_shape, int):
+            chunk_shape = (chunk_shape,) * len(dims)
+        chunk_shape = tuple(int(c) for c in chunk_shape)
+        shape = present.shape
+        out = cls(schema, origin, shape, chunk_shape)
+        if not present.any():
+            out.shape = (0,) * len(dims)
+            out.origin = (0,) * len(dims)
+            return out
+        grid = out.chunk_grid()
+        for cc in itertools.product(*(range(g) for g in grid)):
+            slices = tuple(
+                slice(c * s, min((c + 1) * s, shape[axis]))
+                for axis, (c, s) in enumerate(zip(cc, chunk_shape))
+            )
+            block_present = present[slices]
+            if not block_present.any():
+                continue
+            chunk = Chunk(
+                present=block_present.copy(),
+                values={
+                    name: np.ascontiguousarray(arr[slices])
+                    for name, arr in values.items()
+                },
+                masks={
+                    name: None if m is None or not m[slices].any()
+                    else m[slices].copy()
+                    for name, m in masks.items()
+                },
+            )
+            out.chunks[cc] = chunk
+        return out
+
+    # -- extraction ----------------------------------------------------------------
+
+    def get_region(
+        self, lo: tuple[int, ...], hi: tuple[int, ...]
+    ) -> tuple[np.ndarray, dict[str, np.ndarray], dict[str, np.ndarray | None]]:
+        """Dense copy of the inclusive box [lo, hi] in global coordinates.
+
+        Cells outside the array's bounding box (or simply empty) come back
+        with ``present == False``.
+        """
+        size = tuple(h - l + 1 for l, h in zip(lo, hi))
+        if any(s <= 0 for s in size):
+            raise ExecutionError(f"empty region request: lo={lo}, hi={hi}")
+        present = np.zeros(size, dtype=bool)
+        values = {
+            a.name: np.zeros(size, dtype=a.dtype.to_numpy())
+            if a.dtype is not DType.STRING
+            else np.full(size, "", dtype=object)
+            for a in self.attrs
+        }
+        masks: dict[str, np.ndarray | None] = {a.name: None for a in self.attrs}
+
+        for cc, chunk in self.chunks.items():
+            chunk_lo = tuple(
+                self.origin[axis] + cc[axis] * self.chunk_shape[axis]
+                for axis in range(self.ndim)
+            )
+            chunk_hi = tuple(
+                chunk_lo[axis] + chunk.present.shape[axis] - 1
+                for axis in range(self.ndim)
+            )
+            # intersection of [lo, hi] with this chunk
+            inter_lo = tuple(max(l, cl) for l, cl in zip(lo, chunk_lo))
+            inter_hi = tuple(min(h, ch) for h, ch in zip(hi, chunk_hi))
+            if any(il > ih for il, ih in zip(inter_lo, inter_hi)):
+                continue
+            src = tuple(
+                slice(il - cl, ih - cl + 1)
+                for il, ih, cl in zip(inter_lo, inter_hi, chunk_lo)
+            )
+            dst = tuple(
+                slice(il - l, ih - l + 1)
+                for il, ih, l in zip(inter_lo, inter_hi, lo)
+            )
+            present[dst] = chunk.present[src]
+            for name in values:
+                values[name][dst] = chunk.values[name][src]
+                chunk_mask = chunk.masks[name]
+                if chunk_mask is not None and chunk_mask[src].any():
+                    if masks[name] is None:
+                        masks[name] = np.zeros(size, dtype=bool)
+                    masks[name][dst] = chunk_mask[src]
+        return present, values, masks
+
+    def bounding_box(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """(lo, hi) inclusive global bounds; undefined for empty arrays."""
+        if self.cell_count == 0:
+            raise ExecutionError("empty array has no bounding box")
+        hi = tuple(o + s - 1 for o, s in zip(self.origin, self.shape))
+        return self.origin, hi
+
+    # -- conversion --------------------------------------------------------------------
+
+    def to_table(self) -> ColumnTable:
+        """COO representation: one row per present cell."""
+        dims = self.dims
+        coord_lists: list[list[np.ndarray]] = [[] for _ in dims]
+        value_parts: dict[str, list[Column]] = {a.name: [] for a in self.attrs}
+        total = 0
+        for cc, chunk in sorted(self.chunks.items()):
+            where = np.nonzero(chunk.present)
+            count = len(where[0])
+            if count == 0:
+                continue
+            total += count
+            for axis in range(self.ndim):
+                base = self.origin[axis] + cc[axis] * self.chunk_shape[axis]
+                coord_lists[axis].append(where[axis].astype(np.int64) + base)
+            for attr in self.attrs:
+                vals = chunk.values[attr.name][where]
+                mask = chunk.masks[attr.name]
+                value_parts[attr.name].append(
+                    Column(attr.dtype, np.ascontiguousarray(vals),
+                           None if mask is None else mask[where].copy())
+                )
+        columns: dict[str, Column] = {}
+        for axis, dim in enumerate(dims):
+            if coord_lists[axis]:
+                arr = np.concatenate(coord_lists[axis])
+            else:
+                arr = np.empty(0, dtype=np.int64)
+            columns[dim] = Column(DType.INT64, arr)
+        for attr in self.attrs:
+            parts = value_parts[attr.name]
+            columns[attr.name] = (
+                Column.concat(parts) if parts else Column.empty(attr.dtype)
+            )
+        return ColumnTable(self.schema, columns)
+
+    def with_schema(self, schema: Schema) -> "ChunkedArray":
+        """Re-attach an equally-shaped schema (renames, retags)."""
+        return ChunkedArray(
+            schema, self.origin, self.shape, self.chunk_shape, self.chunks
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChunkedArray(dims={self.dims}, origin={self.origin}, "
+            f"shape={self.shape}, chunk={self.chunk_shape}, "
+            f"chunks={len(self.chunks)}, cells={self.cell_count})"
+        )

@@ -1,0 +1,652 @@
+"""Array-engine implementations of the dimension-aware operators.
+
+Operations follow SciDB-style execution: slice and filter work chunk-local,
+shift is a pure metadata update, regrid and reduce scatter into dense
+accumulators over the (much smaller) output box, and window gathers each
+output chunk's input *halo* from neighbouring chunks before aggregating —
+the overlap-processing strategy whose chunk-size trade-off bench E9 sweeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core import algebra as A
+from ..core.schema import Schema
+from ..core.types import DType
+from ..relational.eval import eval_vector
+from ..storage.column import Column
+from ..storage.table import ColumnTable
+from .chunked import Chunk, ChunkedArray
+
+
+# --------------------------------------------------------------------------
+# Chunk-local helpers
+# --------------------------------------------------------------------------
+
+
+def chunk_cells(
+    arr: ChunkedArray, cc: tuple[int, ...], chunk: Chunk, schema: Schema
+) -> tuple[ColumnTable, tuple[np.ndarray, ...]]:
+    """Present cells of one chunk as a COO table, plus their global coords."""
+    where = np.nonzero(chunk.present)
+    coords = []
+    columns: dict[str, Column] = {}
+    for axis, dim in enumerate(arr.dims):
+        base = arr.origin[axis] + cc[axis] * arr.chunk_shape[axis]
+        global_coords = where[axis].astype(np.int64) + base
+        coords.append(global_coords)
+        columns[dim] = Column(DType.INT64, global_coords)
+    for attr in arr.attrs:
+        mask = chunk.masks[attr.name]
+        columns[attr.name] = Column(
+            attr.dtype,
+            np.ascontiguousarray(chunk.values[attr.name][where]),
+            None if mask is None else mask[where].copy(),
+        )
+    return ColumnTable(schema, columns), tuple(coords)
+
+
+# --------------------------------------------------------------------------
+# Structural operations
+# --------------------------------------------------------------------------
+
+
+def slice_array(
+    arr: ChunkedArray, bounds: Sequence[tuple[str, int, int]]
+) -> ChunkedArray:
+    """Chunk-local slice: drop chunks outside the box, mask partial chunks."""
+    limit = {dim: (lo, hi) for dim, lo, hi in bounds}
+    out = ChunkedArray(arr.schema, arr.origin, arr.shape, arr.chunk_shape)
+    for cc, chunk in arr.iter_chunks():
+        chunk_lo = [
+            arr.origin[axis] + cc[axis] * arr.chunk_shape[axis]
+            for axis in range(arr.ndim)
+        ]
+        keep_slices = []
+        skip = False
+        partial = False
+        for axis, dim in enumerate(arr.dims):
+            if dim not in limit:
+                keep_slices.append(slice(None))
+                continue
+            lo, hi = limit[dim]
+            block_len = chunk.present.shape[axis]
+            local_lo = max(0, lo - chunk_lo[axis])
+            local_hi = min(block_len - 1, hi - chunk_lo[axis])
+            if local_lo > local_hi:
+                skip = True
+                break
+            if local_lo > 0 or local_hi < block_len - 1:
+                partial = True
+            keep_slices.append(slice(local_lo, local_hi + 1))
+        if skip:
+            continue
+        if not partial:
+            out.chunks[cc] = chunk
+            continue
+        present = np.zeros_like(chunk.present)
+        region = tuple(keep_slices)
+        present[region] = chunk.present[region]
+        if not present.any():
+            continue
+        out.chunks[cc] = Chunk(
+            present=present,
+            values=dict(chunk.values),
+            masks=dict(chunk.masks),
+        )
+    return out
+
+
+def shift_array(arr: ChunkedArray, dim: str, offset: int) -> ChunkedArray:
+    """O(1) metadata-only shift along one dimension."""
+    axis = arr.dims.index(dim)
+    origin = list(arr.origin)
+    origin[axis] += offset
+    return ChunkedArray(
+        arr.schema, tuple(origin), arr.shape, arr.chunk_shape, arr.chunks
+    )
+
+
+def transpose_array(arr: ChunkedArray, order: Sequence[str], schema: Schema) -> ChunkedArray:
+    perm = tuple(arr.dims.index(d) for d in order)
+    out = ChunkedArray(
+        schema,
+        tuple(arr.origin[p] for p in perm),
+        tuple(arr.shape[p] for p in perm),
+        tuple(arr.chunk_shape[p] for p in perm),
+    )
+    for cc, chunk in arr.iter_chunks():
+        new_cc = tuple(cc[p] for p in perm)
+        out.chunks[new_cc] = Chunk(
+            present=np.ascontiguousarray(chunk.present.transpose(perm)),
+            values={
+                n: np.ascontiguousarray(v.transpose(perm))
+                for n, v in chunk.values.items()
+            },
+            masks={
+                n: None if m is None else np.ascontiguousarray(m.transpose(perm))
+                for n, m in chunk.masks.items()
+            },
+        )
+    return out
+
+
+def filter_array(arr: ChunkedArray, predicate, child_schema: Schema) -> ChunkedArray:
+    """Clear presence bits where the predicate is not exactly True."""
+    out = ChunkedArray(arr.schema, arr.origin, arr.shape, arr.chunk_shape)
+    for cc, chunk in arr.iter_chunks():
+        cells, _ = chunk_cells(arr, cc, chunk, child_schema)
+        if cells.num_rows == 0:
+            continue
+        verdict = eval_vector(predicate, cells)
+        keep = verdict.values.astype(bool)
+        if verdict.mask is not None:
+            keep &= ~verdict.mask
+        if not keep.any():
+            continue
+        where = np.nonzero(chunk.present)
+        present = np.zeros_like(chunk.present)
+        kept = tuple(w[keep] for w in where)
+        present[kept] = True
+        out.chunks[cc] = Chunk(
+            present=present, values=dict(chunk.values), masks=dict(chunk.masks)
+        )
+    return out
+
+
+def extend_array(
+    arr: ChunkedArray,
+    names: Sequence[str],
+    exprs: Sequence,
+    child_schema: Schema,
+    out_schema: Schema,
+) -> ChunkedArray:
+    """Compute new value attributes cell-wise (SciDB ``apply``)."""
+    out = ChunkedArray(out_schema, arr.origin, arr.shape, arr.chunk_shape)
+    for cc, chunk in arr.iter_chunks():
+        cells, _ = chunk_cells(arr, cc, chunk, child_schema)
+        where = np.nonzero(chunk.present)
+        values = dict(chunk.values)
+        masks = dict(chunk.masks)
+        for name, expr in zip(names, exprs):
+            column = eval_vector(expr, cells)
+            attr = out_schema[name]
+            if attr.dtype is DType.STRING:
+                block = np.full(chunk.present.shape, "", dtype=object)
+            else:
+                block = np.zeros(chunk.present.shape, dtype=attr.dtype.to_numpy())
+            block[where] = column.values
+            values[name] = block
+            if column.mask is not None and column.mask.any():
+                mask_block = np.zeros(chunk.present.shape, dtype=bool)
+                mask_block[where] = column.mask
+                masks[name] = mask_block
+            else:
+                masks[name] = None
+        out.chunks[cc] = Chunk(present=chunk.present, values=values, masks=masks)
+    return out
+
+
+def project_array(arr: ChunkedArray, out_schema: Schema) -> ChunkedArray:
+    """Keep a subset of value attributes (all dimensions retained)."""
+    keep = set(out_schema.value_names)
+    out = ChunkedArray(out_schema, arr.origin, arr.shape, arr.chunk_shape)
+    for cc, chunk in arr.iter_chunks():
+        out.chunks[cc] = Chunk(
+            present=chunk.present,
+            values={n: v for n, v in chunk.values.items() if n in keep},
+            masks={n: m for n, m in chunk.masks.items() if n in keep},
+        )
+    return out
+
+
+def rename_array(arr: ChunkedArray, mapping: Mapping[str, str], out_schema: Schema) -> ChunkedArray:
+    out = ChunkedArray(out_schema, arr.origin, arr.shape, arr.chunk_shape)
+    for cc, chunk in arr.iter_chunks():
+        out.chunks[cc] = Chunk(
+            present=chunk.present,
+            values={mapping.get(n, n): v for n, v in chunk.values.items()},
+            masks={mapping.get(n, n): m for n, m in chunk.masks.items()},
+        )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Dense aggregation machinery (regrid / reduce)
+# --------------------------------------------------------------------------
+
+
+class DenseAggregator:
+    """Scatter-based aggregation into a dense output box."""
+
+    def __init__(self, out_shape: tuple[int, ...], aggs: Sequence[A.AggSpec],
+                 out_schema: Schema):
+        self.out_shape = out_shape
+        self.aggs = tuple(aggs)
+        self.out_schema = out_schema
+        size = int(np.prod(out_shape)) if out_shape else 1
+        self.rows = np.zeros(size, dtype=np.int64)
+        self.state: dict[str, dict[str, np.ndarray]] = {}
+        for spec in self.aggs:
+            if spec.func == "count":
+                self.state[spec.name] = {"count": np.zeros(size, dtype=np.int64)}
+            elif spec.func in ("sum", "mean"):
+                self.state[spec.name] = {
+                    "sum": np.zeros(size, dtype=np.float64),
+                    "count": np.zeros(size, dtype=np.int64),
+                }
+            else:  # min / max
+                sentinel = np.inf if spec.func == "min" else -np.inf
+                self.state[spec.name] = {
+                    "best": np.full(size, sentinel, dtype=np.float64),
+                    "count": np.zeros(size, dtype=np.int64),
+                }
+
+    def update(self, flat_idx: np.ndarray, cells: ColumnTable) -> None:
+        np.add.at(self.rows, flat_idx, 1)
+        for spec in self.aggs:
+            state = self.state[spec.name]
+            if spec.arg is None:
+                np.add.at(state["count"], flat_idx, 1)
+                continue
+            column = eval_vector(spec.arg, cells)
+            valid = (
+                np.ones(len(column), dtype=bool)
+                if column.mask is None else ~column.mask
+            )
+            idx = flat_idx[valid]
+            vals = column.values[valid].astype(np.float64)
+            if spec.func == "count":
+                np.add.at(state["count"], idx, 1)
+            elif spec.func in ("sum", "mean"):
+                np.add.at(state["sum"], idx, vals)
+                np.add.at(state["count"], idx, 1)
+            elif spec.func == "min":
+                np.minimum.at(state["best"], idx, vals)
+                np.add.at(state["count"], idx, 1)
+            else:
+                np.maximum.at(state["best"], idx, vals)
+                np.add.at(state["count"], idx, 1)
+
+    def finalize(self) -> tuple[np.ndarray, dict[str, np.ndarray], dict[str, np.ndarray | None]]:
+        present = (self.rows > 0).reshape(self.out_shape)
+        values: dict[str, np.ndarray] = {}
+        masks: dict[str, np.ndarray | None] = {}
+        for spec in self.aggs:
+            state = self.state[spec.name]
+            out_dtype = self.out_schema[spec.name].dtype
+            if spec.func == "count":
+                values[spec.name] = state["count"].reshape(self.out_shape)
+                masks[spec.name] = None
+                continue
+            count = state["count"]
+            empty = (count == 0) & (self.rows > 0)
+            if spec.func in ("sum", "mean"):
+                raw = state["sum"].copy()
+                if spec.func == "mean":
+                    with np.errstate(all="ignore"):
+                        raw = raw / np.maximum(count, 1)
+            else:
+                raw = np.where(count > 0, state["best"], 0.0)
+            values[spec.name] = raw.astype(out_dtype.to_numpy()).reshape(self.out_shape)
+            masks[spec.name] = empty.reshape(self.out_shape) if empty.any() else None
+        return present, values, masks
+
+
+def _floor_div(values: np.ndarray, factor: int) -> np.ndarray:
+    return np.floor_divide(values, factor)
+
+
+def regrid_array(
+    arr: ChunkedArray,
+    factors: Sequence[tuple[str, int]],
+    aggs: Sequence[A.AggSpec],
+    child_schema: Schema,
+    out_schema: Schema,
+    chunk_shape: int | Sequence[int],
+) -> ChunkedArray:
+    """Coarsen dimensions by integer factors, aggregating within bins."""
+    if arr.cell_count == 0:
+        return ChunkedArray.from_table(ColumnTable.empty(out_schema), chunk_shape)
+    factor_by_dim = dict(factors)
+    lo, hi = arr.bounding_box()
+    out_lo = tuple(
+        _floor_div(np.array([l]), factor_by_dim.get(d, 1))[0]
+        for l, d in zip(lo, arr.dims)
+    )
+    out_hi = tuple(
+        _floor_div(np.array([h]), factor_by_dim.get(d, 1))[0]
+        for h, d in zip(hi, arr.dims)
+    )
+    out_shape = tuple(int(h - l + 1) for l, h in zip(out_lo, out_hi))
+    agg = DenseAggregator(out_shape, aggs, out_schema)
+    for cc, chunk in arr.iter_chunks():
+        cells, coords = chunk_cells(arr, cc, chunk, child_schema)
+        if cells.num_rows == 0:
+            continue
+        out_coords = tuple(
+            _floor_div(coords[axis], factor_by_dim.get(d, 1)) - out_lo[axis]
+            for axis, d in enumerate(arr.dims)
+        )
+        flat = np.ravel_multi_index(out_coords, out_shape)
+        agg.update(flat, cells)
+    present, values, masks = agg.finalize()
+    return ChunkedArray.from_dense_region(
+        out_schema, out_lo, present, values, masks, chunk_shape
+    )
+
+
+def reduce_dims_array(
+    arr: ChunkedArray,
+    keep: Sequence[str],
+    aggs: Sequence[A.AggSpec],
+    child_schema: Schema,
+    out_schema: Schema,
+    chunk_shape: int | Sequence[int],
+) -> ChunkedArray | ColumnTable:
+    """Aggregate away dimensions; returns a plain table when none remain."""
+    keep_set = set(keep)
+    keep_axes = [axis for axis, d in enumerate(arr.dims) if d in keep_set]
+    if arr.cell_count == 0:
+        if keep_axes:
+            return ChunkedArray.from_table(ColumnTable.empty(out_schema), chunk_shape)
+        return ColumnTable.empty(out_schema)
+    lo, hi = arr.bounding_box()
+    if not keep_axes:
+        out_shape: tuple[int, ...] = ()
+        out_lo: tuple[int, ...] = ()
+    else:
+        out_lo = tuple(lo[a] for a in keep_axes)
+        out_shape = tuple(hi[a] - lo[a] + 1 for a in keep_axes)
+    agg = DenseAggregator(out_shape if out_shape else (1,), aggs, out_schema)
+    for cc, chunk in arr.iter_chunks():
+        cells, coords = chunk_cells(arr, cc, chunk, child_schema)
+        if cells.num_rows == 0:
+            continue
+        if keep_axes:
+            rel = tuple(coords[a] - out_lo[i] for i, a in enumerate(keep_axes))
+            flat = np.ravel_multi_index(rel, out_shape)
+        else:
+            flat = np.zeros(cells.num_rows, dtype=np.int64)
+        agg.update(flat, cells)
+    present, values, masks = agg.finalize()
+    if keep_axes:
+        return ChunkedArray.from_dense_region(
+            out_schema, out_lo, present, values, masks, chunk_shape
+        )
+    columns = {}
+    for spec in aggs:
+        attr = out_schema[spec.name]
+        mask = masks[spec.name]
+        columns[spec.name] = Column(
+            attr.dtype, values[spec.name].reshape(1),
+            None if mask is None else mask.reshape(1),
+        )
+    return ColumnTable(out_schema, columns)
+
+
+# --------------------------------------------------------------------------
+# Window (halo-based overlap processing)
+# --------------------------------------------------------------------------
+
+
+def window_array(
+    arr: ChunkedArray,
+    sizes: Sequence[tuple[str, int]],
+    aggs: Sequence[A.AggSpec],
+    child_schema: Schema,
+    out_schema: Schema,
+) -> ChunkedArray:
+    """Centered moving-window aggregate.
+
+    For each populated chunk, gather the chunk's box expanded by the window
+    radius (the *halo*) from neighbouring chunks, then slide the window by
+    iterating offset combinations — vectorized over the whole block per
+    offset.  Cells that are absent contribute nothing; output cells exist
+    exactly where input cells exist.
+    """
+    radius_by_dim = dict(sizes)
+    radii = tuple(radius_by_dim.get(d, 0) for d in arr.dims)
+    out = ChunkedArray(out_schema, arr.origin, arr.shape, arr.chunk_shape)
+
+    for cc, chunk in arr.iter_chunks():
+        if not chunk.present.any():
+            continue
+        chunk_lo = tuple(
+            arr.origin[axis] + cc[axis] * arr.chunk_shape[axis]
+            for axis in range(arr.ndim)
+        )
+        block_shape = chunk.present.shape
+        halo_lo = tuple(cl - r for cl, r in zip(chunk_lo, radii))
+        halo_hi = tuple(
+            cl + bs - 1 + r for cl, bs, r in zip(chunk_lo, block_shape, radii)
+        )
+        present, values, masks = arr.get_region(halo_lo, halo_hi)
+        arg_blocks = _window_arg_blocks(
+            arr, aggs, child_schema, halo_lo, present, values, masks
+        )
+
+        core = tuple(
+            slice(r, r + bs) for r, bs in zip(radii, block_shape)
+        )
+        sums = {spec.name: np.zeros(block_shape, dtype=np.float64) for spec in aggs}
+        counts = {spec.name: np.zeros(block_shape, dtype=np.int64) for spec in aggs}
+        mins = {
+            spec.name: np.full(block_shape, np.inf)
+            for spec in aggs if spec.func == "min"
+        }
+        maxs = {
+            spec.name: np.full(block_shape, -np.inf)
+            for spec in aggs if spec.func == "max"
+        }
+
+        for offsets in itertools.product(*(range(-r, r + 1) for r in radii)):
+            shifted = tuple(
+                slice(c.start + o, c.stop + o) for c, o in zip(core, offsets)
+            )
+            p = present[shifted]
+            for spec in aggs:
+                if spec.arg is None:
+                    counts[spec.name] += p
+                    continue
+                vals, valid = arg_blocks[spec.name]
+                v = vals[shifted]
+                ok = valid[shifted] & p
+                counts[spec.name] += ok
+                if spec.func in ("sum", "mean"):
+                    sums[spec.name] += np.where(ok, v, 0.0)
+                elif spec.func == "min":
+                    mins[spec.name] = np.where(
+                        ok, np.minimum(mins[spec.name], v), mins[spec.name]
+                    )
+                elif spec.func == "max":
+                    maxs[spec.name] = np.where(
+                        ok, np.maximum(maxs[spec.name], v), maxs[spec.name]
+                    )
+
+        out_values: dict[str, np.ndarray] = {}
+        out_masks: dict[str, np.ndarray | None] = {}
+        for spec in aggs:
+            out_dtype = out_schema[spec.name].dtype
+            cnt = counts[spec.name]
+            if spec.func == "count":
+                block = cnt.astype(np.int64)
+                mask = None
+            elif spec.func == "sum":
+                block = sums[spec.name]
+                mask = cnt == 0
+            elif spec.func == "mean":
+                with np.errstate(all="ignore"):
+                    block = sums[spec.name] / np.maximum(cnt, 1)
+                mask = cnt == 0
+            elif spec.func == "min":
+                block = np.where(cnt > 0, mins[spec.name], 0.0)
+                mask = cnt == 0
+            else:
+                block = np.where(cnt > 0, maxs[spec.name], 0.0)
+                mask = cnt == 0
+            if mask is not None:
+                mask = mask & chunk.present
+                if not mask.any():
+                    mask = None
+            out_values[spec.name] = block.astype(out_dtype.to_numpy())
+            out_masks[spec.name] = mask
+        out.chunks[cc] = Chunk(
+            present=chunk.present.copy(), values=out_values, masks=out_masks
+        )
+    return out
+
+
+def _window_arg_blocks(
+    arr: ChunkedArray,
+    aggs: Sequence[A.AggSpec],
+    child_schema: Schema,
+    halo_lo: tuple[int, ...],
+    present: np.ndarray,
+    values: Mapping[str, np.ndarray],
+    masks: Mapping[str, np.ndarray | None],
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Evaluate each agg argument over the dense halo region.
+
+    Returns ``name -> (float values, validity)`` blocks aligned with
+    ``present``.
+    """
+    out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    flat_cache: ColumnTable | None = None
+    region_shape = present.shape
+
+    for spec in aggs:
+        if spec.arg is None:
+            continue
+        if flat_cache is None:
+            flat_cache = _flatten_region(
+                arr, child_schema, halo_lo, present, values, masks
+            )
+        column = eval_vector(spec.arg, flat_cache)
+        vals = column.values.astype(np.float64).reshape(region_shape)
+        valid = (
+            np.ones(region_shape, dtype=bool)
+            if column.mask is None
+            else ~column.mask.reshape(region_shape)
+        )
+        out[spec.name] = (vals, valid)
+    return out
+
+
+def _flatten_region(
+    arr: ChunkedArray,
+    child_schema: Schema,
+    halo_lo: tuple[int, ...],
+    present: np.ndarray,
+    values: Mapping[str, np.ndarray],
+    masks: Mapping[str, np.ndarray | None],
+) -> ColumnTable:
+    """Whole dense region (present or not) as a flat ColumnTable."""
+    grids = np.meshgrid(
+        *(
+            np.arange(halo_lo[axis], halo_lo[axis] + present.shape[axis], dtype=np.int64)
+            for axis in range(arr.ndim)
+        ),
+        indexing="ij",
+    )
+    columns: dict[str, Column] = {}
+    for axis, dim in enumerate(arr.dims):
+        columns[dim] = Column(DType.INT64, grids[axis].reshape(-1))
+    for attr in arr.attrs:
+        mask = masks[attr.name]
+        columns[attr.name] = Column(
+            attr.dtype,
+            values[attr.name].reshape(-1),
+            None if mask is None else mask.reshape(-1).copy(),
+        )
+    return ColumnTable(child_schema, columns)
+
+
+# --------------------------------------------------------------------------
+# Cell join and matmul
+# --------------------------------------------------------------------------
+
+
+def cell_join_arrays(
+    left: ChunkedArray,
+    right: ChunkedArray,
+    out_schema: Schema,
+    chunk_shape: int | Sequence[int],
+) -> ChunkedArray:
+    """Join two arrays on their (identical) dimension sets."""
+    if left.cell_count == 0 or right.cell_count == 0:
+        return ChunkedArray.from_table(ColumnTable.empty(out_schema), chunk_shape)
+    # right may list dimensions in a different order; align to left
+    if right.dims != left.dims:
+        by_name = {a.name: a for a in right.schema}
+        reordered = Schema(
+            [by_name[d] for d in left.dims]
+            + [a for a in right.schema if not a.dimension]
+        )
+        right = transpose_array(right, left.dims, reordered)
+    llo, lhi = left.bounding_box()
+    rlo, rhi = right.bounding_box()
+    lo = tuple(max(a, b) for a, b in zip(llo, rlo))
+    hi = tuple(min(a, b) for a, b in zip(lhi, rhi))
+    if any(l > h for l, h in zip(lo, hi)):
+        return ChunkedArray.from_table(ColumnTable.empty(out_schema), chunk_shape)
+    lpresent, lvalues, lmasks = left.get_region(lo, hi)
+    rpresent, rvalues, rmasks = right.get_region(lo, hi)
+    present = lpresent & rpresent
+    values = {**lvalues, **rvalues}
+    masks = {**lmasks, **rmasks}
+    return ChunkedArray.from_dense_region(
+        out_schema, lo, present, values, masks, chunk_shape
+    )
+
+
+def matmul_arrays(
+    left: ChunkedArray,
+    right: ChunkedArray,
+    out_schema: Schema,
+    chunk_shape: int | Sequence[int],
+) -> ChunkedArray:
+    """Dense matrix multiply over the overlapping contraction range.
+
+    Absent or null cells contribute zero; an output cell is present when at
+    least one contributing pair of cells exists (matching the sparse
+    sum-product semantics of the reference interpreter).
+    """
+    if left.cell_count == 0 or right.cell_count == 0:
+        return ChunkedArray.from_table(ColumnTable.empty(out_schema), chunk_shape)
+    llo, lhi = left.bounding_box()
+    rlo, rhi = right.bounding_box()
+    # contraction range: left's 2nd dim ∩ right's 1st dim
+    k_lo = max(llo[1], rlo[0])
+    k_hi = min(lhi[1], rhi[0])
+    if k_lo > k_hi:
+        return ChunkedArray.from_table(ColumnTable.empty(out_schema), chunk_shape)
+
+    lval = left.schema.value_names[0]
+    rval = right.schema.value_names[0]
+    lp, lv, lm = left.get_region((llo[0], k_lo), (lhi[0], k_hi))
+    rp, rv, rm = right.get_region((k_lo, rlo[1]), (k_hi, rhi[1]))
+
+    a_ok = lp if lm[lval] is None else (lp & ~lm[lval])
+    b_ok = rp if rm[rval] is None else (rp & ~rm[rval])
+    a = np.where(a_ok, lv[lval].astype(np.float64), 0.0)
+    b = np.where(b_ok, rv[rval].astype(np.float64), 0.0)
+
+    product = a @ b
+    contributions = a_ok.astype(np.int64) @ b_ok.astype(np.int64)
+    present = contributions > 0
+
+    out_value = out_schema.value_names[0]
+    out_dtype = out_schema[out_value].dtype
+    return ChunkedArray.from_dense_region(
+        out_schema,
+        (llo[0], rlo[1]),
+        present,
+        {out_value: product.astype(out_dtype.to_numpy())},
+        {out_value: None},
+        chunk_shape,
+    )

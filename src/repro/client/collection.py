@@ -1,0 +1,76 @@
+"""Client-side query results.
+
+LINQ property 3: "the result of a query is a collection in the client
+environment — not the awkwardness of cursors."  A :class:`Collection` is a
+fully materialized, iterable, indexable result carrying its schema and the
+execution report (transfer metrics, fragment count) of the query that
+produced it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..storage.table import ColumnTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..federation.executor import ExecutionReport
+
+
+class Collection:
+    """A materialized query result in the client environment."""
+
+    def __init__(self, table: ColumnTable, report: "ExecutionReport | None" = None):
+        self._table = table
+        self.report = report
+
+    # -- collection protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._table.num_rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self._table.iter_rows()
+
+    def __getitem__(self, index: int) -> tuple:
+        if not -len(self) <= index < len(self):
+            raise IndexError(f"row {index} out of range ({len(self)} rows)")
+        if index < 0:
+            index += len(self)
+        return self._table.row(index)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def schema(self):
+        return self._table.schema
+
+    @property
+    def table(self) -> ColumnTable:
+        return self._table
+
+    def rows(self) -> list[tuple]:
+        return self._table.to_rows()
+
+    def dicts(self) -> list[dict[str, Any]]:
+        return list(self._table.iter_dicts())
+
+    def column(self, name: str) -> list[Any]:
+        return self._table.column(name).to_list()
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self) != 1 or len(self.schema) != 1:
+            raise ValueError(
+                f"scalar() needs exactly one row and one column, got "
+                f"{len(self)} rows x {len(self.schema)} columns"
+            )
+        return self._table.row(0)[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = self.rows()[:5]
+        more = f" ... ({len(self)} rows)" if len(self) > 5 else ""
+        return f"Collection({list(self.schema.names)}: {preview}{more})"

@@ -1,0 +1,160 @@
+"""BigDataContext: the client session tying the whole framework together.
+
+One context holds the federation catalog (which servers exist, which
+datasets live where), the logical rewriter, the planner and the executor.
+Client code builds queries fluently and collects results; the context plans
+them across servers, ships expression trees, and returns collections —
+the paper's two framework goals (portability, multi-server applications) as
+a single API.
+
+Typical setup::
+
+    ctx = BigDataContext()
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.add_provider(ArrayProvider("scidb"))
+    ctx.add_provider(LinalgProvider("scalapack"))
+    ctx.load("orders", orders_table, on="sql")
+    ctx.table("orders").where(col("amount") > 10).collect()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..core import algebra as A
+from ..core.errors import PlanningError
+from ..core.rewriter import RewriteOptions, Rewriter
+from ..core.schema import Schema
+from ..federation.catalog import FederationCatalog
+from ..federation.channels import NetworkModel
+from ..federation.executor import (
+    ExecutionReport, FederatedExecutor, run_iterate_clientside,
+)
+from ..federation.planner import FederationPlanner
+from ..providers.base import Provider
+from ..storage.table import ColumnTable
+from .collection import Collection
+from .query import Query
+
+
+class BigDataContext:
+    """A client session over a federation of back-end servers."""
+
+    def __init__(
+        self,
+        *,
+        routing: str = "direct",
+        rewrite: RewriteOptions | None = None,
+        network: NetworkModel | None = None,
+    ):
+        self.catalog = FederationCatalog()
+        self.rewriter = Rewriter(rewrite)
+        self.planner = FederationPlanner(self.catalog)
+        self.executor = FederatedExecutor(
+            self.catalog, routing=routing, network=network
+        )
+        #: report of the most recent execution (metrics, fragments, ...)
+        self.last_report: ExecutionReport | None = None
+
+    # -- setup ------------------------------------------------------------------
+
+    def add_provider(self, provider: Provider) -> "BigDataContext":
+        self.catalog.add_provider(provider)
+        return self
+
+    def load(
+        self, name: str, table: ColumnTable, *, on: str | list[str]
+    ) -> "BigDataContext":
+        """Register a dataset on one or more servers."""
+        self.catalog.register_dataset(name, table, on)
+        return self
+
+    def load_rows(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Sequence[Any]],
+        *,
+        on: str | list[str],
+    ) -> "BigDataContext":
+        return self.load(name, ColumnTable.from_rows(schema, rows), on=on)
+
+    # -- query building ------------------------------------------------------------
+
+    def table(self, name: str) -> Query:
+        """Start a query from a registered dataset."""
+        locations = self.catalog.locations(name)
+        if not locations:
+            raise PlanningError(f"dataset {name!r} is not registered anywhere")
+        return Query(A.Scan(name, self.catalog.schema_of(name)), self)
+
+    def inline(self, schema: Schema, rows: Iterable[Sequence[Any]]) -> Query:
+        """A query over literal rows shipped inside the expression tree."""
+        return Query(
+            A.InlineTable(schema, tuple(tuple(r) for r in rows)), self
+        )
+
+    def query(self, node: A.Node) -> Query:
+        """Wrap a hand-built algebra tree (e.g. from a frontend)."""
+        return Query(node, self)
+
+    def sql(self, statement: str) -> Query:
+        """Parse a SQL SELECT against the catalog's schemas."""
+        from ..frontends.sql import parse_sql
+
+        return Query(parse_sql(statement, self.catalog.schema_of), self)
+
+    def pipeline(self, text: str) -> Query:
+        """Parse a dataflow pipeline (``load ... | filter ... | ...``)."""
+        from ..frontends.dataflow import parse_pipeline
+
+        return Query(parse_pipeline(text, self.catalog.schema_of), self)
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(
+        self, query: Query | A.Node, *, pin_server: str | None = None
+    ) -> Collection:
+        tree = query.node if isinstance(query, Query) else query
+        tree.schema  # validate before optimizing
+        optimized = self.rewriter.rewrite(tree)
+        plan = self.planner.plan(optimized, pin_server=pin_server)
+        report = self.executor.execute(plan)
+        self.last_report = report
+        return Collection(report.result, report)
+
+    def run_clientside_loop(
+        self, query: Query | A.Node, *, pin_server: str | None = None
+    ) -> Collection:
+        """Execute an ``Iterate`` with a client-driven loop (E5 baseline)."""
+        tree = query.node if isinstance(query, Query) else query
+        if not isinstance(tree, A.Iterate):
+            raise PlanningError("run_clientside_loop needs an Iterate at the root")
+        report = run_iterate_clientside(
+            tree, self.planner, self.executor, pin_server=pin_server
+        )
+        self.last_report = report
+        return Collection(report.result, report)
+
+    def explain(self, query: Query | A.Node) -> str:
+        """The optimized tree and its fragment assignment, as text."""
+        tree = query.node if isinstance(query, Query) else query
+        optimized = self.rewriter.rewrite(tree)
+        plan = self.planner.plan(optimized)
+        return plan.describe()
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def providers(self) -> list[Provider]:
+        return self.catalog.providers
+
+    def coverage_matrix(self) -> dict[str, dict[str, bool]]:
+        """operator -> provider -> supported (class-level capabilities)."""
+        out: dict[str, dict[str, bool]] = {}
+        for op in A.ALL_OPERATORS:
+            out[op.__name__] = {
+                p.name: op.__name__ in p.capabilities
+                for p in self.catalog.providers
+            }
+        return out

@@ -1,0 +1,226 @@
+"""The fluent client query builder — the LINQ-like surface language.
+
+A :class:`Query` wraps an algebra tree and a bound context; every method
+builds a larger tree lazily, and ``collect()`` ships the whole expression
+tree for federated execution.  Examples::
+
+    high_value = (ctx.table("orders")
+                    .where(col("amount") > 100.0)
+                    .join(ctx.table("customers"), on=[("cust", "cid")])
+                    .aggregate(["country"], total=("sum", col("amount")))
+                    .order_by("total", ascending=False)
+                    .collect())
+
+    smoothed = (ctx.table("sensor")
+                  .window({"x": 1, "y": 1}, v=("mean", col("v")))
+                  .collect())
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+from ..core import algebra as A
+from ..core.errors import AlgebraError
+from ..core.expressions import Expr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .collection import Collection
+    from .context import BigDataContext
+
+AggArg = tuple[str, Expr | None]
+
+
+def _agg_specs(kwargs: Mapping[str, AggArg]) -> tuple[A.AggSpec, ...]:
+    if not kwargs:
+        raise AlgebraError(
+            "supply at least one aggregate as name=(func, expr), e.g. "
+            "total=('sum', col('amount')) or n=('count', None)"
+        )
+    return tuple(
+        A.AggSpec(name, func, arg) for name, (func, arg) in kwargs.items()
+    )
+
+
+class Query:
+    """A lazily-built algebra tree bound to a context."""
+
+    def __init__(self, node: A.Node, context: "BigDataContext | None" = None):
+        self.node = node
+        self._context = context
+
+    def _wrap(self, node: A.Node) -> "Query":
+        return Query(node, self._context)
+
+    # -- schema introspection -----------------------------------------------------
+
+    @property
+    def schema(self):
+        return self.node.schema
+
+    # -- relational verbs -----------------------------------------------------------
+
+    def where(self, predicate: Expr) -> "Query":
+        return self._wrap(A.Filter(self.node, predicate))
+
+    def select(self, *names: str) -> "Query":
+        return self._wrap(A.Project(self.node, names))
+
+    def derive(self, **exprs: Expr) -> "Query":
+        """Append computed columns: ``q.derive(taxed=col("amount") * 1.1)``."""
+        return self._wrap(A.Extend(
+            self.node, tuple(exprs), tuple(exprs.values())
+        ))
+
+    def rename(self, **mapping: str) -> "Query":
+        """``q.rename(old="new")``."""
+        return self._wrap(A.Rename(
+            self.node, tuple((old, new) for old, new in mapping.items())
+        ))
+
+    def join(
+        self,
+        other: "Query | A.Node",
+        on: Sequence[tuple[str, str] | str],
+        how: str = "inner",
+    ) -> "Query":
+        """Equi-join; ``on`` entries are (left, right) pairs or shared names."""
+        pairs = tuple(
+            (k, k) if isinstance(k, str) else (k[0], k[1]) for k in on
+        )
+        return self._wrap(A.Join(self.node, _node_of(other), pairs, how))
+
+    def product(self, other: "Query | A.Node") -> "Query":
+        return self._wrap(A.Product(self.node, _node_of(other)))
+
+    def aggregate(
+        self, group_by: Sequence[str] = (), **aggs: AggArg
+    ) -> "Query":
+        """Group and aggregate: ``q.aggregate(["cust"], n=("count", None))``."""
+        return self._wrap(A.Aggregate(
+            self.node, tuple(group_by), _agg_specs(aggs)
+        ))
+
+    def order_by(self, *keys: str, ascending: bool | Sequence[bool] = True) -> "Query":
+        if isinstance(ascending, bool):
+            flags = tuple(ascending for _ in keys)
+        else:
+            flags = tuple(ascending)
+        return self._wrap(A.Sort(self.node, keys, flags))
+
+    def limit(self, count: int, offset: int = 0) -> "Query":
+        return self._wrap(A.Limit(self.node, count, offset))
+
+    def reverse(self) -> "Query":
+        return self._wrap(A.Reverse(self.node))
+
+    def distinct(self) -> "Query":
+        return self._wrap(A.Distinct(self.node))
+
+    def union(self, other: "Query | A.Node") -> "Query":
+        return self._wrap(A.Union(self.node, _node_of(other)))
+
+    def intersect(self, other: "Query | A.Node") -> "Query":
+        return self._wrap(A.Intersect(self.node, _node_of(other)))
+
+    def except_(self, other: "Query | A.Node") -> "Query":
+        return self._wrap(A.Except(self.node, _node_of(other)))
+
+    # -- dimension-aware verbs ----------------------------------------------------------
+
+    def as_dims(self, *dims: str) -> "Query":
+        return self._wrap(A.AsDims(self.node, dims))
+
+    def slice_dims(self, **bounds: tuple[int, int]) -> "Query":
+        """``q.slice_dims(x=(0, 99), y=(10, 20))`` — inclusive ranges."""
+        return self._wrap(A.SliceDims(
+            self.node, tuple((d, lo, hi) for d, (lo, hi) in bounds.items())
+        ))
+
+    def shift(self, dim: str, offset: int) -> "Query":
+        return self._wrap(A.ShiftDim(self.node, dim, offset))
+
+    def regrid(self, factors: Mapping[str, int], **aggs: AggArg) -> "Query":
+        return self._wrap(A.Regrid(
+            self.node, tuple(factors.items()), _agg_specs(aggs)
+        ))
+
+    def window(self, radii: Mapping[str, int], **aggs: AggArg) -> "Query":
+        return self._wrap(A.Window(
+            self.node, tuple(radii.items()), _agg_specs(aggs)
+        ))
+
+    def reduce_dims(self, keep: Sequence[str] = (), **aggs: AggArg) -> "Query":
+        return self._wrap(A.ReduceDims(
+            self.node, tuple(keep), _agg_specs(aggs)
+        ))
+
+    def transpose(self, *order: str) -> "Query":
+        return self._wrap(A.TransposeDims(self.node, order))
+
+    def matmul(self, other: "Query | A.Node") -> "Query":
+        from ..core.intents import INTENT_MATMUL
+
+        return self._wrap(
+            A.MatMul(self.node, _node_of(other), intent=INTENT_MATMUL)
+        )
+
+    def cell_join(self, other: "Query | A.Node") -> "Query":
+        return self._wrap(A.CellJoin(self.node, _node_of(other)))
+
+    # -- control iteration ----------------------------------------------------------------
+
+    def iterate(
+        self,
+        body: Callable[["Query"], "Query"],
+        *,
+        until: tuple[str, float] | None = None,
+        max_iter: int = 100,
+        norm: str = "linf",
+        strict: bool = False,
+        var: str = "state",
+    ) -> "Query":
+        """Fixpoint loop: ``body`` maps the loop state to the next state.
+
+        ``until=("rank", 1e-6)`` stops when the L∞ (or L1) change of that
+        attribute drops below the tolerance; omitted, the loop runs exactly
+        ``max_iter`` times.
+        """
+        state = Query(A.LoopVar(var, self.node.schema), self._context)
+        body_query = body(state)
+        stop = (
+            A.Convergence(until[0], until[1], norm)
+            if until is not None else A.Convergence()
+        )
+        return self._wrap(A.Iterate(
+            self.node, body_query.node, var=var, stop=stop,
+            max_iter=max_iter, strict=strict,
+        ))
+
+    # -- intent & execution --------------------------------------------------------------
+
+    def with_intent(self, intent: str) -> "Query":
+        return self._wrap(self.node.with_intent(intent))
+
+    def collect(self, *, on: str | None = None) -> "Collection":
+        """Execute the whole tree (optionally pinned to one server)."""
+        if self._context is None:
+            raise AlgebraError(
+                "query is not bound to a context; use BigDataContext.table()"
+            )
+        return self._context.run(self, pin_server=on)
+
+    def to_list(self) -> list[tuple]:
+        return self.collect().rows()
+
+    def explain(self) -> str:
+        if self._context is None:
+            raise AlgebraError("query is not bound to a context")
+        return self._context.explain(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Query({self.node!r})"
+
+
+def _node_of(other: "Query | A.Node") -> A.Node:
+    return other.node if isinstance(other, Query) else other

@@ -1,0 +1,56 @@
+"""Reference semantics of the algebra's aggregate functions.
+
+One place defines what ``count/sum/min/max/mean`` mean over a bag of Python
+values (with ``None`` as null), so the reference interpreter, the array
+engine's window/regrid paths and the relational engine's fallbacks all agree:
+
+* ``count`` with no argument counts rows; with an argument counts non-nulls.
+* ``sum``/``min``/``max``/``mean`` skip nulls and return null when no
+  non-null input exists (SQL behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from .errors import ExecutionError
+
+
+def apply_agg(func: str, values: Sequence[Any], *, count_rows: bool = False) -> Any:
+    """Aggregate a bag of Python values (``None`` = null)."""
+    if func == "count":
+        if count_rows:
+            return len(values)
+        return sum(1 for v in values if v is not None)
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    if func == "sum":
+        return sum(present)
+    if func == "min":
+        return min(present)
+    if func == "max":
+        return max(present)
+    if func == "mean":
+        return sum(present) / len(present)
+    raise ExecutionError(f"unknown aggregate function {func!r}")
+
+
+def merge_agg(func: str, partials: Iterable[Any]) -> Any:
+    """Combine partial aggregates (used by chunked/array execution).
+
+    Only decomposable functions may be merged; ``mean`` must be computed from
+    (sum, count) pairs by the caller.
+    """
+    parts = [p for p in partials if p is not None]
+    if func == "count":
+        return sum(parts) if parts else 0
+    if not parts:
+        return None
+    if func == "sum":
+        return sum(parts)
+    if func == "min":
+        return min(parts)
+    if func == "max":
+        return max(parts)
+    raise ExecutionError(f"aggregate {func!r} cannot be merged from partials")

@@ -1,0 +1,586 @@
+"""The Big Data algebra: the paper's algebraic intermediate form.
+
+Queries are immutable trees of :class:`Node`.  The operator set fuses the
+relational algebra (scan, filter, project, join, aggregate, ...) with
+dimension-aware array operators (slice, regrid, window, matmul, ...) and a
+control-iteration operator (:class:`Iterate`) so convergence loops can run
+inside a server.
+
+Design rules:
+
+* Nodes are pure logical structure — no engine types, no data.  The only
+  leaves are :class:`Scan` (a named dataset, schema captured at build time),
+  :class:`InlineTable` (literal rows embedded in the tree) and
+  :class:`LoopVar` (the state variable inside an ``Iterate`` body).
+* Every node carries an optional ``intent`` tag (desideratum 3): a
+  frontend-level label such as ``"matmul"`` that transformations must
+  preserve so a capable server can recognize the operation.
+* ``node.schema`` computes (and caches) the output schema via
+  ``repro.core.inference``, which performs full validation; constructors
+  only do cheap structural checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Iterator, Sequence
+
+from .errors import AlgebraError
+from .expressions import Expr
+from .schema import Schema
+
+JOIN_KINDS = ("inner", "left", "full", "semi", "anti")
+AGG_FUNCS = ("count", "sum", "min", "max", "mean")
+NORMS = ("linf", "l1")
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate column: ``name = func(arg)``.
+
+    ``arg`` may be None only for ``count`` (meaning COUNT(*)).
+    """
+
+    name: str
+    func: str
+    arg: Expr | None = None
+
+    def __post_init__(self) -> None:
+        if self.func not in AGG_FUNCS:
+            raise AlgebraError(f"unknown aggregate function {self.func!r}")
+        if self.arg is None and self.func != "count":
+            raise AlgebraError(f"{self.func}() requires an argument expression")
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.func, self.arg))
+
+
+@dataclass(frozen=True)
+class Convergence:
+    """Stopping rule for :class:`Iterate`.
+
+    The loop stops when the chosen norm of the change in ``value_attr``
+    between successive states drops below ``tolerance`` (states are matched
+    on their dimension attributes).  With ``value_attr=None`` the loop simply
+    runs ``Iterate.max_iter`` times.
+    """
+
+    value_attr: str | None = None
+    tolerance: float = 0.0
+    norm: str = "linf"
+
+    def __post_init__(self) -> None:
+        if self.norm not in NORMS:
+            raise AlgebraError(f"unknown norm {self.norm!r}; use one of {NORMS}")
+        if self.value_attr is not None and self.tolerance <= 0:
+            raise AlgebraError("convergence tolerance must be positive")
+
+
+@dataclass(frozen=True, eq=False)
+class Node:
+    """Base class for all algebra operators."""
+
+    intent: str | None = field(default=None, kw_only=True)
+
+    # -- structural API -----------------------------------------------------
+
+    def children(self) -> tuple["Node", ...]:
+        return tuple(
+            getattr(self, f.name)
+            for f in fields(self)
+            if f.metadata.get("child")
+        )
+
+    def with_children(self, children: Sequence["Node"]) -> "Node":
+        """A copy of this node with its child slots replaced, tags kept."""
+        child_fields = [f.name for f in fields(self) if f.metadata.get("child")]
+        if len(child_fields) != len(children):
+            raise AlgebraError(
+                f"{type(self).__name__} has {len(child_fields)} children, "
+                f"got {len(children)}"
+            )
+        return replace(self, **dict(zip(child_fields, children)))
+
+    def with_intent(self, intent: str | None) -> "Node":
+        return replace(self, intent=intent)
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    @property
+    def schema(self) -> Schema:
+        """Output schema (validated, cached)."""
+        cached = self.__dict__.get("_schema_cache")
+        if cached is None:
+            from . import inference
+
+            cached = inference.infer_schema(self)
+            object.__setattr__(self, "_schema_cache", cached)
+        return cached
+
+    @property
+    def op_name(self) -> str:
+        return type(self).__name__
+
+    def same_as(self, other: "Node") -> bool:
+        """Structural equality (ignores schema caches)."""
+        if type(self) is not type(other):
+            return False
+        for f in fields(self):
+            if f.name == "intent":
+                continue
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if f.metadata.get("child"):
+                if not mine.same_as(theirs):
+                    return False
+            elif isinstance(mine, Expr):
+                if not isinstance(theirs, Expr) or not mine.same_as(theirs):
+                    return False
+            elif not _params_equal(mine, theirs):
+                return False
+        return self.intent == other.intent
+
+    def __repr__(self) -> str:
+        parts = []
+        for f in fields(self):
+            if f.name == "intent" or f.metadata.get("child"):
+                continue
+            value = getattr(self, f.name)
+            parts.append(f"{f.name}={value!r}")
+        inner = ", ".join(parts)
+        kids = ", ".join(repr(c) for c in self.children())
+        bits = ", ".join(p for p in (inner, kids) if p)
+        tag = f" <{self.intent}>" if self.intent else ""
+        return f"{self.op_name}({bits}){tag}"
+
+
+def _params_equal(a: Any, b: Any) -> bool:
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(_params_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, Expr) or isinstance(b, Expr):
+        return isinstance(a, Expr) and isinstance(b, Expr) and a.same_as(b)
+    if isinstance(a, AggSpec) and isinstance(b, AggSpec):
+        return (
+            a.name == b.name
+            and a.func == b.func
+            and _params_equal(a.arg, b.arg)
+        )
+    if a is None or b is None:
+        return a is b
+    return bool(a == b)
+
+
+def _child():
+    """Marker for dataclass fields holding child nodes."""
+    return field(metadata={"child": True})
+
+
+# --------------------------------------------------------------------------
+# Leaves
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class Scan(Node):
+    """Read a named dataset; the schema is captured when the tree is built.
+
+    Names beginning with ``"@"`` are reserved for federation fragment inputs.
+    """
+
+    name: str
+    source_schema: Schema
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AlgebraError("Scan needs a dataset name")
+
+
+@dataclass(frozen=True, eq=False)
+class InlineTable(Node):
+    """Literal rows embedded directly in the expression tree."""
+
+    table_schema: Schema
+    rows: tuple[tuple, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", tuple(tuple(r) for r in self.rows))
+        width = len(self.table_schema)
+        for row in self.rows:
+            if len(row) != width:
+                raise AlgebraError(
+                    f"inline row has {len(row)} values, schema has {width}"
+                )
+
+
+@dataclass(frozen=True, eq=False)
+class LoopVar(Node):
+    """The iteration state variable inside an :class:`Iterate` body."""
+
+    name: str
+    var_schema: Schema
+
+
+# --------------------------------------------------------------------------
+# Relational operators
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class Filter(Node):
+    """Keep rows where ``predicate`` evaluates to exactly True."""
+
+    child: Node = _child()
+    predicate: Expr = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.predicate, Expr):
+            raise AlgebraError("Filter predicate must be an Expr")
+
+
+@dataclass(frozen=True, eq=False)
+class Project(Node):
+    """Keep exactly the named attributes, in order."""
+
+    child: Node = _child()
+    names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "names", tuple(self.names))
+        if not self.names:
+            raise AlgebraError("Project needs at least one attribute")
+
+
+@dataclass(frozen=True, eq=False)
+class Extend(Node):
+    """Append computed value columns ``names[i] = exprs[i]``."""
+
+    child: Node = _child()
+    names: tuple[str, ...] = ()
+    exprs: tuple[Expr, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "names", tuple(self.names))
+        object.__setattr__(self, "exprs", tuple(self.exprs))
+        if len(self.names) != len(self.exprs) or not self.names:
+            raise AlgebraError("Extend needs matching non-empty names and exprs")
+
+
+@dataclass(frozen=True, eq=False)
+class Rename(Node):
+    """Rename attributes; ``mapping`` is a tuple of (old, new) pairs."""
+
+    child: Node = _child()
+    mapping: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "mapping", tuple((o, n) for o, n in self.mapping)
+        )
+        if not self.mapping:
+            raise AlgebraError("Rename needs at least one (old, new) pair")
+
+
+@dataclass(frozen=True, eq=False)
+class Join(Node):
+    """Equi-join on attribute pairs; ``how`` in {inner, left, full, semi, anti}.
+
+    Output schema: all left attributes, then right attributes minus the
+    right-side join keys.  Remaining name collisions are a schema error —
+    rename first.
+    """
+
+    left: Node = _child()
+    right: Node = _child()
+    on: tuple[tuple[str, str], ...] = ()
+    how: str = "inner"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "on", tuple((l, r) for l, r in self.on))
+        if not self.on:
+            raise AlgebraError("Join needs at least one key pair; use Product for cross joins")
+        if self.how not in JOIN_KINDS:
+            raise AlgebraError(f"unknown join kind {self.how!r}")
+
+
+@dataclass(frozen=True, eq=False)
+class Product(Node):
+    """Cartesian product; attribute names must be disjoint."""
+
+    left: Node = _child()
+    right: Node = _child()
+
+
+@dataclass(frozen=True, eq=False)
+class Aggregate(Node):
+    """Group by ``group_by`` and compute ``aggs``; empty group_by = one row."""
+
+    child: Node = _child()
+    group_by: tuple[str, ...] = ()
+    aggs: tuple[AggSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group_by", tuple(self.group_by))
+        object.__setattr__(self, "aggs", tuple(self.aggs))
+        if not self.aggs:
+            raise AlgebraError("Aggregate needs at least one AggSpec")
+
+
+@dataclass(frozen=True, eq=False)
+class Sort(Node):
+    """Stable sort by ``keys``; ``ascending`` aligns with keys."""
+
+    child: Node = _child()
+    keys: tuple[str, ...] = ()
+    ascending: tuple[bool, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keys", tuple(self.keys))
+        asc = tuple(self.ascending) or tuple(True for _ in self.keys)
+        object.__setattr__(self, "ascending", asc)
+        if not self.keys or len(self.keys) != len(self.ascending):
+            raise AlgebraError("Sort needs keys with matching ascending flags")
+
+
+@dataclass(frozen=True, eq=False)
+class Limit(Node):
+    """Keep ``count`` rows starting at ``offset`` (in current order)."""
+
+    child: Node = _child()
+    count: int = 0
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 0 or self.offset < 0:
+            raise AlgebraError("Limit count/offset must be non-negative")
+
+
+@dataclass(frozen=True, eq=False)
+class Reverse(Node):
+    """Reverse row order — LINQ's ``Reverse()`` on ordered collections."""
+
+    child: Node = _child()
+
+
+@dataclass(frozen=True, eq=False)
+class Distinct(Node):
+    """Remove duplicate rows (all attributes considered)."""
+
+    child: Node = _child()
+
+
+@dataclass(frozen=True, eq=False)
+class Union(Node):
+    """Bag union; schemas must match by name and type."""
+
+    left: Node = _child()
+    right: Node = _child()
+
+
+@dataclass(frozen=True, eq=False)
+class Intersect(Node):
+    """Set intersection (output is distinct)."""
+
+    left: Node = _child()
+    right: Node = _child()
+
+
+@dataclass(frozen=True, eq=False)
+class Except(Node):
+    """Set difference (output is distinct)."""
+
+    left: Node = _child()
+    right: Node = _child()
+
+
+# --------------------------------------------------------------------------
+# Dimension-aware operators
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class AsDims(Node):
+    """Retag the schema: exactly ``dims`` become dimensions (must be INT64)."""
+
+    child: Node = _child()
+    dims: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dims", tuple(self.dims))
+
+
+@dataclass(frozen=True, eq=False)
+class SliceDims(Node):
+    """Restrict dimension ranges: ``bounds`` is ((dim, low, high), ...), inclusive."""
+
+    child: Node = _child()
+    bounds: tuple[tuple[str, int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "bounds", tuple((d, int(lo), int(hi)) for d, lo, hi in self.bounds)
+        )
+        if not self.bounds:
+            raise AlgebraError("SliceDims needs at least one bound")
+        for dim, lo, hi in self.bounds:
+            if lo > hi:
+                raise AlgebraError(f"empty slice on {dim!r}: [{lo}, {hi}]")
+
+
+@dataclass(frozen=True, eq=False)
+class ShiftDim(Node):
+    """Add ``offset`` to one dimension's coordinates."""
+
+    child: Node = _child()
+    dim: str = ""
+    offset: int = 0
+
+
+@dataclass(frozen=True, eq=False)
+class Regrid(Node):
+    """Coarsen dimensions: each listed dim is integer-divided by its factor
+    and values falling into the same coarse cell are aggregated."""
+
+    child: Node = _child()
+    factors: tuple[tuple[str, int], ...] = ()
+    aggs: tuple[AggSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "factors", tuple((d, int(f)) for d, f in self.factors))
+        object.__setattr__(self, "aggs", tuple(self.aggs))
+        if not self.factors or not self.aggs:
+            raise AlgebraError("Regrid needs factors and aggs")
+        for dim, factor in self.factors:
+            if factor < 1:
+                raise AlgebraError(f"regrid factor for {dim!r} must be >= 1")
+
+
+@dataclass(frozen=True, eq=False)
+class Window(Node):
+    """Centered moving-window aggregate over dimensions.
+
+    ``sizes`` is ((dim, radius), ...): each output cell aggregates input
+    cells whose coordinate on ``dim`` is within ``radius``.  Dimensions not
+    listed must match exactly.  Output has one row per input cell.
+    """
+
+    child: Node = _child()
+    sizes: tuple[tuple[str, int], ...] = ()
+    aggs: tuple[AggSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sizes", tuple((d, int(s)) for d, s in self.sizes))
+        object.__setattr__(self, "aggs", tuple(self.aggs))
+        if not self.sizes or not self.aggs:
+            raise AlgebraError("Window needs sizes and aggs")
+        for dim, radius in self.sizes:
+            if radius < 0:
+                raise AlgebraError(f"window radius for {dim!r} must be >= 0")
+
+
+@dataclass(frozen=True, eq=False)
+class ReduceDims(Node):
+    """Aggregate away all dimensions not in ``keep`` (dimension-aware group-by)."""
+
+    child: Node = _child()
+    keep: tuple[str, ...] = ()
+    aggs: tuple[AggSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keep", tuple(self.keep))
+        object.__setattr__(self, "aggs", tuple(self.aggs))
+        if not self.aggs:
+            raise AlgebraError("ReduceDims needs at least one AggSpec")
+
+
+@dataclass(frozen=True, eq=False)
+class TransposeDims(Node):
+    """Reorder the dimension attributes to ``order`` (schema-level transpose)."""
+
+    child: Node = _child()
+    order: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "order", tuple(self.order))
+
+
+@dataclass(frozen=True, eq=False)
+class MatMul(Node):
+    """Dimension-aware matrix multiply.
+
+    Each input must have exactly two dimensions and one numeric value
+    attribute; the inputs must share exactly one dimension name (the
+    contraction index).  Output dimensions are (left outer, right outer)
+    with the value attribute named after the left input's value.
+
+    This is the paper's flagship intent-preservation example: frontends tag
+    this node (or a relational formulation of it) with ``intent="matmul"``
+    so a linear-algebra server can claim it.
+    """
+
+    left: Node = _child()
+    right: Node = _child()
+
+
+@dataclass(frozen=True, eq=False)
+class CellJoin(Node):
+    """Join two dimensioned tables on all shared dimensions (array join).
+
+    Output: shared dimensions, then both sides' value attributes (names must
+    not collide).
+    """
+
+    left: Node = _child()
+    right: Node = _child()
+
+
+# --------------------------------------------------------------------------
+# Control iteration
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class Iterate(Node):
+    """Repeat ``body`` until convergence — the paper's "control iteration".
+
+    Evaluation: state := init; repeat state := body[var := state] until the
+    :class:`Convergence` rule fires or ``max_iter`` is reached.  The body
+    must produce the same schema as ``init``.  ``strict`` controls whether
+    hitting ``max_iter`` without convergence raises
+    :class:`~repro.core.errors.ConvergenceError` or returns the last state.
+    """
+
+    init: Node = _child()
+    body: Node = _child()
+    var: str = "state"
+    stop: Convergence = field(default_factory=Convergence)
+    max_iter: int = 100
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_iter < 1:
+            raise AlgebraError("Iterate max_iter must be >= 1")
+        uses = [
+            n for n in self.body.walk()
+            if isinstance(n, LoopVar) and n.name == self.var
+        ]
+        if not uses:
+            raise AlgebraError(
+                f"Iterate body never references LoopVar({self.var!r})"
+            )
+
+
+#: Operator registry used by serialization and capability declarations.
+ALL_OPERATORS: tuple[type[Node], ...] = (
+    Scan, InlineTable, LoopVar,
+    Filter, Project, Extend, Rename, Join, Product, Aggregate, Sort, Limit,
+    Reverse, Distinct, Union, Intersect, Except,
+    AsDims, SliceDims, ShiftDim, Regrid, Window, ReduceDims, TransposeDims,
+    MatMul, CellJoin,
+    Iterate,
+)
+
+OPERATORS_BY_NAME: dict[str, type[Node]] = {c.__name__: c for c in ALL_OPERATORS}

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the Big Data algebra framework.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch one type at the boundary.  Subclasses partition faults by layer:
+schema/type problems, algebra construction problems, translation gaps in a
+provider, planning failures, and execution failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an operator's schema constraints are violated.
+
+    Examples: duplicate attribute names, referencing a missing attribute,
+    joining on attributes of incompatible types.
+    """
+
+
+class TypeMismatchError(SchemaError):
+    """A scalar expression combines values of incompatible types."""
+
+
+class AlgebraError(ReproError):
+    """An algebra tree is structurally invalid (bad arity, bad parameters)."""
+
+
+class TranslationError(ReproError):
+    """A provider cannot translate the given algebra tree.
+
+    Raised by :meth:`Provider.execute` when asked to run a tree containing an
+    operator outside the provider's declared capabilities.  The federation
+    planner uses :meth:`Provider.accepts` to avoid this, so seeing this error
+    from a federated query indicates a planner bug.
+    """
+
+
+class PlanningError(ReproError):
+    """The federation planner could not produce a plan.
+
+    Examples: a dataset is not registered with any server, or no combination
+    of servers covers every operator in the query.
+    """
+
+
+class ExecutionError(ReproError):
+    """A plan failed while executing (engine-level fault)."""
+
+
+class ConvergenceError(ExecutionError):
+    """An ``Iterate`` operator hit its iteration bound without converging."""
+
+
+class ParseError(ReproError):
+    """A frontend could not parse its input text."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)

@@ -1,0 +1,602 @@
+"""Scalar expression language used inside algebra operators.
+
+Filters, computed columns, join conditions and aggregate arguments are all
+expressed as trees of :class:`Expr` nodes.  The language is small and closed:
+column references, literals, arithmetic, comparisons, boolean connectives,
+a conditional, a null test, a cast, and a fixed set of math functions.
+
+Two evaluation paths exist:
+
+* :func:`eval_row` here — row-at-a-time over plain Python values, used by the
+  reference interpreter (the semantics oracle).
+* ``repro.relational.eval`` — vectorized over numpy columns, used by the
+  columnar engines.  Both implement identical null semantics, which the test
+  suite cross-checks.
+
+Null semantics (documented deviation from SQL's three-valued logic, applied
+uniformly by every engine): any operator with a null operand yields null,
+except ``IsNull`` (never null) and ``If`` (a null condition selects the
+``otherwise`` branch).  A filter keeps a row only when its predicate is
+exactly ``True``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+import numpy as np
+
+from .errors import TypeMismatchError
+from .schema import Schema
+from .types import DType, comparable, common_type, promote
+
+# --------------------------------------------------------------------------
+# AST nodes
+# --------------------------------------------------------------------------
+
+ARITH_OPS = ("+", "-", "*", "/", "//", "%", "**")
+COMPARE_OPS = ("==", "!=", "<", "<=", ">", ">=")
+BOOL_OPS = ("and", "or")
+UNARY_OPS = ("-", "not")
+
+def _np_unary(fn: Callable) -> Callable[[float], float]:
+    """Wrap a numpy ufunc for scalar use with IEEE semantics (nan/inf on
+    domain errors) so the reference interpreter matches vectorized engines."""
+
+    def apply(x: float) -> float:
+        with np.errstate(all="ignore"):
+            return float(fn(x))
+
+    return apply
+
+
+#: name -> (scalar implementation, result type or None meaning "same as arg").
+#: Domain errors follow IEEE754 (sqrt(-1) = nan, log(0) = -inf), matching
+#: the vectorized engines.
+MATH_FUNCS: dict[str, tuple[Callable[[float], float], DType | None]] = {
+    "sqrt": (_np_unary(np.sqrt), DType.FLOAT64),
+    "exp": (_np_unary(np.exp), DType.FLOAT64),
+    "log": (_np_unary(np.log), DType.FLOAT64),
+    "log2": (_np_unary(np.log2), DType.FLOAT64),
+    "sin": (_np_unary(np.sin), DType.FLOAT64),
+    "cos": (_np_unary(np.cos), DType.FLOAT64),
+    "tan": (_np_unary(np.tan), DType.FLOAT64),
+    "abs": (abs, None),
+    "floor": (_np_unary(np.floor), DType.FLOAT64),
+    "ceil": (_np_unary(np.ceil), DType.FLOAT64),
+    "sign": (lambda x: float((x > 0) - (x < 0)), DType.FLOAT64),
+}
+
+STRING_FUNCS: dict[str, Callable[[str], Any]] = {
+    "upper": str.upper,
+    "lower": str.lower,
+    "length": len,
+}
+
+
+class Expr:
+    """Base class for scalar expressions.
+
+    Subclasses are frozen dataclasses; trees are immutable and hashable, so
+    they can be dict keys and are safe to share between plans.  Operator
+    overloads build larger expressions: ``(col("x") + 1) > col("y")``.
+    """
+
+    # -- builder sugar -------------------------------------------------------
+
+    def _wrap(self, other: Any) -> "Expr":
+        return other if isinstance(other, Expr) else Lit(other)
+
+    def __add__(self, other: Any) -> "Expr":
+        return BinOp("+", self, self._wrap(other))
+
+    def __radd__(self, other: Any) -> "Expr":
+        return BinOp("+", self._wrap(other), self)
+
+    def __sub__(self, other: Any) -> "Expr":
+        return BinOp("-", self, self._wrap(other))
+
+    def __rsub__(self, other: Any) -> "Expr":
+        return BinOp("-", self._wrap(other), self)
+
+    def __mul__(self, other: Any) -> "Expr":
+        return BinOp("*", self, self._wrap(other))
+
+    def __rmul__(self, other: Any) -> "Expr":
+        return BinOp("*", self._wrap(other), self)
+
+    def __truediv__(self, other: Any) -> "Expr":
+        return BinOp("/", self, self._wrap(other))
+
+    def __rtruediv__(self, other: Any) -> "Expr":
+        return BinOp("/", self._wrap(other), self)
+
+    def __floordiv__(self, other: Any) -> "Expr":
+        return BinOp("//", self, self._wrap(other))
+
+    def __mod__(self, other: Any) -> "Expr":
+        return BinOp("%", self, self._wrap(other))
+
+    def __pow__(self, other: Any) -> "Expr":
+        return BinOp("**", self, self._wrap(other))
+
+    def __neg__(self) -> "Expr":
+        return UnaryOp("-", self)
+
+    def __eq__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return BinOp("==", self, self._wrap(other))
+
+    def __ne__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return BinOp("!=", self, self._wrap(other))
+
+    def __lt__(self, other: Any) -> "Expr":
+        return BinOp("<", self, self._wrap(other))
+
+    def __le__(self, other: Any) -> "Expr":
+        return BinOp("<=", self, self._wrap(other))
+
+    def __gt__(self, other: Any) -> "Expr":
+        return BinOp(">", self, self._wrap(other))
+
+    def __ge__(self, other: Any) -> "Expr":
+        return BinOp(">=", self, self._wrap(other))
+
+    def __and__(self, other: Any) -> "Expr":
+        return BinOp("and", self, self._wrap(other))
+
+    def __or__(self, other: Any) -> "Expr":
+        return BinOp("or", self, self._wrap(other))
+
+    def __invert__(self) -> "Expr":
+        return UnaryOp("not", self)
+
+    def is_null(self) -> "Expr":
+        return IsNull(self)
+
+    def cast(self, dtype: DType) -> "Expr":
+        return Cast(self, dtype)
+
+    # -- structural API --------------------------------------------------------
+
+    def children(self) -> tuple["Expr", ...]:
+        raise NotImplementedError
+
+    def with_children(self, children: tuple["Expr", ...]) -> "Expr":
+        raise NotImplementedError
+
+    def columns(self) -> frozenset[str]:
+        """Names of all columns the expression reads."""
+        out: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, Col):
+                out.add(node.name)
+        return frozenset(out)
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def infer_type(self, schema: Schema) -> DType:
+        """Compute the result type, validating against ``schema``."""
+        raise NotImplementedError
+
+    # equality by structure (dataclass __eq__ is overridden by the == sugar,
+    # so we expose an explicit structural comparison instead)
+    def same_as(self, other: "Expr") -> bool:
+        if type(self) is not type(other):
+            return False
+        if self._key() != other._key():
+            return False
+        mine, theirs = self.children(), other.children()
+        if len(mine) != len(theirs):
+            return False
+        return all(a.same_as(b) for a, b in zip(mine, theirs))
+
+    def _key(self) -> tuple:
+        """Node-local identity (excluding children); see :meth:`same_as`."""
+        return ()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key(), self.children()))
+
+
+@dataclass(frozen=True, eq=False)
+class Col(Expr):
+    """Reference to an attribute of the input schema."""
+
+    name: str
+
+    def children(self) -> tuple[Expr, ...]:
+        return ()
+
+    def with_children(self, children: tuple[Expr, ...]) -> Expr:
+        return self
+
+    def infer_type(self, schema: Schema) -> DType:
+        return schema[self.name].dtype
+
+    def _key(self) -> tuple:
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Lit(Expr):
+    """A constant.  ``Lit(None, dtype)`` is a typed null."""
+
+    value: Any
+    dtype: DType | None = None
+
+    def __post_init__(self) -> None:
+        if self.value is None and self.dtype is None:
+            raise TypeMismatchError("a null literal needs an explicit dtype")
+        if self.value is not None and self.dtype is None:
+            object.__setattr__(self, "dtype", DType.of_value(self.value))
+        if self.value is not None and isinstance(self.value, bool) is False:
+            # normalize numpy scalars to Python scalars for hashability/repr
+            if hasattr(self.value, "item"):
+                object.__setattr__(self, "value", self.value.item())
+
+    def children(self) -> tuple[Expr, ...]:
+        return ()
+
+    def with_children(self, children: tuple[Expr, ...]) -> Expr:
+        return self
+
+    def infer_type(self, schema: Schema) -> DType:
+        assert self.dtype is not None
+        return self.dtype
+
+    def _key(self) -> tuple:
+        return (self.value, self.dtype)
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class BinOp(Expr):
+    """Binary operator: arithmetic, comparison, or boolean connective."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITH_OPS + COMPARE_OPS + BOOL_OPS:
+            raise TypeMismatchError(f"unknown binary operator {self.op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: tuple[Expr, ...]) -> Expr:
+        left, right = children
+        return BinOp(self.op, left, right)
+
+    def infer_type(self, schema: Schema) -> DType:
+        lt = self.left.infer_type(schema)
+        rt = self.right.infer_type(schema)
+        if self.op in BOOL_OPS:
+            if lt is not DType.BOOL or rt is not DType.BOOL:
+                raise TypeMismatchError(
+                    f"{self.op!r} needs BOOL operands, got {lt.name}, {rt.name}"
+                )
+            return DType.BOOL
+        if self.op in COMPARE_OPS:
+            if not comparable(lt, rt):
+                raise TypeMismatchError(
+                    f"cannot compare {lt.name} with {rt.name}"
+                )
+            return DType.BOOL
+        # arithmetic
+        if self.op == "+" and lt is DType.STRING and rt is DType.STRING:
+            return DType.STRING  # concatenation
+        result = promote(lt, rt)
+        if self.op == "/":
+            return DType.FLOAT64
+        if self.op == "//":
+            return result
+        return result
+
+    def _key(self) -> tuple:
+        return (self.op,)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class UnaryOp(Expr):
+    """Unary negation or logical not."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise TypeMismatchError(f"unknown unary operator {self.op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: tuple[Expr, ...]) -> Expr:
+        (operand,) = children
+        return UnaryOp(self.op, operand)
+
+    def infer_type(self, schema: Schema) -> DType:
+        t = self.operand.infer_type(schema)
+        if self.op == "-":
+            if not t.is_numeric:
+                raise TypeMismatchError(f"cannot negate {t.name}")
+            return t
+        if t is not DType.BOOL:
+            raise TypeMismatchError(f"'not' needs BOOL, got {t.name}")
+        return DType.BOOL
+
+    def _key(self) -> tuple:
+        return (self.op,)
+
+    def __repr__(self) -> str:
+        return f"({self.op} {self.operand!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Func(Expr):
+    """Call to one of the built-in scalar functions."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in MATH_FUNCS and self.name not in STRING_FUNCS:
+            raise TypeMismatchError(f"unknown function {self.name!r}")
+        object.__setattr__(self, "args", tuple(self.args))
+        if len(self.args) != 1:
+            raise TypeMismatchError(
+                f"function {self.name!r} takes 1 argument, got {len(self.args)}"
+            )
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def with_children(self, children: tuple[Expr, ...]) -> Expr:
+        return Func(self.name, children)
+
+    def infer_type(self, schema: Schema) -> DType:
+        arg_t = self.args[0].infer_type(schema)
+        if self.name in MATH_FUNCS:
+            if not arg_t.is_numeric:
+                raise TypeMismatchError(
+                    f"{self.name}() needs a numeric argument, got {arg_t.name}"
+                )
+            result = MATH_FUNCS[self.name][1]
+            return arg_t if result is None else result
+        # string functions
+        if arg_t is not DType.STRING:
+            raise TypeMismatchError(
+                f"{self.name}() needs a STRING argument, got {arg_t.name}"
+            )
+        return DType.INT64 if self.name == "length" else DType.STRING
+
+    def _key(self) -> tuple:
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True, eq=False)
+class If(Expr):
+    """Conditional: CASE WHEN cond THEN a ELSE b END."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.cond, self.then, self.otherwise)
+
+    def with_children(self, children: tuple[Expr, ...]) -> Expr:
+        cond, then, otherwise = children
+        return If(cond, then, otherwise)
+
+    def infer_type(self, schema: Schema) -> DType:
+        ct = self.cond.infer_type(schema)
+        if ct is not DType.BOOL:
+            raise TypeMismatchError(f"If condition must be BOOL, got {ct.name}")
+        return common_type(
+            self.then.infer_type(schema), self.otherwise.infer_type(schema)
+        )
+
+    def __repr__(self) -> str:
+        return f"if_({self.cond!r}, {self.then!r}, {self.otherwise!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class IsNull(Expr):
+    """Null test; the only expression that never returns null."""
+
+    operand: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: tuple[Expr, ...]) -> Expr:
+        (operand,) = children
+        return IsNull(operand)
+
+    def infer_type(self, schema: Schema) -> DType:
+        self.operand.infer_type(schema)  # validate
+        return DType.BOOL
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r}.is_null()"
+
+
+@dataclass(frozen=True, eq=False)
+class Cast(Expr):
+    """Explicit conversion between scalar types."""
+
+    operand: Expr
+    to: DType
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: tuple[Expr, ...]) -> Expr:
+        (operand,) = children
+        return Cast(operand, self.to)
+
+    def infer_type(self, schema: Schema) -> DType:
+        src = self.operand.infer_type(schema)
+        if src is self.to:
+            return self.to
+        allowed = {
+            (DType.INT64, DType.FLOAT64),
+            (DType.FLOAT64, DType.INT64),
+            (DType.BOOL, DType.INT64),
+            (DType.INT64, DType.STRING),
+            (DType.FLOAT64, DType.STRING),
+            (DType.STRING, DType.INT64),
+            (DType.STRING, DType.FLOAT64),
+        }
+        if (src, self.to) not in allowed:
+            raise TypeMismatchError(f"cannot cast {src.name} to {self.to.name}")
+        return self.to
+
+    def _key(self) -> tuple:
+        return (self.to,)
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r}.cast({self.to.name})"
+
+
+# --------------------------------------------------------------------------
+# Builder helpers (public API)
+# --------------------------------------------------------------------------
+
+
+def col(name: str) -> Col:
+    """Reference an input attribute by name."""
+    return Col(name)
+
+
+def lit(value: Any, dtype: DType | None = None) -> Lit:
+    """A literal constant; infers the type unless one is given."""
+    return Lit(value, dtype)
+
+
+def if_(cond: Expr, then: Any, otherwise: Any) -> If:
+    """Conditional expression (CASE WHEN)."""
+    wrap = lambda v: v if isinstance(v, Expr) else Lit(v)  # noqa: E731
+    return If(cond, wrap(then), wrap(otherwise))
+
+
+def func(name: str, arg: Expr) -> Func:
+    """Call a built-in scalar function by name."""
+    return Func(name, (arg,))
+
+
+# --------------------------------------------------------------------------
+# Row-at-a-time evaluation (reference semantics)
+# --------------------------------------------------------------------------
+
+
+def eval_row(expr: Expr, row: Mapping[str, Any]) -> Any:
+    """Evaluate an expression against one row of Python values.
+
+    ``row`` maps attribute name -> value, where ``None`` is null.  This is
+    the reference semantics every vectorized engine must match.
+    """
+    if isinstance(expr, Col):
+        return row[expr.name]
+    if isinstance(expr, Lit):
+        return expr.value
+    if isinstance(expr, IsNull):
+        return eval_row(expr.operand, row) is None
+    if isinstance(expr, If):
+        cond = eval_row(expr.cond, row)
+        if cond is True:
+            return eval_row(expr.then, row)
+        return eval_row(expr.otherwise, row)
+    if isinstance(expr, Cast):
+        value = eval_row(expr.operand, row)
+        if value is None:
+            return None
+        return _cast_value(value, expr.to)
+    if isinstance(expr, UnaryOp):
+        value = eval_row(expr.operand, row)
+        if value is None:
+            return None
+        return -value if expr.op == "-" else (not value)
+    if isinstance(expr, Func):
+        value = eval_row(expr.args[0], row)
+        if value is None:
+            return None
+        if expr.name in MATH_FUNCS:
+            return MATH_FUNCS[expr.name][0](value)
+        return STRING_FUNCS[expr.name](value)
+    if isinstance(expr, BinOp):
+        left = eval_row(expr.left, row)
+        right = eval_row(expr.right, row)
+        if left is None or right is None:
+            return None
+        return _apply_binop(expr.op, left, right)
+    raise TypeMismatchError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _apply_binop(op: str, left: Any, right: Any) -> Any:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        # IEEE semantics (x/0 = inf/nan), matching vectorized engines
+        with np.errstate(all="ignore"):
+            return float(np.divide(float(left), float(right)))
+    if op == "//":
+        return left // right
+    if op == "%":
+        return left % right
+    if op == "**":
+        return left**right
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "and":
+        return left and right
+    if op == "or":
+        return left or right
+    raise TypeMismatchError(f"unknown binary operator {op!r}")
+
+
+def _cast_value(value: Any, to: DType) -> Any:
+    if to is DType.INT64:
+        return int(value)
+    if to is DType.FLOAT64:
+        return float(value)
+    if to is DType.STRING:
+        if isinstance(value, float) and value.is_integer():
+            return str(value)
+        return str(value)
+    if to is DType.BOOL:
+        return bool(value)
+    raise TypeMismatchError(f"cannot cast to {to.name}")

@@ -1,0 +1,414 @@
+"""Schema inference and validation for algebra trees.
+
+``infer_schema(node)`` computes the output schema of any operator, raising
+:class:`~repro.core.errors.SchemaError` (or a subclass) when the tree is
+ill-typed.  This is the single source of truth for operator typing rules —
+engines and the reference interpreter all consult ``node.schema``, which
+delegates here.
+"""
+
+from __future__ import annotations
+
+from . import algebra as A
+from .errors import SchemaError, TypeMismatchError
+from .schema import Attribute, Schema
+from .types import DType, comparable, promote
+
+
+def infer_schema(node: A.Node) -> Schema:
+    """Compute and validate the output schema of ``node``."""
+    handler = _HANDLERS.get(type(node))
+    if handler is None:
+        raise SchemaError(f"no schema rule for operator {node.op_name}")
+    return handler(node)
+
+
+# -- leaves -----------------------------------------------------------------
+
+
+def _scan(node: A.Scan) -> Schema:
+    return node.source_schema
+
+
+def _inline(node: A.InlineTable) -> Schema:
+    schema = node.table_schema
+    for row in node.rows:
+        for attr, value in zip(schema, row):
+            if not attr.dtype.validate(value):
+                raise TypeMismatchError(
+                    f"inline value {value!r} is not a {attr.dtype.name} "
+                    f"(attribute {attr.name!r})"
+                )
+            if attr.dimension and value is None:
+                raise SchemaError(
+                    f"dimension {attr.name!r} may not contain nulls"
+                )
+    return schema
+
+
+def _loop_var(node: A.LoopVar) -> Schema:
+    return node.var_schema
+
+
+# -- relational ---------------------------------------------------------------
+
+
+def _filter(node: A.Filter) -> Schema:
+    child = node.child.schema
+    pred_type = node.predicate.infer_type(child)
+    if pred_type is not DType.BOOL:
+        raise TypeMismatchError(
+            f"filter predicate must be BOOL, got {pred_type.name}"
+        )
+    return child
+
+
+def _project(node: A.Project) -> Schema:
+    return node.child.schema.project(node.names)
+
+
+def _extend(node: A.Extend) -> Schema:
+    schema = node.child.schema
+    out = schema
+    for name, expr in zip(node.names, node.exprs):
+        if name in out:
+            raise SchemaError(f"Extend would shadow existing attribute {name!r}")
+        dtype = expr.infer_type(schema)  # exprs see the *input* schema only
+        out = out.extend(Attribute(name, dtype))
+    return out
+
+
+def _rename(node: A.Rename) -> Schema:
+    return node.child.schema.rename(dict(node.mapping))
+
+
+def _join(node: A.Join) -> Schema:
+    left = node.left.schema
+    right = node.right.schema
+    right_keys = []
+    for lkey, rkey in node.on:
+        left.require([lkey])
+        right.require([rkey])
+        lt, rt = left[lkey].dtype, right[rkey].dtype
+        if not comparable(lt, rt):
+            raise TypeMismatchError(
+                f"join keys {lkey!r} ({lt.name}) and {rkey!r} ({rt.name}) "
+                f"are not comparable"
+            )
+        right_keys.append(rkey)
+    if node.how in ("semi", "anti"):
+        return left
+    rest = right.drop(right_keys)
+    clash = set(left.names) & set(rest.names)
+    if clash:
+        raise SchemaError(
+            f"join output would duplicate attributes {sorted(clash)}; "
+            f"rename one side first"
+        )
+    out = left.concat(rest)
+    if node.how in ("left", "full"):
+        # attributes from the nullable side lose their dimension tag: a
+        # dimension cannot hold nulls.
+        nullable = set(rest.names)
+        if node.how == "full":
+            nullable |= set(left.names)
+        out = Schema(
+            a.as_value() if (a.name in nullable and a.dimension) else a
+            for a in out
+        )
+    return out
+
+
+def _product(node: A.Product) -> Schema:
+    return node.left.schema.concat(node.right.schema)
+
+
+def _agg_output(input_schema: Schema, aggs: tuple[A.AggSpec, ...]) -> list[Attribute]:
+    out = []
+    for spec in aggs:
+        if spec.func == "count":
+            if spec.arg is not None:
+                spec.arg.infer_type(input_schema)  # validate only
+            out.append(Attribute(spec.name, DType.INT64))
+            continue
+        arg_type = spec.arg.infer_type(input_schema)
+        if spec.func in ("sum", "mean"):
+            if not arg_type.is_numeric:
+                raise TypeMismatchError(
+                    f"{spec.func}() needs a numeric argument, got {arg_type.name}"
+                )
+            result = DType.FLOAT64 if spec.func == "mean" else arg_type
+        else:  # min / max
+            result = arg_type
+        out.append(Attribute(spec.name, result))
+    return out
+
+
+def _aggregate(node: A.Aggregate) -> Schema:
+    child = node.child.schema
+    child.require(node.group_by)
+    if len(set(node.group_by)) != len(node.group_by):
+        raise SchemaError(f"duplicate group-by keys: {list(node.group_by)}")
+    keys = [child[name] for name in node.group_by]
+    aggs = _agg_output(child, node.aggs)
+    names = [a.name for a in keys] + [a.name for a in aggs]
+    if len(set(names)) != len(names):
+        raise SchemaError(f"aggregate output names collide: {names}")
+    return Schema(keys + aggs)
+
+
+def _sort(node: A.Sort) -> Schema:
+    node.child.schema.require(node.keys)
+    return node.child.schema
+
+
+def _limit(node: A.Limit) -> Schema:
+    return node.child.schema
+
+
+def _reverse(node: A.Reverse) -> Schema:
+    return node.child.schema
+
+
+def _distinct(node: A.Distinct) -> Schema:
+    return node.child.schema
+
+
+def _set_op(node: A.Union | A.Intersect | A.Except) -> Schema:
+    left = node.left.schema
+    right = node.right.schema
+    if left.names != right.names:
+        raise SchemaError(
+            f"set operation schemas differ: {list(left.names)} vs "
+            f"{list(right.names)}"
+        )
+    attrs = []
+    for la, ra in zip(left, right):
+        if la.dtype is ra.dtype:
+            attrs.append(la)
+        elif la.dtype.is_numeric and ra.dtype.is_numeric:
+            attrs.append(Attribute(la.name, promote(la.dtype, ra.dtype),
+                                   dimension=False))
+        else:
+            raise TypeMismatchError(
+                f"set operation attribute {la.name!r} has incompatible types "
+                f"{la.dtype.name} vs {ra.dtype.name}"
+            )
+    return Schema(attrs)
+
+
+# -- dimension-aware ------------------------------------------------------------
+
+
+def _as_dims(node: A.AsDims) -> Schema:
+    return node.child.schema.with_dimensions(node.dims)
+
+
+def _require_dims(schema: Schema, names: tuple[str, ...], op: str) -> None:
+    for name in names:
+        schema.require([name])
+        if not schema[name].dimension:
+            raise SchemaError(
+                f"{op} requires {name!r} to be a dimension; tag it with AsDims"
+            )
+
+
+def _slice_dims(node: A.SliceDims) -> Schema:
+    schema = node.child.schema
+    dims = tuple(d for d, _, _ in node.bounds)
+    if len(set(dims)) != len(dims):
+        raise SchemaError(f"duplicate dimensions in slice: {list(dims)}")
+    _require_dims(schema, dims, "SliceDims")
+    return schema
+
+
+def _shift_dim(node: A.ShiftDim) -> Schema:
+    _require_dims(node.child.schema, (node.dim,), "ShiftDim")
+    return node.child.schema
+
+
+def _regrid(node: A.Regrid) -> Schema:
+    schema = node.child.schema
+    dims = tuple(d for d, _ in node.factors)
+    if len(set(dims)) != len(dims):
+        raise SchemaError(f"duplicate dimensions in regrid: {list(dims)}")
+    _require_dims(schema, dims, "Regrid")
+    keys = [schema[d] for d in schema.dimension_names]
+    aggs = _agg_output(schema, node.aggs)
+    names = [a.name for a in keys] + [a.name for a in aggs]
+    if len(set(names)) != len(names):
+        raise SchemaError(f"regrid output names collide: {names}")
+    return Schema(keys + aggs)
+
+
+def _window(node: A.Window) -> Schema:
+    schema = node.child.schema
+    dims = tuple(d for d, _ in node.sizes)
+    if len(set(dims)) != len(dims):
+        raise SchemaError(f"duplicate dimensions in window: {list(dims)}")
+    _require_dims(schema, dims, "Window")
+    keys = [schema[d] for d in schema.dimension_names]
+    aggs = _agg_output(schema, node.aggs)
+    names = [a.name for a in keys] + [a.name for a in aggs]
+    if len(set(names)) != len(names):
+        raise SchemaError(f"window output names collide: {names}")
+    return Schema(keys + aggs)
+
+
+def _reduce_dims(node: A.ReduceDims) -> Schema:
+    schema = node.child.schema
+    _require_dims(schema, node.keep, "ReduceDims")
+    keys = [schema[d] for d in schema.dimension_names if d in set(node.keep)]
+    aggs = _agg_output(schema, node.aggs)
+    names = [a.name for a in keys] + [a.name for a in aggs]
+    if len(set(names)) != len(names):
+        raise SchemaError(f"reduce output names collide: {names}")
+    return Schema(keys + aggs)
+
+
+def _transpose(node: A.TransposeDims) -> Schema:
+    schema = node.child.schema
+    dims = schema.dimension_names
+    if sorted(node.order) != sorted(dims):
+        raise SchemaError(
+            f"transpose order {list(node.order)} must be a permutation of "
+            f"dimensions {list(dims)}"
+        )
+    by_name = {a.name: a for a in schema}
+    reordered = [by_name[d] for d in node.order]
+    rest = [a for a in schema if not a.dimension]
+    return Schema(reordered + rest)
+
+
+def _matrix_side(schema: Schema, side: str) -> tuple[str, str, Attribute]:
+    dims = schema.dimension_names
+    values = schema.values
+    if len(dims) != 2 or len(values) != 1:
+        raise SchemaError(
+            f"MatMul {side} input must have exactly 2 dimensions and 1 value "
+            f"attribute, got dims={list(dims)}, values={[a.name for a in values]}"
+        )
+    if not values[0].dtype.is_numeric:
+        raise TypeMismatchError(
+            f"MatMul {side} value attribute {values[0].name!r} must be numeric"
+        )
+    return dims[0], dims[1], values[0]
+
+
+def _matmul(node: A.MatMul) -> Schema:
+    l0, l1, lval = _matrix_side(node.left.schema, "left")
+    r0, r1, rval = _matrix_side(node.right.schema, "right")
+    shared = ({l0, l1} & {r0, r1})
+    if len(shared) != 1:
+        raise SchemaError(
+            f"MatMul inputs must share exactly one dimension; left has "
+            f"({l0}, {l1}), right has ({r0}, {r1})"
+        )
+    inner = shared.pop()
+    # contraction must use the left's column index and the right's row index
+    if l1 != inner or r0 != inner:
+        raise SchemaError(
+            f"MatMul contracts left's second dimension with right's first; "
+            f"got left=({l0}, {l1}), right=({r0}, {r1}) sharing {inner!r}"
+        )
+    out_value = Attribute(lval.name, promote(lval.dtype, rval.dtype))
+    return Schema([
+        Attribute(l0, DType.INT64, dimension=True),
+        Attribute(r1, DType.INT64, dimension=True),
+        out_value,
+    ])
+
+
+def _cell_join(node: A.CellJoin) -> Schema:
+    left = node.left.schema
+    right = node.right.schema
+    shared = [d for d in left.dimension_names if d in set(right.dimension_names)]
+    if not shared:
+        raise SchemaError("CellJoin inputs share no dimensions")
+    lvals = left.values
+    rvals = right.values
+    clash = {a.name for a in lvals} & {a.name for a in rvals}
+    if clash:
+        raise SchemaError(
+            f"CellJoin value attributes collide: {sorted(clash)}; rename first"
+        )
+    extra_dims = [
+        a for a in left.dimensions if a.name not in shared
+    ] + [a for a in right.dimensions if a.name not in shared]
+    if extra_dims:
+        raise SchemaError(
+            f"CellJoin requires identical dimension sets; extra dimensions "
+            f"{[a.name for a in extra_dims]}"
+        )
+    dims = [left[d] for d in shared]
+    return Schema(dims + list(lvals) + list(rvals))
+
+
+# -- control ----------------------------------------------------------------------
+
+
+def _iterate(node: A.Iterate) -> Schema:
+    init = node.init.schema
+    body = node.body.schema
+    for var in node.body.walk():
+        if isinstance(var, A.LoopVar) and var.name == node.var:
+            if var.var_schema != init:
+                raise SchemaError(
+                    f"LoopVar({node.var!r}) schema {var.var_schema!r} does not "
+                    f"match init schema {init!r}"
+                )
+    if body.names != init.names:
+        raise SchemaError(
+            f"Iterate body schema {list(body.names)} must match init schema "
+            f"{list(init.names)}"
+        )
+    for ba, ia in zip(body, init):
+        if not ia.dtype.accepts(ba.dtype):
+            raise TypeMismatchError(
+                f"Iterate body attribute {ba.name!r} has type {ba.dtype.name}, "
+                f"init expects {ia.dtype.name}"
+            )
+    stop = node.stop
+    if stop.value_attr is not None:
+        init.require([stop.value_attr])
+        if not init[stop.value_attr].dtype.is_numeric:
+            raise TypeMismatchError(
+                f"convergence attribute {stop.value_attr!r} must be numeric"
+            )
+        if not init.dimensions:
+            raise SchemaError(
+                "convergence-based Iterate needs dimension attributes to "
+                "match successive states on"
+            )
+    return init
+
+
+_HANDLERS = {
+    A.Scan: _scan,
+    A.InlineTable: _inline,
+    A.LoopVar: _loop_var,
+    A.Filter: _filter,
+    A.Project: _project,
+    A.Extend: _extend,
+    A.Rename: _rename,
+    A.Join: _join,
+    A.Product: _product,
+    A.Aggregate: _aggregate,
+    A.Sort: _sort,
+    A.Limit: _limit,
+    A.Reverse: _reverse,
+    A.Distinct: _distinct,
+    A.Union: _set_op,
+    A.Intersect: _set_op,
+    A.Except: _set_op,
+    A.AsDims: _as_dims,
+    A.SliceDims: _slice_dims,
+    A.ShiftDim: _shift_dim,
+    A.Regrid: _regrid,
+    A.Window: _window,
+    A.ReduceDims: _reduce_dims,
+    A.TransposeDims: _transpose,
+    A.MatMul: _matmul,
+    A.CellJoin: _cell_join,
+    A.Iterate: _iterate,
+}

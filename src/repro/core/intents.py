@@ -1,0 +1,203 @@
+"""Intent preservation machinery (desideratum 3).
+
+The paper's example: if a client's function is matrix multiply, the
+framework must not lower it into a shape no server can recognize.  Two
+mechanisms implement that here:
+
+* **Intent tags** — every algebra node carries an optional ``intent`` string
+  (``Node.intent``).  Frontends tag what they lower (the matrix frontend
+  tags ``"matmul"``); ``with_children`` and every rewrite rule preserve tags
+  by construction.
+
+* **Recognizers** — structural pattern matchers that find a known intent in
+  lowered form and replace it with the high-level operator.
+  :func:`recognize_matmul` spots the relational join-aggregate formulation
+  of matrix multiply and rewrites it to a :class:`~repro.core.algebra.MatMul`
+  node, which a linear-algebra server executes natively.  Experiment E3
+  measures exactly this rewrite's effect.
+
+``matmul_as_join_aggregate`` builds the lowered formulation the recognizer
+must undo — used by frontends that only speak relational algebra, and by
+tests that check recognition round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import algebra as A
+from .errors import AlgebraError
+from .expressions import BinOp, Col
+
+INTENT_MATMUL = "matmul"
+INTENT_PAGERANK = "pagerank"
+
+_I, _K, _J, _V, _W = "__mm_i", "__mm_k", "__mm_j", "__mm_v", "__mm_w"
+
+
+def matmul_as_join_aggregate(left: A.Node, right: A.Node) -> A.Node:
+    """Lower a matrix multiply to join + multiply + group-by + sum.
+
+    Inputs must be dimensioned matrices (2 dims, 1 numeric value).  The
+    result is tagged ``intent="matmul"`` so a capable server — or the
+    recognizer — can still see what it is.
+    """
+    li, lk = left.schema.dimension_names
+    lv = left.schema.value_names[0]
+    rk, rj = right.schema.dimension_names
+    rv = right.schema.value_names[0]
+    if lk != rk and rk in (li, lk):
+        raise AlgebraError("ambiguous contraction dimension")
+
+    # canonicalize names so the join never collides
+    left_c = A.Rename(left, ((li, _I), (lk, _K), (lv, _V)))
+    right_c = A.Rename(right, ((rk, _K + "_r"), (rj, _J), (rv, _W)))
+    joined = A.Join(left_c, right_c, ((_K, _K + "_r"),), "inner")
+    product = A.Extend(joined, ("__mm_p",), (Col(_V) * Col(_W),))
+    aggregated = A.Aggregate(
+        product, (_I, _J), (A.AggSpec(_V, "sum", Col("__mm_p")),),
+        intent=INTENT_MATMUL,
+    )
+    out = A.Rename(aggregated, ((_I, li), (_J, rj), (_V, lv)))
+    out = A.AsDims(out, (li, rj))
+    return out.with_intent(INTENT_MATMUL)
+
+
+@dataclass(frozen=True)
+class MatMulMatch:
+    """A recognized lowered matrix multiply."""
+
+    left: A.Node
+    right: A.Node
+    left_names: tuple[str, str, str]  # (i, k, value) in the left subtree
+    right_names: tuple[str, str, str]  # (k, j, value) in the right subtree
+    out_names: tuple[str, str, str]  # (i, j, value) of the aggregate output
+
+
+def recognize_matmul(node: A.Node) -> MatMulMatch | None:
+    """Detect the join-aggregate formulation of matrix multiply.
+
+    The match anchors at the Aggregate node (the rewriter visits every node
+    bottom-up, so outer renames or retags above it are untouched and stay
+    valid).  It is conservative: inputs must already tag their (row, inner)
+    attributes as dimensions — which guarantees coordinates are keys, so the
+    rewrite is exactly semantics-preserving — unless the Aggregate carries
+    an explicit ``intent="matmul"`` tag from a frontend asserting it.
+    """
+    if not isinstance(node, A.Aggregate):
+        return None
+    agg = node
+    if len(agg.group_by) != 2 or len(agg.aggs) != 1:
+        return None
+    spec = agg.aggs[0]
+    if spec.func != "sum" or not isinstance(spec.arg, Col):
+        return None
+    product_col = spec.arg.name
+
+    child = agg.child
+    while isinstance(child, A.Project):
+        child = child.child
+    if not isinstance(child, A.Extend):
+        return None
+    extend = child
+    try:
+        pos = extend.names.index(product_col)
+    except ValueError:
+        return None
+    expr = extend.exprs[pos]
+    if not (isinstance(expr, BinOp) and expr.op == "*"
+            and isinstance(expr.left, Col) and isinstance(expr.right, Col)):
+        return None
+    factor_a, factor_b = expr.left.name, expr.right.name
+
+    join = extend.child
+    while isinstance(join, A.Project):
+        join = join.child
+    if not (isinstance(join, A.Join) and join.how == "inner" and len(join.on) == 1):
+        return None
+    left, right = join.left, join.right
+    (k_left, k_right) = join.on[0]
+    left_names = set(left.schema.names)
+    right_rest = set(right.schema.names) - {k_right}
+
+    g1, g2 = agg.group_by
+    out_i, out_j = g1, g2
+    if g1 in right_rest and g2 in left_names:
+        out_i, out_j = g2, g1  # group keys listed (j, i); normalize
+    if out_i not in left_names or out_j not in right_rest:
+        return None
+    a, b = factor_a, factor_b
+    if a in right_rest and b in left_names:
+        a, b = b, a
+    if a not in left_names or b not in right_rest:
+        return None
+    if len({out_i, k_left, a}) != 3 or len({k_right, out_j, b}) != 3:
+        return None
+
+    trusted = agg.intent == INTENT_MATMUL
+    if not trusted:
+        lschema, rschema = left.schema, right.schema
+        if not (lschema[out_i].dimension and lschema[k_left].dimension
+                and rschema[k_right].dimension and rschema[out_j].dimension):
+            return None
+    if not left.schema[a].dtype.is_numeric or not right.schema[b].dtype.is_numeric:
+        return None
+    # group keys must be listed in (i, j) order in the aggregate output
+    if (out_i, out_j) != tuple(agg.group_by):
+        return None
+
+    return MatMulMatch(
+        left=left, right=right,
+        left_names=(out_i, k_left, a),
+        right_names=(k_right, out_j, b),
+        out_names=(out_i, out_j, spec.name),
+    )
+
+
+def rewrite_matmul(node: A.Node) -> A.Node | None:
+    """Replace a recognized lowered matmul with a native MatMul node.
+
+    Returns None when the node does not match or the replacement's schema
+    would not be identical to the original's.
+    """
+    match = recognize_matmul(node)
+    if match is None:
+        return None
+    li, lk, lv = match.left_names
+    rk, rj, rv = match.right_names
+    oi, oj, ov = match.out_names
+
+    left = A.AsDims(
+        A.Rename(
+            A.Project(match.left, (li, lk, lv)),
+            ((li, _I), (lk, _K), (lv, _V)),
+        ),
+        (_I, _K),
+    )
+    right = A.AsDims(
+        A.Rename(
+            A.Project(match.right, (rk, rj, rv)),
+            ((rk, _K), (rj, _J), (rv, _W)),
+        ),
+        (_K, _J),
+    )
+    mm = A.MatMul(left, right).with_intent(INTENT_MATMUL)
+    out: A.Node = A.Rename(mm, ((_I, oi), (_J, oj), (_V, ov)))
+    target = node.schema
+    out = A.AsDims(out, target.dimension_names)
+    out = out.with_intent(node.intent or INTENT_MATMUL)
+    try:
+        if out.schema != target:
+            return None
+    except Exception:
+        return None
+    return out
+
+
+def tags_in(node: A.Node) -> dict[str, int]:
+    """Histogram of intent tags in a tree (used by tag-preservation tests)."""
+    out: dict[str, int] = {}
+    for n in node.walk():
+        if n.intent:
+            out[n.intent] = out.get(n.intent, 0) + 1
+    return out

@@ -1,0 +1,343 @@
+"""Rule-based logical optimizer over the algebra.
+
+Because the framework ships *whole expression trees* to providers (LINQ
+property 2), optimization can happen centrally before routing.  The rules
+here are classical and individually toggleable so the ablation bench (E8)
+can measure each one:
+
+* **filter fusion** — collapse stacked filters into one conjunction.
+* **predicate pushdown** — move filters below projects/extends/sorts and
+  into the legal side(s) of joins.
+* **projection pruning** — narrow every subtree to the attributes actually
+  consumed above it.
+* **extend fusion** — merge adjacent Extend nodes when independent.
+* **intent recognition** — replace a lowered join-aggregate matrix multiply
+  with a native ``MatMul`` (desideratum 3; see :mod:`repro.core.intents`).
+
+Every rule preserves semantics (property-tested against the reference
+interpreter) and preserves intent tags (checked by a dedicated test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import algebra as A
+from . import intents
+from .expressions import BinOp, Expr
+from .visitors import transform_bottom_up
+
+
+@dataclass
+class RewriteOptions:
+    """Which rules run; all on by default."""
+
+    filter_fusion: bool = True
+    predicate_pushdown: bool = True
+    projection_pruning: bool = True
+    extend_fusion: bool = True
+    recognize_intents: bool = True
+    max_passes: int = 5
+
+
+class Rewriter:
+    """Applies the enabled rules to a fixpoint (bounded by ``max_passes``)."""
+
+    def __init__(self, options: RewriteOptions | None = None):
+        self.options = options or RewriteOptions()
+
+    def rewrite(self, node: A.Node) -> A.Node:
+        opts = self.options
+        current = node
+        for _ in range(opts.max_passes):
+            previous = current
+            if opts.filter_fusion:
+                current = transform_bottom_up(current, _fuse_filters)
+            if opts.extend_fusion:
+                current = transform_bottom_up(current, _fuse_extends)
+            if opts.predicate_pushdown:
+                current = transform_bottom_up(current, _push_filter)
+            if opts.recognize_intents:
+                current = transform_bottom_up(current, _recognize)
+            if current.same_as(previous):
+                break
+        if opts.projection_pruning:
+            current = prune_projections(current)
+        return current
+
+
+# --------------------------------------------------------------------------
+# Filter rules
+# --------------------------------------------------------------------------
+
+
+def _fuse_filters(node: A.Node) -> A.Node:
+    if isinstance(node, A.Filter) and isinstance(node.child, A.Filter):
+        inner = node.child
+        merged = A.Filter(inner.child, BinOp("and", inner.predicate, node.predicate))
+        return merged.with_intent(node.intent or inner.intent)
+    return node
+
+
+def _conjuncts(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BinOp) and expr.op == "and":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _conjoin(parts: list[Expr]) -> Expr:
+    out = parts[0]
+    for part in parts[1:]:
+        out = BinOp("and", out, part)
+    return out
+
+
+def _push_filter(node: A.Node) -> A.Node:
+    if not isinstance(node, A.Filter):
+        return node
+    child = node.child
+    pred = node.predicate
+
+    if isinstance(child, A.Project):
+        pushed = A.Filter(child.child, pred).with_intent(node.intent)
+        return A.Project(pushed, child.names, intent=child.intent)
+
+    if isinstance(child, A.Sort):
+        pushed = A.Filter(child.child, pred).with_intent(node.intent)
+        return A.Sort(pushed, child.keys, child.ascending, intent=child.intent)
+
+    if isinstance(child, A.Extend):
+        new_cols = set(child.names)
+        below = [c for c in _conjuncts(pred) if not (c.columns() & new_cols)]
+        above = [c for c in _conjuncts(pred) if c.columns() & new_cols]
+        if not below:
+            return node
+        pushed = A.Filter(child.child, _conjoin(below)).with_intent(node.intent)
+        out: A.Node = A.Extend(pushed, child.names, child.exprs, intent=child.intent)
+        if above:
+            out = A.Filter(out, _conjoin(above))
+        return out
+
+    if isinstance(child, A.Join):
+        return _push_filter_into_join(node, child)
+
+    if isinstance(child, A.SliceDims):
+        pushed = A.Filter(child.child, pred).with_intent(node.intent)
+        return A.SliceDims(pushed, child.bounds, intent=child.intent)
+
+    return node
+
+
+def _push_filter_into_join(filt: A.Filter, join: A.Join) -> A.Node:
+    left_cols = set(join.left.schema.names)
+    if join.how in ("semi", "anti"):
+        right_cols: set[str] = set()
+    else:
+        right_keys = {r for _, r in join.on}
+        right_cols = set(join.right.schema.names) - right_keys
+
+    push_left = join.how in ("inner", "left", "semi", "anti")
+    push_right = join.how == "inner"
+
+    to_left: list[Expr] = []
+    to_right: list[Expr] = []
+    stay: list[Expr] = []
+    for conj in _conjuncts(filt.predicate):
+        cols = conj.columns()
+        if push_left and cols and cols <= left_cols:
+            to_left.append(conj)
+        elif push_right and cols and cols <= right_cols:
+            to_right.append(conj)
+        else:
+            stay.append(conj)
+    if not to_left and not to_right:
+        return filt
+
+    # the filter's intent tag follows its predicate: it stays with the
+    # residual filter if any, else moves onto the first pushed filter
+    residual_tag = filt.intent if stay else None
+    pushed_tag = filt.intent if not stay else None
+    left = join.left
+    right = join.right
+    if to_left:
+        left = A.Filter(left, _conjoin(to_left), intent=pushed_tag)
+        pushed_tag = None
+    if to_right:
+        right = A.Filter(right, _conjoin(to_right), intent=pushed_tag)
+    new_join = A.Join(left, right, join.on, join.how, intent=join.intent)
+    if stay:
+        return A.Filter(new_join, _conjoin(stay)).with_intent(residual_tag)
+    return new_join
+
+
+# --------------------------------------------------------------------------
+# Extend fusion
+# --------------------------------------------------------------------------
+
+
+def _fuse_extends(node: A.Node) -> A.Node:
+    if not (isinstance(node, A.Extend) and isinstance(node.child, A.Extend)):
+        return node
+    inner = node.child
+    inner_cols = set(inner.names)
+    # outer expressions see the inner's output; fuse only when independent
+    if any(e.columns() & inner_cols for e in node.exprs):
+        return node
+    merged = A.Extend(
+        inner.child,
+        inner.names + node.names,
+        inner.exprs + node.exprs,
+    )
+    return merged.with_intent(node.intent or inner.intent)
+
+
+# --------------------------------------------------------------------------
+# Intent recognition
+# --------------------------------------------------------------------------
+
+
+def _recognize(node: A.Node) -> A.Node:
+    replacement = intents.rewrite_matmul(node)
+    return replacement if replacement is not None else node
+
+
+# --------------------------------------------------------------------------
+# Projection pruning
+# --------------------------------------------------------------------------
+
+
+def prune_projections(root: A.Node) -> A.Node:
+    """Narrow every subtree to the attributes its consumers actually read."""
+    return _prune(root, root.schema.names)
+
+
+def _ordered(schema_names: tuple[str, ...], wanted: set[str]) -> tuple[str, ...]:
+    return tuple(n for n in schema_names if n in wanted)
+
+
+def _wrap(node: A.Node, needed: tuple[str, ...]) -> A.Node:
+    if node.schema.names == needed:
+        return node
+    return A.Project(node, needed)
+
+
+def _prune(node: A.Node, needed: tuple[str, ...]) -> A.Node:
+    names = node.schema.names
+    needed = tuple(n for n in names if n in set(needed))
+    if not needed:
+        # nothing is consumed by name (e.g. a global COUNT(*)); keep one
+        # column so the row count survives
+        needed = names[:1]
+
+    if isinstance(node, (A.Scan, A.InlineTable, A.LoopVar)):
+        return _wrap(node, needed)
+
+    if isinstance(node, A.Project):
+        child = _prune(node.child, needed)
+        if child.schema.names == needed:
+            return child.with_intent(node.intent or child.intent)
+        return A.Project(child, needed, intent=node.intent)
+
+    if isinstance(node, A.Filter):
+        child_names = node.child.schema.names
+        child_needed = _ordered(
+            child_names, set(needed) | node.predicate.columns()
+        )
+        child = _prune(node.child, child_needed)
+        out: A.Node = A.Filter(child, node.predicate, intent=node.intent)
+        return _wrap(out, needed)
+
+    if isinstance(node, A.Extend):
+        used_pairs = [
+            (n, e) for n, e in zip(node.names, node.exprs) if n in set(needed)
+        ]
+        child_names = node.child.schema.names
+        want = set(needed) & set(child_names)
+        for _, expr in used_pairs:
+            want |= expr.columns()
+        child = _prune(node.child, _ordered(child_names, want))
+        if used_pairs:
+            out = A.Extend(
+                child,
+                tuple(n for n, _ in used_pairs),
+                tuple(e for _, e in used_pairs),
+                intent=node.intent,
+            )
+        else:
+            out = child
+        return _wrap(out, needed)
+
+    if isinstance(node, A.Rename):
+        forward = dict(node.mapping)
+        inverse = {new: old for old, new in node.mapping}
+        child_names = node.child.schema.names
+        child_needed = _ordered(
+            child_names, {inverse.get(n, n) for n in needed}
+        )
+        child = _prune(node.child, child_needed)
+        mapping = tuple(
+            (old, new) for old, new in node.mapping if old in child.schema
+        )
+        out = A.Rename(child, mapping, intent=node.intent) if mapping else child
+        return _wrap(out, needed)
+
+    if isinstance(node, A.Join):
+        lkeys = [l for l, _ in node.on]
+        rkeys = [r for _, r in node.on]
+        left_names = node.left.schema.names
+        right_names = node.right.schema.names
+        left_needed = _ordered(left_names, set(needed) | set(lkeys))
+        if node.how in ("semi", "anti"):
+            right_needed = _ordered(right_names, set(rkeys))
+        else:
+            right_needed = _ordered(
+                right_names, (set(needed) & set(right_names)) | set(rkeys)
+            )
+        left = _prune(node.left, left_needed)
+        right = _prune(node.right, right_needed)
+        out = A.Join(left, right, node.on, node.how, intent=node.intent)
+        return _wrap(out, needed)
+
+    if isinstance(node, A.Aggregate):
+        want: set[str] = set(node.group_by)
+        for spec in node.aggs:
+            if spec.arg is not None:
+                want |= spec.arg.columns()
+        child = _prune(node.child, _ordered(node.child.schema.names, want))
+        out = A.Aggregate(child, node.group_by, node.aggs, intent=node.intent)
+        return _wrap(out, needed)
+
+    if isinstance(node, A.Sort):
+        child_needed = _ordered(
+            node.child.schema.names, set(needed) | set(node.keys)
+        )
+        child = _prune(node.child, child_needed)
+        out = A.Sort(child, node.keys, node.ascending, intent=node.intent)
+        return _wrap(out, needed)
+
+    if isinstance(node, (A.Limit, A.Reverse)):
+        child = _prune(node.child, needed)
+        return node.with_children((child,))
+
+    if isinstance(node, A.SliceDims):
+        dims = {d for d, _, __ in node.bounds}
+        child_needed = _ordered(node.child.schema.names, set(needed) | dims)
+        child = _prune(node.child, child_needed)
+        out = A.SliceDims(child, node.bounds, intent=node.intent)
+        return _wrap(out, needed)
+
+    if isinstance(node, A.Iterate):
+        init = _prune(node.init, node.init.schema.names)
+        body = _prune(node.body, node.body.schema.names)
+        out = A.Iterate(
+            init, body, var=node.var, stop=node.stop,
+            max_iter=node.max_iter, strict=node.strict, intent=node.intent,
+        )
+        return _wrap(out, needed)
+
+    # operators that need (or may need) every attribute: recurse with all
+    children = tuple(
+        _prune(c, c.schema.names) for c in node.children()
+    )
+    out = node.with_children(children)
+    return _wrap(out, needed)

@@ -1,0 +1,215 @@
+"""Schemas for the dimensioned-table data model.
+
+The paper's central modelling idea is "a fusion of tabular and array models,
+with 0 or more attributes in a table structure being tagged as dimensions,
+and operators being dimension-aware".  A :class:`Schema` is an ordered list
+of :class:`Attribute`; each attribute is either a plain value attribute or a
+*dimension* (an ``INT64`` coordinate).  A schema with no dimensions is an
+ordinary relation; a schema whose dimensions form a key describes an array
+whose cells hold the value attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .errors import SchemaError
+from .types import DType
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One named, typed attribute; optionally tagged as a dimension.
+
+    Dimensions must be ``INT64``: they are array coordinates.  The tag is
+    logical metadata — it changes which operators apply (slice, regrid,
+    matmul, ...) and how engines may lay the data out, but not the data
+    itself.
+    """
+
+    name: str
+    dtype: DType
+    dimension: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+        if self.dimension and self.dtype is not DType.INT64:
+            raise SchemaError(
+                f"dimension attribute {self.name!r} must be INT64, got {self.dtype.name}"
+            )
+
+    def renamed(self, name: str) -> "Attribute":
+        return replace(self, name=name)
+
+    def as_dimension(self) -> "Attribute":
+        if self.dtype is not DType.INT64:
+            raise SchemaError(
+                f"cannot tag {self.name!r} as dimension: type is {self.dtype.name}, not INT64"
+            )
+        return replace(self, dimension=True)
+
+    def as_value(self) -> "Attribute":
+        return replace(self, dimension=False)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "*" if self.dimension else ""
+        return f"{self.name}{tag}:{self.dtype.value}"
+
+
+class Schema:
+    """An ordered, duplicate-free sequence of attributes.
+
+    Immutable.  Provides positional and by-name access, plus the structural
+    operations the algebra's schema inference needs (project, rename,
+    concat, retag dimensions).
+    """
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = tuple(attributes)
+        index: dict[str, int] = {}
+        for pos, attr in enumerate(attrs):
+            if not isinstance(attr, Attribute):
+                raise SchemaError(f"expected Attribute, got {type(attr).__name__}")
+            if attr.name in index:
+                raise SchemaError(f"duplicate attribute name {attr.name!r}")
+            index[attr.name] = pos
+        self._attributes = attrs
+        self._index = index
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def of(cls, *specs: tuple) -> "Schema":
+        """Compact constructor: ``Schema.of(("i", DType.INT64, True), ("v", DType.FLOAT64))``.
+
+        Each spec is ``(name, dtype)`` or ``(name, dtype, dimension)``.
+        """
+        attrs = []
+        for spec in specs:
+            if len(spec) == 2:
+                name, dtype = spec
+                attrs.append(Attribute(name, dtype))
+            elif len(spec) == 3:
+                name, dtype, dim = spec
+                attrs.append(Attribute(name, dtype, dimension=dim))
+            else:
+                raise SchemaError(f"bad attribute spec: {spec!r}")
+        return cls(attrs)
+
+    # -- basic protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __getitem__(self, key: int | str) -> Attribute:
+        if isinstance(key, str):
+            try:
+                return self._attributes[self._index[key]]
+            except KeyError:
+                raise SchemaError(
+                    f"no attribute named {key!r}; have {list(self.names)}"
+                ) from None
+        return self._attributes[key]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(a) for a in self._attributes)
+        return f"Schema[{inner}]"
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def dimensions(self) -> tuple[Attribute, ...]:
+        return tuple(a for a in self._attributes if a.dimension)
+
+    @property
+    def values(self) -> tuple[Attribute, ...]:
+        return tuple(a for a in self._attributes if not a.dimension)
+
+    @property
+    def dimension_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.dimensions)
+
+    @property
+    def value_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.values)
+
+    def position(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"no attribute named {name!r}; have {list(self.names)}"
+            ) from None
+
+    def dtype_of(self, name: str) -> DType:
+        return self[name].dtype
+
+    def require(self, names: Sequence[str]) -> None:
+        """Raise unless every name exists in the schema."""
+        missing = [n for n in names if n not in self._index]
+        if missing:
+            raise SchemaError(
+                f"missing attributes {missing}; have {list(self.names)}"
+            )
+
+    # -- structural operations ---------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Keep exactly ``names``, in the given order."""
+        self.require(names)
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate names in projection: {list(names)}")
+        return Schema(self[n] for n in names)
+
+    def drop(self, names: Sequence[str]) -> "Schema":
+        self.require(names)
+        dropped = set(names)
+        return Schema(a for a in self._attributes if a.name not in dropped)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        self.require(list(mapping))
+        return Schema(
+            a.renamed(mapping.get(a.name, a.name)) for a in self._attributes
+        )
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas; duplicate names are an error."""
+        return Schema(tuple(self._attributes) + tuple(other._attributes))
+
+    def extend(self, attribute: Attribute) -> "Schema":
+        return Schema(tuple(self._attributes) + (attribute,))
+
+    def with_dimensions(self, names: Sequence[str]) -> "Schema":
+        """Tag exactly ``names`` as dimensions, untagging all others."""
+        self.require(names)
+        wanted = set(names)
+        return Schema(
+            a.as_dimension() if a.name in wanted else a.as_value()
+            for a in self._attributes
+        )
+
+    def without_dimensions(self) -> "Schema":
+        """Untag all dimensions — view the table as a plain relation."""
+        return Schema(a.as_value() for a in self._attributes)

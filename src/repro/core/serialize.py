@@ -1,0 +1,359 @@
+"""Expression-tree serialization.
+
+A defining LINQ property the paper wants to keep: the client ships a whole
+query to a provider **as an expression tree**, not as a series of remote
+calls.  This module is that wire format — a JSON-compatible dict encoding of
+schemas, scalar expressions and algebra trees, with a strict decoder.
+
+``dumps``/``loads`` round-trip any well-formed tree; the federation executor
+serializes every fragment it ships so the byte counts it reports (experiment
+E7) are real message sizes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from . import algebra as A
+from . import expressions as E
+from .errors import ReproError
+from .schema import Attribute, Schema
+from .types import DType
+
+
+class SerializationError(ReproError):
+    """Malformed payload passed to the decoder."""
+
+
+# -- schema -------------------------------------------------------------------
+
+
+def schema_to_dict(schema: Schema) -> list[dict[str, Any]]:
+    return [
+        {"name": a.name, "dtype": a.dtype.value, "dimension": a.dimension}
+        for a in schema
+    ]
+
+
+def schema_from_dict(payload: Any) -> Schema:
+    if not isinstance(payload, list):
+        raise SerializationError(f"schema payload must be a list, got {type(payload).__name__}")
+    attrs = []
+    for item in payload:
+        try:
+            attrs.append(
+                Attribute(
+                    item["name"], DType(item["dtype"]),
+                    dimension=bool(item.get("dimension", False)),
+                )
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise SerializationError(f"bad attribute payload {item!r}: {exc}") from exc
+    return Schema(attrs)
+
+
+# -- scalar expressions -----------------------------------------------------------
+
+
+def expr_to_dict(expr: E.Expr) -> dict[str, Any]:
+    if isinstance(expr, E.Col):
+        return {"expr": "Col", "name": expr.name}
+    if isinstance(expr, E.Lit):
+        return {"expr": "Lit", "value": expr.value, "dtype": expr.dtype.value}
+    if isinstance(expr, E.BinOp):
+        return {
+            "expr": "BinOp", "op": expr.op,
+            "left": expr_to_dict(expr.left), "right": expr_to_dict(expr.right),
+        }
+    if isinstance(expr, E.UnaryOp):
+        return {"expr": "UnaryOp", "op": expr.op, "operand": expr_to_dict(expr.operand)}
+    if isinstance(expr, E.Func):
+        return {
+            "expr": "Func", "name": expr.name,
+            "args": [expr_to_dict(a) for a in expr.args],
+        }
+    if isinstance(expr, E.If):
+        return {
+            "expr": "If",
+            "cond": expr_to_dict(expr.cond),
+            "then": expr_to_dict(expr.then),
+            "otherwise": expr_to_dict(expr.otherwise),
+        }
+    if isinstance(expr, E.IsNull):
+        return {"expr": "IsNull", "operand": expr_to_dict(expr.operand)}
+    if isinstance(expr, E.Cast):
+        return {"expr": "Cast", "operand": expr_to_dict(expr.operand), "to": expr.to.value}
+    raise SerializationError(f"cannot serialize expression {type(expr).__name__}")
+
+
+def expr_from_dict(payload: Any) -> E.Expr:
+    if not isinstance(payload, dict) or "expr" not in payload:
+        raise SerializationError(f"bad expression payload: {payload!r}")
+    kind = payload["expr"]
+    try:
+        if kind == "Col":
+            return E.Col(payload["name"])
+        if kind == "Lit":
+            return E.Lit(payload["value"], DType(payload["dtype"]))
+        if kind == "BinOp":
+            return E.BinOp(
+                payload["op"],
+                expr_from_dict(payload["left"]),
+                expr_from_dict(payload["right"]),
+            )
+        if kind == "UnaryOp":
+            return E.UnaryOp(payload["op"], expr_from_dict(payload["operand"]))
+        if kind == "Func":
+            return E.Func(
+                payload["name"],
+                tuple(expr_from_dict(a) for a in payload["args"]),
+            )
+        if kind == "If":
+            return E.If(
+                expr_from_dict(payload["cond"]),
+                expr_from_dict(payload["then"]),
+                expr_from_dict(payload["otherwise"]),
+            )
+        if kind == "IsNull":
+            return E.IsNull(expr_from_dict(payload["operand"]))
+        if kind == "Cast":
+            return E.Cast(expr_from_dict(payload["operand"]), DType(payload["to"]))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"bad {kind} payload: {exc}") from exc
+    raise SerializationError(f"unknown expression kind {kind!r}")
+
+
+# -- aggregate specs ----------------------------------------------------------------
+
+
+def _agg_to_dict(spec: A.AggSpec) -> dict[str, Any]:
+    return {
+        "name": spec.name,
+        "func": spec.func,
+        "arg": None if spec.arg is None else expr_to_dict(spec.arg),
+    }
+
+
+def _agg_from_dict(payload: Any) -> A.AggSpec:
+    try:
+        arg = payload["arg"]
+        return A.AggSpec(
+            payload["name"], payload["func"],
+            None if arg is None else expr_from_dict(arg),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"bad AggSpec payload {payload!r}: {exc}") from exc
+
+
+# -- algebra nodes -------------------------------------------------------------------
+
+
+def node_to_dict(node: A.Node) -> dict[str, Any]:
+    out: dict[str, Any] = {"op": node.op_name}
+    if node.intent is not None:
+        out["intent"] = node.intent
+
+    if isinstance(node, A.Scan):
+        out.update(name=node.name, schema=schema_to_dict(node.source_schema))
+    elif isinstance(node, A.InlineTable):
+        out.update(
+            schema=schema_to_dict(node.table_schema),
+            rows=[list(r) for r in node.rows],
+        )
+    elif isinstance(node, A.LoopVar):
+        out.update(name=node.name, schema=schema_to_dict(node.var_schema))
+    elif isinstance(node, A.Filter):
+        out.update(child=node_to_dict(node.child), predicate=expr_to_dict(node.predicate))
+    elif isinstance(node, A.Project):
+        out.update(child=node_to_dict(node.child), names=list(node.names))
+    elif isinstance(node, A.Extend):
+        out.update(
+            child=node_to_dict(node.child),
+            names=list(node.names),
+            exprs=[expr_to_dict(e) for e in node.exprs],
+        )
+    elif isinstance(node, A.Rename):
+        out.update(child=node_to_dict(node.child), mapping=[list(p) for p in node.mapping])
+    elif isinstance(node, A.Join):
+        out.update(
+            left=node_to_dict(node.left), right=node_to_dict(node.right),
+            on=[list(p) for p in node.on], how=node.how,
+        )
+    elif isinstance(node, (A.Product, A.Union, A.Intersect, A.Except,
+                           A.MatMul, A.CellJoin)):
+        out.update(left=node_to_dict(node.left), right=node_to_dict(node.right))
+    elif isinstance(node, A.Aggregate):
+        out.update(
+            child=node_to_dict(node.child),
+            group_by=list(node.group_by),
+            aggs=[_agg_to_dict(s) for s in node.aggs],
+        )
+    elif isinstance(node, A.Sort):
+        out.update(
+            child=node_to_dict(node.child),
+            keys=list(node.keys), ascending=list(node.ascending),
+        )
+    elif isinstance(node, A.Limit):
+        out.update(child=node_to_dict(node.child), count=node.count, offset=node.offset)
+    elif isinstance(node, (A.Reverse, A.Distinct)):
+        out.update(child=node_to_dict(node.child))
+    elif isinstance(node, A.AsDims):
+        out.update(child=node_to_dict(node.child), dims=list(node.dims))
+    elif isinstance(node, A.SliceDims):
+        out.update(child=node_to_dict(node.child), bounds=[list(b) for b in node.bounds])
+    elif isinstance(node, A.ShiftDim):
+        out.update(child=node_to_dict(node.child), dim=node.dim, offset=node.offset)
+    elif isinstance(node, A.Regrid):
+        out.update(
+            child=node_to_dict(node.child),
+            factors=[list(f) for f in node.factors],
+            aggs=[_agg_to_dict(s) for s in node.aggs],
+        )
+    elif isinstance(node, A.Window):
+        out.update(
+            child=node_to_dict(node.child),
+            sizes=[list(s) for s in node.sizes],
+            aggs=[_agg_to_dict(s) for s in node.aggs],
+        )
+    elif isinstance(node, A.ReduceDims):
+        out.update(
+            child=node_to_dict(node.child),
+            keep=list(node.keep),
+            aggs=[_agg_to_dict(s) for s in node.aggs],
+        )
+    elif isinstance(node, A.TransposeDims):
+        out.update(child=node_to_dict(node.child), order=list(node.order))
+    elif isinstance(node, A.Iterate):
+        out.update(
+            init=node_to_dict(node.init),
+            body=node_to_dict(node.body),
+            var=node.var,
+            stop={
+                "value_attr": node.stop.value_attr,
+                "tolerance": node.stop.tolerance,
+                "norm": node.stop.norm,
+            },
+            max_iter=node.max_iter,
+            strict=node.strict,
+        )
+    else:
+        raise SerializationError(f"cannot serialize operator {node.op_name}")
+    return out
+
+
+def node_from_dict(payload: Any) -> A.Node:
+    if not isinstance(payload, dict) or "op" not in payload:
+        raise SerializationError(f"bad node payload: {payload!r}")
+    op = payload["op"]
+    intent = payload.get("intent")
+    try:
+        node = _decode_node(op, payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"bad {op} payload: {exc}") from exc
+    if intent is not None:
+        node = node.with_intent(intent)
+    return node
+
+
+def _decode_node(op: str, p: dict[str, Any]) -> A.Node:
+    if op == "Scan":
+        return A.Scan(p["name"], schema_from_dict(p["schema"]))
+    if op == "InlineTable":
+        return A.InlineTable(
+            schema_from_dict(p["schema"]),
+            tuple(tuple(r) for r in p["rows"]),
+        )
+    if op == "LoopVar":
+        return A.LoopVar(p["name"], schema_from_dict(p["schema"]))
+    if op == "Filter":
+        return A.Filter(node_from_dict(p["child"]), expr_from_dict(p["predicate"]))
+    if op == "Project":
+        return A.Project(node_from_dict(p["child"]), tuple(p["names"]))
+    if op == "Extend":
+        return A.Extend(
+            node_from_dict(p["child"]),
+            tuple(p["names"]),
+            tuple(expr_from_dict(e) for e in p["exprs"]),
+        )
+    if op == "Rename":
+        return A.Rename(node_from_dict(p["child"]), tuple(tuple(m) for m in p["mapping"]))
+    if op == "Join":
+        return A.Join(
+            node_from_dict(p["left"]), node_from_dict(p["right"]),
+            tuple(tuple(pair) for pair in p["on"]), p["how"],
+        )
+    if op in ("Product", "Union", "Intersect", "Except", "MatMul", "CellJoin"):
+        cls = A.OPERATORS_BY_NAME[op]
+        return cls(node_from_dict(p["left"]), node_from_dict(p["right"]))
+    if op == "Aggregate":
+        return A.Aggregate(
+            node_from_dict(p["child"]),
+            tuple(p["group_by"]),
+            tuple(_agg_from_dict(s) for s in p["aggs"]),
+        )
+    if op == "Sort":
+        return A.Sort(node_from_dict(p["child"]), tuple(p["keys"]), tuple(p["ascending"]))
+    if op == "Limit":
+        return A.Limit(node_from_dict(p["child"]), p["count"], p.get("offset", 0))
+    if op in ("Reverse", "Distinct"):
+        cls = A.OPERATORS_BY_NAME[op]
+        return cls(node_from_dict(p["child"]))
+    if op == "AsDims":
+        return A.AsDims(node_from_dict(p["child"]), tuple(p["dims"]))
+    if op == "SliceDims":
+        return A.SliceDims(
+            node_from_dict(p["child"]), tuple(tuple(b) for b in p["bounds"])
+        )
+    if op == "ShiftDim":
+        return A.ShiftDim(node_from_dict(p["child"]), p["dim"], p["offset"])
+    if op == "Regrid":
+        return A.Regrid(
+            node_from_dict(p["child"]),
+            tuple(tuple(f) for f in p["factors"]),
+            tuple(_agg_from_dict(s) for s in p["aggs"]),
+        )
+    if op == "Window":
+        return A.Window(
+            node_from_dict(p["child"]),
+            tuple(tuple(s) for s in p["sizes"]),
+            tuple(_agg_from_dict(s) for s in p["aggs"]),
+        )
+    if op == "ReduceDims":
+        return A.ReduceDims(
+            node_from_dict(p["child"]),
+            tuple(p["keep"]),
+            tuple(_agg_from_dict(s) for s in p["aggs"]),
+        )
+    if op == "TransposeDims":
+        return A.TransposeDims(node_from_dict(p["child"]), tuple(p["order"]))
+    if op == "Iterate":
+        stop = p["stop"]
+        return A.Iterate(
+            node_from_dict(p["init"]),
+            node_from_dict(p["body"]),
+            var=p["var"],
+            stop=A.Convergence(
+                stop["value_attr"], stop["tolerance"], stop["norm"]
+            ) if stop["value_attr"] is not None else A.Convergence(),
+            max_iter=p["max_iter"],
+            strict=p.get("strict", False),
+        )
+    raise SerializationError(f"unknown operator {op!r}")
+
+
+# -- top-level helpers -----------------------------------------------------------------
+
+
+def dumps(node: A.Node) -> str:
+    """Serialize a whole query tree to a JSON string (the wire format)."""
+    return json.dumps(node_to_dict(node), separators=(",", ":"))
+
+
+def loads(payload: str) -> A.Node:
+    """Decode a query tree from its JSON wire format."""
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"payload is not valid JSON: {exc}") from exc
+    return node_from_dict(data)

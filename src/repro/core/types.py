@@ -1,0 +1,127 @@
+"""Scalar type system for the Big Data algebra.
+
+The algebra is deliberately small and closed: four scalar types cover the
+tabular and array workloads the paper targets.  Dimensions are always
+``INT64`` — array coordinates are integers in every array system the paper
+cites (SciDB, ScaLAPACK).
+
+Types know how to promote (``INT64 + FLOAT64 -> FLOAT64``), how they map to
+numpy dtypes for the columnar engines, and how to validate Python values for
+the row-at-a-time reference interpreter.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+import numpy as np
+
+from .errors import TypeMismatchError
+
+
+class DType(enum.Enum):
+    """A scalar type in the algebra's closed type system."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    STRING = "string"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DType.INT64, DType.FLOAT64)
+
+    def to_numpy(self) -> np.dtype:
+        """The numpy dtype used by the columnar storage layer."""
+        return _NUMPY_DTYPES[self]
+
+    @classmethod
+    def from_numpy(cls, dtype: np.dtype) -> "DType":
+        """Classify a numpy dtype into the algebra's type system."""
+        kind = np.dtype(dtype).kind
+        if kind in ("i", "u"):
+            return cls.INT64
+        if kind == "f":
+            return cls.FLOAT64
+        if kind == "b":
+            return cls.BOOL
+        if kind in ("U", "S", "O"):
+            return cls.STRING
+        raise TypeMismatchError(f"unsupported numpy dtype: {dtype!r}")
+
+    @classmethod
+    def of_value(cls, value: Any) -> "DType":
+        """Classify a Python scalar; used when typing literals."""
+        if isinstance(value, bool) or isinstance(value, np.bool_):
+            return cls.BOOL
+        if isinstance(value, (int, np.integer)):
+            return cls.INT64
+        if isinstance(value, (float, np.floating)):
+            return cls.FLOAT64
+        if isinstance(value, str):
+            return cls.STRING
+        raise TypeMismatchError(
+            f"value {value!r} of Python type {type(value).__name__} has no "
+            f"algebra type"
+        )
+
+    def validate(self, value: Any) -> bool:
+        """Whether a Python value (or None) is a legal instance of the type."""
+        if value is None:
+            return True
+        try:
+            return self.accepts(DType.of_value(value))
+        except TypeMismatchError:
+            return False
+
+    def accepts(self, other: "DType") -> bool:
+        """Whether a value of type ``other`` may be stored in this type."""
+        if self is other:
+            return True
+        return self is DType.FLOAT64 and other is DType.INT64
+
+
+_NUMPY_DTYPES = {
+    DType.INT64: np.dtype(np.int64),
+    DType.FLOAT64: np.dtype(np.float64),
+    DType.BOOL: np.dtype(np.bool_),
+    DType.STRING: np.dtype(object),
+}
+
+
+def promote(left: DType, right: DType) -> DType:
+    """Numeric promotion for arithmetic: the wider of two numeric types.
+
+    Raises :class:`TypeMismatchError` for non-numeric operands — arithmetic
+    on strings or booleans is a client error the type checker should catch
+    before a provider ever sees the tree.
+    """
+    if not left.is_numeric or not right.is_numeric:
+        raise TypeMismatchError(
+            f"cannot promote non-numeric types {left.name} and {right.name}"
+        )
+    if DType.FLOAT64 in (left, right):
+        return DType.FLOAT64
+    return DType.INT64
+
+
+def comparable(left: DType, right: DType) -> bool:
+    """Whether two types may be compared with ``==``/``<`` etc."""
+    if left is right:
+        return True
+    return left.is_numeric and right.is_numeric
+
+
+def common_type(left: DType, right: DType) -> DType:
+    """The type that can hold values of both inputs (for unions, CASE arms)."""
+    if left is right:
+        return left
+    if left.is_numeric and right.is_numeric:
+        return promote(left, right)
+    raise TypeMismatchError(
+        f"no common type for {left.name} and {right.name}"
+    )

@@ -1,0 +1,83 @@
+"""Generic traversal and transformation utilities for algebra trees.
+
+The rewriter, intent recognizers, federation planner and engines all walk
+trees; these helpers keep that code uniform.  Transformations rebuild nodes
+with :meth:`Node.with_children`, which preserves intent tags by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, TypeVar
+
+from . import algebra as A
+
+N = TypeVar("N", bound=A.Node)
+
+Transform = Callable[[A.Node], A.Node]
+
+
+def transform_bottom_up(node: A.Node, fn: Transform) -> A.Node:
+    """Rebuild the tree leaves-first, applying ``fn`` to every node.
+
+    ``fn`` receives a node whose children have already been transformed and
+    returns a replacement (or the node itself for no change).
+    """
+    children = node.children()
+    if children:
+        new_children = tuple(transform_bottom_up(c, fn) for c in children)
+        if any(nc is not oc for nc, oc in zip(new_children, children)):
+            node = node.with_children(new_children)
+    return fn(node)
+
+
+def transform_top_down(node: A.Node, fn: Transform) -> A.Node:
+    """Apply ``fn`` to the node first, then recurse into the result's children."""
+    node = fn(node)
+    children = node.children()
+    if not children:
+        return node
+    new_children = tuple(transform_top_down(c, fn) for c in children)
+    if any(nc is not oc for nc, oc in zip(new_children, children)):
+        node = node.with_children(new_children)
+    return node
+
+
+def find_all(node: A.Node, node_type: type[N]) -> Iterator[N]:
+    """All nodes of the given type, in pre-order."""
+    for n in node.walk():
+        if isinstance(n, node_type):
+            yield n
+
+
+def count_ops(node: A.Node) -> dict[str, int]:
+    """Histogram of operator names in the tree (used by coverage reports)."""
+    out: dict[str, int] = {}
+    for n in node.walk():
+        out[n.op_name] = out.get(n.op_name, 0) + 1
+    return out
+
+
+def substitute_loop_var(body: A.Node, var: str, replacement: A.Node) -> A.Node:
+    """Replace every ``LoopVar(var)`` in ``body`` with ``replacement``.
+
+    Nested :class:`~repro.core.algebra.Iterate` nodes that rebind the same
+    variable name shadow the outer binding and are left untouched.
+    """
+
+    def recurse(node: A.Node) -> A.Node:
+        if isinstance(node, A.LoopVar) and node.name == var:
+            return replacement
+        if isinstance(node, A.Iterate) and node.var == var:
+            new_init = recurse(node.init)
+            if new_init is not node.init:
+                return node.with_children((new_init, node.body))
+            return node
+        children = node.children()
+        if not children:
+            return node
+        new_children = tuple(recurse(c) for c in children)
+        if any(nc is not oc for nc, oc in zip(new_children, children)):
+            return node.with_children(new_children)
+        return node
+
+    return recurse(body)

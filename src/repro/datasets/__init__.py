@@ -1,0 +1,26 @@
+"""Deterministic synthetic workload generators.
+
+Everything takes an explicit seed, so tests and benchmarks reproduce
+exactly.  Four families, matching the workloads the paper's introduction
+motivates: business/relational data (TPC-H flavored), sensor/climate array
+data, random graphs, and random matrices.
+"""
+
+from .graphs import random_edges, ring_of_cliques, vertex_table
+from .matrices import dense_matrix_table, matrix_schema, sparse_matrix_table
+from .sensors import sensor_grid, sensor_metadata
+from .tpch_like import customers, lineitems, orders
+
+__all__ = [
+    "customers",
+    "dense_matrix_table",
+    "lineitems",
+    "matrix_schema",
+    "orders",
+    "random_edges",
+    "ring_of_cliques",
+    "sensor_grid",
+    "sensor_metadata",
+    "sparse_matrix_table",
+    "vertex_table",
+]

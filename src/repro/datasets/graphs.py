@@ -1,0 +1,54 @@
+"""Random graph generators as edge/vertex tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.schema import Attribute, Schema
+from ..core.types import DType
+from ..storage.table import ColumnTable
+
+EDGE_SCHEMA = Schema([
+    Attribute("src", DType.INT64), Attribute("dst", DType.INT64),
+])
+
+VERTEX_SCHEMA = Schema([Attribute("v", DType.INT64, dimension=True)])
+
+
+def vertex_table(num_vertices: int) -> ColumnTable:
+    return ColumnTable.from_rows(
+        VERTEX_SCHEMA, [(v,) for v in range(num_vertices)]
+    )
+
+
+def random_edges(
+    num_vertices: int, num_edges: int, seed: int = 0, *, self_loops: bool = False
+) -> ColumnTable:
+    """Erdős–Rényi-style directed edges (no duplicates)."""
+    rng = np.random.default_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    limit = num_vertices * (num_vertices - 1)
+    target = min(num_edges, limit)
+    while len(edges) < target:
+        u = int(rng.integers(0, num_vertices))
+        v = int(rng.integers(0, num_vertices))
+        if u == v and not self_loops:
+            continue
+        edges.add((u, v))
+    return ColumnTable.from_rows(EDGE_SCHEMA, sorted(edges))
+
+
+def ring_of_cliques(
+    num_cliques: int, clique_size: int
+) -> ColumnTable:
+    """Cliques joined in a ring — known structure for component/rank tests."""
+    rows = []
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(clique_size):
+                if i != j:
+                    rows.append((base + i, base + j))
+        nxt = ((c + 1) % num_cliques) * clique_size
+        rows.append((base, nxt))
+    return ColumnTable.from_rows(EDGE_SCHEMA, sorted(set(rows)))

@@ -1,0 +1,63 @@
+"""Random matrix generators as dimensioned tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.schema import Attribute, Schema
+from ..core.types import DType
+from ..storage.table import ColumnTable
+
+
+def matrix_schema(row: str = "i", col: str = "j", value: str = "v") -> Schema:
+    return Schema([
+        Attribute(row, DType.INT64, dimension=True),
+        Attribute(col, DType.INT64, dimension=True),
+        Attribute(value, DType.FLOAT64),
+    ])
+
+
+def dense_matrix_table(
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    *,
+    row_name: str = "i",
+    col_name: str = "j",
+    value_name: str = "v",
+    low: float = 0.5,
+    high: float = 2.0,
+) -> ColumnTable:
+    """A fully dense random matrix (positive entries, so no zero-dropping)."""
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(low, high, (rows, cols))
+    schema = matrix_schema(row_name, col_name, value_name)
+    ii, jj = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    return ColumnTable.from_arrays(schema, {
+        row_name: ii.reshape(-1),
+        col_name: jj.reshape(-1),
+        value_name: values.reshape(-1),
+    })
+
+
+def sparse_matrix_table(
+    rows: int,
+    cols: int,
+    density: float,
+    seed: int = 0,
+    *,
+    row_name: str = "i",
+    col_name: str = "j",
+    value_name: str = "v",
+) -> ColumnTable:
+    """A uniformly sparse random matrix with the given cell density."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((rows, cols)) < density
+    ii, jj = np.nonzero(mask)
+    values = rng.uniform(0.5, 2.0, len(ii))
+    schema = matrix_schema(row_name, col_name, value_name)
+    return ColumnTable.from_arrays(schema, {
+        row_name: ii.astype(np.int64),
+        col_name: jj.astype(np.int64),
+        value_name: values,
+    })

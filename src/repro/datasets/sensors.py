@@ -1,0 +1,78 @@
+"""Sensor/climate-style array data: dense grids with hotspots and gaps.
+
+The array workload the paper's SciDB references motivate: a 2-d sensor
+field (x, y -> reading) with Gaussian hotspots, optional missing cells
+(sensor outages -> truly absent) and null readings (sensor present but
+faulted), plus a relational metadata table describing the sensors — the mix
+of models a multi-server query needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.schema import Attribute, Schema
+from ..core.types import DType
+from ..storage.table import ColumnTable
+
+GRID_SCHEMA = Schema([
+    Attribute("x", DType.INT64, dimension=True),
+    Attribute("y", DType.INT64, dimension=True),
+    Attribute("reading", DType.FLOAT64),
+])
+
+SENSOR_META_SCHEMA = Schema([
+    Attribute("sensor_x", DType.INT64),
+    Attribute("sensor_y", DType.INT64),
+    Attribute("vendor", DType.STRING),
+    Attribute("calibrated", DType.BOOL),
+])
+
+
+def sensor_grid(
+    width: int,
+    height: int,
+    seed: int = 0,
+    *,
+    hotspots: int = 3,
+    missing_fraction: float = 0.05,
+    null_fraction: float = 0.01,
+) -> ColumnTable:
+    """A width x height reading grid as a dimensioned table."""
+    rng = np.random.default_rng(seed)
+    xs, ys = np.meshgrid(np.arange(width), np.arange(height), indexing="ij")
+    field = rng.normal(20.0, 1.0, (width, height))
+    for _ in range(hotspots):
+        cx = rng.uniform(0, width)
+        cy = rng.uniform(0, height)
+        intensity = rng.uniform(20.0, 60.0)
+        spread = rng.uniform(2.0, max(width, height) / 4.0)
+        field += intensity * np.exp(
+            -((xs - cx) ** 2 + (ys - cy) ** 2) / (2 * spread**2)
+        )
+    present = rng.random((width, height)) >= missing_fraction
+    nulled = rng.random((width, height)) < null_fraction
+    rows = []
+    for i in range(width):
+        for j in range(height):
+            if not present[i, j]:
+                continue
+            value = None if nulled[i, j] else float(np.round(field[i, j], 3))
+            rows.append((i, j, value))
+    return ColumnTable.from_rows(GRID_SCHEMA, rows)
+
+
+def sensor_metadata(
+    width: int, height: int, seed: int = 3, vendors: tuple[str, ...] = ("acme", "borg", "chronos")
+) -> ColumnTable:
+    """Per-sensor metadata keyed by grid position (relational side)."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(width):
+        for j in range(height):
+            rows.append((
+                i, j,
+                vendors[int(rng.integers(0, len(vendors)))],
+                bool(rng.random() < 0.8),
+            ))
+    return ColumnTable.from_rows(SENSOR_META_SCHEMA, rows)

@@ -1,0 +1,98 @@
+"""TPC-H-flavored relational data: customers, orders, lineitems.
+
+Not the real TPC-H generator — a compact, seeded stand-in with the same
+shape: skewed order amounts, a few countries and market segments, foreign
+keys with a controllable fraction of dangling references (to exercise outer
+joins).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.schema import Attribute, Schema
+from ..core.types import DType
+from ..storage.table import ColumnTable
+
+COUNTRIES = ("us", "uk", "jp", "de", "fr", "br", "in", "cn")
+SEGMENTS = ("retail", "auto", "machinery", "household")
+STATUSES = ("open", "shipped", "returned")
+
+CUSTOMER_SCHEMA = Schema([
+    Attribute("cid", DType.INT64),
+    Attribute("name", DType.STRING),
+    Attribute("country", DType.STRING),
+    Attribute("segment", DType.STRING),
+    Attribute("balance", DType.FLOAT64),
+])
+
+ORDER_SCHEMA = Schema([
+    Attribute("oid", DType.INT64),
+    Attribute("cust", DType.INT64),
+    Attribute("amount", DType.FLOAT64),
+    Attribute("status", DType.STRING),
+])
+
+LINEITEM_SCHEMA = Schema([
+    Attribute("oid", DType.INT64),
+    Attribute("line", DType.INT64),
+    Attribute("part", DType.INT64),
+    Attribute("quantity", DType.INT64),
+    Attribute("price", DType.FLOAT64),
+    Attribute("discount", DType.FLOAT64),
+])
+
+
+def customers(count: int, seed: int = 0) -> ColumnTable:
+    rng = np.random.default_rng(seed)
+    return ColumnTable.from_rows(CUSTOMER_SCHEMA, [
+        (
+            cid,
+            f"customer_{cid:06d}",
+            COUNTRIES[int(rng.integers(0, len(COUNTRIES)))],
+            SEGMENTS[int(rng.integers(0, len(SEGMENTS)))],
+            float(np.round(rng.normal(1000.0, 400.0), 2)),
+        )
+        for cid in range(1, count + 1)
+    ])
+
+
+def orders(
+    count: int,
+    num_customers: int,
+    seed: int = 1,
+    dangling_fraction: float = 0.02,
+) -> ColumnTable:
+    """Orders with log-normal amounts; a few reference missing customers."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for oid in range(1, count + 1):
+        if rng.random() < dangling_fraction:
+            cust = num_customers + int(rng.integers(1, 1000))
+        else:
+            cust = int(rng.integers(1, num_customers + 1))
+        amount = float(np.round(rng.lognormal(4.0, 1.0), 2))
+        status = STATUSES[int(rng.integers(0, len(STATUSES)))]
+        rows.append((oid, cust, amount, status))
+    return ColumnTable.from_rows(ORDER_SCHEMA, rows)
+
+
+def lineitems(
+    num_orders: int,
+    seed: int = 2,
+    max_lines: int = 5,
+    num_parts: int = 500,
+) -> ColumnTable:
+    rng = np.random.default_rng(seed)
+    rows = []
+    for oid in range(1, num_orders + 1):
+        for line in range(1, int(rng.integers(1, max_lines + 1)) + 1):
+            rows.append((
+                oid,
+                line,
+                int(rng.integers(1, num_parts + 1)),
+                int(rng.integers(1, 50)),
+                float(np.round(rng.uniform(1.0, 500.0), 2)),
+                float(np.round(rng.choice([0.0, 0.0, 0.05, 0.1]), 2)),
+            ))
+    return ColumnTable.from_rows(LINEITEM_SCHEMA, rows)

@@ -1,0 +1,1 @@
+"""Subpackage of repro."""

@@ -1,0 +1,68 @@
+"""Federation catalog: which servers exist and which datasets live where."""
+
+from __future__ import annotations
+
+from ..core.errors import PlanningError
+from ..core.schema import Schema
+from ..providers.base import Provider
+from ..storage.table import ColumnTable
+
+
+class FederationCatalog:
+    """Registry of providers and dataset placements."""
+
+    def __init__(self):
+        self._providers: dict[str, Provider] = {}
+
+    # -- providers -----------------------------------------------------------
+
+    def add_provider(self, provider: Provider) -> None:
+        if provider.name in self._providers:
+            raise PlanningError(f"provider {provider.name!r} already registered")
+        self._providers[provider.name] = provider
+
+    def provider(self, name: str) -> Provider:
+        try:
+            return self._providers[name]
+        except KeyError:
+            raise PlanningError(
+                f"no provider named {name!r}; have {sorted(self._providers)}"
+            ) from None
+
+    @property
+    def providers(self) -> list[Provider]:
+        return list(self._providers.values())
+
+    @property
+    def provider_names(self) -> list[str]:
+        return sorted(self._providers)
+
+    # -- datasets ------------------------------------------------------------
+
+    def register_dataset(
+        self, name: str, table: ColumnTable, on: str | list[str]
+    ) -> None:
+        """Load a dataset onto one or more servers (replication allowed)."""
+        servers = [on] if isinstance(on, str) else list(on)
+        if not servers:
+            raise PlanningError(f"dataset {name!r} needs at least one server")
+        for server in servers:
+            self.provider(server).register_dataset(name, table)
+
+    def locations(self, dataset: str) -> list[str]:
+        """Servers holding a dataset (sorted for determinism)."""
+        return sorted(
+            name for name, p in self._providers.items() if p.has_dataset(dataset)
+        )
+
+    def schema_of(self, dataset: str) -> Schema:
+        for provider in self._providers.values():
+            if provider.has_dataset(dataset):
+                return provider.dataset_schema(dataset)
+        raise PlanningError(f"dataset {dataset!r} is not registered anywhere")
+
+    def rows_of(self, dataset: str) -> int:
+        for provider in self._providers.values():
+            if provider.has_dataset(dataset):
+                return provider.dataset(dataset).num_rows
+        raise PlanningError(f"dataset {dataset!r} is not registered anywhere")

@@ -1,0 +1,131 @@
+"""Cardinality and byte-size estimation for the federation planner.
+
+Deliberately coarse, textbook heuristics: the planner only needs relative
+costs good enough to prefer plans that move fewer bytes between servers.
+Estimates flow bottom-up alongside placement in the planner's DP.
+"""
+
+from __future__ import annotations
+
+from ..core import algebra as A
+from ..core.schema import Schema
+from ..core.types import DType
+from .catalog import FederationCatalog
+
+FILTER_SELECTIVITY = 0.33
+JOIN_KEY_SELECTIVITY = 0.1
+DISTINCT_RATIO = 0.5
+GROUP_RATIO = 0.1
+WINDOW_COST_FACTOR = 3.0
+
+
+def row_width(schema: Schema) -> int:
+    """Estimated bytes per row."""
+    width = 0
+    for attr in schema:
+        if attr.dtype is DType.STRING:
+            width += 24
+        elif attr.dtype is DType.BOOL:
+            width += 1
+        else:
+            width += 8
+    return max(width, 1)
+
+
+def estimate_rows(node: A.Node, catalog: FederationCatalog) -> int:
+    """Rough output cardinality of a subtree."""
+    est = _estimate(node, catalog)
+    return max(int(est), 0)
+
+
+def estimate_bytes(node: A.Node, catalog: FederationCatalog) -> int:
+    return estimate_rows(node, catalog) * row_width(node.schema)
+
+
+def _estimate(node: A.Node, catalog: FederationCatalog) -> float:
+    if isinstance(node, A.Scan):
+        if node.name.startswith("@"):
+            return 1000.0  # fragment input; refined by the planner
+        try:
+            return float(catalog.rows_of(node.name))
+        except Exception:
+            return 1000.0
+    if isinstance(node, A.InlineTable):
+        return float(len(node.rows))
+    if isinstance(node, A.LoopVar):
+        return 1000.0
+    if isinstance(node, A.Filter):
+        return _estimate(node.child, catalog) * FILTER_SELECTIVITY
+    if isinstance(node, A.SliceDims):
+        return _estimate(node.child, catalog) * (FILTER_SELECTIVITY ** len(node.bounds))
+    if isinstance(node, A.Join):
+        left = _estimate(node.left, catalog)
+        right = _estimate(node.right, catalog)
+        if node.how in ("semi", "anti"):
+            return left * 0.5
+        matched = left * right * JOIN_KEY_SELECTIVITY / max(min(left, right), 1.0)
+        if node.how == "inner":
+            return max(matched, 1.0)
+        if node.how == "left":
+            return max(matched, left)
+        return max(matched, left + right)
+    if isinstance(node, A.Product):
+        return _estimate(node.left, catalog) * _estimate(node.right, catalog)
+    if isinstance(node, A.Aggregate):
+        child = _estimate(node.child, catalog)
+        if not node.group_by:
+            return 1.0
+        return max(child * GROUP_RATIO, 1.0)
+    if isinstance(node, (A.Regrid,)):
+        factor = 1.0
+        for _, f in node.factors:
+            factor *= f
+        return max(_estimate(node.child, catalog) / max(factor, 1.0), 1.0)
+    if isinstance(node, A.ReduceDims):
+        child = _estimate(node.child, catalog)
+        if not node.keep:
+            return 1.0
+        return max(child * GROUP_RATIO, 1.0)
+    if isinstance(node, A.Distinct):
+        return _estimate(node.child, catalog) * DISTINCT_RATIO
+    if isinstance(node, A.Limit):
+        return float(min(node.count, _estimate(node.child, catalog)))
+    if isinstance(node, (A.Union,)):
+        return _estimate(node.left, catalog) + _estimate(node.right, catalog)
+    if isinstance(node, (A.Intersect, A.Except)):
+        return _estimate(node.left, catalog) * 0.5
+    if isinstance(node, A.MatMul):
+        left = _estimate(node.left, catalog)
+        right = _estimate(node.right, catalog)
+        # sparse output heuristic: geometric mean of input sizes
+        return max((left * right) ** 0.5, 1.0)
+    if isinstance(node, A.CellJoin):
+        return min(_estimate(node.left, catalog), _estimate(node.right, catalog))
+    if isinstance(node, A.Iterate):
+        return _estimate(node.init, catalog)
+    children = node.children()
+    if len(children) == 1:
+        return _estimate(children[0], catalog)
+    return sum(_estimate(c, catalog) for c in children)
+
+
+def operator_cost(node: A.Node, catalog: FederationCatalog) -> float:
+    """Abstract per-operator work estimate (row-visits)."""
+    rows = _estimate(node, catalog)
+    if isinstance(node, A.Sort):
+        return rows * 4.0
+    if isinstance(node, A.Window):
+        sides = 1.0
+        for _, radius in node.sizes:
+            sides *= (2 * radius + 1)
+        return rows * sides
+    if isinstance(node, A.Join):
+        return _estimate(node.left, catalog) + _estimate(node.right, catalog) + rows
+    if isinstance(node, A.MatMul):
+        return (
+            _estimate(node.left, catalog) * _estimate(node.right, catalog) ** 0.5
+        )
+    if isinstance(node, A.Iterate):
+        inner = sum(operator_cost(n, catalog) for n in node.body.walk())
+        return inner * min(node.max_iter, 20)
+    return rows

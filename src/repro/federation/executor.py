@@ -1,0 +1,174 @@
+"""Federated execution: run plan fragments, metering every message.
+
+The executor does what a real coordinator would:
+
+1. ships each fragment's expression tree to its server as serialized JSON
+   (the byte count is recorded — this is LINQ property 2 made measurable);
+2. moves intermediate results between servers over the configured channel
+   (direct server→server, or routed through the application tier);
+3. returns the root result to the client, whose size is recorded separately
+   (both routing modes pay it, so it never distorts the comparison).
+
+``run_iterate_clientside`` is the deliberately-bad baseline for experiment
+E5: it unrolls an ``Iterate`` into one federated query per iteration, with
+loop state embedded in each shipped tree and results pulled back to the
+client every round — exactly the round-tripping the paper's control
+iteration avoids.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core import algebra as A
+from ..core import serialize
+from ..core.errors import ConvergenceError, ExecutionError
+from ..core.visitors import substitute_loop_var
+from ..providers.reference import _converged  # shared convergence rule
+from ..storage.table import ColumnTable
+from .catalog import FederationCatalog
+from .channels import (
+    ApplicationChannel, Channel, DirectChannel, NetworkModel, TransferMetrics,
+)
+from .plan import PhysicalPlan, fragment_input_name
+from .planner import FederationPlanner
+
+ROUTING_MODES = ("direct", "application")
+
+
+@dataclass
+class ExecutionReport:
+    """What one federated execution did."""
+
+    result: ColumnTable
+    metrics: TransferMetrics
+    result_bytes: int = 0
+    wall_s: float = 0.0
+    fragments: int = 0
+    round_trips: int = 1  # client-visible query/response cycles
+
+    @property
+    def client_bytes(self) -> int:
+        """Everything that crossed the client/application boundary."""
+        return (
+            self.metrics.query_bytes
+            + self.metrics.bytes_through_application
+            + self.result_bytes
+        )
+
+
+class FederatedExecutor:
+    """Executes physical plans over the catalog's providers."""
+
+    def __init__(
+        self,
+        catalog: FederationCatalog,
+        *,
+        routing: str = "direct",
+        network: NetworkModel | None = None,
+    ):
+        if routing not in ROUTING_MODES:
+            raise ExecutionError(
+                f"unknown routing {routing!r}; use one of {ROUTING_MODES}"
+            )
+        self.catalog = catalog
+        self.routing = routing
+        self.network = network or NetworkModel()
+
+    def _channel(self, metrics: TransferMetrics) -> Channel:
+        cls = DirectChannel if self.routing == "direct" else ApplicationChannel
+        return cls(metrics, self.network)
+
+    def execute(
+        self,
+        plan: PhysicalPlan,
+        metrics: TransferMetrics | None = None,
+    ) -> ExecutionReport:
+        metrics = metrics if metrics is not None else TransferMetrics()
+        channel = self._channel(metrics)
+        started = time.perf_counter()
+        results: dict[int, tuple[str, ColumnTable]] = {}
+        for fragment in plan.fragments:
+            payload = serialize.dumps(fragment.tree)
+            metrics.record_query(fragment.server, len(payload.encode()))
+            tree = serialize.loads(payload)  # the server decodes the wire form
+            inputs: dict[str, ColumnTable] = {}
+            for source_index in fragment.inputs:
+                source_server, table = results[source_index]
+                if source_server != fragment.server:
+                    table = channel.send(table, source_server, fragment.server)
+                inputs[fragment_input_name(source_index)] = table
+            provider = self.catalog.provider(fragment.server)
+            results[fragment.index] = (
+                fragment.server, provider.execute(tree, inputs)
+            )
+        __, result = results[plan.root.index]
+        return ExecutionReport(
+            result=result,
+            metrics=metrics,
+            result_bytes=result.nbytes,
+            wall_s=time.perf_counter() - started,
+            fragments=len(plan.fragments),
+        )
+
+
+def run_iterate_clientside(
+    iterate: A.Iterate,
+    planner: FederationPlanner,
+    executor: FederatedExecutor,
+    *,
+    pin_server: str | None = None,
+) -> ExecutionReport:
+    """Execute an ``Iterate`` by driving the loop from the client.
+
+    Baseline for experiment E5: each round plans and ships a fresh query
+    with the current state inlined, pulls the whole state back, and checks
+    convergence at the client.
+    """
+    metrics = TransferMetrics()
+    state_schema = iterate.init.schema
+    init_plan = planner.plan(iterate.init, pin_server=pin_server)
+    report = executor.execute(init_plan, metrics)
+    state = report.result
+    result_bytes = report.result_bytes
+    round_trips = 1
+    wall = report.wall_s
+    converged = False
+
+    for _ in range(iterate.max_iter):
+        inline = A.InlineTable(
+            state_schema,
+            tuple(state.iter_rows()),
+        )
+        bound = substitute_loop_var(iterate.body, iterate.var, inline)
+        body_plan = planner.plan(bound, pin_server=pin_server)
+        report = executor.execute(body_plan, metrics)
+        new_state = report.result
+        round_trips += 1
+        result_bytes += report.result_bytes
+        wall += report.wall_s
+        if _states_converged(iterate.stop, state_schema, state, new_state):
+            state = new_state
+            converged = True
+            break
+        state = new_state
+    if not converged and iterate.stop.value_attr is not None and iterate.strict:
+        raise ConvergenceError(
+            f"client-side loop did not converge within {iterate.max_iter} "
+            f"iterations"
+        )
+    return ExecutionReport(
+        result=state,
+        metrics=metrics,
+        result_bytes=result_bytes,
+        wall_s=wall,
+        fragments=0,
+        round_trips=round_trips,
+    )
+
+
+def _states_converged(stop, schema, old: ColumnTable, new: ColumnTable) -> bool:
+    return _converged(
+        stop, schema, list(old.iter_dicts()), list(new.iter_dicts())
+    )

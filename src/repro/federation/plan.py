@@ -1,0 +1,68 @@
+"""Physical plans: algebra trees partitioned into per-server fragments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import algebra as A
+
+
+def fragment_input_name(index: int) -> str:
+    """Reserved Scan name for the output of fragment ``index``."""
+    return f"@frag{index}"
+
+
+@dataclass
+class Fragment:
+    """One per-server piece of a federated plan.
+
+    ``tree`` is an ordinary algebra tree whose ``Scan("@fragK")`` leaves
+    stand for the outputs of other fragments; ``inputs`` lists those K.
+    """
+
+    index: int
+    server: str
+    tree: A.Node
+    inputs: tuple[int, ...] = ()
+
+    @property
+    def input_names(self) -> tuple[str, ...]:
+        return tuple(fragment_input_name(i) for i in self.inputs)
+
+
+@dataclass
+class PhysicalPlan:
+    """Fragments in execution (topological) order; the root is last."""
+
+    fragments: list[Fragment] = field(default_factory=list)
+
+    @property
+    def root(self) -> Fragment:
+        return self.fragments[-1]
+
+    @property
+    def servers_used(self) -> list[str]:
+        return sorted({f.server for f in self.fragments})
+
+    def transfers(self) -> list[tuple[int, int]]:
+        """(producer, consumer) fragment pairs that cross servers."""
+        out = []
+        for fragment in self.fragments:
+            for source in fragment.inputs:
+                out.append((source, fragment.index))
+        return out
+
+    def describe(self) -> str:
+        """Human-readable plan summary (used by explain())."""
+        lines = []
+        for fragment in self.fragments:
+            ops = " > ".join(
+                sorted({n.op_name for n in fragment.tree.walk()} - {"Scan"})
+            ) or "Scan"
+            feeds = (
+                f" <- frags {list(fragment.inputs)}" if fragment.inputs else ""
+            )
+            lines.append(
+                f"fragment {fragment.index} on {fragment.server}: {ops}{feeds}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""The federation planner: partition one algebra tree across servers.
+
+A bottom-up dynamic program assigns every operator to a server:
+
+    cost(node, s) = op_cost(node)                    [s must support node]
+                  + sum over children of
+                      min over s' of cost(child, s')
+                                   + transfer_penalty(child)·[s' != s]
+
+Scan leaves are constrained to servers holding the dataset; ``Iterate``
+subtrees are *atomic* — a convergence loop runs entirely inside one server
+(that is the paper's control-iteration point), with any datasets its body
+scans shipped in as fragment inputs when the chosen server lacks them.
+
+Materialization then walks the chosen assignment and cuts the tree wherever
+parent and child live on different servers, producing a
+:class:`~repro.federation.plan.PhysicalPlan` whose fragments exchange
+intermediates over channels (metered by the executor).
+
+When no combination of servers covers the tree, planning fails with the
+specific uncovered operators — coverage (desideratum 1) made operational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import algebra as A
+from ..core.errors import PlanningError
+from .catalog import FederationCatalog
+from .cost import estimate_rows, operator_cost
+from .plan import Fragment, PhysicalPlan, fragment_input_name
+
+#: relative weight of moving one row between servers vs visiting it locally
+TRANSFER_PENALTY = 5.0
+
+
+@dataclass
+class _Placement:
+    """DP state for one (node, server) pair."""
+
+    cost: float
+    child_servers: tuple[str, ...]
+
+
+class FederationPlanner:
+    """Plans algebra trees over the registered providers."""
+
+    def __init__(self, catalog: FederationCatalog):
+        self.catalog = catalog
+
+    # -- public API -------------------------------------------------------------
+
+    def plan(self, tree: A.Node, *, pin_server: str | None = None) -> PhysicalPlan:
+        """Partition ``tree`` into per-server fragments.
+
+        ``pin_server`` forces the whole tree onto one server (used by the
+        portability experiment); it raises if that server lacks coverage.
+        """
+        if pin_server is not None:
+            provider = self.catalog.provider(pin_server)
+            if not provider.accepts(tree):
+                raise PlanningError(
+                    f"server {pin_server!r} cannot execute operators "
+                    f"{provider.unsupported(tree)}"
+                )
+            self._check_datasets_on(tree, pin_server)
+            return PhysicalPlan([Fragment(0, pin_server, tree)])
+
+        table: dict[int, dict[str, _Placement]] = {}
+        self._solve(tree, table)
+        root_options = table[id(tree)]
+        if not root_options:
+            raise PlanningError(self._coverage_error(tree))
+        best_server = min(root_options, key=lambda s: (root_options[s].cost, s))
+        builder = _PlanBuilder(table, self.catalog)
+        builder.materialize(tree, best_server)
+        return PhysicalPlan(builder.fragments)
+
+    # -- DP ------------------------------------------------------------------------
+
+    def _solve(self, node: A.Node, table: dict[int, dict[str, _Placement]]) -> None:
+        if isinstance(node, A.Iterate):
+            table[id(node)] = self._solve_atomic(node)
+            return
+        for child in node.children():
+            self._solve(child, table)
+        options: dict[str, _Placement] = {}
+        children = node.children()
+        for provider in self.catalog.providers:
+            server = provider.name
+            if not self._supports_here(provider, node):
+                continue
+            total = operator_cost(node, self.catalog) * provider.cost_factor(node)
+            child_servers = []
+            feasible = True
+            for child in children:
+                child_options = table[id(child)]
+                if not child_options:
+                    feasible = False
+                    break
+                move_cost = estimate_rows(child, self.catalog) * TRANSFER_PENALTY
+                best_child, best_cost = None, float("inf")
+                for child_server, placement in sorted(child_options.items()):
+                    cost = placement.cost + (
+                        0.0 if child_server == server else move_cost
+                    )
+                    if cost < best_cost:
+                        best_child, best_cost = child_server, cost
+                child_servers.append(best_child)
+                total += best_cost
+            if feasible:
+                options[server] = _Placement(total, tuple(child_servers))
+        table[id(node)] = options
+
+    def _supports_here(self, provider, node: A.Node) -> bool:
+        if isinstance(node, A.Scan):
+            return provider.supports(node) and provider.has_dataset(node.name)
+        return provider.supports(node)
+
+    def _solve_atomic(self, node: A.Iterate) -> dict[str, _Placement]:
+        """Whole-subtree placement for a convergence loop."""
+        options: dict[str, _Placement] = {}
+        for provider in self.catalog.providers:
+            if not provider.accepts(node):
+                continue
+            cost = operator_cost(node, self.catalog) * provider.cost_factor(node)
+            for scan in node.walk():
+                if isinstance(scan, A.Scan) and not scan.name.startswith("@"):
+                    if provider.has_dataset(scan.name):
+                        continue
+                    locations = self.catalog.locations(scan.name)
+                    if not locations:
+                        cost = None
+                        break
+                    cost += (
+                        estimate_rows(scan, self.catalog) * TRANSFER_PENALTY
+                    )
+            if cost is not None:
+                options[provider.name] = _Placement(cost, ())
+        return options
+
+    # -- diagnostics -----------------------------------------------------------------
+
+    def _coverage_error(self, tree: A.Node) -> str:
+        uncovered = []
+        for node in tree.walk():
+            if isinstance(node, A.Scan) and not self.catalog.locations(node.name):
+                uncovered.append(f"dataset {node.name!r} (not registered)")
+                continue
+            if not any(p.supports(node) for p in self.catalog.providers):
+                uncovered.append(node.op_name)
+        detail = sorted(set(uncovered)) or ["(no single placement feasible)"]
+        return (
+            f"no combination of servers {self.catalog.provider_names} covers "
+            f"the query; uncovered: {detail}"
+        )
+
+    def _check_datasets_on(self, tree: A.Node, server: str) -> None:
+        provider = self.catalog.provider(server)
+        missing = sorted({
+            n.name for n in tree.walk()
+            if isinstance(n, A.Scan) and not n.name.startswith("@")
+            and not provider.has_dataset(n.name)
+        })
+        if missing:
+            raise PlanningError(
+                f"server {server!r} lacks datasets {missing}"
+            )
+
+
+class _PlanBuilder:
+    """Materializes the DP assignment into fragments."""
+
+    def __init__(self, table: dict[int, dict[str, _Placement]],
+                 catalog: FederationCatalog):
+        self.table = table
+        self.catalog = catalog
+        self.fragments: list[Fragment] = []
+
+    def materialize(self, node: A.Node, server: str) -> int:
+        """Emit the fragment computing ``node`` on ``server``; returns its index."""
+        inputs: list[int] = []
+        tree = self._build(node, server, inputs)
+        index = len(self.fragments)
+        self.fragments.append(Fragment(index, server, tree, tuple(inputs)))
+        return index
+
+    def _build(self, node: A.Node, server: str, inputs: list[int]) -> A.Node:
+        if isinstance(node, A.Iterate):
+            return self._build_atomic(node, server, inputs)
+        children = node.children()
+        if not children:
+            return node
+        placement = self.table[id(node)][server]
+        new_children = []
+        for child, child_server in zip(children, placement.child_servers):
+            if child_server == server:
+                new_children.append(self._build(child, server, inputs))
+            else:
+                child_fragment = self.materialize(child, child_server)
+                inputs.append(child_fragment)
+                new_children.append(
+                    A.Scan(fragment_input_name(child_fragment), child.schema)
+                )
+        return node.with_children(new_children)
+
+    def _build_atomic(self, node: A.Iterate, server: str, inputs: list[int]) -> A.Node:
+        """Ship any datasets the loop scans that its server lacks."""
+        from ..core.visitors import transform_bottom_up
+
+        provider = self.catalog.provider(server)
+        replacements: dict[str, str] = {}
+
+        def rewrite(n: A.Node) -> A.Node:
+            if (isinstance(n, A.Scan) and not n.name.startswith("@")
+                    and not provider.has_dataset(n.name)):
+                if n.name not in replacements:
+                    locations = self.catalog.locations(n.name)
+                    if not locations:
+                        raise PlanningError(
+                            f"dataset {n.name!r} is not registered anywhere"
+                        )
+                    source = locations[0]
+                    feeder = len(self.fragments)
+                    self.fragments.append(Fragment(
+                        feeder, source, A.Scan(n.name, n.source_schema)
+                    ))
+                    inputs.append(feeder)
+                    replacements[n.name] = fragment_input_name(feeder)
+                return A.Scan(replacements[n.name], n.source_schema,
+                              intent=n.intent)
+            return n
+
+        return transform_bottom_up(node, rewrite)

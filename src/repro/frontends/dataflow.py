@@ -1,0 +1,220 @@
+"""A Pig-style dataflow frontend: pipelines of stages over the algebra.
+
+Where SQL is declarative-block-shaped, many Big Data users write *pipelines*
+— a load followed by a sequence of transformations.  This frontend parses
+that style and lowers it onto the same algebra as every other client
+language (the paper's portability point: frontends are interchangeable
+sugar).
+
+Syntax — stages separated by ``|`` (newlines are whitespace)::
+
+    load orders
+    | filter amount > 10.0 and status = 'open'
+    | derive taxed = amount * 1.1
+    | join customers on cust = cid how left
+    | group country: total = sum(taxed), n = count(*)
+    | sort total desc
+    | keep country, total
+    | limit 5
+
+Stages: ``load`` (first stage only), ``filter``, ``derive``, ``keep``,
+``drop``, ``rename old -> new``, ``join <table> on a = b [and ...]
+[how inner|left|full|semi|anti]``, ``group keys...: aggs...``, ``sort key
+[asc|desc], ...``, ``limit n [offset m]``, ``distinct``, ``reverse``.
+
+Scalar expressions reuse the SQL expression grammar (same precedence,
+functions, CASE, IS NULL).
+"""
+
+from __future__ import annotations
+
+from ..core import algebra as A
+from ..core.errors import ParseError
+from .sql import SchemaResolver, _Parser, _to_expr, tokenize
+
+AGG_FUNCS = {"count", "sum", "min", "max", "avg"}
+
+
+class _StageParser(_Parser):
+    """Extends the SQL token machinery with pipeline-stage parsing."""
+
+    def at_stage_end(self) -> bool:
+        return self.check("op", "|") or self.check("eof")
+
+    def expect_stage_end(self) -> None:
+        if not self.at_stage_end():
+            raise ParseError(
+                f"unexpected {self.current.text!r} before end of stage",
+                self.current.position,
+            )
+
+    def parse_name(self) -> str:
+        # stage keywords collide with SQL keywords (e.g. "count"); accept both
+        if self.current.kind in ("name", "keyword"):
+            return self.advance().text
+        raise ParseError(
+            f"expected a name, found {self.current.text!r}",
+            self.current.position,
+        )
+
+
+def parse_pipeline(text: str, resolve: SchemaResolver) -> A.Node:
+    """Parse a dataflow pipeline and lower it to an algebra tree."""
+    parser = _StageParser(tokenize(text))
+    node = _parse_load(parser, resolve)
+    while parser.accept("op", "|"):
+        node = _parse_stage(parser, node, resolve)
+    parser.expect("eof")
+    node.schema  # validate eagerly
+    return node
+
+
+def _parse_load(parser: _StageParser, resolve: SchemaResolver) -> A.Node:
+    word = parser.parse_name()
+    if word != "load":
+        raise ParseError(f"pipelines start with 'load', found {word!r}")
+    table = parser.parse_name()
+    parser.expect_stage_end()
+    return A.Scan(table, resolve(table))
+
+
+def _parse_stage(parser: _StageParser, node: A.Node,
+                 resolve: SchemaResolver) -> A.Node:
+    stage = parser.parse_name()
+    if stage == "filter":
+        predicate = parser.parse_expr()
+        parser.expect_stage_end()
+        return A.Filter(node, _to_expr(predicate))
+    if stage == "derive":
+        names, exprs = [], []
+        while True:
+            name = parser.parse_name()
+            parser.expect("op", "=")
+            expr = parser.parse_expr()
+            names.append(name)
+            exprs.append(_to_expr(expr))
+            if not parser.accept("op", ","):
+                break
+        parser.expect_stage_end()
+        return A.Extend(node, tuple(names), tuple(exprs))
+    if stage == "keep":
+        names = _name_list(parser)
+        return A.Project(node, tuple(names))
+    if stage == "drop":
+        names = _name_list(parser)
+        remaining = tuple(n for n in node.schema.names if n not in set(names))
+        if not remaining:
+            raise ParseError("drop would remove every column")
+        return A.Project(node, remaining)
+    if stage == "rename":
+        mapping = []
+        while True:
+            old = parser.parse_name()
+            parser.expect("op", "-")
+            parser.expect("op", ">")
+            new = parser.parse_name()
+            mapping.append((old, new))
+            if not parser.accept("op", ","):
+                break
+        parser.expect_stage_end()
+        return A.Rename(node, tuple(mapping))
+    if stage == "join":
+        return _parse_join(parser, node, resolve)
+    if stage == "group":
+        return _parse_group(parser, node)
+    if stage == "sort":
+        keys, flags = [], []
+        while True:
+            keys.append(parser.parse_name())
+            if parser.accept("keyword", "desc"):
+                flags.append(False)
+            else:
+                parser.accept("keyword", "asc")
+                flags.append(True)
+            if not parser.accept("op", ","):
+                break
+        parser.expect_stage_end()
+        return A.Sort(node, tuple(keys), tuple(flags))
+    if stage == "limit":
+        count = int(parser.expect("int").text)
+        offset = 0
+        if parser.check("name", "offset") or parser.check("keyword", "offset"):
+            parser.advance()
+            offset = int(parser.expect("int").text)
+        parser.expect_stage_end()
+        return A.Limit(node, count, offset)
+    if stage == "distinct":
+        parser.expect_stage_end()
+        return A.Distinct(node)
+    if stage == "reverse":
+        parser.expect_stage_end()
+        return A.Reverse(node)
+    raise ParseError(f"unknown stage {stage!r}")
+
+
+def _name_list(parser: _StageParser) -> list[str]:
+    names = [parser.parse_name()]
+    while parser.accept("op", ","):
+        names.append(parser.parse_name())
+    parser.expect_stage_end()
+    return names
+
+
+def _parse_join(parser: _StageParser, node: A.Node,
+                resolve: SchemaResolver) -> A.Node:
+    table = parser.parse_name()
+    right = A.Scan(table, resolve(table))
+    parser.expect("keyword", "on")
+    pairs = []
+    while True:
+        a = parser.parse_name()
+        parser.expect("op", "=")
+        b = parser.parse_name()
+        pairs.append((a, b))
+        if not parser.accept("keyword", "and"):
+            break
+    how = "inner"
+    if parser.check("name", "how") or parser.check("keyword", "how"):
+        parser.advance()
+        how = parser.parse_name()
+    parser.expect_stage_end()
+    # orient each pair by schema membership, like the SQL frontend
+    oriented = []
+    left_schema = node.schema
+    right_schema = right.schema
+    for a, b in pairs:
+        if a in left_schema and b in right_schema:
+            oriented.append((a, b))
+        elif b in left_schema and a in right_schema:
+            oriented.append((b, a))
+        else:
+            raise ParseError(f"join condition {a} = {b} matches neither side")
+    return A.Join(node, right, tuple(oriented), how)
+
+
+def _parse_group(parser: _StageParser, node: A.Node) -> A.Node:
+    keys = []
+    while not parser.check("op", ":"):
+        keys.append(parser.parse_name())
+        parser.accept("op", ",")
+    parser.expect("op", ":")
+    specs = []
+    while True:
+        name = parser.parse_name()
+        parser.expect("op", "=")
+        func = parser.parse_name()
+        if func not in AGG_FUNCS:
+            raise ParseError(
+                f"unknown aggregate {func!r}; use one of {sorted(AGG_FUNCS)}"
+            )
+        parser.expect("op", "(")
+        if func == "count" and parser.accept("op", "*"):
+            arg = None
+        else:
+            arg = _to_expr(parser.parse_expr())
+        parser.expect("op", ")")
+        specs.append(A.AggSpec(name, "mean" if func == "avg" else func, arg))
+        if not parser.accept("op", ","):
+            break
+    parser.expect_stage_end()
+    return A.Aggregate(node, tuple(keys), tuple(specs))

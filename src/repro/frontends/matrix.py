@@ -1,0 +1,142 @@
+"""A matrix-expression frontend: linear algebra with operator overloading.
+
+The paper's intent-preservation example made concrete: ``A @ B`` on
+:class:`Matrix` handles builds algebra trees *tagged with their intent*, so
+however the expression is lowered, a linear-algebra server can still claim
+the multiply.  ``lowering="relational"`` deliberately emits the
+join-aggregate formulation instead of a native ``MatMul`` node — the form a
+naive lowering would produce — which the optimizer's recognizer must see
+through (experiment E3 measures both paths).
+
+Example::
+
+    A = Matrix.wrap(ctx.table("a"))
+    B = Matrix.wrap(ctx.table("b"))
+    C = (A @ B).T            # intent-tagged algebra underneath
+    result = C.collect()
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core import algebra as A
+from ..core.errors import SchemaError
+from ..core.expressions import col
+from ..core.intents import INTENT_MATMUL, matmul_as_join_aggregate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..client.query import Query
+
+LOWERINGS = ("native", "relational")
+
+
+class Matrix:
+    """A 2-d dimensioned table with matrix operators."""
+
+    def __init__(self, node: A.Node, context=None, lowering: str = "native"):
+        if lowering not in LOWERINGS:
+            raise SchemaError(f"unknown lowering {lowering!r}; use {LOWERINGS}")
+        dims = node.schema.dimension_names
+        values = node.schema.value_names
+        if len(dims) != 2 or len(values) != 1:
+            raise SchemaError(
+                f"a Matrix needs 2 dimensions and 1 value attribute, got "
+                f"dims={list(dims)}, values={list(values)}"
+            )
+        self.node = node
+        self._context = context
+        self.lowering = lowering
+
+    @classmethod
+    def wrap(cls, query: "Query", lowering: str = "native") -> "Matrix":
+        return cls(query.node, query._context, lowering)
+
+    # -- shape ---------------------------------------------------------------------
+
+    @property
+    def dims(self) -> tuple[str, str]:
+        d = self.node.schema.dimension_names
+        return d[0], d[1]
+
+    @property
+    def value(self) -> str:
+        return self.node.schema.value_names[0]
+
+    def _like(self, node: A.Node) -> "Matrix":
+        return Matrix(node, self._context, self.lowering)
+
+    # -- operators --------------------------------------------------------------------
+
+    def __matmul__(self, other: "Matrix") -> "Matrix":
+        if not isinstance(other, Matrix):
+            return NotImplemented
+        if self.lowering == "relational" or other.lowering == "relational":
+            node = matmul_as_join_aggregate(self.node, other.node)
+        else:
+            node = A.MatMul(self.node, other.node, intent=INTENT_MATMUL)
+        return self._like(node)
+
+    @property
+    def T(self) -> "Matrix":
+        d0, d1 = self.dims
+        return self._like(
+            A.TransposeDims(self.node, (d1, d0), intent="transpose")
+        )
+
+    def _elementwise(self, other: "Matrix", op: str, out_name: str) -> "Matrix":
+        left, right = self.node, other.node
+        if set(left.schema.value_names) & set(right.schema.value_names):
+            rv = right.schema.value_names[0]
+            right = A.Rename(right, ((rv, f"__rhs_{rv}"),))
+        joined = A.CellJoin(left, right)
+        lv = left.schema.value_names[0]
+        rv = right.schema.value_names[0]
+        expr = {
+            "+": col(lv) + col(rv),
+            "-": col(lv) - col(rv),
+            "*": col(lv) * col(rv),
+        }[op]
+        extended = A.Extend(joined, (out_name,), (expr,))
+        dims = joined.schema.dimension_names
+        return self._like(A.Project(extended, (*dims, out_name)))
+
+    def __add__(self, other: "Matrix") -> "Matrix":
+        return self._elementwise(other, "+", "__sum")
+
+    def __sub__(self, other: "Matrix") -> "Matrix":
+        return self._elementwise(other, "-", "__diff")
+
+    def __mul__(self, other) -> "Matrix":
+        if isinstance(other, Matrix):  # Hadamard product
+            return self._elementwise(other, "*", "__prod")
+        return self.scale(float(other))
+
+    def __rmul__(self, other) -> "Matrix":
+        return self.scale(float(other))
+
+    def scale(self, alpha: float) -> "Matrix":
+        value = self.value
+        dims = self.dims
+        scaled = A.Extend(self.node, ("__scaled",), (col(value) * alpha,))
+        return self._like(A.Project(scaled, (*dims, "__scaled")))
+
+    def named(self, value_name: str) -> "Matrix":
+        """Rename the value attribute (handy before elementwise combines)."""
+        return self._like(
+            A.Rename(self.node, ((self.value, value_name),))
+        )
+
+    # -- execution ---------------------------------------------------------------------
+
+    def query(self) -> "Query":
+        from ..client.query import Query
+
+        return Query(self.node, self._context)
+
+    def collect(self, *, on: str | None = None):
+        return self.query().collect(on=on)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        d0, d1 = self.dims
+        return f"Matrix[{d0} x {d1} -> {self.value}] lowering={self.lowering}"

@@ -1,0 +1,567 @@
+"""A SQL frontend over the Big Data algebra.
+
+The paper notes that with an algebra at the core, "client languages are
+free to provide syntactic sugar to provide a more declarative specification
+of queries".  This module is that sugar: a hand-written lexer and
+recursive-descent parser for a useful SQL subset, translated directly to
+algebra trees — no engine sees a byte of SQL.
+
+Supported::
+
+    SELECT [DISTINCT] item [, item ...]
+    FROM table [JOIN table ON a = b [AND c = d ...]
+               | LEFT JOIN ... | FULL JOIN ...]*
+    [WHERE expr]
+    [GROUP BY col [, col ...]]
+    [HAVING expr]
+    [ORDER BY col [ASC|DESC] [, ...]]
+    [LIMIT n [OFFSET m]]
+
+Items are ``*``, expressions with ``AS`` aliases, or aggregate calls
+(``COUNT(*)``, ``COUNT/SUM/MIN/MAX/AVG(expr)``).  Expressions cover
+arithmetic, comparisons, ``AND/OR/NOT``, ``IS [NOT] NULL``,
+``CASE WHEN ... THEN ... ELSE ... END``, string/math functions, and typed
+literals.  Names are unqualified; rename collisions before joining.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core import algebra as A
+from ..core import expressions as E
+from ..core.errors import ParseError, SchemaError
+from ..core.schema import Schema
+
+SchemaResolver = Callable[[str], Schema]
+
+# --------------------------------------------------------------------------
+# Lexer
+# --------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<float>\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><>|<=|>=|!=|=|<|>|\+|-|\*|/|%|\(|\)|,|\.|\||:)
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "having", "order",
+    "limit", "offset", "join", "inner", "left", "full", "on", "and", "or",
+    "not", "as", "asc", "desc", "is", "null", "case", "when", "then", "else",
+    "end", "true", "false", "count", "sum", "min", "max", "avg",
+}
+
+AGG_NAMES = {"count", "sum", "min", "max", "avg"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "int" | "float" | "string" | "name" | "keyword" | "op" | "eof"
+    text: str
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise ParseError(f"unexpected character {sql[position]!r}", position)
+        kind = match.lastgroup
+        text = match.group()
+        if kind != "ws":
+            if kind == "name" and text.lower() in KEYWORDS:
+                tokens.append(Token("keyword", text.lower(), position))
+            else:
+                tokens.append(Token(kind, text, position))
+        position = match.end()
+    tokens.append(Token("eof", "", len(sql)))
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# Parser (to an untyped syntax tree)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: "SqlExpr | None"  # None = "*"
+    alias: str | None
+    agg: str | None  # aggregate function name, lowercase
+    agg_arg: "SqlExpr | None"  # None for COUNT(*)
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    table: str
+    how: str
+    on: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: str
+    ascending: bool
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    items: tuple[SelectItem, ...]
+    distinct: bool
+    table: str
+    joins: tuple[JoinClause, ...]
+    where: "SqlExpr | None"
+    group_by: tuple[str, ...]
+    having: "SqlExpr | None"
+    order_by: tuple[OrderItem, ...]
+    limit: int | None
+    offset: int
+
+
+# SQL expression syntax nodes (resolved to algebra Exprs during translation)
+@dataclass(frozen=True)
+class SqlExpr:
+    pass
+
+
+@dataclass(frozen=True)
+class SqlName(SqlExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class SqlLiteral(SqlExpr):
+    value: object
+
+
+@dataclass(frozen=True)
+class SqlBinOp(SqlExpr):
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class SqlUnary(SqlExpr):
+    op: str
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class SqlIsNull(SqlExpr):
+    operand: SqlExpr
+    negated: bool
+
+
+@dataclass(frozen=True)
+class SqlCase(SqlExpr):
+    condition: SqlExpr
+    then: SqlExpr
+    otherwise: SqlExpr
+
+
+@dataclass(frozen=True)
+class SqlCall(SqlExpr):
+    name: str
+    arg: SqlExpr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.current
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {self.current.text or 'end of input'!r}",
+                self.current.position,
+            )
+        return token
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse_statement(self) -> SelectStatement:
+        self.expect("keyword", "select")
+        distinct = self.accept("keyword", "distinct") is not None
+        items = [self.parse_select_item()]
+        while self.accept("op", ","):
+            items.append(self.parse_select_item())
+        self.expect("keyword", "from")
+        table = self.expect("name").text
+        joins = []
+        while True:
+            join = self.parse_join()
+            if join is None:
+                break
+            joins.append(join)
+        where = None
+        if self.accept("keyword", "where"):
+            where = self.parse_expr()
+        group_by: tuple[str, ...] = ()
+        if self.accept("keyword", "group"):
+            self.expect("keyword", "by")
+            keys = [self.expect("name").text]
+            while self.accept("op", ","):
+                keys.append(self.expect("name").text)
+            group_by = tuple(keys)
+        having = None
+        if self.accept("keyword", "having"):
+            having = self.parse_expr()
+        order_by: list[OrderItem] = []
+        if self.accept("keyword", "order"):
+            self.expect("keyword", "by")
+            order_by.append(self.parse_order_item())
+            while self.accept("op", ","):
+                order_by.append(self.parse_order_item())
+        limit = None
+        offset = 0
+        if self.accept("keyword", "limit"):
+            limit = int(self.expect("int").text)
+            if self.accept("keyword", "offset"):
+                offset = int(self.expect("int").text)
+        self.expect("eof")
+        return SelectStatement(
+            items=tuple(items),
+            distinct=distinct,
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+        )
+
+    def parse_join(self) -> JoinClause | None:
+        how = "inner"
+        if self.accept("keyword", "join"):
+            pass
+        elif self.check("keyword", "inner"):
+            self.advance()
+            self.expect("keyword", "join")
+        elif self.check("keyword", "left"):
+            self.advance()
+            self.expect("keyword", "join")
+            how = "left"
+        elif self.check("keyword", "full"):
+            self.advance()
+            self.expect("keyword", "join")
+            how = "full"
+        else:
+            return None
+        table = self.expect("name").text
+        self.expect("keyword", "on")
+        pairs = [self.parse_join_pair()]
+        while self.accept("keyword", "and"):
+            pairs.append(self.parse_join_pair())
+        return JoinClause(table, how, tuple(pairs))
+
+    def parse_join_pair(self) -> tuple[str, str]:
+        left = self.expect("name").text
+        self.expect("op", "=")
+        right = self.expect("name").text
+        return left, right
+
+    def parse_order_item(self) -> OrderItem:
+        name = self.expect("name").text
+        ascending = True
+        if self.accept("keyword", "desc"):
+            ascending = False
+        else:
+            self.accept("keyword", "asc")
+        return OrderItem(name, ascending)
+
+    def parse_select_item(self) -> SelectItem:
+        if self.accept("op", "*"):
+            return SelectItem(expr=None, alias=None, agg=None, agg_arg=None)
+        if self.current.kind == "keyword" and self.current.text in AGG_NAMES:
+            func = self.advance().text
+            self.expect("op", "(")
+            if func == "count" and self.accept("op", "*"):
+                arg = None
+            else:
+                arg = self.parse_expr()
+            self.expect("op", ")")
+            alias = self.parse_alias() or func
+            return SelectItem(expr=None, alias=alias, agg=func, agg_arg=arg)
+        expr = self.parse_expr()
+        alias = self.parse_alias()
+        if alias is None:
+            if isinstance(expr, SqlName):
+                alias = expr.name
+            else:
+                raise ParseError(
+                    "computed select items need an AS alias",
+                    self.current.position,
+                )
+        return SelectItem(expr=expr, alias=alias, agg=None, agg_arg=None)
+
+    def parse_alias(self) -> str | None:
+        if self.accept("keyword", "as"):
+            return self.expect("name").text
+        return None
+
+    # expression precedence: OR < AND < NOT < comparison < add < mul < unary
+    def parse_expr(self) -> SqlExpr:
+        return self.parse_or()
+
+    def parse_or(self) -> SqlExpr:
+        left = self.parse_and()
+        while self.accept("keyword", "or"):
+            left = SqlBinOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> SqlExpr:
+        left = self.parse_not()
+        while self.accept("keyword", "and"):
+            left = SqlBinOp("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> SqlExpr:
+        if self.accept("keyword", "not"):
+            return SqlUnary("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> SqlExpr:
+        left = self.parse_additive()
+        if self.accept("keyword", "is"):
+            negated = self.accept("keyword", "not") is not None
+            self.expect("keyword", "null")
+            return SqlIsNull(left, negated)
+        for op_text, algebra_op in (
+            ("<=", "<="), (">=", ">="), ("<>", "!="), ("!=", "!="),
+            ("=", "=="), ("<", "<"), (">", ">"),
+        ):
+            if self.check("op", op_text):
+                self.advance()
+                return SqlBinOp(algebra_op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> SqlExpr:
+        left = self.parse_multiplicative()
+        while True:
+            if self.accept("op", "+"):
+                left = SqlBinOp("+", left, self.parse_multiplicative())
+            elif self.accept("op", "-"):
+                left = SqlBinOp("-", left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> SqlExpr:
+        left = self.parse_unary()
+        while True:
+            if self.accept("op", "*"):
+                left = SqlBinOp("*", left, self.parse_unary())
+            elif self.accept("op", "/"):
+                left = SqlBinOp("/", left, self.parse_unary())
+            elif self.accept("op", "%"):
+                left = SqlBinOp("%", left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> SqlExpr:
+        if self.accept("op", "-"):
+            return SqlUnary("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> SqlExpr:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return SqlLiteral(int(token.text))
+        if token.kind == "float":
+            self.advance()
+            return SqlLiteral(float(token.text))
+        if token.kind == "string":
+            self.advance()
+            return SqlLiteral(token.text[1:-1].replace("''", "'"))
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self.advance()
+            return SqlLiteral(token.text == "true")
+        if token.kind == "keyword" and token.text == "case":
+            return self.parse_case()
+        if token.kind == "name":
+            self.advance()
+            if self.accept("op", "("):
+                arg = self.parse_expr()
+                self.expect("op", ")")
+                return SqlCall(token.text.lower(), arg)
+            return SqlName(token.text)
+        if self.accept("op", "("):
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        raise ParseError(
+            f"unexpected token {token.text or 'end of input'!r}", token.position
+        )
+
+    def parse_case(self) -> SqlExpr:
+        self.expect("keyword", "case")
+        self.expect("keyword", "when")
+        condition = self.parse_expr()
+        self.expect("keyword", "then")
+        then = self.parse_expr()
+        self.expect("keyword", "else")
+        otherwise = self.parse_expr()
+        self.expect("keyword", "end")
+        return SqlCase(condition, then, otherwise)
+
+
+# --------------------------------------------------------------------------
+# Translation to algebra
+# --------------------------------------------------------------------------
+
+
+def _to_expr(node: SqlExpr) -> E.Expr:
+    if isinstance(node, SqlName):
+        return E.Col(node.name)
+    if isinstance(node, SqlLiteral):
+        return E.Lit(node.value)
+    if isinstance(node, SqlBinOp):
+        return E.BinOp(node.op, _to_expr(node.left), _to_expr(node.right))
+    if isinstance(node, SqlUnary):
+        return E.UnaryOp(node.op, _to_expr(node.operand))
+    if isinstance(node, SqlIsNull):
+        test = E.IsNull(_to_expr(node.operand))
+        return E.UnaryOp("not", test) if node.negated else test
+    if isinstance(node, SqlCase):
+        return E.If(
+            _to_expr(node.condition), _to_expr(node.then),
+            _to_expr(node.otherwise),
+        )
+    if isinstance(node, SqlCall):
+        return E.Func(node.name, (_to_expr(node.arg),))
+    raise ParseError(f"cannot translate {type(node).__name__}")
+
+
+def parse_sql(sql: str, resolve: SchemaResolver) -> A.Node:
+    """Parse a SELECT statement and translate it to an algebra tree.
+
+    ``resolve`` maps table names to schemas (e.g.
+    ``ctx.catalog.schema_of``).  Raises :class:`ParseError` on syntax errors
+    and :class:`SchemaError` on semantic ones.
+    """
+    statement = _Parser(tokenize(sql)).parse_statement()
+
+    node: A.Node = A.Scan(statement.table, resolve(statement.table))
+    for join in statement.joins:
+        right = A.Scan(join.table, resolve(join.table))
+        # ON pairs may be written either way around; orient by schema
+        oriented = []
+        left_schema = node.schema
+        right_schema = right.schema
+        for a, b in join.on:
+            if a in left_schema and b in right_schema:
+                oriented.append((a, b))
+            elif b in left_schema and a in right_schema:
+                oriented.append((b, a))
+            else:
+                raise SchemaError(
+                    f"join condition {a} = {b} does not reference both sides"
+                )
+        node = A.Join(node, right, tuple(oriented), join.how)
+
+    if statement.where is not None:
+        node = A.Filter(node, _to_expr(statement.where))
+
+    agg_items = [item for item in statement.items if item.agg is not None]
+    plain_items = [
+        item for item in statement.items
+        if item.agg is None and item.expr is not None
+    ]
+    star = any(item.expr is None and item.agg is None for item in statement.items)
+
+    if agg_items or statement.group_by:
+        if star:
+            raise SchemaError("SELECT * cannot be combined with GROUP BY/aggregates")
+        for item in plain_items:
+            if not isinstance(item.expr, SqlName) or (
+                item.expr.name not in statement.group_by
+            ):
+                raise SchemaError(
+                    f"select item {item.alias!r} must be a GROUP BY key or an "
+                    f"aggregate"
+                )
+        specs = tuple(
+            A.AggSpec(
+                item.alias or item.agg,
+                "mean" if item.agg == "avg" else item.agg,
+                None if item.agg_arg is None else _to_expr(item.agg_arg),
+            )
+            for item in agg_items
+        )
+        node = A.Aggregate(node, statement.group_by, specs)
+        if statement.having is not None:
+            node = A.Filter(node, _to_expr(statement.having))
+        wanted = [
+            item.alias or (item.expr.name if isinstance(item.expr, SqlName) else "")
+            for item in statement.items
+        ]
+        if tuple(wanted) != node.schema.names:
+            node = A.Project(node, tuple(wanted))
+    else:
+        if statement.having is not None:
+            raise SchemaError("HAVING requires GROUP BY or aggregates")
+        if not star:
+            computed = [
+                item for item in statement.items
+                if not isinstance(item.expr, SqlName)
+                or item.alias != item.expr.name
+            ]
+            if computed:
+                node = A.Extend(
+                    node,
+                    tuple(item.alias for item in computed),
+                    tuple(_to_expr(item.expr) for item in computed),
+                )
+            node = A.Project(node, tuple(item.alias for item in statement.items))
+
+    if statement.distinct:
+        node = A.Distinct(node)
+    if statement.order_by:
+        node = A.Sort(
+            node,
+            tuple(o.column for o in statement.order_by),
+            tuple(o.ascending for o in statement.order_by),
+        )
+    if statement.limit is not None:
+        node = A.Limit(node, statement.limit, statement.offset)
+    node.schema  # validate eagerly so errors surface at parse time
+    return node

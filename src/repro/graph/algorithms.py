@@ -1,0 +1,120 @@
+"""Native graph algorithms over CSR adjacency.
+
+These are the "direct implementations" a graph server offers: vectorized
+PageRank, BFS levels, connected components and triangle counting.  The
+algebra can express the same computations with ``Iterate`` (see
+:mod:`repro.graph.queries`); experiment E5 compares executing the algebra
+form *inside* this engine against driving it from the client loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+
+def pagerank(
+    graph: CSRGraph,
+    *,
+    damping: float = 0.85,
+    tolerance: float = 1e-8,
+    max_iter: int = 100,
+    norm: str = "linf",
+) -> tuple[np.ndarray, int]:
+    """Power-iteration PageRank.
+
+    Matches the algebra formulation in :func:`repro.graph.queries.pagerank`:
+    dangling vertices (out-degree 0) leak their mass — every vertex still
+    receives the ``(1 - damping) / n`` teleport term.  Returns (ranks,
+    iterations used).
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.empty(0), 0
+    ranks = np.full(n, 1.0 / n)
+    out_deg = graph.out_degree().astype(np.float64)
+    src_of_edge = np.repeat(np.arange(n), graph.out_degree())
+    dst_of_edge = graph.indices
+    teleport = (1.0 - damping) / n
+    for iteration in range(1, max_iter + 1):
+        contrib = np.zeros(n)
+        share = np.where(out_deg > 0, ranks / np.maximum(out_deg, 1.0), 0.0)
+        np.add.at(contrib, dst_of_edge, share[src_of_edge])
+        new_ranks = teleport + damping * contrib
+        deltas = np.abs(new_ranks - ranks)
+        delta = float(deltas.max()) if norm == "linf" else float(deltas.sum())
+        ranks = new_ranks
+        if delta <= tolerance:
+            return ranks, iteration
+    return ranks, max_iter
+
+
+def bfs_levels(graph: CSRGraph, source: int) -> np.ndarray:
+    """Level of each vertex from ``source`` (-1 = unreachable)."""
+    n = graph.num_vertices
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while len(frontier):
+        level += 1
+        # gather all out-neighbours of the frontier at once
+        starts = graph.indptr[frontier]
+        stops = graph.indptr[frontier + 1]
+        if int((stops - starts).sum()) == 0:
+            break
+        neighbors = np.concatenate([
+            graph.indices[a:b] for a, b in zip(starts, stops)
+        ])
+        fresh = np.unique(neighbors[levels[neighbors] < 0])
+        if len(fresh) == 0:
+            break
+        levels[fresh] = level
+        frontier = fresh
+    return levels
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Weakly connected component labels via label propagation."""
+    n = graph.num_vertices
+    labels = np.arange(n, dtype=np.int64)
+    src = np.repeat(np.arange(n), graph.out_degree())
+    dst = graph.indices
+    # treat edges as undirected
+    all_src = np.concatenate([src, dst])
+    all_dst = np.concatenate([dst, src])
+    while True:
+        pulled = labels.copy()
+        np.minimum.at(pulled, all_dst, labels[all_src])
+        if np.array_equal(pulled, labels):
+            break
+        labels = pulled
+    # canonicalize to dense component ids
+    _, dense = np.unique(labels, return_inverse=True)
+    return dense.astype(np.int64)
+
+
+def triangle_count(graph: CSRGraph) -> int:
+    """Number of undirected triangles, each counted exactly once.
+
+    For every edge (u, v) with u < v, count common neighbours w with w > v —
+    the standard ordered enumeration that visits each triangle once.
+    """
+    n = graph.num_vertices
+    neighbor_sets: list[set[int]] = [set() for _ in range(n)]
+    src = np.repeat(np.arange(n), graph.out_degree())
+    for u, v in zip(src, graph.indices):
+        if u != v:
+            neighbor_sets[int(u)].add(int(v))
+            neighbor_sets[int(v)].add(int(u))
+    total = 0
+    for u in range(n):
+        higher_u = {v for v in neighbor_sets[u] if v > u}
+        for v in higher_u:
+            total += sum(1 for w in higher_u & neighbor_sets[v] if w > v)
+    return total
+
+
+def degree_table(graph: CSRGraph) -> np.ndarray:
+    return graph.out_degree()

@@ -1,0 +1,122 @@
+"""Compressed sparse row adjacency — the graph engine's native structure.
+
+A :class:`CSRGraph` is built from an edge table (``src``, ``dst``[,
+``weight``]) — the same dimensioned-table data the algebra sees — and gives
+the native algorithms O(1) neighbourhood access.  Vertices are dense ids
+``0..n-1``; :func:`from_edge_table` compacts arbitrary integer vertex ids
+and remembers the mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ExecutionError
+from ..storage.table import ColumnTable
+
+
+class CSRGraph:
+    """Directed graph in CSR form (out-edges), with optional edge weights."""
+
+    def __init__(
+        self,
+        num_vertices: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray | None = None,
+        vertex_ids: np.ndarray | None = None,
+    ):
+        self.num_vertices = int(num_vertices)
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        #: dense position -> original vertex id
+        self.vertex_ids = (
+            vertex_ids if vertex_ids is not None
+            else np.arange(num_vertices, dtype=np.int64)
+        )
+        if len(indptr) != num_vertices + 1:
+            raise ExecutionError("indptr length must be num_vertices + 1")
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices)
+
+    def out_degree(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        return self.indices[self.indptr[vertex]:self.indptr[vertex + 1]]
+
+    def reverse(self) -> "CSRGraph":
+        """The transpose graph (in-edges become out-edges)."""
+        order = np.argsort(self.indices, kind="stable")
+        new_indices = np.repeat(
+            np.arange(self.num_vertices), self.out_degree()
+        )[order]
+        counts = np.bincount(self.indices, minlength=self.num_vertices)
+        indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        weights = None if self.weights is None else self.weights[order]
+        return CSRGraph(
+            self.num_vertices, indptr, new_indices, weights, self.vertex_ids
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weights: np.ndarray | None = None,
+        num_vertices: int | None = None,
+    ) -> "CSRGraph":
+        """Build from parallel edge arrays with dense 0-based vertex ids."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if len(src) != len(dst):
+            raise ExecutionError("src and dst must have equal length")
+        if num_vertices is None:
+            num_vertices = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
+        order = np.argsort(src, kind="stable")
+        sorted_src = src[order]
+        indices = dst[order]
+        counts = np.bincount(sorted_src, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        w = None if weights is None else np.asarray(weights, dtype=np.float64)[order]
+        return cls(num_vertices, indptr, indices, w)
+
+    @classmethod
+    def from_edge_table(
+        cls,
+        edges: ColumnTable,
+        src: str = "src",
+        dst: str = "dst",
+        weight: str | None = None,
+    ) -> "CSRGraph":
+        """Build from an edge ColumnTable, compacting sparse vertex ids."""
+        src_col = edges.column(src)
+        dst_col = edges.column(dst)
+        if src_col.null_count or dst_col.null_count:
+            raise ExecutionError("edge endpoints may not be null")
+        raw_src = src_col.values.astype(np.int64)
+        raw_dst = dst_col.values.astype(np.int64)
+        vertex_ids = np.unique(np.concatenate([raw_src, raw_dst]))
+        dense = {int(v): i for i, v in enumerate(vertex_ids)}
+        compact_src = np.fromiter(
+            (dense[int(v)] for v in raw_src), dtype=np.int64, count=len(raw_src)
+        )
+        compact_dst = np.fromiter(
+            (dense[int(v)] for v in raw_dst), dtype=np.int64, count=len(raw_dst)
+        )
+        weights = None
+        if weight is not None:
+            wcol = edges.column(weight)
+            if wcol.null_count:
+                raise ExecutionError("edge weights may not be null")
+            weights = wcol.values.astype(np.float64)
+        graph = cls.from_arrays(
+            compact_src, compact_dst, weights, num_vertices=len(vertex_ids)
+        )
+        graph.vertex_ids = vertex_ids
+        return graph

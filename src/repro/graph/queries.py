@@ -1,0 +1,268 @@
+"""Graph analytics expressed in the Big Data algebra.
+
+The paper's "control iteration" argument: graph analytics is repeated
+execution of a data-parallel step until convergence, so the algebra needs an
+``Iterate`` operator — otherwise every iteration round-trips through the
+client.  These builders produce exactly such trees (tagged with their
+intent), and :func:`match_pagerank` is the graph server's recognizer that
+lets it swap in its native CSR implementation.
+
+Conventions: a vertex table has schema ``(v: INT64 dimension)``; an edge
+table has ``(src: INT64, dst: INT64)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import algebra as A
+from ..core.errors import AlgebraError
+from ..core.expressions import BinOp, If, IsNull, Lit, col, if_, lit
+from ..core.intents import INTENT_PAGERANK
+from ..core.schema import Attribute, Schema
+from ..core.types import DType
+
+UNREACHABLE = 2**31  # "infinity" level for BFS / components
+
+VERTEX_SCHEMA = Schema([Attribute("v", DType.INT64, dimension=True)])
+EDGE_SCHEMA = Schema([
+    Attribute("src", DType.INT64), Attribute("dst", DType.INT64),
+])
+
+RANK_STATE = Schema([
+    Attribute("v", DType.INT64, dimension=True),
+    Attribute("rank", DType.FLOAT64),
+])
+
+LEVEL_STATE = Schema([
+    Attribute("v", DType.INT64, dimension=True),
+    Attribute("level", DType.INT64),
+])
+
+LABEL_STATE = Schema([
+    Attribute("v", DType.INT64, dimension=True),
+    Attribute("label", DType.INT64),
+])
+
+
+def _check_schemas(vertices: A.Node, edges: A.Node) -> None:
+    if vertices.schema.names != ("v",):
+        raise AlgebraError(
+            f"vertex input must have schema (v); got {list(vertices.schema.names)}"
+        )
+    if not {"src", "dst"} <= set(edges.schema.names):
+        raise AlgebraError(
+            f"edge input needs src and dst; got {list(edges.schema.names)}"
+        )
+
+
+def pagerank(
+    vertices: A.Node,
+    edges: A.Node,
+    num_vertices: int,
+    *,
+    damping: float = 0.85,
+    tolerance: float = 1e-8,
+    max_iter: int = 100,
+) -> A.Iterate:
+    """PageRank as an algebra ``Iterate`` tree, tagged ``intent="pagerank"``.
+
+    Each round: every vertex sends ``rank / out_degree`` along its edges,
+    incoming contributions are summed per vertex, and the new rank is
+    ``(1-d)/n + d * inflow``.  Dangling vertices leak mass (matching the
+    native implementation in :mod:`repro.graph.algorithms`).
+    """
+    _check_schemas(vertices, edges)
+    if num_vertices < 1:
+        raise AlgebraError("num_vertices must be positive")
+    teleport = (1.0 - damping) / num_vertices
+
+    init = A.Extend(vertices, ("rank",), (lit(1.0 / num_vertices),))
+
+    degrees = A.Aggregate(edges, ("src",), (A.AggSpec("outdeg", "count"),))
+    degrees = A.Rename(degrees, (("src", "dsrc"),))
+    edges_deg = A.Join(edges, degrees, (("src", "dsrc"),))
+
+    state = A.LoopVar("state", RANK_STATE)
+    outflow = A.Join(state, edges_deg, (("v", "src"),))
+    contrib = A.Extend(
+        outflow, ("share",), (col("rank") / col("outdeg"),)
+    )
+    inflow = A.Aggregate(
+        contrib, ("dst",), (A.AggSpec("inflow", "sum", col("share")),)
+    )
+    landed = A.Join(vertices, inflow, (("v", "dst"),), "left")
+    updated = A.Extend(
+        landed,
+        ("rank",),
+        (lit(teleport)
+         + lit(damping) * if_(col("inflow").is_null(), lit(0.0), col("inflow")),),
+    )
+    body = A.Project(updated, ("v", "rank"))
+    return A.Iterate(
+        init, body, var="state",
+        stop=A.Convergence("rank", tolerance, "linf"),
+        max_iter=max_iter,
+        intent=INTENT_PAGERANK,
+    )
+
+
+def bfs_levels(
+    vertices: A.Node,
+    edges: A.Node,
+    source: int,
+    *,
+    max_iter: int = 10_000,
+) -> A.Iterate:
+    """BFS levels as an algebra ``Iterate``; UNREACHABLE marks unvisited."""
+    _check_schemas(vertices, edges)
+    init = A.Extend(
+        vertices, ("level",),
+        (if_(col("v") == source, lit(0), lit(UNREACHABLE)),),
+    )
+    state = A.LoopVar("state", LEVEL_STATE)
+    relax = A.Join(state, edges, (("v", "src"),))
+    candidate = A.Extend(relax, ("cand",), (col("level") + 1,))
+    best_in = A.Aggregate(
+        candidate, ("dst",), (A.AggSpec("m", "min", col("cand")),)
+    )
+    merged = A.Join(state, best_in, (("v", "dst"),), "left")
+    # note: nested conditionals, not `is_null(m) | (level <= m)` — the
+    # algebra's null rule makes `true | null` null, which would leak nulls
+    updated = A.Extend(
+        merged,
+        ("new_level",),
+        (if_(IsNull(col("m")), col("level"),
+             if_(col("level") <= col("m"), col("level"), col("m"))),),
+    )
+    body = A.Rename(A.Project(updated, ("v", "new_level")),
+                    (("new_level", "level"),))
+    return A.Iterate(
+        init, body, var="state",
+        stop=A.Convergence("level", 0.5, "linf"),  # integer fixpoint
+        max_iter=max_iter,
+        intent="bfs",
+    )
+
+
+def connected_components(
+    vertices: A.Node,
+    edges: A.Node,
+    *,
+    max_iter: int = 10_000,
+) -> A.Iterate:
+    """Weakly-connected component labels (min-label propagation)."""
+    _check_schemas(vertices, edges)
+    both_ways = A.Union(
+        A.Project(edges, ("src", "dst")),
+        A.Rename(
+            A.Project(
+                A.Rename(edges, (("src", "a"), ("dst", "b"))), ("b", "a")
+            ),
+            (("b", "src"), ("a", "dst")),
+        ),
+    )
+    init = A.Extend(vertices, ("label",), (col("v"),))
+    state = A.LoopVar("state", LABEL_STATE)
+    relax = A.Join(state, both_ways, (("v", "src"),))
+    best_in = A.Aggregate(
+        relax, ("dst",), (A.AggSpec("m", "min", col("label")),)
+    )
+    merged = A.Join(state, best_in, (("v", "dst"),), "left")
+    updated = A.Extend(
+        merged,
+        ("new_label",),
+        (if_(IsNull(col("m")), col("label"),
+             if_(col("label") <= col("m"), col("label"), col("m"))),),
+    )
+    body = A.Rename(A.Project(updated, ("v", "new_label")),
+                    (("new_label", "label"),))
+    return A.Iterate(
+        init, body, var="state",
+        stop=A.Convergence("label", 0.5, "linf"),
+        max_iter=max_iter,
+        intent="connected_components",
+    )
+
+
+# --------------------------------------------------------------------------
+# Native-path recognition
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PageRankSpec:
+    """Parameters extracted from a recognized PageRank tree."""
+
+    vertices: A.Node
+    edges: A.Node
+    damping: float
+    teleport: float
+    tolerance: float
+    max_iter: int
+
+
+def _strip_projects(node: A.Node) -> A.Node:
+    """Skip column-narrowing veneers the optimizer may have inserted."""
+    while isinstance(node, A.Project):
+        node = node.child
+    return node
+
+
+def match_pagerank(node: A.Node) -> PageRankSpec | None:
+    """Recognize the canonical :func:`pagerank` tree and extract parameters.
+
+    The graph provider calls this to swap in its CSR implementation; any
+    mismatch returns None and the generic iterative executor runs instead —
+    recognition is an optimization, never a semantic requirement.  The
+    matcher tolerates ``Project`` veneers so trees survive the logical
+    optimizer's projection pruning.
+    """
+    if not isinstance(node, A.Iterate) or node.intent != INTENT_PAGERANK:
+        return None
+    if node.stop.value_attr != "rank":
+        return None
+    if node.body.schema.names != ("v", "rank"):
+        return None
+    updated = _strip_projects(node.body)
+    if not isinstance(updated, A.Extend) or "rank" not in updated.names:
+        return None
+    expr = updated.exprs[updated.names.index("rank")]
+    # shape: teleport + damping * if(inflow is null, 0, inflow)
+    if not (isinstance(expr, BinOp) and expr.op == "+"
+            and isinstance(expr.left, Lit)
+            and isinstance(expr.right, BinOp) and expr.right.op == "*"
+            and isinstance(expr.right.left, Lit)
+            and isinstance(expr.right.right, If)):
+        return None
+    teleport = float(expr.left.value)
+    damping = float(expr.right.left.value)
+    landed = _strip_projects(updated.child)
+    if not isinstance(landed, A.Join) or landed.how != "left":
+        return None
+    vertices = landed.left
+    inflow = _strip_projects(landed.right)
+    if not isinstance(inflow, A.Aggregate):
+        return None
+    contrib = _strip_projects(inflow.child)
+    if not isinstance(contrib, A.Extend):
+        return None
+    outflow = _strip_projects(contrib.child)
+    if not isinstance(outflow, A.Join):
+        return None
+    edges_deg = _strip_projects(outflow.right)
+    if not isinstance(edges_deg, A.Join):
+        return None
+    edges = edges_deg.left
+    if not {"src", "dst"} <= set(edges.schema.names):
+        return None
+    if "v" not in vertices.schema.names:
+        return None
+    return PageRankSpec(
+        vertices=vertices,
+        edges=edges,
+        damping=damping,
+        teleport=teleport,
+        tolerance=node.stop.tolerance,
+        max_iter=node.max_iter,
+    )

@@ -1,0 +1,196 @@
+"""Blocked dense linear-algebra kernels (the ScaLAPACK-like service).
+
+Every kernel schedules work tile-by-tile over :class:`BlockedMatrix`
+operands: matmul accumulates ``C[i,j] += A[i,k] @ B[k,j]``, LU is a
+right-looking blocked factorization with partial pivoting, and the solvers
+forward/back-substitute panel by panel.  ``power_iteration`` builds the
+dominant-eigenpair loop the paper's "control iteration" discussion motivates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ConvergenceError, ExecutionError
+from .blocked import BlockedMatrix
+
+
+def matmul(a: BlockedMatrix, b: BlockedMatrix) -> BlockedMatrix:
+    """Blocked C = A @ B; skips all-zero tiles (sparse-friendly)."""
+    if a.shape[1] != b.shape[0]:
+        raise ExecutionError(
+            f"matmul shape mismatch: {a.shape} @ {b.shape}"
+        )
+    if a.block_size != b.block_size:
+        b = BlockedMatrix.from_dense(b.to_dense(), a.block_size)
+    out = BlockedMatrix((a.shape[0], b.shape[1]), a.block_size)
+    for (bi, bk), a_tile in a.blocks.items():
+        for bj in range(b.grid[1]):
+            b_tile = b.blocks.get((bk, bj))
+            if b_tile is None:
+                continue
+            acc = out.blocks.get((bi, bj))
+            product = a_tile @ b_tile
+            if acc is None:
+                out.blocks[(bi, bj)] = product
+            else:
+                acc += product
+    return out
+
+
+def transpose(a: BlockedMatrix) -> BlockedMatrix:
+    out = BlockedMatrix((a.shape[1], a.shape[0]), a.block_size)
+    for (bi, bj), tile in a.blocks.items():
+        out.blocks[(bj, bi)] = np.ascontiguousarray(tile.T)
+    return out
+
+
+def add(a: BlockedMatrix, b: BlockedMatrix, beta: float = 1.0) -> BlockedMatrix:
+    """A + beta * B, tile-wise."""
+    if a.shape != b.shape:
+        raise ExecutionError(f"add shape mismatch: {a.shape} vs {b.shape}")
+    if a.block_size != b.block_size:
+        b = BlockedMatrix.from_dense(b.to_dense(), a.block_size)
+    out = BlockedMatrix(a.shape, a.block_size)
+    keys = set(a.blocks) | set(b.blocks)
+    for key in keys:
+        out.blocks[key] = a.block(*key) + beta * b.block(*key)
+    return out
+
+
+def scale(a: BlockedMatrix, alpha: float) -> BlockedMatrix:
+    out = BlockedMatrix(a.shape, a.block_size)
+    for key, tile in a.blocks.items():
+        out.blocks[key] = tile * alpha
+    return out
+
+
+def frobenius_norm(a: BlockedMatrix) -> float:
+    total = 0.0
+    for tile in a.blocks.values():
+        total += float((tile * tile).sum())
+    return float(np.sqrt(total))
+
+
+def inf_norm(a: BlockedMatrix) -> float:
+    """Maximum absolute row sum."""
+    row_sums = np.zeros(a.shape[0])
+    b = a.block_size
+    for (bi, _), tile in a.blocks.items():
+        row_sums[bi * b:bi * b + tile.shape[0]] += np.abs(tile).sum(axis=1)
+    return float(row_sums.max()) if len(row_sums) else 0.0
+
+
+def lu_factor(a: BlockedMatrix) -> tuple[BlockedMatrix, BlockedMatrix, np.ndarray]:
+    """Blocked LU with partial pivoting: P A = L U.
+
+    Returns (L, U, perm) where ``perm`` maps output row -> input row.
+    Right-looking algorithm: factor a diagonal panel, update the trailing
+    submatrix panel-by-panel.
+    """
+    n, m = a.shape
+    if n != m:
+        raise ExecutionError(f"LU needs a square matrix, got {a.shape}")
+    lu = a.to_dense().copy()
+    perm = np.arange(n)
+    b = a.block_size
+    for k0 in range(0, n, b):
+        k1 = min(k0 + b, n)
+        # factor panel lu[k0:, k0:k1] with partial pivoting
+        for k in range(k0, k1):
+            pivot = k + int(np.argmax(np.abs(lu[k:, k])))
+            if abs(lu[pivot, k]) < 1e-300:
+                raise ExecutionError("matrix is singular to working precision")
+            if pivot != k:
+                lu[[k, pivot]] = lu[[pivot, k]]
+                perm[[k, pivot]] = perm[[pivot, k]]
+            lu[k + 1:, k] /= lu[k, k]
+            if k + 1 < k1:
+                lu[k + 1:, k + 1:k1] -= np.outer(lu[k + 1:, k], lu[k, k + 1:k1])
+        if k1 < n:
+            # triangular solve for the U panel, then trailing update
+            lower = np.tril(lu[k0:k1, k0:k1], -1) + np.eye(k1 - k0)
+            lu[k0:k1, k1:] = np.linalg.solve(lower, lu[k0:k1, k1:])
+            lu[k1:, k1:] -= lu[k1:, k0:k1] @ lu[k0:k1, k1:]
+    lower_dense = np.tril(lu, -1) + np.eye(n)
+    upper_dense = np.triu(lu)
+    return (
+        BlockedMatrix.from_dense(lower_dense, a.block_size),
+        BlockedMatrix.from_dense(upper_dense, a.block_size),
+        perm,
+    )
+
+
+def solve_triangular(a: BlockedMatrix, rhs: np.ndarray, *, lower: bool) -> np.ndarray:
+    """Panel-wise forward/back substitution for a triangular matrix."""
+    n = a.shape[0]
+    x = np.array(rhs, dtype=np.float64).copy()
+    if x.ndim == 1:
+        x = x.reshape(-1, 1)
+    b = a.block_size
+    dense = a.to_dense()
+    panels = range(0, n, b) if lower else range(((n - 1) // b) * b, -1, -b)
+    for p0 in panels:
+        p1 = min(p0 + b, n)
+        block = dense[p0:p1, p0:p1]
+        if lower:
+            x[p0:p1] = np.linalg.solve(block, x[p0:p1])
+            if p1 < n:
+                x[p1:] -= dense[p1:, p0:p1] @ x[p0:p1]
+        else:
+            x[p0:p1] = np.linalg.solve(block, x[p0:p1])
+            if p0 > 0:
+                x[:p0] -= dense[:p0, p0:p1] @ x[p0:p1]
+    return x if np.asarray(rhs).ndim > 1 else x.reshape(-1)
+
+
+def solve(a: BlockedMatrix, rhs: np.ndarray) -> np.ndarray:
+    """Solve A x = rhs via blocked LU."""
+    lower, upper, perm = lu_factor(a)
+    permuted = np.asarray(rhs, dtype=np.float64)[perm]
+    y = solve_triangular(lower, permuted, lower=True)
+    return solve_triangular(upper, y, lower=False)
+
+
+def matvec(a: BlockedMatrix, x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if a.shape[1] != len(x):
+        raise ExecutionError(f"matvec shape mismatch: {a.shape} @ ({len(x)},)")
+    out = np.zeros(a.shape[0])
+    b = a.block_size
+    for (bi, bj), tile in a.blocks.items():
+        out[bi * b:bi * b + tile.shape[0]] += tile @ x[bj * b:bj * b + tile.shape[1]]
+    return out
+
+
+def power_iteration(
+    a: BlockedMatrix,
+    *,
+    tolerance: float = 1e-9,
+    max_iter: int = 1000,
+    seed: int = 0,
+) -> tuple[float, np.ndarray, int]:
+    """Dominant eigenpair by repeated matvec — control iteration in miniature.
+
+    Returns (eigenvalue, unit eigenvector, iterations used).
+    """
+    n = a.shape[0]
+    if n != a.shape[1]:
+        raise ExecutionError(f"power iteration needs a square matrix, got {a.shape}")
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n)
+    x /= np.linalg.norm(x)
+    eigenvalue = 0.0
+    for iteration in range(1, max_iter + 1):
+        y = matvec(a, x)
+        norm = np.linalg.norm(y)
+        if norm == 0.0:
+            return 0.0, x, iteration
+        y /= norm
+        new_eigenvalue = float(y @ matvec(a, y))
+        if abs(new_eigenvalue - eigenvalue) <= tolerance:
+            return new_eigenvalue, y, iteration
+        eigenvalue, x = new_eigenvalue, y
+    raise ConvergenceError(
+        f"power iteration did not converge in {max_iter} iterations"
+    )

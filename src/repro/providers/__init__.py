@@ -1,0 +1,30 @@
+"""Back-end providers: the framework's LINQ-Provider analogs.
+
+Each provider is a self-contained server with its own engine, declared
+capabilities, and datasets:
+
+* :class:`ReferenceProvider` — naive interpreter covering the whole algebra
+  (the semantics oracle).
+* :class:`RelationalProvider` — columnar relational engine (SQLServer-like).
+* :class:`ArrayProvider` — chunked n-d array engine (SciDB-like).
+* :class:`LinalgProvider` — blocked dense linear algebra (ScaLAPACK-like).
+* :class:`GraphProvider` — iterative graph analytics with native PageRank.
+"""
+
+from .array_p import ArrayProvider
+from .base import Provider, ProviderStats, capability_names
+from .graph_p import GraphProvider
+from .linalg_p import LinalgProvider
+from .reference import ReferenceProvider
+from .relational_p import RelationalProvider
+
+__all__ = [
+    "ArrayProvider",
+    "GraphProvider",
+    "LinalgProvider",
+    "Provider",
+    "ProviderStats",
+    "ReferenceProvider",
+    "RelationalProvider",
+    "capability_names",
+]

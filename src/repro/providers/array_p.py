@@ -1,0 +1,82 @@
+"""Array provider: the SciDB-like back end.
+
+Wraps :class:`repro.array.engine.ArrayEngine` in the provider protocol.
+Datasets are chunked once at registration; queries then run entirely over
+chunked storage.  Capabilities cover the dimension-aware operators plus
+cell-wise filter/extend/project/rename and control iteration — but not
+arbitrary joins, group-bys, sorts or set operations, which is this engine's
+deliberate coverage gap.
+"""
+
+from __future__ import annotations
+
+from ..array.chunked import ChunkedArray
+from ..array.engine import ArrayEngine, ArrayEngineOptions
+from ..core import algebra as A
+from ..storage.table import ColumnTable
+from .base import Provider, capability_names
+
+
+class ArrayProvider(Provider):
+    """Chunked n-dimensional array server."""
+
+    capabilities = capability_names(
+        A.Scan, A.InlineTable, A.LoopVar,
+        A.AsDims, A.SliceDims, A.ShiftDim, A.Regrid, A.Window, A.ReduceDims,
+        A.TransposeDims, A.MatMul, A.CellJoin,
+        A.Filter, A.Extend, A.Project, A.Rename,
+        A.Iterate,
+    )
+
+    def __init__(self, name: str, options: ArrayEngineOptions | None = None):
+        super().__init__(name)
+        self.engine = ArrayEngine(options)
+        self._chunked: dict[str, ChunkedArray] = {}
+
+    def register_dataset(self, name: str, table: ColumnTable) -> None:
+        super().register_dataset(name, table)
+        if table.schema.dimensions:
+            self._chunked[name] = ChunkedArray.from_table(
+                table, self.engine.chunk_side
+            )
+        else:
+            self._chunked.pop(name, None)
+
+    def chunked(self, name: str) -> ChunkedArray:
+        """The chunked form of a registered dimensioned dataset."""
+        if name not in self._chunked:
+            self.dataset(name)  # raises PlanningError if truly unknown
+            self._chunked[name] = ChunkedArray.from_table(
+                self.dataset(name), self.engine.chunk_side
+            )
+        return self._chunked[name]
+
+    def cost_factor(self, node: A.Node) -> float:
+        if isinstance(node, (A.Window, A.Regrid, A.SliceDims, A.ShiftDim)):
+            return 0.3  # chunked-native operators
+        if isinstance(node, A.MatMul):
+            return 0.5  # dense, but not blocked like the linalg server
+        return 1.0
+
+    def supports(self, node: A.Node) -> bool:
+        if not super().supports(node):
+            return False
+        if isinstance(node, A.Project):
+            # an array projection must keep every dimension
+            dims = node.child.schema.dimension_names
+            return all(d in node.names for d in dims)
+        if isinstance(node, (A.Filter, A.Extend, A.SliceDims, A.ShiftDim,
+                             A.Regrid, A.Window, A.ReduceDims,
+                             A.TransposeDims)):
+            return bool(node.child.schema.dimensions)
+        return True
+
+    def _run(self, tree: A.Node, inputs: dict[str, ColumnTable]) -> ColumnTable:
+        def resolve(dataset: str):
+            if dataset in inputs:
+                return inputs[dataset]
+            if dataset in self._chunked:
+                return self._chunked[dataset]  # pre-chunked, skip conversion
+            return self.dataset(dataset)
+
+        return self.engine.run(tree, resolve)

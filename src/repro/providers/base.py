@@ -1,0 +1,164 @@
+"""The provider framework — the paper's LINQ-Provider analog.
+
+A :class:`Provider` is a back-end server: it owns datasets, declares which
+algebra operators it can execute (its *capabilities*), accepts whole
+expression trees, optimizes/executes them with its own engine, and returns a
+:class:`~repro.storage.table.ColumnTable`.
+
+``accepts(tree)`` is the coverage check the federation planner uses when
+assigning plan fragments to servers (desiderata 1 and 2).  ``execute`` must
+raise :class:`~repro.core.errors.TranslationError` for trees outside the
+declared capabilities — never silently fall back — so coverage claims stay
+honest.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..core import algebra as A
+from ..core.errors import PlanningError, TranslationError
+from ..core.schema import Schema
+from ..storage.table import ColumnTable
+
+
+@dataclass
+class ProviderStats:
+    """Execution counters a provider accumulates across queries."""
+
+    queries: int = 0
+    operators: int = 0
+    rows_out: int = 0
+    ops_by_name: dict[str, int] = field(default_factory=dict)
+
+    def record(self, tree: A.Node, result: ColumnTable) -> None:
+        self.queries += 1
+        for node in tree.walk():
+            self.operators += 1
+            self.ops_by_name[node.op_name] = self.ops_by_name.get(node.op_name, 0) + 1
+        self.rows_out += result.num_rows
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.operators = 0
+        self.rows_out = 0
+        self.ops_by_name.clear()
+
+
+class Provider(abc.ABC):
+    """Abstract back-end server."""
+
+    #: Operator class names this provider can execute.
+    capabilities: frozenset[str] = frozenset()
+
+    def __init__(self, name: str):
+        self.name = name
+        self._datasets: dict[str, ColumnTable] = {}
+        self.stats = ProviderStats()
+
+    # -- dataset management ----------------------------------------------------
+
+    def register_dataset(self, name: str, table: ColumnTable) -> None:
+        """Load (or replace) a named dataset on this server."""
+        self._datasets[name] = table
+
+    def dataset(self, name: str) -> ColumnTable:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise PlanningError(
+                f"provider {self.name!r} has no dataset {name!r}; "
+                f"has {sorted(self._datasets)}"
+            ) from None
+
+    def has_dataset(self, name: str) -> bool:
+        return name in self._datasets
+
+    def dataset_names(self) -> list[str]:
+        return sorted(self._datasets)
+
+    def dataset_schema(self, name: str) -> Schema:
+        return self.dataset(name).schema
+
+    # -- capability checking ------------------------------------------------------
+
+    def supports(self, node: A.Node) -> bool:
+        """Whether this provider can execute one operator.
+
+        The default checks the class-level capability set; subclasses may
+        refine with per-node constraints (e.g. an engine that only joins on
+        single keys).
+        """
+        return node.op_name in self.capabilities
+
+    def accepts(self, tree: A.Node) -> bool:
+        """Whether this provider can execute the whole tree (desideratum 2)."""
+        return all(self.supports(node) for node in tree.walk())
+
+    def cost_factor(self, node: A.Node) -> float:
+        """Relative speed of this server on one operator (lower = faster).
+
+        The federation planner multiplies its abstract operator cost by this
+        factor, which is how "server X has a *native* implementation of Y"
+        enters planning — e.g. the linear-algebra server advertises a tiny
+        factor for MatMul while the relational server, which can only run it
+        as join+aggregate, advertises a large one.
+        """
+        return 1.0
+
+    def unsupported(self, tree: A.Node) -> list[str]:
+        """Operator names in ``tree`` this provider cannot run (for errors)."""
+        return sorted({
+            node.op_name for node in tree.walk() if not self.supports(node)
+        })
+
+    def _check(self, tree: A.Node) -> None:
+        bad = self.unsupported(tree)
+        if bad:
+            raise TranslationError(
+                f"provider {self.name!r} cannot execute operators {bad}"
+            )
+
+    # -- execution -------------------------------------------------------------------
+
+    def execute(
+        self,
+        tree: A.Node,
+        inputs: Mapping[str, ColumnTable] | None = None,
+    ) -> ColumnTable:
+        """Execute a whole expression tree and return the result table.
+
+        ``inputs`` supplies tables for :class:`Scan` leaves whose names are
+        not local datasets — the federation executor uses names starting with
+        ``"@"`` for fragment inputs.
+        """
+        self._check(tree)
+        tree.schema  # full validation before any work
+        result = self._run(tree, dict(inputs or {}))
+        self.stats.record(tree, result)
+        return result
+
+    @abc.abstractmethod
+    def _run(self, tree: A.Node, inputs: dict[str, ColumnTable]) -> ColumnTable:
+        """Engine-specific execution; called after capability/type checks."""
+
+    def resolve_scan(self, node: A.Scan, inputs: Mapping[str, ColumnTable]) -> ColumnTable:
+        if node.name in inputs:
+            return inputs[node.name]
+        return self.dataset(node.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def capability_names(*ops: Iterable[type[A.Node]] | type[A.Node]) -> frozenset[str]:
+    """Build a capability set from operator classes (or iterables of them)."""
+    out: set[str] = set()
+    for item in ops:
+        if isinstance(item, type):
+            out.add(item.__name__)
+        else:
+            out.update(cls.__name__ for cls in item)
+    return frozenset(out)

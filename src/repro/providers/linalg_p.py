@@ -1,0 +1,105 @@
+"""Linear-algebra provider: the ScaLAPACK-like back end.
+
+A deliberately narrow server: it executes ``MatMul`` chains and transposes
+over blocked dense matrices — fast — and nothing else.  This narrowness is
+what the paper's desiderata are about: the federation planner must route the
+matrix part of a query here (interoperation), and the intent recognizer must
+keep matrix multiplies recognizable so this server can claim them.
+
+Beyond the algebra surface, the underlying kernels
+(:mod:`repro.linalg.kernels`) expose solve/LU/norms/power-iteration as a
+library API, the way a real linear-algebra service would.
+"""
+
+from __future__ import annotations
+
+from ..core import algebra as A
+from ..core.errors import TranslationError
+from ..linalg import kernels
+from ..linalg.blocked import DEFAULT_BLOCK, BlockedMatrix
+from ..storage.table import ColumnTable
+from .base import Provider, capability_names
+
+
+class LinalgProvider(Provider):
+    """Blocked dense linear-algebra server."""
+
+    capabilities = capability_names(
+        A.Scan, A.InlineTable, A.MatMul, A.TransposeDims, A.Rename,
+    )
+
+    def __init__(self, name: str, block_size: int = DEFAULT_BLOCK):
+        super().__init__(name)
+        self.block_size = block_size
+        self._matrices: dict[str, BlockedMatrix] = {}
+
+    def register_dataset(self, name: str, table: ColumnTable) -> None:
+        super().register_dataset(name, table)
+        self._matrices.pop(name, None)
+
+    def matrix(self, name: str) -> BlockedMatrix:
+        """The blocked form of a registered matrix dataset (cached)."""
+        if name not in self._matrices:
+            self._matrices[name] = BlockedMatrix.from_table(
+                self.dataset(name), self.block_size
+            )
+        return self._matrices[name]
+
+    def cost_factor(self, node: A.Node) -> float:
+        # native blocked kernels: this is the server's whole reason to exist
+        if isinstance(node, (A.MatMul, A.TransposeDims)):
+            return 0.05
+        return 1.0
+
+    def supports(self, node: A.Node) -> bool:
+        if not super().supports(node):
+            return False
+        if isinstance(node, (A.Scan, A.InlineTable)):
+            schema = node.schema
+            return len(schema.dimension_names) == 2 and len(schema.value_names) == 1
+        if isinstance(node, (A.TransposeDims, A.Rename)):
+            return len(node.child.schema.dimension_names) == 2
+        return True
+
+    def _run(self, tree: A.Node, inputs: dict[str, ColumnTable]) -> ColumnTable:
+        result, names = self._eval(tree, inputs)
+        table = result.to_table(*names)
+        # re-attach the tree's schema (same names; order/tags may differ).
+        # Note the dense-semantics caveat: exact-zero cells are treated as
+        # absent by this server.
+        return ColumnTable(tree.schema, table.columns)
+
+    def _eval(
+        self, node: A.Node, inputs: dict[str, ColumnTable]
+    ) -> tuple[BlockedMatrix, tuple[str, str, str]]:
+        if isinstance(node, A.Scan):
+            schema = node.schema
+            names = (*schema.dimension_names, schema.value_names[0])
+            if node.name in inputs:
+                return (
+                    BlockedMatrix.from_table(inputs[node.name], self.block_size),
+                    names,
+                )
+            return self.matrix(node.name), names
+        if isinstance(node, A.InlineTable):
+            schema = node.schema
+            table = ColumnTable.from_rows(schema, node.rows)
+            names = (*schema.dimension_names, schema.value_names[0])
+            return BlockedMatrix.from_table(table, self.block_size), names
+        if isinstance(node, A.MatMul):
+            left, lnames = self._eval(node.left, inputs)
+            right, rnames = self._eval(node.right, inputs)
+            out = kernels.matmul(left, right)
+            return out, (lnames[0], rnames[1], lnames[2])
+        if isinstance(node, A.TransposeDims):
+            child, names = self._eval(node.child, inputs)
+            if node.order == node.child.schema.dimension_names:
+                return child, names
+            return kernels.transpose(child), (names[1], names[0], names[2])
+        if isinstance(node, A.Rename):
+            child, names = self._eval(node.child, inputs)
+            mapping = dict(node.mapping)
+            return child, tuple(mapping.get(n, n) for n in names)
+        raise TranslationError(
+            f"linalg provider cannot execute {node.op_name}"
+        )

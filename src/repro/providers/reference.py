@@ -1,0 +1,449 @@
+"""The reference interpreter: a provider that executes *every* operator.
+
+This is the semantics oracle of the whole project.  It interprets algebra
+trees row-at-a-time over plain Python values with no indexes, no
+vectorization and no cleverness, so its behaviour is easy to audit.  Every
+engine, rewrite rule and frontend is tested for agreement with it.
+
+It also plays the "naive middle tier" role in several experiments: the
+portability bench (E6) uses it as the lowest-common-denominator server, and
+the coverage bench (E1) uses it as the 100%-coverage baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from ..core import algebra as A
+from ..core.aggfuncs import apply_agg
+from ..core.errors import ConvergenceError, ExecutionError
+from ..core.expressions import eval_row
+from ..core.schema import Schema
+from ..core.visitors import substitute_loop_var
+from ..storage.table import ColumnTable
+from .base import Provider, capability_names
+
+Row = dict[str, Any]
+
+
+class ReferenceProvider(Provider):
+    """Naive row-at-a-time interpreter covering the entire algebra."""
+
+    capabilities = capability_names(A.ALL_OPERATORS)
+
+    def cost_factor(self, node: A.Node) -> float:
+        return 40.0  # covers everything, fast at nothing
+
+    def _run(self, tree: A.Node, inputs: dict[str, ColumnTable]) -> ColumnTable:
+        rows = self._eval(tree, inputs)
+        return ColumnTable.from_dicts(tree.schema, rows)
+
+    # -- dispatcher ---------------------------------------------------------------
+
+    def _eval(self, node: A.Node, inputs: Mapping[str, ColumnTable]) -> list[Row]:
+        method = getattr(self, f"_eval_{_snake(node.op_name)}", None)
+        if method is None:
+            raise ExecutionError(f"reference interpreter: no rule for {node.op_name}")
+        return method(node, inputs)
+
+    # -- leaves ---------------------------------------------------------------------
+
+    def _eval_scan(self, node: A.Scan, inputs: Mapping[str, ColumnTable]) -> list[Row]:
+        return list(self.resolve_scan(node, inputs).iter_dicts())
+
+    def _eval_inline_table(self, node: A.InlineTable, inputs) -> list[Row]:
+        names = node.table_schema.names
+        return [dict(zip(names, row)) for row in node.rows]
+
+    def _eval_loop_var(self, node: A.LoopVar, inputs) -> list[Row]:
+        raise ExecutionError(
+            f"unbound LoopVar({node.name!r}); Iterate substitutes these before "
+            f"evaluating the body"
+        )
+
+    # -- relational ------------------------------------------------------------------
+
+    def _eval_filter(self, node: A.Filter, inputs) -> list[Row]:
+        rows = self._eval(node.child, inputs)
+        return [r for r in rows if eval_row(node.predicate, r) is True]
+
+    def _eval_project(self, node: A.Project, inputs) -> list[Row]:
+        rows = self._eval(node.child, inputs)
+        names = node.names
+        return [{n: r[n] for n in names} for r in rows]
+
+    def _eval_extend(self, node: A.Extend, inputs) -> list[Row]:
+        rows = self._eval(node.child, inputs)
+        out = []
+        for r in rows:
+            new = dict(r)
+            for name, expr in zip(node.names, node.exprs):
+                new[name] = eval_row(expr, r)  # exprs see the input row only
+            out.append(new)
+        return out
+
+    def _eval_rename(self, node: A.Rename, inputs) -> list[Row]:
+        rows = self._eval(node.child, inputs)
+        mapping = dict(node.mapping)
+        return [{mapping.get(k, k): v for k, v in r.items()} for r in rows]
+
+    def _eval_join(self, node: A.Join, inputs) -> list[Row]:
+        left = self._eval(node.left, inputs)
+        right = self._eval(node.right, inputs)
+        lkeys = [l for l, _ in node.on]
+        rkeys = [r for _, r in node.on]
+        right_rest = [
+            n for n in node.right.schema.names if n not in set(rkeys)
+        ]
+
+        def matches(lrow: Row, rrow: Row) -> bool:
+            for lk, rk in node.on:
+                lv, rv = lrow[lk], rrow[rk]
+                if lv is None or rv is None or lv != rv:
+                    return False
+            return True
+
+        out: list[Row] = []
+        if node.how == "semi":
+            return [l for l in left if any(matches(l, r) for r in right)]
+        if node.how == "anti":
+            return [l for l in left if not any(matches(l, r) for r in right)]
+
+        matched_right: set[int] = set()
+        for lrow in left:
+            hit = False
+            for ridx, rrow in enumerate(right):
+                if matches(lrow, rrow):
+                    hit = True
+                    matched_right.add(ridx)
+                    combined = dict(lrow)
+                    for n in right_rest:
+                        combined[n] = rrow[n]
+                    out.append(combined)
+            if not hit and node.how in ("left", "full"):
+                combined = dict(lrow)
+                for n in right_rest:
+                    combined[n] = None
+                out.append(combined)
+        if node.how == "full":
+            left_names = node.left.schema.names
+            for ridx, rrow in enumerate(right):
+                if ridx not in matched_right:
+                    combined = {n: None for n in left_names}
+                    for n in right_rest:
+                        combined[n] = rrow[n]
+                    out.append(combined)
+        return out
+
+    def _eval_product(self, node: A.Product, inputs) -> list[Row]:
+        left = self._eval(node.left, inputs)
+        right = self._eval(node.right, inputs)
+        return [{**l, **r} for l in left for r in right]
+
+    def _eval_aggregate(self, node: A.Aggregate, inputs) -> list[Row]:
+        rows = self._eval(node.child, inputs)
+        return _group_aggregate(rows, node.group_by, node.aggs,
+                                global_if_empty=not node.group_by)
+
+    def _eval_sort(self, node: A.Sort, inputs) -> list[Row]:
+        rows = list(self._eval(node.child, inputs))
+        # stable multi-key sort: apply keys right-to-left; nulls are smallest.
+        for key, asc in reversed(list(zip(node.keys, node.ascending))):
+            rows.sort(key=lambda r: _null_key(r[key]), reverse=not asc)
+        return rows
+
+    def _eval_limit(self, node: A.Limit, inputs) -> list[Row]:
+        rows = self._eval(node.child, inputs)
+        return rows[node.offset:node.offset + node.count]
+
+    def _eval_reverse(self, node: A.Reverse, inputs) -> list[Row]:
+        return list(reversed(self._eval(node.child, inputs)))
+
+    def _eval_distinct(self, node: A.Distinct, inputs) -> list[Row]:
+        rows = self._eval(node.child, inputs)
+        names = node.child.schema.names
+        seen: set[tuple] = set()
+        out = []
+        for r in rows:
+            key = tuple(r[n] for n in names)
+            if key not in seen:
+                seen.add(key)
+                out.append(r)
+        return out
+
+    def _eval_union(self, node: A.Union, inputs) -> list[Row]:
+        out_names = node.schema.names
+        left = self._eval(node.left, inputs)
+        right = self._eval(node.right, inputs)
+        return [{n: r[n] for n in out_names} for r in left + right]
+
+    def _eval_intersect(self, node: A.Intersect, inputs) -> list[Row]:
+        names = node.schema.names
+        right_keys = {
+            tuple(r[n] for n in names) for r in self._eval(node.right, inputs)
+        }
+        seen: set[tuple] = set()
+        out = []
+        for r in self._eval(node.left, inputs):
+            key = tuple(r[n] for n in names)
+            if key in right_keys and key not in seen:
+                seen.add(key)
+                out.append({n: r[n] for n in names})
+        return out
+
+    def _eval_except(self, node: A.Except, inputs) -> list[Row]:
+        names = node.schema.names
+        right_keys = {
+            tuple(r[n] for n in names) for r in self._eval(node.right, inputs)
+        }
+        seen: set[tuple] = set()
+        out = []
+        for r in self._eval(node.left, inputs):
+            key = tuple(r[n] for n in names)
+            if key not in right_keys and key not in seen:
+                seen.add(key)
+                out.append({n: r[n] for n in names})
+        return out
+
+    # -- dimension-aware ----------------------------------------------------------------
+
+    def _eval_as_dims(self, node: A.AsDims, inputs) -> list[Row]:
+        rows = self._eval(node.child, inputs)
+        _check_dimension_key(rows, node.dims, "AsDims")
+        return rows
+
+    def _eval_slice_dims(self, node: A.SliceDims, inputs) -> list[Row]:
+        rows = self._eval(node.child, inputs)
+        out = rows
+        for dim, lo, hi in node.bounds:
+            out = [r for r in out if lo <= r[dim] <= hi]
+        return out
+
+    def _eval_shift_dim(self, node: A.ShiftDim, inputs) -> list[Row]:
+        rows = self._eval(node.child, inputs)
+        return [{**r, node.dim: r[node.dim] + node.offset} for r in rows]
+
+    def _eval_regrid(self, node: A.Regrid, inputs) -> list[Row]:
+        rows = self._eval(node.child, inputs)
+        factors = dict(node.factors)
+        coarsened = [
+            {**r, **{d: r[d] // f for d, f in factors.items()}}
+            for r in rows
+        ]
+        dims = node.child.schema.dimension_names
+        return _group_aggregate(coarsened, dims, node.aggs, global_if_empty=False)
+
+    def _eval_window(self, node: A.Window, inputs) -> list[Row]:
+        rows = self._eval(node.child, inputs)
+        dims = node.child.schema.dimension_names
+        radii = dict(node.sizes)
+        out = []
+        for center in rows:
+            members = []
+            for other in rows:
+                ok = True
+                for d in dims:
+                    r = radii.get(d)
+                    if r is None:
+                        if other[d] != center[d]:
+                            ok = False
+                            break
+                    elif abs(other[d] - center[d]) > r:
+                        ok = False
+                        break
+                if ok:
+                    members.append(other)
+            result = {d: center[d] for d in dims}
+            for spec in node.aggs:
+                result[spec.name] = _agg_over(members, spec)
+            out.append(result)
+        return out
+
+    def _eval_reduce_dims(self, node: A.ReduceDims, inputs) -> list[Row]:
+        rows = self._eval(node.child, inputs)
+        dims = node.child.schema.dimension_names
+        keep = [d for d in dims if d in set(node.keep)]
+        return _group_aggregate(rows, tuple(keep), node.aggs,
+                                global_if_empty=not keep)
+
+    def _eval_transpose_dims(self, node: A.TransposeDims, inputs) -> list[Row]:
+        return self._eval(node.child, inputs)
+
+    def _eval_mat_mul(self, node: A.MatMul, inputs) -> list[Row]:
+        left = self._eval(node.left, inputs)
+        right = self._eval(node.right, inputs)
+        li, lk, lval = _matrix_names(node.left.schema)
+        rk, rj, rval = _matrix_names(node.right.schema)
+        out_schema = node.schema
+        out_i, out_j = out_schema.dimension_names
+        out_v = out_schema.value_names[0]
+
+        by_k: dict[int, list[tuple[int, Any]]] = {}
+        for r in right:
+            by_k.setdefault(r[rk], []).append((r[rj], r[rval]))
+        acc: dict[tuple[int, int], Any] = {}
+        for l in left:
+            lv = l[lval]
+            if lv is None:
+                continue
+            for j, rv in by_k.get(l[lk], ()):
+                if rv is None:
+                    continue
+                key = (l[li], j)
+                acc[key] = acc.get(key, 0) + lv * rv
+        return [
+            {out_i: i, out_j: j, out_v: v} for (i, j), v in acc.items()
+        ]
+
+    def _eval_cell_join(self, node: A.CellJoin, inputs) -> list[Row]:
+        left = self._eval(node.left, inputs)
+        right = self._eval(node.right, inputs)
+        dims = node.schema.dimension_names
+        lvals = node.left.schema.value_names
+        rvals = node.right.schema.value_names
+        index: dict[tuple, list[Row]] = {}
+        for r in right:
+            index.setdefault(tuple(r[d] for d in dims), []).append(r)
+        out = []
+        for l in left:
+            key = tuple(l[d] for d in dims)
+            for r in index.get(key, ()):
+                row = {d: l[d] for d in dims}
+                for n in lvals:
+                    row[n] = l[n]
+                for n in rvals:
+                    row[n] = r[n]
+                out.append(row)
+        return out
+
+    # -- control iteration ------------------------------------------------------------------
+
+    def _eval_iterate(self, node: A.Iterate, inputs) -> list[Row]:
+        state_schema = node.init.schema
+        state = self._eval(node.init, inputs)
+        for _ in range(node.max_iter):
+            bound = substitute_loop_var(
+                node.body, node.var, _inline(state_schema, state)
+            )
+            new_state = self._eval(bound, inputs)
+            if _converged(node.stop, state_schema, state, new_state):
+                return new_state
+            state = new_state
+        if node.stop.value_attr is not None and node.strict:
+            raise ConvergenceError(
+                f"Iterate did not converge within {node.max_iter} iterations"
+            )
+        return state
+
+
+# -- shared helpers ------------------------------------------------------------------------
+
+
+def _snake(name: str) -> str:
+    out = []
+    for i, ch in enumerate(name):
+        if ch.isupper() and i > 0:
+            out.append("_")
+        out.append(ch.lower())
+    return "".join(out)
+
+
+def _null_key(value: Any) -> tuple:
+    """Sort key making nulls the smallest value of any type."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    return (1, value)
+
+
+def _inline(schema: Schema, rows: list[Row]) -> A.InlineTable:
+    names = schema.names
+    return A.InlineTable(schema, tuple(tuple(r[n] for n in names) for r in rows))
+
+
+def _agg_over(rows: list[Row], spec: A.AggSpec) -> Any:
+    if spec.arg is None:
+        return apply_agg("count", rows, count_rows=True)
+    values = [eval_row(spec.arg, r) for r in rows]
+    return apply_agg(spec.func, values)
+
+
+def _group_aggregate(
+    rows: list[Row],
+    keys: tuple[str, ...],
+    aggs: tuple[A.AggSpec, ...],
+    *,
+    global_if_empty: bool,
+) -> list[Row]:
+    groups: dict[tuple, list[Row]] = {}
+    order: list[tuple] = []
+    for r in rows:
+        key = tuple(r[k] for k in keys)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(r)
+    if not rows and global_if_empty:
+        groups[()] = []
+        order.append(())
+    out = []
+    for key in order:
+        members = groups[key]
+        result: Row = dict(zip(keys, key))
+        for spec in aggs:
+            result[spec.name] = _agg_over(members, spec)
+        out.append(result)
+    return out
+
+
+def _check_dimension_key(rows: list[Row], dims: tuple[str, ...], op: str) -> None:
+    """Dimensions may not be null and must form a key (array coordinates)."""
+    seen: set[tuple] = set()
+    for r in rows:
+        coord = tuple(r[d] for d in dims)
+        if any(c is None for c in coord):
+            raise ExecutionError(f"{op}: null in dimension coordinate {coord}")
+        if coord in seen:
+            raise ExecutionError(
+                f"{op}: duplicate dimension coordinate {coord}; dimensions "
+                f"must uniquely identify cells"
+            )
+        seen.add(coord)
+
+
+def _matrix_names(schema: Schema) -> tuple[str, str, str]:
+    d0, d1 = schema.dimension_names
+    return d0, d1, schema.value_names[0]
+
+
+def _converged(
+    stop: A.Convergence,
+    schema: Schema,
+    old: list[Row],
+    new: list[Row],
+) -> bool:
+    if stop.value_attr is None:
+        return False
+    dims = schema.dimension_names
+    old_map = {tuple(r[d] for d in dims): r[stop.value_attr] for r in old}
+    new_map = {tuple(r[d] for d in dims): r[stop.value_attr] for r in new}
+    if set(old_map) != set(new_map):
+        return False
+    deltas = []
+    for key, old_v in old_map.items():
+        new_v = new_map[key]
+        if old_v is None or new_v is None:
+            if old_v is not new_v:
+                return False
+            deltas.append(0.0)
+        else:
+            deltas.append(abs(float(new_v) - float(old_v)))
+    if not deltas:
+        return True
+    if stop.norm == "linf":
+        delta = max(deltas)
+    else:
+        delta = math.fsum(deltas)
+    return delta <= stop.tolerance

@@ -1,0 +1,60 @@
+"""Relational provider: the SQLServer-like back end.
+
+Wraps :class:`repro.relational.engine.RelationalEngine` in the provider
+protocol.  Covers the full relational algebra plus every dimension-aware
+operator with a natural relational reading (slice, regrid, reduce,
+cell-join, and matmul via join-aggregate).  It cannot execute ``Window`` —
+a deliberate coverage gap that the federation planner must route around,
+exercising desideratum 1.
+"""
+
+from __future__ import annotations
+
+from ..core import algebra as A
+from ..relational.catalog import RelationalCatalog
+from ..relational.engine import EngineOptions, RelationalEngine
+from ..storage.table import ColumnTable
+from .base import Provider, capability_names
+
+
+class RelationalProvider(Provider):
+    """Columnar relational server with a local catalog and indexes."""
+
+    capabilities = capability_names(A.ALL_OPERATORS) - {"Window"}
+
+    def __init__(self, name: str, options: EngineOptions | None = None):
+        super().__init__(name)
+        self.catalog = RelationalCatalog()
+        self.engine = RelationalEngine(options, self.catalog)
+
+    def register_dataset(self, name: str, table: ColumnTable) -> None:
+        super().register_dataset(name, table)
+        self.catalog.register(name, table)
+
+    def create_index(self, dataset: str, column: str, kind: str = "hash") -> None:
+        """Build a secondary index over a stored dataset column.
+
+        ``kind`` is "hash" (equality probes) or "sorted" (range lookups).
+        """
+        if kind == "hash":
+            self.catalog.create_hash_index(dataset, column)
+        elif kind == "sorted":
+            self.catalog.create_sorted_index(dataset, column)
+        else:
+            raise ValueError(f"unknown index kind {kind!r}; use hash or sorted")
+
+    def cost_factor(self, node: A.Node) -> float:
+        # matmul runs as join+aggregate here: correct, but far from native
+        if isinstance(node, A.MatMul):
+            return 25.0
+        if isinstance(node, (A.Regrid, A.CellJoin)):
+            return 2.0
+        return 1.0
+
+    def _run(self, tree: A.Node, inputs: dict[str, ColumnTable]) -> ColumnTable:
+        def resolve(dataset: str) -> ColumnTable:
+            if dataset in inputs:
+                return inputs[dataset]
+            return self.dataset(dataset)
+
+        return self.engine.run(tree, resolve)

@@ -1,0 +1,121 @@
+"""The relational server's local catalog: stored tables, statistics, indexes.
+
+Statistics (row count, per-column distinct counts, min/max, null counts)
+are computed once at load and serve two masters: the local engine's
+access-path choice (index probe vs scan) and, indirectly, the federation
+cost model, which asks providers for dataset cardinalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.errors import PlanningError, SchemaError
+from ..core.types import DType
+from ..storage.table import ColumnTable
+from .indexes import HashIndex, SortedIndex
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics of one stored column."""
+
+    distinct: int
+    null_count: int
+    min: Any
+    max: Any
+
+    @classmethod
+    def compute(cls, table: ColumnTable, name: str) -> "ColumnStats":
+        column = table.column(name)
+        values = [v for v in column.to_list() if v is not None]
+        if not values:
+            return cls(distinct=0, null_count=column.null_count,
+                       min=None, max=None)
+        if column.dtype in (DType.INT64, DType.FLOAT64) and column.mask is None:
+            arr = column.values
+            return cls(
+                distinct=int(len(np.unique(arr))),
+                null_count=0,
+                min=arr.min().item(),
+                max=arr.max().item(),
+            )
+        return cls(
+            distinct=len(set(values)),
+            null_count=column.null_count,
+            min=min(values),
+            max=max(values),
+        )
+
+
+@dataclass
+class TableEntry:
+    """One stored table with its statistics and secondary indexes."""
+
+    table: ColumnTable
+    stats: dict[str, ColumnStats]
+    hash_indexes: dict[str, HashIndex] = field(default_factory=dict)
+    sorted_indexes: dict[str, SortedIndex] = field(default_factory=dict)
+
+    @property
+    def row_count(self) -> int:
+        return self.table.num_rows
+
+    def selectivity_of_equality(self, column: str) -> float:
+        """Estimated fraction of rows matching ``column = const``."""
+        stats = self.stats.get(column)
+        if stats is None or stats.distinct == 0 or self.row_count == 0:
+            return 1.0
+        return 1.0 / stats.distinct
+
+
+class RelationalCatalog:
+    """All tables stored on one relational server."""
+
+    def __init__(self):
+        self._entries: dict[str, TableEntry] = {}
+
+    def register(self, name: str, table: ColumnTable) -> TableEntry:
+        entry = TableEntry(
+            table=table,
+            stats={n: ColumnStats.compute(table, n) for n in table.schema.names},
+        )
+        self._entries[name] = entry
+        return entry
+
+    def drop(self, name: str) -> None:
+        self._entries.pop(name, None)
+
+    def entry(self, name: str) -> TableEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise PlanningError(
+                f"no table {name!r} in catalog; have {sorted(self._entries)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def create_hash_index(self, name: str, column: str) -> HashIndex:
+        entry = self.entry(name)
+        if column not in entry.table.schema:
+            raise SchemaError(
+                f"table {name!r} has no column {column!r}"
+            )
+        index = HashIndex(entry.table.column(column))
+        entry.hash_indexes[column] = index
+        return index
+
+    def create_sorted_index(self, name: str, column: str) -> SortedIndex:
+        entry = self.entry(name)
+        if column not in entry.table.schema:
+            raise SchemaError(
+                f"table {name!r} has no column {column!r}"
+            )
+        index = SortedIndex(entry.table.column(column))
+        entry.sorted_indexes[column] = index
+        return index

@@ -1,0 +1,484 @@
+"""The relational engine: vectorized execution of the algebra's tabular core.
+
+This is the project's SQLServer stand-in.  It executes expression trees over
+columnar tables with vectorized filters, hash/merge joins, scatter-based
+aggregation and stable multi-key sorts.  Dimension-aware operators with a
+natural relational reading (slice = filter, regrid/reduce = group-by,
+cell-join = equi-join, matmul = join + group-by) are supported too — which
+is precisely what makes the intent-preservation experiment (E3) possible:
+this engine *can* run a MatMul, just slowly, via its join-aggregate
+formulation.
+
+The engine is deliberately provider-agnostic: it takes a resolver for scan
+leaves and returns ColumnTables.  :class:`EngineOptions` exposes the
+physical knobs the ablation benches (E8/E10) sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core import algebra as A
+from ..core.errors import ConvergenceError, ExecutionError
+from ..core.schema import Schema
+from ..core.types import DType
+from ..core.expressions import BinOp, Col, Expr, Lit
+from ..storage.column import Column
+from ..storage.table import ColumnTable
+from . import joins
+from .aggregation import factorize, group_aggregate
+from .catalog import RelationalCatalog
+from .eval import eval_vector
+from .sorting import sort_indices
+
+Resolver = Callable[[str], ColumnTable]
+
+
+@dataclass
+class EngineOptions:
+    """Physical execution knobs (swept by the ablation benchmarks)."""
+
+    #: "auto" picks hash; "merge" forces sort-merge (inner joins only);
+    #: "nested" forces the quadratic baseline.
+    join_algorithm: str = "auto"
+    #: assume join inputs are already sorted on their keys (merge join only)
+    assume_sorted: bool = False
+
+
+class RelationalEngine:
+    """Executes algebra trees over columnar tables.
+
+    When constructed with a :class:`RelationalCatalog`, filters directly
+    over stored base tables use secondary indexes where one matches the
+    predicate (equality via hash index, ranges via sorted index);
+    ``index_hits`` counts how often that access path fired.
+    """
+
+    def __init__(
+        self,
+        options: EngineOptions | None = None,
+        catalog: RelationalCatalog | None = None,
+    ):
+        self.options = options or EngineOptions()
+        self.catalog = catalog
+        self.index_hits = 0
+
+    def run(
+        self,
+        node: A.Node,
+        resolver: Resolver,
+        env: dict[str, ColumnTable] | None = None,
+    ) -> ColumnTable:
+        """Execute ``node``; ``env`` binds LoopVar names inside Iterate."""
+        return self._exec(node, resolver, env or {})
+
+    # -- dispatcher --------------------------------------------------------------
+
+    def _exec(self, node: A.Node, resolver: Resolver, env: dict) -> ColumnTable:
+        if isinstance(node, A.Scan):
+            return resolver(node.name)
+        if isinstance(node, A.InlineTable):
+            return ColumnTable.from_rows(node.table_schema, node.rows)
+        if isinstance(node, A.LoopVar):
+            try:
+                return env[node.name]
+            except KeyError:
+                raise ExecutionError(f"unbound LoopVar({node.name!r})") from None
+        if isinstance(node, A.Filter):
+            return self._filter(node, resolver, env)
+        if isinstance(node, A.Project):
+            return self._exec(node.child, resolver, env).select(node.names)
+        if isinstance(node, A.Extend):
+            return self._extend(node, resolver, env)
+        if isinstance(node, A.Rename):
+            child = self._exec(node.child, resolver, env)
+            return child.rename(dict(node.mapping))
+        if isinstance(node, A.Join):
+            return self._join(node, resolver, env)
+        if isinstance(node, A.Product):
+            return self._product(node, resolver, env)
+        if isinstance(node, A.Aggregate):
+            child = self._exec(node.child, resolver, env)
+            return group_aggregate(child, node.group_by, node.aggs, node.schema)
+        if isinstance(node, A.Sort):
+            child = self._exec(node.child, resolver, env)
+            return child.take(sort_indices(child, node.keys, node.ascending))
+        if isinstance(node, A.Limit):
+            child = self._exec(node.child, resolver, env)
+            return child.slice(node.offset, node.offset + node.count)
+        if isinstance(node, A.Reverse):
+            return self._exec(node.child, resolver, env).reverse()
+        if isinstance(node, A.Distinct):
+            return self._distinct(self._exec(node.child, resolver, env))
+        if isinstance(node, A.Union):
+            return self._union(node, resolver, env)
+        if isinstance(node, (A.Intersect, A.Except)):
+            return self._set_op(node, resolver, env)
+        if isinstance(node, A.AsDims):
+            return self._as_dims(node, resolver, env)
+        if isinstance(node, A.SliceDims):
+            return self._slice_dims(node, resolver, env)
+        if isinstance(node, A.ShiftDim):
+            return self._shift_dim(node, resolver, env)
+        if isinstance(node, A.Regrid):
+            return self._regrid(node, resolver, env)
+        if isinstance(node, A.ReduceDims):
+            return self._reduce_dims(node, resolver, env)
+        if isinstance(node, A.TransposeDims):
+            child = self._exec(node.child, resolver, env)
+            return ColumnTable(node.schema, child.columns)
+        if isinstance(node, A.CellJoin):
+            return self._cell_join(node, resolver, env)
+        if isinstance(node, A.MatMul):
+            return self._matmul_as_join_aggregate(node, resolver, env)
+        if isinstance(node, A.Iterate):
+            return self._iterate(node, resolver, env)
+        raise ExecutionError(f"relational engine: unsupported operator {node.op_name}")
+
+    # -- relational operators ---------------------------------------------------------
+
+    def _filter(self, node: A.Filter, resolver: Resolver, env: dict) -> ColumnTable:
+        via_index = self._index_filter(node)
+        if via_index is not None:
+            return via_index
+        child = self._exec(node.child, resolver, env)
+        return self._apply_predicate(child, node.predicate)
+
+    def _apply_predicate(self, child: ColumnTable, predicate: Expr) -> ColumnTable:
+        pred = eval_vector(predicate, child)
+        keep = pred.values.astype(bool)
+        if pred.mask is not None:
+            keep = keep & ~pred.mask  # null predicate drops the row
+        return child.filter(keep)
+
+    # -- index-aware access path -----------------------------------------------------
+
+    def _index_filter(self, node: A.Filter) -> ColumnTable | None:
+        """Serve a filter over a stored base table from a secondary index.
+
+        Splits the predicate into conjuncts, serves the first indexable one
+        with a probe/range lookup, and applies the rest vectorized over the
+        (usually much smaller) fetched subset.
+        """
+        if self.catalog is None:
+            return None
+        child = node.child
+        project: A.Project | None = None
+        if isinstance(child, A.Project):  # optimizer-inserted pruning veneer
+            project = child
+            child = child.child
+        if not isinstance(child, A.Scan):
+            return None
+        name = child.name
+        if name.startswith("@") or name not in self.catalog:
+            return None  # fragment inputs are never served from the catalog
+        entry = self.catalog.entry(name)
+        conjuncts = _split_conjuncts(node.predicate)
+        for pos, conjunct in enumerate(conjuncts):
+            rows = self._probe(entry, conjunct)
+            if rows is None:
+                continue
+            self.index_hits += 1
+            subset = entry.table.take(rows)
+            if project is not None:
+                subset = subset.select(project.names)
+            rest = conjuncts[:pos] + conjuncts[pos + 1:]
+            for other in rest:
+                subset = self._apply_predicate(subset, other)
+            return subset
+        return None
+
+    def _probe(self, entry, conjunct: Expr) -> "np.ndarray | None":
+        if not isinstance(conjunct, BinOp):
+            return None
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, Lit) and isinstance(right, Col):
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                       "==": "=="}.get(conjunct.op)
+            if flipped is None:
+                return None
+            left, right = right, left
+            op = flipped
+        elif isinstance(left, Col) and isinstance(right, Lit):
+            op = conjunct.op
+        else:
+            return None
+        column, value = left.name, right.value
+        if value is None:
+            return None
+        if op == "==":
+            hash_index = entry.hash_indexes.get(column)
+            if hash_index is not None:
+                return hash_index.lookup(value)
+            sorted_index = entry.sorted_indexes.get(column)
+            if sorted_index is not None:
+                return sorted_index.equality_lookup(value)
+            return None
+        if op in ("<", "<=", ">", ">="):
+            sorted_index = entry.sorted_indexes.get(column)
+            if sorted_index is None:
+                return None
+            if op in ("<", "<="):
+                return sorted_index.range_lookup(
+                    None, value, high_inclusive=(op == "<=")
+                )
+            return sorted_index.range_lookup(
+                value, None, low_inclusive=(op == ">=")
+            )
+        return None
+
+    def _extend(self, node: A.Extend, resolver: Resolver, env: dict) -> ColumnTable:
+        child = self._exec(node.child, resolver, env)
+        out = child
+        for name, expr in zip(node.names, node.exprs):
+            column = eval_vector(expr, child)  # exprs see the input table only
+            out = out.with_column(name, column.dtype, column)
+        return ColumnTable(node.schema, out.columns)
+
+    def _join(self, node: A.Join, resolver: Resolver, env: dict) -> ColumnTable:
+        left = self._exec(node.left, resolver, env)
+        right = self._exec(node.right, resolver, env)
+        lkeys = [l for l, _ in node.on]
+        rkeys = [r for _, r in node.on]
+
+        algorithm = self.options.join_algorithm
+        if algorithm == "merge" and node.how == "inner":
+            lidx, ridx = joins.merge_join(
+                left, right, lkeys, rkeys,
+                presorted=self.options.assume_sorted,
+            )
+        elif algorithm == "nested" and node.how == "inner":
+            lidx, ridx = joins.nested_loop_join(left, right, lkeys, rkeys)
+        else:
+            lidx, ridx = joins.hash_join(left, right, lkeys, rkeys, node.how)
+
+        if node.how in ("semi", "anti"):
+            return ColumnTable(node.schema, left.take(lidx).columns)
+        right_keep = [n for n in right.schema.names if n not in set(rkeys)]
+        return joins.gather_join_output(
+            left, right, right_keep, lidx, ridx, node.schema
+        )
+
+    def _product(self, node: A.Product, resolver: Resolver, env: dict) -> ColumnTable:
+        left = self._exec(node.left, resolver, env)
+        right = self._exec(node.right, resolver, env)
+        lidx = np.repeat(np.arange(left.num_rows, dtype=np.int64), right.num_rows)
+        ridx = np.tile(np.arange(right.num_rows, dtype=np.int64), left.num_rows)
+        columns = {n: left.column(n).take(lidx) for n in left.schema.names}
+        columns.update({n: right.column(n).take(ridx) for n in right.schema.names})
+        return ColumnTable(node.schema, columns)
+
+    def _distinct(self, table: ColumnTable) -> ColumnTable:
+        gids, _ = factorize(table, table.schema.names)
+        if len(gids) == 0:
+            return table
+        first = np.full(int(gids.max()) + 1 if len(gids) else 0, -1, dtype=np.int64)
+        for pos in range(len(gids) - 1, -1, -1):
+            first[gids[pos]] = pos
+        return table.take(np.sort(first))
+
+    def _union(self, node: A.Union, resolver: Resolver, env: dict) -> ColumnTable:
+        left = self._exec(node.left, resolver, env)
+        right = self._exec(node.right, resolver, env)
+        out_schema = node.schema
+        return ColumnTable.concat([
+            _coerce(left, out_schema), _coerce(right, out_schema)
+        ])
+
+    def _set_op(self, node: A.Intersect | A.Except, resolver: Resolver, env: dict) -> ColumnTable:
+        left = _coerce(self._exec(node.left, resolver, env), node.schema)
+        right = _coerce(self._exec(node.right, resolver, env), node.schema)
+        right_keys = set(right.iter_rows())
+        keep_if_present = isinstance(node, A.Intersect)
+        seen: set[tuple] = set()
+        keep = np.zeros(left.num_rows, dtype=bool)
+        for i, row in enumerate(left.iter_rows()):
+            if (row in right_keys) is keep_if_present and row not in seen:
+                seen.add(row)
+                keep[i] = True
+        return left.filter(keep)
+
+    # -- dimension-aware operators ---------------------------------------------------------
+
+    def _as_dims(self, node: A.AsDims, resolver: Resolver, env: dict) -> ColumnTable:
+        child = self._exec(node.child, resolver, env)
+        gids, groups = factorize(child, node.dims)
+        if len(groups) != child.num_rows:
+            raise ExecutionError(
+                f"AsDims: dimensions {list(node.dims)} do not form a key "
+                f"({child.num_rows} rows, {len(groups)} distinct coordinates)"
+            )
+        return ColumnTable(node.schema, child.columns)
+
+    def _slice_dims(self, node: A.SliceDims, resolver: Resolver, env: dict) -> ColumnTable:
+        child = self._exec(node.child, resolver, env)
+        keep = np.ones(child.num_rows, dtype=bool)
+        for dim, lo, hi in node.bounds:
+            values = child.array(dim)
+            keep &= (values >= lo) & (values <= hi)
+        return child.filter(keep)
+
+    def _shift_dim(self, node: A.ShiftDim, resolver: Resolver, env: dict) -> ColumnTable:
+        child = self._exec(node.child, resolver, env)
+        columns = dict(child.columns)
+        columns[node.dim] = Column(
+            DType.INT64, child.array(node.dim) + node.offset
+        )
+        return ColumnTable(node.schema, columns)
+
+    def _regrid(self, node: A.Regrid, resolver: Resolver, env: dict) -> ColumnTable:
+        child = self._exec(node.child, resolver, env)
+        factors = dict(node.factors)
+        columns = dict(child.columns)
+        for dim, factor in factors.items():
+            columns[dim] = Column(
+                DType.INT64, np.floor_divide(child.array(dim), factor)
+            )
+        coarse = ColumnTable(child.schema, columns)
+        dims = child.schema.dimension_names
+        return group_aggregate(coarse, dims, node.aggs, node.schema)
+
+    def _reduce_dims(self, node: A.ReduceDims, resolver: Resolver, env: dict) -> ColumnTable:
+        child = self._exec(node.child, resolver, env)
+        keep = [d for d in child.schema.dimension_names if d in set(node.keep)]
+        return group_aggregate(child, keep, node.aggs, node.schema)
+
+    def _cell_join(self, node: A.CellJoin, resolver: Resolver, env: dict) -> ColumnTable:
+        left = self._exec(node.left, resolver, env)
+        right = self._exec(node.right, resolver, env)
+        dims = list(node.schema.dimension_names)
+        lidx, ridx = joins.hash_join(left, right, dims, dims, "inner")
+        columns = {}
+        for name in left.schema.names:
+            columns[name] = left.column(name).take(lidx)
+        for name in node.right.schema.value_names:
+            columns[name] = right.column(name).take(ridx)
+        return ColumnTable(node.schema, columns)
+
+    def _matmul_as_join_aggregate(
+        self, node: A.MatMul, resolver: Resolver, env: dict
+    ) -> ColumnTable:
+        """The relational formulation: join on the shared dimension, multiply,
+        group by the outer dimensions, sum.  Correct but much slower than a
+        native linear-algebra engine — the point of experiment E3."""
+        from ..core.expressions import col
+
+        left = self._exec(node.left, resolver, env)
+        right = self._exec(node.right, resolver, env)
+        li, lk = node.left.schema.dimension_names
+        rk, rj = node.right.schema.dimension_names
+        lval = node.left.schema.value_names[0]
+        rval = node.right.schema.value_names[0]
+
+        lidx, ridx = joins.hash_join(left, right, [lk], [rk], "inner")
+        out_schema = node.schema
+        out_i, out_j = out_schema.dimension_names
+        out_v = out_schema.value_names[0]
+
+        i_col = left.column(li).take(lidx)
+        j_col = right.column(rj).take(ridx)
+        lv = left.column(lval).take(lidx)
+        rv = right.column(rval).take(ridx)
+        product_values = lv.values * rv.values
+        product_mask = None
+        if lv.mask is not None or rv.mask is not None:
+            product_mask = np.zeros(len(product_values), dtype=bool)
+            if lv.mask is not None:
+                product_mask |= lv.mask
+            if rv.mask is not None:
+                product_mask |= rv.mask
+        joined_schema = Schema([
+            out_schema[out_i].as_value(), out_schema[out_j].as_value(),
+            out_schema[out_v],
+        ])
+        joined = ColumnTable(joined_schema, {
+            out_i: Column(DType.INT64, i_col.values, i_col.mask),
+            out_j: Column(DType.INT64, j_col.values, j_col.mask),
+            out_v: Column(out_schema[out_v].dtype,
+                          product_values.astype(out_schema[out_v].dtype.to_numpy()),
+                          product_mask),
+        })
+        summed = group_aggregate(
+            joined, (out_i, out_j),
+            (A.AggSpec(out_v, "sum", col(out_v)),),
+            node.schema,
+        )
+        # drop all-null sums (cells with only null contributions do not exist)
+        out_col = summed.column(out_v)
+        if out_col.mask is not None:
+            summed = summed.filter(~out_col.mask)
+        return summed
+
+    # -- control iteration --------------------------------------------------------------------
+
+    def _iterate(self, node: A.Iterate, resolver: Resolver, env: dict) -> ColumnTable:
+        state = self._exec(node.init, resolver, env)
+        state_schema = node.init.schema
+        for _ in range(node.max_iter):
+            inner_env = dict(env)
+            inner_env[node.var] = state
+            new_state = self._exec(node.body, resolver, inner_env)
+            new_state = _coerce(new_state, state_schema)
+            if self._converged(node.stop, state_schema, state, new_state):
+                return new_state
+            state = new_state
+        if node.stop.value_attr is not None and node.strict:
+            raise ConvergenceError(
+                f"Iterate did not converge within {node.max_iter} iterations"
+            )
+        return state
+
+    def _converged(
+        self,
+        stop: A.Convergence,
+        schema: Schema,
+        old: ColumnTable,
+        new: ColumnTable,
+    ) -> bool:
+        if stop.value_attr is None:
+            return False
+        dims = list(schema.dimension_names)
+        if old.num_rows != new.num_rows:
+            return False
+        old_sorted = old.take(sort_indices(old, dims, [True] * len(dims)))
+        new_sorted = new.take(sort_indices(new, dims, [True] * len(dims)))
+        for d in dims:
+            if not np.array_equal(old_sorted.array(d), new_sorted.array(d)):
+                return False
+        ov = old_sorted.column(stop.value_attr)
+        nv = new_sorted.column(stop.value_attr)
+        if ov.mask is not None or nv.mask is not None:
+            om = ov.mask if ov.mask is not None else np.zeros(len(ov), dtype=bool)
+            nm = nv.mask if nv.mask is not None else np.zeros(len(nv), dtype=bool)
+            if not np.array_equal(om, nm):
+                return False
+            valid = ~om
+        else:
+            valid = slice(None)
+        deltas = np.abs(
+            nv.values[valid].astype(np.float64) - ov.values[valid].astype(np.float64)
+        )
+        if deltas.size == 0:
+            return True
+        delta = float(deltas.max()) if stop.norm == "linf" else float(deltas.sum())
+        return delta <= stop.tolerance
+
+
+def _split_conjuncts(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BinOp) and expr.op == "and":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _coerce(table: ColumnTable, schema: Schema) -> ColumnTable:
+    """Adapt a table to an equally-named schema (numeric promotion, retag)."""
+    columns = {}
+    for attr in schema:
+        column = table.column(attr.name)
+        if column.dtype is not attr.dtype:
+            column = column.cast(attr.dtype)
+        columns[attr.name] = column
+    return ColumnTable(schema, columns)

@@ -1,0 +1,277 @@
+"""Vectorized scalar-expression evaluation over ColumnTables.
+
+This is the columnar counterpart of :func:`repro.core.expressions.eval_row`:
+it evaluates an expression for *all* rows of a table at once, returning a
+:class:`~repro.storage.column.Column`.  Null semantics are identical to the
+reference path (null propagates through every operator; ``IsNull`` is never
+null; a null ``If`` condition selects the else branch), which the test suite
+cross-checks property-style.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core import expressions as E
+from ..core.errors import ExecutionError
+from ..core.types import DType
+from ..storage.column import Column
+from ..storage.table import ColumnTable
+
+_NP_MATH: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "sqrt": np.sqrt,
+    "exp": np.exp,
+    "log": np.log,
+    "log2": np.log2,
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+    "abs": np.abs,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "sign": np.sign,
+}
+
+
+def eval_vector(expr: E.Expr, table: ColumnTable) -> Column:
+    """Evaluate ``expr`` against every row of ``table`` at once."""
+    dtype = expr.infer_type(table.schema)
+    values, mask = _eval(expr, table)
+    target = dtype.to_numpy()
+    if values.dtype != target:
+        values = values.astype(target)
+    return Column(dtype, values, mask)
+
+
+def _eval(expr: E.Expr, table: ColumnTable) -> tuple[np.ndarray, np.ndarray | None]:
+    n = table.num_rows
+
+    if isinstance(expr, E.Col):
+        column = table.column(expr.name)
+        return column.values, None if column.mask is None else column.mask.copy()
+
+    if isinstance(expr, E.Lit):
+        assert expr.dtype is not None
+        if expr.value is None:
+            fill = {"int64": 0, "float64": 0.0, "bool": False}.get(
+                expr.dtype.value, ""
+            )
+            return (
+                np.full(n, fill, dtype=expr.dtype.to_numpy()),
+                np.ones(n, dtype=bool),
+            )
+        return np.full(n, expr.value, dtype=expr.dtype.to_numpy()), None
+
+    if isinstance(expr, E.IsNull):
+        _, mask = _eval(expr.operand, table)
+        if mask is None:
+            return np.zeros(n, dtype=bool), None
+        return mask.copy(), None
+
+    if isinstance(expr, E.Cast):
+        values, mask = _eval(expr.operand, table)
+        return _cast_array(values, expr.operand.infer_type(table.schema), expr.to, mask), mask
+
+    if isinstance(expr, E.UnaryOp):
+        values, mask = _eval(expr.operand, table)
+        if expr.op == "-":
+            return -values, mask
+        return ~values.astype(bool), mask
+
+    if isinstance(expr, E.Func):
+        values, mask = _eval(expr.args[0], table)
+        arg_type = expr.args[0].infer_type(table.schema)
+        if expr.name in _NP_MATH:
+            with np.errstate(all="ignore"):
+                out = _NP_MATH[expr.name](values.astype(np.float64)
+                                          if arg_type is DType.INT64 and expr.name != "abs"
+                                          else values)
+            if expr.name == "sign":
+                out = out.astype(np.float64)
+            return out, mask
+        # string functions run element-wise over object arrays
+        fn = E.STRING_FUNCS[expr.name]
+        out_list = [fn(v) for v in values]
+        result_dtype = np.int64 if expr.name == "length" else object
+        return np.array(out_list, dtype=result_dtype), mask
+
+    if isinstance(expr, E.If):
+        cond_v, cond_m = _eval(expr.cond, table)
+        then_v, then_m = _eval(expr.then, table)
+        else_v, else_m = _eval(expr.otherwise, table)
+        # a null condition selects the else branch
+        take_then = cond_v.astype(bool)
+        if cond_m is not None:
+            take_then = take_then & ~cond_m
+        then_v, else_v = _align_pair(then_v, else_v)
+        values = np.where(take_then, then_v, else_v)
+        mask = _merge_where(take_then, then_m, else_m, n)
+        return values, mask
+
+    if isinstance(expr, E.BinOp):
+        return _eval_binop(expr, table)
+
+    raise ExecutionError(f"cannot vectorize expression {type(expr).__name__}")
+
+
+def _eval_binop(expr: E.BinOp, table: ColumnTable) -> tuple[np.ndarray, np.ndarray | None]:
+    left_v, left_m = _eval(expr.left, table)
+    right_v, right_m = _eval(expr.right, table)
+    mask = _or_masks(left_m, right_m)
+    op = expr.op
+
+    if op in ("and", "or"):
+        lb, rb = left_v.astype(bool), right_v.astype(bool)
+        values = (lb & rb) if op == "and" else (lb | rb)
+        return values, mask
+
+    left_is_str = left_v.dtype == object
+    if left_is_str and op == "+":
+        values = np.array(
+            [a + b for a, b in zip(left_v, right_v)], dtype=object
+        )
+        return values, mask
+    if left_is_str or right_v.dtype == object:
+        # string comparisons element-wise
+        values = np.fromiter(
+            (_compare(op, a, b) for a, b in zip(left_v, right_v)),
+            dtype=bool, count=len(left_v),
+        )
+        return values, mask
+
+    left_v, right_v = _align_pair(left_v, right_v)
+    with np.errstate(all="ignore"):
+        if op == "+":
+            values = left_v + right_v
+        elif op == "-":
+            values = left_v - right_v
+        elif op == "*":
+            values = left_v * right_v
+        elif op == "/":
+            values = np.divide(left_v.astype(np.float64), right_v.astype(np.float64))
+        elif op == "//":
+            values = _floor_div(left_v, right_v)
+        elif op == "%":
+            values = _mod(left_v, right_v)
+        elif op == "**":
+            values = _power(left_v, right_v)
+        elif op == "==":
+            values = left_v == right_v
+        elif op == "!=":
+            values = left_v != right_v
+        elif op == "<":
+            values = left_v < right_v
+        elif op == "<=":
+            values = left_v <= right_v
+        elif op == ">":
+            values = left_v > right_v
+        elif op == ">=":
+            values = left_v >= right_v
+        else:
+            raise ExecutionError(f"unknown binary operator {op!r}")
+    return values, mask
+
+
+def _compare(op: str, a, b) -> bool:
+    if op == "==":
+        return a == b
+    if op == "!=":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    return a >= b
+
+
+def _floor_div(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    if np.issubdtype(left.dtype, np.integer) and np.issubdtype(right.dtype, np.integer):
+        if (right == 0).any():
+            raise ExecutionError("integer floor division by zero")
+    return np.floor_divide(left, right)
+
+
+def _mod(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    if np.issubdtype(left.dtype, np.integer) and np.issubdtype(right.dtype, np.integer):
+        if (right == 0).any():
+            raise ExecutionError("integer modulo by zero")
+    return np.mod(left, right)
+
+
+def _power(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    both_int = (
+        np.issubdtype(left.dtype, np.integer)
+        and np.issubdtype(right.dtype, np.integer)
+    )
+    if both_int and (right < 0).any():
+        return np.power(left.astype(np.float64), right.astype(np.float64))
+    return np.power(left, right)
+
+
+def _align_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Promote a numeric pair to a common dtype (int64 stays int64)."""
+    if a.dtype == b.dtype or a.dtype == object or b.dtype == object:
+        return a, b
+    if a.dtype == np.bool_ or b.dtype == np.bool_:
+        return a, b
+    common = np.result_type(a.dtype, b.dtype)
+    return a.astype(common), b.astype(common)
+
+
+def _or_masks(a: np.ndarray | None, b: np.ndarray | None) -> np.ndarray | None:
+    if a is None:
+        return None if b is None else b.copy()
+    if b is None:
+        return a.copy()
+    return a | b
+
+
+def _merge_where(
+    take_then: np.ndarray,
+    then_m: np.ndarray | None,
+    else_m: np.ndarray | None,
+    n: int,
+) -> np.ndarray | None:
+    if then_m is None and else_m is None:
+        return None
+    tm = then_m if then_m is not None else np.zeros(n, dtype=bool)
+    em = else_m if else_m is not None else np.zeros(n, dtype=bool)
+    return np.where(take_then, tm, em)
+
+
+def _cast_array(
+    values: np.ndarray, src: DType, to: DType, mask: np.ndarray | None
+) -> np.ndarray:
+    if src is to:
+        return values
+    if to is DType.STRING:
+        out = np.empty(len(values), dtype=object)
+        for i, v in enumerate(values):
+            if mask is not None and mask[i]:
+                out[i] = ""
+                continue
+            if src is DType.FLOAT64:
+                out[i] = str(float(v))
+            elif src is DType.BOOL:
+                out[i] = str(bool(v))
+            else:
+                out[i] = str(int(v))
+        return out
+    if src is DType.STRING:
+        out_np = np.zeros(len(values), dtype=to.to_numpy())
+        for i, v in enumerate(values):
+            if mask is not None and mask[i]:
+                continue
+            try:
+                out_np[i] = int(v) if to is DType.INT64 else float(v)
+            except ValueError as exc:
+                raise ExecutionError(f"cannot cast {v!r} to {to.name}") from exc
+        return out_np
+    if to is DType.INT64 and src is DType.FLOAT64:
+        safe = np.where(np.isfinite(values), values, 0.0)
+        return np.trunc(safe).astype(np.int64)
+    return values.astype(to.to_numpy())

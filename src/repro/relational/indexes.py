@@ -1,0 +1,109 @@
+"""Secondary indexes for the relational engine.
+
+Two classic structures over a stored column:
+
+* :class:`HashIndex` — value -> row positions; O(1) equality probes.
+* :class:`SortedIndex` — an argsort order with binary-search range lookups.
+
+Indexes return *row position arrays*, which the engine turns into results
+with :meth:`ColumnTable.take` — so they compose with every downstream
+operator.  Null rows are never indexed (predicates never match null).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.types import DType
+from ..storage.column import Column
+
+
+class HashIndex:
+    """Equality index: value -> sorted array of row positions."""
+
+    def __init__(self, column: Column):
+        self.dtype = column.dtype
+        buckets: dict[Any, list[int]] = {}
+        for pos, value in enumerate(column.to_list()):
+            if value is None:
+                continue
+            buckets.setdefault(value, []).append(pos)
+        self._buckets = {
+            value: np.array(rows, dtype=np.int64)
+            for value, rows in buckets.items()
+        }
+
+    def lookup(self, value: Any) -> np.ndarray:
+        """Row positions whose column equals ``value`` (empty if none)."""
+        if value is None:
+            return np.empty(0, dtype=np.int64)
+        hit = self._buckets.get(value)
+        return hit if hit is not None else np.empty(0, dtype=np.int64)
+
+    def lookup_many(self, values) -> np.ndarray:
+        parts = [self.lookup(v) for v in values]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    @property
+    def distinct_values(self) -> int:
+        return len(self._buckets)
+
+
+class SortedIndex:
+    """Order index: binary-searchable view of a column."""
+
+    def __init__(self, column: Column):
+        self.dtype = column.dtype
+        values = column.to_list()
+        non_null = [(v, pos) for pos, v in enumerate(values) if v is not None]
+        non_null.sort(key=lambda item: item[0])
+        self._keys = [v for v, _ in non_null]
+        self._positions = np.array(
+            [pos for _, pos in non_null], dtype=np.int64
+        )
+        if self.dtype in (DType.INT64, DType.FLOAT64):
+            self._np_keys = np.array(self._keys, dtype=np.float64)
+        else:
+            self._np_keys = None
+
+    def range_lookup(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> np.ndarray:
+        """Row positions with column value in the given (optional) bounds."""
+        import bisect
+
+        start = 0
+        stop = len(self._keys)
+        if low is not None:
+            if low_inclusive:
+                start = bisect.bisect_left(self._keys, low)
+            else:
+                start = bisect.bisect_right(self._keys, low)
+        if high is not None:
+            if high_inclusive:
+                stop = bisect.bisect_right(self._keys, high)
+            else:
+                stop = bisect.bisect_left(self._keys, high)
+        if start >= stop:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(self._positions[start:stop])
+
+    def equality_lookup(self, value: Any) -> np.ndarray:
+        return self.range_lookup(value, value)
+
+    @property
+    def min(self) -> Any:
+        return self._keys[0] if self._keys else None
+
+    @property
+    def max(self) -> Any:
+        return self._keys[-1] if self._keys else None

@@ -1,0 +1,250 @@
+"""Join algorithms for the relational engine.
+
+Three physical implementations of the algebra's equi-join:
+
+* :func:`hash_join` — build a hash table on the right input, probe with the
+  left.  The default; handles every join kind.
+* :func:`merge_join` — sort-merge join for inner joins; wins when inputs are
+  already sorted on the key (the E10 bench measures exactly this trade-off).
+* :func:`nested_loop_join` — the quadratic baseline, kept for the join
+  ablation bench and as an obviously-correct cross-check.
+
+All three return ``(left_indices, right_indices)`` gather arrays, where
+``-1`` means "pad with nulls" (outer joins); the caller gathers columns with
+:meth:`Column.take`, which understands ``-1``.
+
+Null join keys never match anything, per the algebra's semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.table import ColumnTable
+
+
+def _key_rows(table: ColumnTable, keys: list[str]) -> list[tuple | None]:
+    """Per-row key tuples; None for rows whose key contains a null."""
+    columns = [table.column(k).to_list() for k in keys]
+    out: list[tuple | None] = []
+    for row in zip(*columns):
+        out.append(None if any(v is None for v in row) else row)
+    return out
+
+
+def _single_int_key(table: ColumnTable, keys: list[str]) -> np.ndarray | None:
+    """The key column's raw int64 values, when the vectorized path applies."""
+    if len(keys) != 1:
+        return None
+    column = table.column(keys[0])
+    if column.mask is not None or column.values.dtype != np.int64:
+        return None
+    return column.values
+
+
+def _vectorized_equi_join(
+    lk: np.ndarray, rk: np.ndarray, how: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-int-key equi-join via sort + binary search, fully vectorized."""
+    order = np.argsort(rk, kind="stable")
+    sorted_rk = rk[order]
+    lo = np.searchsorted(sorted_rk, lk, side="left")
+    hi = np.searchsorted(sorted_rk, lk, side="right")
+    counts = hi - lo
+
+    if how == "semi":
+        return np.nonzero(counts > 0)[0].astype(np.int64), np.empty(0, dtype=np.int64)
+    if how == "anti":
+        return np.nonzero(counts == 0)[0].astype(np.int64), np.empty(0, dtype=np.int64)
+
+    total = int(counts.sum())
+    left_idx = np.repeat(np.arange(len(lk), dtype=np.int64), counts)
+    starts = np.repeat(lo, counts)
+    group_base = np.repeat(np.cumsum(counts) - counts, counts)
+    right_idx = order[starts + (np.arange(total, dtype=np.int64) - group_base)]
+
+    if how in ("left", "full"):
+        dangling_left = np.nonzero(counts == 0)[0].astype(np.int64)
+        left_idx = np.concatenate([left_idx, dangling_left])
+        right_idx = np.concatenate([
+            right_idx, np.full(len(dangling_left), -1, dtype=np.int64)
+        ])
+    if how == "full":
+        matched = np.zeros(len(rk), dtype=bool)
+        matched[right_idx[right_idx >= 0]] = True
+        dangling_right = np.nonzero(~matched)[0].astype(np.int64)
+        left_idx = np.concatenate([
+            left_idx, np.full(len(dangling_right), -1, dtype=np.int64)
+        ])
+        right_idx = np.concatenate([right_idx, dangling_right])
+    return left_idx, right_idx
+
+
+def hash_join(
+    left: ColumnTable,
+    right: ColumnTable,
+    left_keys: list[str],
+    right_keys: list[str],
+    how: str = "inner",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hash join; returns (left_indices, right_indices) gather arrays.
+
+    Single INT64 keys without nulls take a fully vectorized sort+search
+    path; everything else uses the generic Python hash table.
+    """
+    lk = _single_int_key(left, left_keys)
+    rk = _single_int_key(right, right_keys)
+    if lk is not None and rk is not None:
+        return _vectorized_equi_join(lk, rk, how)
+
+    build = _key_rows(right, right_keys)
+    index: dict[tuple, list[int]] = {}
+    for pos, key in enumerate(build):
+        if key is not None:
+            index.setdefault(key, []).append(pos)
+
+    probe = _key_rows(left, left_keys)
+    left_idx: list[int] = []
+    right_idx: list[int] = []
+
+    if how == "semi":
+        for pos, key in enumerate(probe):
+            if key is not None and key in index:
+                left_idx.append(pos)
+        return np.array(left_idx, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    if how == "anti":
+        for pos, key in enumerate(probe):
+            if key is None or key not in index:
+                left_idx.append(pos)
+        return np.array(left_idx, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    matched_right: np.ndarray | None = None
+    if how == "full":
+        matched_right = np.zeros(len(build), dtype=bool)
+
+    for pos, key in enumerate(probe):
+        matches = index.get(key, ()) if key is not None else ()
+        if matches:
+            for rpos in matches:
+                left_idx.append(pos)
+                right_idx.append(rpos)
+            if matched_right is not None:
+                matched_right[list(matches)] = True
+        elif how in ("left", "full"):
+            left_idx.append(pos)
+            right_idx.append(-1)
+
+    if matched_right is not None:
+        for rpos in np.nonzero(~matched_right)[0]:
+            left_idx.append(-1)
+            right_idx.append(int(rpos))
+
+    return (
+        np.array(left_idx, dtype=np.int64),
+        np.array(right_idx, dtype=np.int64),
+    )
+
+
+def merge_join(
+    left: ColumnTable,
+    right: ColumnTable,
+    left_keys: list[str],
+    right_keys: list[str],
+    *,
+    presorted: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort-merge inner join.
+
+    With ``presorted=True`` the inputs are assumed already sorted on their
+    keys (nulls anywhere); otherwise both sides are sorted here first.
+    """
+    lrows = _key_rows(left, left_keys)
+    rrows = _key_rows(right, right_keys)
+    if presorted:
+        lorder = list(range(len(lrows)))
+        rorder = list(range(len(rrows)))
+    else:
+        lorder = sorted(
+            (i for i in range(len(lrows)) if lrows[i] is not None),
+            key=lambda i: lrows[i],
+        )
+        rorder = sorted(
+            (i for i in range(len(rrows)) if rrows[i] is not None),
+            key=lambda i: rrows[i],
+        )
+    if presorted:
+        lorder = [i for i in lorder if lrows[i] is not None]
+        rorder = [i for i in rorder if rrows[i] is not None]
+
+    left_idx: list[int] = []
+    right_idx: list[int] = []
+    li = ri = 0
+    while li < len(lorder) and ri < len(rorder):
+        lkey = lrows[lorder[li]]
+        rkey = rrows[rorder[ri]]
+        if lkey < rkey:
+            li += 1
+        elif lkey > rkey:
+            ri += 1
+        else:
+            # gather the run of equal keys on the right
+            r_end = ri
+            while r_end < len(rorder) and rrows[rorder[r_end]] == lkey:
+                r_end += 1
+            l_run = li
+            while l_run < len(lorder) and lrows[lorder[l_run]] == lkey:
+                for rr in range(ri, r_end):
+                    left_idx.append(lorder[l_run])
+                    right_idx.append(rorder[rr])
+                l_run += 1
+            li = l_run
+            ri = r_end
+    return (
+        np.array(left_idx, dtype=np.int64),
+        np.array(right_idx, dtype=np.int64),
+    )
+
+
+def nested_loop_join(
+    left: ColumnTable,
+    right: ColumnTable,
+    left_keys: list[str],
+    right_keys: list[str],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quadratic inner join baseline."""
+    lrows = _key_rows(left, left_keys)
+    rrows = _key_rows(right, right_keys)
+    left_idx: list[int] = []
+    right_idx: list[int] = []
+    for li, lkey in enumerate(lrows):
+        if lkey is None:
+            continue
+        for ri, rkey in enumerate(rrows):
+            if lkey == rkey:
+                left_idx.append(li)
+                right_idx.append(ri)
+    return (
+        np.array(left_idx, dtype=np.int64),
+        np.array(right_idx, dtype=np.int64),
+    )
+
+
+def gather_join_output(
+    left: ColumnTable,
+    right: ColumnTable,
+    right_keep: list[str],
+    left_idx: np.ndarray,
+    right_idx: np.ndarray,
+    out_schema,
+) -> ColumnTable:
+    """Assemble the join result table from gather arrays."""
+    columns = {}
+    for name in left.schema.names:
+        columns[name] = left.column(name).take(left_idx)
+    for name in right_keep:
+        columns[name] = right.column(name).take(right_idx)
+    # outer joins may untag dimensions (nullable side): align column dtypes
+    return ColumnTable(out_schema, {
+        n: columns[n] for n in out_schema.names
+    })

@@ -1,0 +1,62 @@
+"""Stable multi-key sorting with the algebra's null ordering.
+
+The algebra defines nulls as the smallest value of every type: ascending
+sorts place them first, descending sorts place them last.  Numeric keys use
+a vectorized ``lexsort`` path; string keys fall back to Python's stable sort.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.types import DType
+from ..storage.table import ColumnTable
+
+
+def sort_indices(
+    table: ColumnTable,
+    keys: Sequence[str],
+    ascending: Sequence[bool],
+) -> np.ndarray:
+    """Row order after a stable multi-key sort (least-significant key last)."""
+    n = table.num_rows
+    order = np.arange(n, dtype=np.int64)
+    # apply keys right-to-left; each pass is stable, so earlier keys dominate
+    for key, asc in reversed(list(zip(keys, ascending))):
+        column = table.column(key)
+        if column.dtype is DType.STRING:
+            values = column.to_list()
+            sub = sorted(
+                range(len(order)),
+                key=lambda i: _null_key(values[order[i]]),
+                reverse=not asc,
+            )
+            order = order[np.array(sub, dtype=np.int64)]
+            continue
+        vals = column.values[order]
+        if column.dtype is DType.BOOL:
+            vals = vals.astype(np.int64)
+        is_null = (
+            np.zeros(len(order), dtype=bool)
+            if column.mask is None else column.mask[order]
+        )
+        if asc:
+            # primary: non-null flag (nulls first); secondary: value
+            sub = np.lexsort((vals, is_null.astype(np.int8) ^ 1))
+        else:
+            if np.issubdtype(vals.dtype, np.floating):
+                negated = -vals
+            else:
+                negated = -vals.astype(np.int64)
+            # primary: null flag (nulls last); secondary: negated value
+            sub = np.lexsort((negated, is_null.astype(np.int8)))
+        order = order[sub]
+    return order
+
+
+def _null_key(value) -> tuple:
+    if value is None:
+        return (0, "")
+    return (1, value)

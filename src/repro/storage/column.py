@@ -1,0 +1,211 @@
+"""Typed columns: a numpy value array plus an optional validity mask.
+
+The columnar engines (relational, array) and every provider result use this
+representation.  Convention: ``mask[i] == True`` means row ``i`` is NULL.
+``mask is None`` means the column contains no nulls, which keeps the common
+case allocation-free.
+
+Masked slots still hold a placeholder in ``values`` (0 / 0.0 / "" / False);
+all operations must consult the mask, never the placeholder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.errors import TypeMismatchError
+from ..core.types import DType
+
+_FILL = {
+    DType.INT64: 0,
+    DType.FLOAT64: 0.0,
+    DType.BOOL: False,
+    DType.STRING: "",
+}
+
+
+class Column:
+    """One typed column of a table."""
+
+    __slots__ = ("dtype", "values", "mask")
+
+    def __init__(self, dtype: DType, values: np.ndarray, mask: np.ndarray | None = None):
+        self.dtype = dtype
+        self.values = values
+        if mask is not None and not mask.any():
+            mask = None
+        self.mask = mask
+        if mask is not None and len(mask) != len(values):
+            raise TypeMismatchError(
+                f"mask length {len(mask)} != values length {len(values)}"
+            )
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, dtype: DType, items: Iterable[Any]) -> "Column":
+        """Build from Python values; ``None`` entries become nulls."""
+        items = list(items)
+        has_null = any(v is None for v in items)
+        fill = _FILL[dtype]
+        np_dtype = dtype.to_numpy()
+        if has_null:
+            mask = np.fromiter((v is None for v in items), dtype=bool, count=len(items))
+            cleaned = [fill if v is None else v for v in items]
+        else:
+            mask = None
+            cleaned = items
+        try:
+            values = np.array(cleaned, dtype=np_dtype)
+        except (ValueError, TypeError) as exc:
+            raise TypeMismatchError(
+                f"cannot build {dtype.name} column from values: {exc}"
+            ) from exc
+        if values.ndim != 1:
+            values = values.reshape(-1)
+        return cls(dtype, values, mask)
+
+    @classmethod
+    def empty(cls, dtype: DType) -> "Column":
+        return cls(dtype, np.empty(0, dtype=dtype.to_numpy()), None)
+
+    @classmethod
+    def full(cls, dtype: DType, value: Any, count: int) -> "Column":
+        """A constant column; ``value=None`` gives an all-null column."""
+        if value is None:
+            values = np.full(count, _FILL[dtype], dtype=dtype.to_numpy())
+            mask = np.ones(count, dtype=bool) if count else None
+            return cls(dtype, values, mask)
+        return cls(dtype, np.full(count, value, dtype=dtype.to_numpy()), None)
+
+    # -- protocol ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.to_list())
+
+    def __getitem__(self, index: int) -> Any:
+        if self.mask is not None and self.mask[index]:
+            return None
+        return self._to_python(self.values[index])
+
+    def _to_python(self, value: Any) -> Any:
+        if self.dtype is DType.STRING:
+            return value
+        return value.item() if hasattr(value, "item") else value
+
+    def to_list(self) -> list[Any]:
+        """Python values with ``None`` for nulls."""
+        if self.dtype is DType.STRING:
+            raw = list(self.values)
+        else:
+            raw = self.values.tolist()
+        if self.mask is None:
+            return raw
+        return [None if m else v for v, m in zip(raw, self.mask)]
+
+    @property
+    def null_count(self) -> int:
+        return 0 if self.mask is None else int(self.mask.sum())
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory size; used by transfer metering."""
+        if self.dtype is DType.STRING:
+            base = sum(len(s) for s in self.values) + 8 * len(self.values)
+        else:
+            base = int(self.values.nbytes)
+        if self.mask is not None:
+            base += int(self.mask.nbytes)
+        return base
+
+    # -- bulk operations -------------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Gather rows by index; ``-1`` indices produce nulls (join padding)."""
+        indices = np.asarray(indices)
+        missing = indices < 0
+        if missing.any():
+            if len(self.values) == 0:
+                # gathering only nulls from an empty column (outer join
+                # against an empty side)
+                return Column.full(self.dtype, None, len(indices))
+            safe = np.where(missing, 0, indices)
+            values = self.values[safe]
+            if self.dtype is DType.STRING:
+                values = values.copy()
+                values[missing] = ""
+            mask = missing.copy()
+            if self.mask is not None:
+                mask |= self.mask[safe]
+            return Column(self.dtype, values, mask)
+        values = self.values[indices]
+        mask = None if self.mask is None else self.mask[indices]
+        return Column(self.dtype, values, mask)
+
+    def filter(self, keep: np.ndarray) -> "Column":
+        values = self.values[keep]
+        mask = None if self.mask is None else self.mask[keep]
+        return Column(self.dtype, values, mask)
+
+    def slice(self, start: int, stop: int) -> "Column":
+        values = self.values[start:stop]
+        mask = None if self.mask is None else self.mask[start:stop]
+        return Column(self.dtype, values, mask)
+
+    def reverse(self) -> "Column":
+        values = self.values[::-1]
+        mask = None if self.mask is None else self.mask[::-1]
+        return Column(self.dtype, values, mask)
+
+    def cast(self, to: DType) -> "Column":
+        if to is self.dtype:
+            return self
+        if self.dtype is DType.STRING or to is DType.STRING:
+            return Column.from_values(to, [
+                None if v is None else _cast_scalar(v, to) for v in self.to_list()
+            ])
+        values = self.values.astype(to.to_numpy())
+        return Column(to, values, None if self.mask is None else self.mask.copy())
+
+    @staticmethod
+    def concat(columns: Sequence["Column"]) -> "Column":
+        if not columns:
+            raise TypeMismatchError("cannot concat zero columns")
+        dtype = columns[0].dtype
+        if any(c.dtype is not dtype for c in columns):
+            raise TypeMismatchError("cannot concat columns of differing types")
+        values = np.concatenate([c.values for c in columns])
+        if any(c.mask is not None for c in columns):
+            mask = np.concatenate([
+                c.mask if c.mask is not None else np.zeros(len(c), dtype=bool)
+                for c in columns
+            ])
+        else:
+            mask = None
+        return Column(dtype, values, mask)
+
+    def equals(self, other: "Column") -> bool:
+        """Exact equality including null positions (floats compared exactly)."""
+        if self.dtype is not other.dtype or len(self) != len(other):
+            return False
+        return self.to_list() == other.to_list()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = self.to_list()[:6]
+        more = "..." if len(self) > 6 else ""
+        return f"Column<{self.dtype.name}>({preview}{more})"
+
+
+def _cast_scalar(value: Any, to: DType) -> Any:
+    if to is DType.INT64:
+        return int(value)
+    if to is DType.FLOAT64:
+        return float(value)
+    if to is DType.BOOL:
+        return bool(value)
+    return str(value)

@@ -1,0 +1,220 @@
+"""ColumnTable: the in-memory table every engine produces and consumes.
+
+A :class:`ColumnTable` is a schema plus one :class:`Column` per attribute.
+It is the *physical* counterpart of the logical dimensioned-table model:
+engines exchange ColumnTables, the client wraps them in a Collection, and
+the federation layer meters their ``nbytes`` when they cross servers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..core.errors import SchemaError
+from ..core.schema import Schema
+from ..core.types import DType
+from .column import Column
+
+
+class ColumnTable:
+    """An immutable-by-convention columnar table."""
+
+    __slots__ = ("schema", "columns")
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Column]):
+        self.schema = schema
+        self.columns = dict(columns)
+        if set(self.columns) != set(schema.names):
+            raise SchemaError(
+                f"columns {sorted(self.columns)} do not match schema "
+                f"{list(schema.names)}"
+            )
+        lengths = {len(c) for c in self.columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        for attr in schema:
+            col = self.columns[attr.name]
+            if col.dtype is not attr.dtype:
+                raise SchemaError(
+                    f"column {attr.name!r} has dtype {col.dtype.name}, "
+                    f"schema says {attr.dtype.name}"
+                )
+            if attr.dimension and col.null_count:
+                raise SchemaError(f"dimension {attr.name!r} contains nulls")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence[Any]]) -> "ColumnTable":
+        rows = list(rows)
+        columns = {}
+        for pos, attr in enumerate(schema):
+            columns[attr.name] = Column.from_values(
+                attr.dtype, (row[pos] for row in rows)
+            )
+        return cls(schema, columns)
+
+    @classmethod
+    def from_dicts(cls, schema: Schema, rows: Iterable[Mapping[str, Any]]) -> "ColumnTable":
+        rows = list(rows)
+        columns = {
+            attr.name: Column.from_values(attr.dtype, (r[attr.name] for r in rows))
+            for attr in schema
+        }
+        return cls(schema, columns)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "ColumnTable":
+        return cls(schema, {a.name: Column.empty(a.dtype) for a in schema})
+
+    @classmethod
+    def from_arrays(cls, schema: Schema, arrays: Mapping[str, np.ndarray]) -> "ColumnTable":
+        """Zero-copy wrap of numpy arrays (no nulls)."""
+        columns = {}
+        for attr in schema:
+            arr = np.asarray(arrays[attr.name])
+            if arr.dtype != attr.dtype.to_numpy():
+                arr = arr.astype(attr.dtype.to_numpy())
+            columns[attr.name] = Column(attr.dtype, arr)
+        return cls(schema, columns)
+
+    # -- protocol -----------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; have {list(self.schema.names)}"
+            ) from None
+
+    def array(self, name: str) -> np.ndarray:
+        """Raw numpy values of a column (caller must know it has no nulls)."""
+        return self.column(name).values
+
+    def row(self, index: int) -> tuple:
+        return tuple(self.columns[n][index] for n in self.schema.names)
+
+    def iter_rows(self) -> Iterator[tuple]:
+        lists = [self.columns[n].to_list() for n in self.schema.names]
+        return zip(*lists) if lists else iter(())
+
+    def iter_dicts(self) -> Iterator[dict[str, Any]]:
+        names = self.schema.names
+        for row in self.iter_rows():
+            yield dict(zip(names, row))
+
+    def to_rows(self) -> list[tuple]:
+        return list(self.iter_rows())
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate payload size; the unit metered by transfer channels."""
+        return sum(c.nbytes for c in self.columns.values())
+
+    # -- bulk operations ---------------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "ColumnTable":
+        return ColumnTable(
+            self.schema, {n: c.take(indices) for n, c in self.columns.items()}
+        )
+
+    def filter(self, keep: np.ndarray) -> "ColumnTable":
+        return ColumnTable(
+            self.schema, {n: c.filter(keep) for n, c in self.columns.items()}
+        )
+
+    def slice(self, start: int, stop: int) -> "ColumnTable":
+        return ColumnTable(
+            self.schema, {n: c.slice(start, stop) for n, c in self.columns.items()}
+        )
+
+    def reverse(self) -> "ColumnTable":
+        return ColumnTable(
+            self.schema, {n: c.reverse() for n, c in self.columns.items()}
+        )
+
+    def select(self, names: Sequence[str]) -> "ColumnTable":
+        schema = self.schema.project(names)
+        return ColumnTable(schema, {n: self.columns[n] for n in names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "ColumnTable":
+        schema = self.schema.rename(mapping)
+        columns = {mapping.get(n, n): c for n, c in self.columns.items()}
+        return ColumnTable(schema, columns)
+
+    def with_schema(self, schema: Schema) -> "ColumnTable":
+        """Re-attach a schema with identical names/types (e.g. retagged dims)."""
+        return ColumnTable(schema, self.columns)
+
+    def with_column(self, name: str, dtype: DType, column: Column) -> "ColumnTable":
+        from ..core.schema import Attribute
+
+        schema = self.schema.extend(Attribute(name, dtype))
+        columns = dict(self.columns)
+        columns[name] = column
+        return ColumnTable(schema, columns)
+
+    @staticmethod
+    def concat(tables: Sequence["ColumnTable"]) -> "ColumnTable":
+        if not tables:
+            raise SchemaError("cannot concat zero tables")
+        schema = tables[0].schema
+        columns = {
+            n: Column.concat([t.columns[n] for t in tables])
+            for n in schema.names
+        }
+        return ColumnTable(schema, columns)
+
+    # -- comparison helpers (used heavily by tests) ----------------------------------------
+
+    def sort_key(self) -> list[tuple]:
+        """Canonical row ordering for order-insensitive comparison."""
+        def key(row: tuple) -> tuple:
+            return tuple(
+                (value is None, _comparable(value)) for value in row
+            )
+        return sorted(self.iter_rows(), key=key)
+
+    def same_rows(self, other: "ColumnTable", float_tol: float = 0.0) -> bool:
+        """Multiset equality of rows (schema names/types must match)."""
+        if self.schema.names != other.schema.names:
+            return False
+        if self.num_rows != other.num_rows:
+            return False
+        mine, theirs = self.sort_key(), other.sort_key()
+        if float_tol == 0.0:
+            return mine == theirs
+        for a, b in zip(mine, theirs):
+            for x, y in zip(a, b):
+                if x is None or y is None:
+                    if x is not y:
+                        return False
+                elif isinstance(x, float) or isinstance(y, float):
+                    if abs(float(x) - float(y)) > float_tol:
+                        return False
+                elif x != y:
+                    return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnTable({self.schema!r}, rows={self.num_rows})"
+
+
+def _comparable(value: Any) -> Any:
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return int(value)
+    return value

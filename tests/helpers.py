@@ -1,0 +1,92 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core import algebra as A
+from repro.core.schema import Attribute, Schema
+from repro.core.types import DType
+from repro.providers.reference import ReferenceProvider
+from repro.storage.table import ColumnTable
+
+
+def schema(*specs: tuple) -> Schema:
+    """``schema(("i", "int", True), ("v", "float"))`` — compact test schemas."""
+    names = {
+        "int": DType.INT64,
+        "float": DType.FLOAT64,
+        "bool": DType.BOOL,
+        "str": DType.STRING,
+    }
+    attrs = []
+    for spec in specs:
+        name, kind = spec[0], spec[1]
+        dim = spec[2] if len(spec) > 2 else False
+        attrs.append(Attribute(name, names[kind], dimension=dim))
+    return Schema(attrs)
+
+
+def table(sch: Schema, rows: Iterable[Sequence[Any]]) -> ColumnTable:
+    return ColumnTable.from_rows(sch, rows)
+
+
+def inline(sch: Schema, rows: Iterable[Sequence[Any]]) -> A.InlineTable:
+    return A.InlineTable(sch, tuple(tuple(r) for r in rows))
+
+
+def run_reference(tree: A.Node, **datasets: ColumnTable) -> ColumnTable:
+    """Execute a tree on a fresh reference provider with the given datasets."""
+    provider = ReferenceProvider("ref")
+    for name, tbl in datasets.items():
+        provider.register_dataset(name, tbl)
+    return provider.execute(tree)
+
+
+def rows_of(result: ColumnTable) -> list[tuple]:
+    """Canonically-ordered rows for order-insensitive assertions."""
+    return result.sort_key()
+
+
+#: A tiny orders/customers pair reused across relational tests.
+CUSTOMERS = schema(("cid", "int"), ("name", "str"), ("country", "str"))
+ORDERS = schema(("oid", "int"), ("cust", "int"), ("amount", "float"))
+
+CUSTOMER_ROWS = [
+    (1, "ada", "uk"),
+    (2, "bob", "us"),
+    (3, "cho", "jp"),
+    (4, "dee", "us"),
+]
+
+ORDER_ROWS = [
+    (100, 1, 25.0),
+    (101, 1, 75.0),
+    (102, 2, 10.0),
+    (103, 3, 300.0),
+    (104, 9, 5.0),  # dangling customer reference
+]
+
+
+def customers_table() -> ColumnTable:
+    return table(CUSTOMERS, CUSTOMER_ROWS)
+
+
+def orders_table() -> ColumnTable:
+    return table(ORDERS, ORDER_ROWS)
+
+
+#: A small dense 3x3 matrix as a dimensioned table.
+MATRIX = schema(("i", "int", True), ("j", "int", True), ("v", "float"))
+
+
+def matrix_rows(values: Sequence[Sequence[float]]) -> list[tuple]:
+    return [
+        (i, j, float(v))
+        for i, row in enumerate(values)
+        for j, v in enumerate(row)
+    ]
+
+
+def matrix_table(values: Sequence[Sequence[float]]) -> ColumnTable:
+    return table(MATRIX, matrix_rows(values))

@@ -1,0 +1,220 @@
+"""Unit tests for algebra node construction and schema inference."""
+
+import pytest
+
+from repro.core import algebra as A
+from repro.core.errors import AlgebraError, SchemaError, TypeMismatchError
+from repro.core.expressions import col, lit
+from repro.core.types import DType
+
+from .helpers import CUSTOMERS, MATRIX, ORDERS, inline, schema
+
+
+def scan(name, sch):
+    return A.Scan(name, sch)
+
+
+CUST = scan("customers", CUSTOMERS)
+ORD = scan("orders", ORDERS)
+MAT = scan("m", MATRIX)
+
+
+class TestConstruction:
+    def test_join_requires_keys(self):
+        with pytest.raises(AlgebraError):
+            A.Join(CUST, ORD, on=(), how="inner")
+
+    def test_join_rejects_unknown_kind(self):
+        with pytest.raises(AlgebraError):
+            A.Join(CUST, ORD, on=(("cid", "cust"),), how="sideways")
+
+    def test_aggregate_needs_specs(self):
+        with pytest.raises(AlgebraError):
+            A.Aggregate(ORD, ("cust",), ())
+
+    def test_aggspec_validates_func(self):
+        with pytest.raises(AlgebraError):
+            A.AggSpec("x", "median", col("amount"))
+
+    def test_aggspec_sum_needs_argument(self):
+        with pytest.raises(AlgebraError):
+            A.AggSpec("x", "sum", None)
+
+    def test_limit_rejects_negative(self):
+        with pytest.raises(AlgebraError):
+            A.Limit(ORD, -1)
+
+    def test_slice_rejects_empty_range(self):
+        with pytest.raises(AlgebraError):
+            A.SliceDims(MAT, (("i", 5, 3),))
+
+    def test_iterate_body_must_use_loop_var(self):
+        with pytest.raises(AlgebraError):
+            A.Iterate(MAT, MAT, var="state")
+
+    def test_convergence_validates(self):
+        with pytest.raises(AlgebraError):
+            A.Convergence("v", -1.0)
+        with pytest.raises(AlgebraError):
+            A.Convergence("v", 0.1, norm="l7")
+
+    def test_with_children_preserves_intent(self):
+        node = A.Filter(ORD, col("amount") > 0).with_intent("selective")
+        rebuilt = node.with_children((CUST,))
+        assert rebuilt.intent == "selective"
+
+    def test_same_as_ignores_schema_cache_but_not_intent(self):
+        a = A.Filter(ORD, col("amount") > 0)
+        b = A.Filter(ORD, col("amount") > 0)
+        _ = a.schema  # populate cache on one side only
+        assert a.same_as(b)
+        assert not a.same_as(b.with_intent("x"))
+
+    def test_walk_visits_all(self):
+        tree = A.Filter(A.Join(CUST, ORD, (("cid", "cust"),)), col("amount") > 0)
+        names = [n.op_name for n in tree.walk()]
+        assert names == ["Filter", "Join", "Scan", "Scan"]
+
+
+class TestInference:
+    def test_filter_keeps_schema(self):
+        node = A.Filter(ORD, col("amount") > 10)
+        assert node.schema == ORDERS
+
+    def test_filter_requires_bool(self):
+        with pytest.raises(TypeMismatchError):
+            A.Filter(ORD, col("amount") + 1).schema
+
+    def test_project(self):
+        node = A.Project(CUST, ("name", "cid"))
+        assert node.schema.names == ("name", "cid")
+
+    def test_extend_appends_typed_column(self):
+        node = A.Extend(ORD, ("double",), (col("amount") * 2,))
+        assert node.schema["double"].dtype is DType.FLOAT64
+
+    def test_extend_rejects_shadowing(self):
+        with pytest.raises(SchemaError):
+            A.Extend(ORD, ("amount",), (col("amount") * 2,)).schema
+
+    def test_extend_expressions_see_input_only(self):
+        node = A.Extend(ORD, ("x", "y"), (col("amount"), col("x")))
+        with pytest.raises(SchemaError):
+            node.schema
+
+    def test_join_drops_right_keys(self):
+        node = A.Join(CUST, ORD, (("cid", "cust"),))
+        assert node.schema.names == ("cid", "name", "country", "oid", "amount")
+
+    def test_join_key_types_must_compare(self):
+        with pytest.raises(TypeMismatchError):
+            A.Join(CUST, ORD, (("name", "cust"),)).schema
+
+    def test_semi_join_keeps_left_schema(self):
+        node = A.Join(CUST, ORD, (("cid", "cust"),), how="semi")
+        assert node.schema == CUSTOMERS
+
+    def test_outer_join_untags_nullable_dimensions(self):
+        left = scan("a", schema(("i", "int", True), ("v", "float")))
+        right = scan("b", schema(("k", "int"), ("j", "int", True)))
+        node = A.Join(left, right, (("i", "k"),), how="left")
+        assert not node.schema["j"].dimension
+
+    def test_aggregate_schema(self):
+        node = A.Aggregate(
+            ORD, ("cust",),
+            (A.AggSpec("n", "count"), A.AggSpec("total", "sum", col("amount"))),
+        )
+        assert node.schema.names == ("cust", "n", "total")
+        assert node.schema["n"].dtype is DType.INT64
+        assert node.schema["total"].dtype is DType.FLOAT64
+
+    def test_mean_always_float(self):
+        node = A.Aggregate(ORD, (), (A.AggSpec("m", "mean", col("oid")),))
+        assert node.schema["m"].dtype is DType.FLOAT64
+
+    def test_sum_of_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            A.Aggregate(CUST, (), (A.AggSpec("s", "sum", col("name")),)).schema
+
+    def test_set_op_requires_matching_names(self):
+        with pytest.raises(SchemaError):
+            A.Union(CUST, ORD).schema
+
+    def test_set_op_promotes_numeric(self):
+        a = scan("a", schema(("x", "int")))
+        b = scan("b", schema(("x", "float")))
+        assert A.Union(a, b).schema["x"].dtype is DType.FLOAT64
+
+    def test_as_dims_requires_int(self):
+        node = A.AsDims(CUST, ("name",))
+        with pytest.raises(SchemaError):
+            node.schema
+
+    def test_slice_requires_dimension(self):
+        node = A.SliceDims(ORD, (("oid", 0, 10),))
+        with pytest.raises(SchemaError):
+            node.schema
+
+    def test_regrid_schema(self):
+        node = A.Regrid(MAT, (("i", 2),), (A.AggSpec("v", "mean", col("v")),))
+        assert node.schema.dimension_names == ("i", "j")
+        assert node.schema["v"].dtype is DType.FLOAT64
+
+    def test_reduce_dims_schema(self):
+        node = A.ReduceDims(MAT, ("i",), (A.AggSpec("total", "sum", col("v")),))
+        assert node.schema.names == ("i", "total")
+        assert node.schema["i"].dimension
+
+    def test_transpose_requires_permutation(self):
+        with pytest.raises(SchemaError):
+            A.TransposeDims(MAT, ("i",)).schema
+        node = A.TransposeDims(MAT, ("j", "i"))
+        assert node.schema.dimension_names == ("j", "i")
+
+    def test_matmul_schema(self):
+        other = scan("m2", schema(("j", "int", True), ("k", "int", True), ("w", "float")))
+        node = A.MatMul(MAT, other)
+        assert node.schema.dimension_names == ("i", "k")
+        assert node.schema.value_names == ("v",)
+
+    def test_matmul_requires_shared_inner_dim(self):
+        other = scan("m2", schema(("p", "int", True), ("q", "int", True), ("w", "float")))
+        with pytest.raises(SchemaError):
+            A.MatMul(MAT, other).schema
+
+    def test_matmul_requires_matrix_shape(self):
+        vec = scan("vec", schema(("j", "int", True), ("w", "float")))
+        with pytest.raises(SchemaError):
+            A.MatMul(MAT, vec).schema
+
+    def test_cell_join_schema(self):
+        other = scan("m2", schema(("i", "int", True), ("j", "int", True), ("w", "float")))
+        node = A.CellJoin(MAT, other)
+        assert node.schema.names == ("i", "j", "v", "w")
+
+    def test_cell_join_rejects_value_collision(self):
+        other = scan("m2", MATRIX)
+        with pytest.raises(SchemaError):
+            A.CellJoin(MAT, other).schema
+
+    def test_iterate_schema_must_match(self):
+        init = MAT
+        body = A.Extend(
+            A.Project(A.LoopVar("state", MATRIX), ("i", "j")),
+            ("v",), (lit(1.0),),
+        )
+        node = A.Iterate(init, body, var="state")
+        assert node.schema == MATRIX
+
+    def test_iterate_rejects_schema_drift(self):
+        body = A.Project(A.LoopVar("state", MATRIX), ("i", "j"))
+        with pytest.raises(SchemaError):
+            A.Iterate(MAT, body, var="state").schema
+
+    def test_iterate_convergence_needs_dimensions(self):
+        plain = scan("t", schema(("v", "float")))
+        body = A.Filter(A.LoopVar("s", plain.schema), lit(True))
+        node = A.Iterate(plain, body, var="s", stop=A.Convergence("v", 1e-3))
+        with pytest.raises(SchemaError):
+            node.schema

@@ -1,0 +1,120 @@
+"""Unit tests for chunked n-d array storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ExecutionError, SchemaError
+from repro.array.chunked import ChunkedArray
+
+from .helpers import MATRIX, matrix_table, schema, table
+
+
+def sensor_table(n=10, m=8, chunk=None):
+    rows = [(i, j, float(i * m + j)) for i in range(n) for j in range(m)]
+    return table(MATRIX, rows)
+
+
+class TestConstruction:
+    def test_from_table_round_trip(self):
+        t = sensor_table()
+        arr = ChunkedArray.from_table(t, 4)
+        assert arr.cell_count == 80
+        assert arr.to_table().same_rows(t)
+
+    def test_chunk_count(self):
+        arr = ChunkedArray.from_table(sensor_table(10, 8), 4)
+        # 10/4 -> 3 chunk rows, 8/4 -> 2 chunk cols
+        assert len(arr.chunks) == 6
+
+    def test_sparse_array_only_allocates_populated_chunks(self):
+        rows = [(0, 0, 1.0), (100, 100, 2.0)]
+        arr = ChunkedArray.from_table(table(MATRIX, rows), 10)
+        assert len(arr.chunks) == 2
+        assert arr.cell_count == 2
+
+    def test_negative_coordinates(self):
+        rows = [(-5, -3, 1.0), (4, 2, 2.0)]
+        t = table(MATRIX, rows)
+        arr = ChunkedArray.from_table(t, 4)
+        assert arr.origin == (-5, -3)
+        assert arr.to_table().same_rows(t)
+
+    def test_empty_table(self):
+        from repro.storage.table import ColumnTable
+
+        arr = ChunkedArray.from_table(ColumnTable.empty(MATRIX), 4)
+        assert arr.cell_count == 0
+        assert arr.to_table().num_rows == 0
+
+    def test_duplicate_coordinates_rejected(self):
+        t = table(MATRIX.without_dimensions().with_dimensions(["i", "j"]),
+                  [(0, 0, 1.0), (0, 0, 2.0)])
+        with pytest.raises(ExecutionError):
+            ChunkedArray.from_table(t, 4)
+
+    def test_requires_dimensions(self):
+        t = table(schema(("v", "float")), [(1.0,)])
+        with pytest.raises(SchemaError):
+            ChunkedArray.from_table(t, 4)
+
+    def test_null_values_preserved(self):
+        s = schema(("i", "int", True), ("v", "float"))
+        t = table(s, [(0, 1.0), (1, None), (2, 3.0)])
+        arr = ChunkedArray.from_table(t, 2)
+        assert arr.to_table().same_rows(t)
+
+    def test_chunk_shape_per_dimension(self):
+        arr = ChunkedArray.from_table(sensor_table(10, 8), (5, 2))
+        assert arr.chunk_shape == (5, 2)
+        assert arr.to_table().same_rows(sensor_table(10, 8))
+
+
+class TestGetRegion:
+    def test_full_region(self):
+        arr = ChunkedArray.from_table(sensor_table(6, 6), 4)
+        present, values, masks = arr.get_region((0, 0), (5, 5))
+        assert present.all()
+        assert values["v"][2, 3] == 2 * 6 + 3
+
+    def test_region_beyond_box_is_absent(self):
+        arr = ChunkedArray.from_table(sensor_table(4, 4), 4)
+        present, _, __ = arr.get_region((-2, -2), (5, 5))
+        assert present.shape == (8, 8)
+        assert not present[0, 0]
+        assert present[2, 2]  # global (0,0)
+        assert int(present.sum()) == 16
+
+    def test_region_across_chunks(self):
+        arr = ChunkedArray.from_table(sensor_table(8, 8), 3)
+        present, values, _ = arr.get_region((2, 2), (5, 5))
+        assert present.all()
+        expected = np.array([
+            [i * 8 + j for j in range(2, 6)] for i in range(2, 6)
+        ], dtype=float)
+        assert np.array_equal(values["v"], expected)
+
+    def test_region_sees_null_masks(self):
+        s = schema(("i", "int", True), ("v", "float"))
+        arr = ChunkedArray.from_table(table(s, [(0, 1.0), (1, None)]), 4)
+        present, values, masks = arr.get_region((0,), (1,))
+        assert present.all()
+        assert masks["v"] is not None
+        assert masks["v"].tolist() == [False, True]
+
+
+class TestDenseRegionRoundTrip:
+    def test_from_dense_region(self):
+        arr = ChunkedArray.from_table(sensor_table(5, 5), 2)
+        lo, hi = arr.bounding_box()
+        present, values, masks = arr.get_region(lo, hi)
+        rebuilt = ChunkedArray.from_dense_region(
+            MATRIX, lo, present, values, masks, 3
+        )
+        assert rebuilt.to_table().same_rows(arr.to_table())
+
+    def test_from_dense_region_all_absent(self):
+        present = np.zeros((3, 3), dtype=bool)
+        arr = ChunkedArray.from_dense_region(
+            MATRIX, (0, 0), present, {"v": np.zeros((3, 3))}, {"v": None}, 2
+        )
+        assert arr.cell_count == 0

@@ -1,0 +1,209 @@
+"""Array engine tests: agreement with the reference oracle across operators
+and chunk sizes, plus array-specific behaviours (halo windows, O(1) shift)."""
+
+import numpy as np
+import pytest
+
+from repro.array.engine import ArrayEngineOptions
+from repro.core import algebra as A
+from repro.core.errors import ExecutionError
+from repro.core.expressions import col, func, lit
+from repro.providers.array_p import ArrayProvider
+from repro.providers.reference import ReferenceProvider
+
+from .helpers import MATRIX, matrix_table, schema, table
+
+MAT = A.Scan("m", MATRIX)
+
+
+def both(tree, float_tol=1e-9, chunk=4, **datasets):
+    ref = ReferenceProvider("ref")
+    arr = ArrayProvider("arr", ArrayEngineOptions(chunk_side=chunk))
+    for name, tbl in datasets.items():
+        ref.register_dataset(name, tbl)
+        arr.register_dataset(name, tbl)
+    expected = ref.execute(tree)
+    actual = arr.execute(tree)
+    assert actual.schema == expected.schema
+    assert actual.same_rows(expected, float_tol=float_tol), (
+        f"array result differs from reference\n"
+        f"reference: {expected.sort_key()[:12]}\n"
+        f"array:     {actual.sort_key()[:12]}"
+    )
+    return actual
+
+
+def grid(n, m, fn=lambda i, j: float(i * 31 + j * 7)):
+    return table(MATRIX, [(i, j, fn(i, j)) for i in range(n) for j in range(m)])
+
+
+def sparse_grid(seed=0, n=40, cells=60):
+    rng = np.random.default_rng(seed)
+    coords = set()
+    while len(coords) < cells:
+        coords.add((int(rng.integers(-n, n)), int(rng.integers(-n, n))))
+    return table(MATRIX, [(i, j, float(i + j)) for i, j in sorted(coords)])
+
+
+AGG_V = (A.AggSpec("v", "mean", col("v")),)
+SUM_V = (A.AggSpec("s", "sum", col("v")),)
+
+TREES = [
+    A.SliceDims(MAT, (("i", 2, 5), ("j", 1, 3))),
+    A.SliceDims(MAT, (("i", -100, 100),)),
+    A.ShiftDim(MAT, "i", -7),
+    A.TransposeDims(MAT, ("j", "i")),
+    A.Filter(MAT, col("v") > 20.0),
+    A.Filter(MAT, (col("i") + col("j")) % 2 == 0),
+    A.Extend(MAT, ("w",), (func("sqrt", col("v")),)),
+    A.Extend(MAT, ("w", "u"), (col("v") * 2, col("i") + col("j"))),
+    A.Rename(MAT, (("v", "value"),)),
+    A.Regrid(MAT, (("i", 2), ("j", 3)), AGG_V),
+    A.Regrid(MAT, (("i", 4),), (A.AggSpec("n", "count"),
+                                A.AggSpec("hi", "max", col("v")))),
+    A.Window(MAT, (("i", 1), ("j", 1)), SUM_V),
+    A.Window(MAT, (("i", 2),), (A.AggSpec("n", "count"),
+                                A.AggSpec("lo", "min", col("v")))),
+    A.ReduceDims(MAT, ("i",), SUM_V),
+    A.ReduceDims(MAT, ("j",), (A.AggSpec("avg", "mean", col("v")),)),
+    A.ReduceDims(MAT, (), SUM_V),
+    A.Project(MAT, ("i", "j", "v")),
+]
+
+
+@pytest.mark.parametrize(
+    "tree", TREES, ids=lambda t: f"{t.op_name}-{abs(hash(repr(t))) % 10**6}"
+)
+@pytest.mark.parametrize("chunk", [3, 16])
+def test_dense_agreement(tree, chunk):
+    both(tree, chunk=chunk, m=grid(9, 7))
+
+
+@pytest.mark.parametrize(
+    "tree", TREES, ids=lambda t: f"{t.op_name}-{abs(hash(repr(t))) % 10**6}"
+)
+def test_sparse_agreement(tree):
+    both(tree, chunk=8, m=sparse_grid())
+
+
+class TestMatMul:
+    M2 = schema(("j", "int", True), ("k", "int", True), ("w", "float"))
+
+    def test_dense_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(6, 5))
+        b = rng.normal(size=(5, 4))
+        result = both(
+            A.MatMul(MAT, A.Scan("m2", self.M2)),
+            float_tol=1e-9, chunk=3,
+            m=table(MATRIX, [(i, j, float(v)) for (i, j), v in np.ndenumerate(a)]),
+            m2=table(self.M2, [(i, j, float(v)) for (i, j), v in np.ndenumerate(b)]),
+        )
+        dense = np.zeros((6, 4))
+        for i, k, v in result.iter_rows():
+            dense[i, k] = v
+        assert np.allclose(dense, a @ b)
+
+    def test_sparse_presence_semantics(self):
+        # left row 1 has no entries -> no output cells in row 1
+        m = table(MATRIX, [(0, 0, 2.0), (2, 1, 3.0)])
+        m2 = table(self.M2, [(0, 0, 5.0), (1, 0, 7.0)])
+        result = both(A.MatMul(MAT, A.Scan("m2", self.M2)), chunk=2, m=m, m2=m2)
+        assert result.same_rows(table(
+            result.schema, [(0, 0, 10.0), (2, 0, 21.0)]
+        ))
+
+    def test_disjoint_contraction_ranges_empty(self):
+        m = table(MATRIX, [(0, 0, 1.0)])
+        m2 = table(self.M2, [(50, 0, 1.0)])
+        result = both(A.MatMul(MAT, A.Scan("m2", self.M2)), chunk=2, m=m, m2=m2)
+        assert result.num_rows == 0
+
+
+class TestCellJoin:
+    M2 = schema(("i", "int", True), ("j", "int", True), ("w", "float"))
+
+    def test_agreement(self):
+        m = grid(6, 6)
+        m2 = table(self.M2, [(i, j, float(i - j))
+                             for i in range(3, 9) for j in range(3, 9)])
+        both(A.CellJoin(MAT, A.Scan("m2", self.M2)), chunk=4, m=m, m2=m2)
+
+    def test_dimension_order_mismatch(self):
+        # right lists dims as (j, i); cell join must align them by name
+        m2_swapped = schema(("j", "int", True), ("i", "int", True), ("w", "float"))
+        m = grid(4, 4)
+        m2 = table(m2_swapped, [(j, i, float(i * 10 + j))
+                                for i in range(4) for j in range(4)])
+        both(A.CellJoin(MAT, A.Scan("m2", m2_swapped)), chunk=2, m=m, m2=m2)
+
+
+class TestIterate:
+    def test_heat_diffusion_converges(self):
+        """Repeated 3x3 mean-window smoothing converges; agreement + stop."""
+        state = MATRIX
+        body = A.Window(
+            A.LoopVar("s", MATRIX), (("i", 1), ("j", 1)),
+            (A.AggSpec("v", "mean", col("v")),),
+        )
+        tree = A.Iterate(
+            A.Scan("m", MATRIX), body, var="s",
+            stop=A.Convergence("v", tolerance=1e-3), max_iter=200,
+        )
+        init = grid(6, 6, lambda i, j: 100.0 if (i, j) == (3, 3) else 0.0)
+        result = both(tree, float_tol=1e-6, chunk=3, m=init)
+        values = [r[2] for r in result.iter_rows()]
+        # smoothing preserves no mass guarantee, but spread must be flat-ish
+        assert max(values) - min(values) < 20.0
+
+    def test_fixed_count_scaling(self):
+        body = A.Rename(
+            A.Project(
+                A.Extend(A.LoopVar("s", MATRIX), ("v2",), (col("v") * 2.0,)),
+                ("i", "j", "v2"),
+            ),
+            (("v2", "v"),),
+        )
+        tree = A.Iterate(A.Scan("m", MATRIX), body, var="s", max_iter=3)
+        result = both(tree, chunk=2, m=grid(3, 3))
+        original = {(i, j): v for i, j, v in grid(3, 3).iter_rows()}
+        for i, j, v in result.iter_rows():
+            assert v == original[(i, j)] * 8.0
+
+
+class TestArraySpecific:
+    def test_shift_is_metadata_only(self):
+        from repro.array.chunked import ChunkedArray
+        from repro.array.ops import shift_array
+
+        arr = ChunkedArray.from_table(grid(20, 20), 8)
+        shifted = shift_array(arr, "i", 100)
+        assert shifted.chunks is arr.chunks  # no data copied
+        assert shifted.origin == (100, 0)
+
+    def test_provider_rejects_plain_relations(self):
+        plain = schema(("x", "int"), ("v", "float"))
+        provider = ArrayProvider("arr")
+        tree = A.Filter(A.Scan("t", plain), col("v") > 0.0)
+        assert not provider.accepts(tree)
+
+    def test_provider_rejects_dim_dropping_project(self):
+        provider = ArrayProvider("arr")
+        tree = A.Project(MAT, ("i", "v"))
+        assert not provider.accepts(tree)
+
+    def test_as_dims_enforces_uniqueness(self):
+        provider = ArrayProvider("arr")
+        t = schema(("i", "int"), ("v", "float"))
+        tree = A.AsDims(
+            A.InlineTable(t, ((0, 1.0), (0, 2.0))), ("i",)
+        )
+        with pytest.raises(ExecutionError):
+            provider.execute(tree)
+
+    def test_join_not_supported(self):
+        provider = ArrayProvider("arr")
+        other = schema(("k", "int"), ("w", "float"))
+        tree = A.Join(A.Scan("a", other), A.Scan("b", other.rename({"k": "k2", "w": "w2"})),
+                      (("k", "k2"),))
+        assert not provider.accepts(tree)

@@ -1,0 +1,245 @@
+"""Client layer tests: BigDataContext, fluent Query builder, Collections."""
+
+import pytest
+
+from repro import BigDataContext, col, lit
+from repro.core import algebra as A
+from repro.core.errors import AlgebraError, PlanningError
+from repro.providers import (
+    ArrayProvider, GraphProvider, LinalgProvider, ReferenceProvider,
+    RelationalProvider,
+)
+
+from .helpers import (
+    CUSTOMERS, MATRIX, ORDERS,
+    customers_table, matrix_table, orders_table, schema, table,
+)
+
+
+def make_context(**kwargs) -> BigDataContext:
+    ctx = BigDataContext(**kwargs)
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.add_provider(ArrayProvider("scidb"))
+    ctx.load("customers", customers_table(), on="sql")
+    ctx.load("orders", orders_table(), on="sql")
+    ctx.load("m", matrix_table([[1, 2, 3], [4, 5, 6], [7, 8, 9]]), on="scidb")
+    return ctx
+
+
+class TestContext:
+    def test_table_requires_registered_dataset(self):
+        ctx = make_context()
+        with pytest.raises(PlanningError):
+            ctx.table("ghost")
+
+    def test_simple_pipeline(self):
+        ctx = make_context()
+        result = (
+            ctx.table("orders")
+            .where(col("amount") > 20.0)
+            .order_by("amount", ascending=False)
+            .select("oid", "amount")
+            .collect()
+        )
+        assert result.rows() == [(103, 300.0), (101, 75.0), (100, 25.0)]
+
+    def test_join_aggregate_pipeline(self):
+        ctx = make_context()
+        result = (
+            ctx.table("customers")
+            .join(ctx.table("orders"), on=[("cid", "cust")])
+            .aggregate(["country"], total=("sum", col("amount")),
+                       n=("count", None))
+            .order_by("total", ascending=False)
+            .collect()
+        )
+        assert result.rows()[0] == ("jp", 300.0, 1)
+
+    def test_last_report_populated(self):
+        ctx = make_context()
+        ctx.table("orders").collect()
+        assert ctx.last_report is not None
+        assert ctx.last_report.fragments == 1
+
+    def test_array_pipeline(self):
+        ctx = make_context()
+        result = (
+            ctx.table("m")
+            .slice_dims(i=(0, 1))
+            .regrid({"i": 2, "j": 2}, v=("mean", col("v")))
+            .collect()
+        )
+        assert result.schema.dimension_names == ("i", "j")
+
+    def test_matmul_fluent(self):
+        ctx = make_context()
+        m2 = schema(("j", "int", True), ("k", "int", True), ("w", "float"))
+        ctx.load("m2", table(m2, [(i, i, 1.0) for i in range(3)]), on="scidb")
+        result = ctx.table("m").matmul(ctx.table("m2")).collect()
+        # multiplying by the identity: same values, dims renamed to (i, k)
+        expected = matrix_table([[1, 2, 3], [4, 5, 6], [7, 8, 9]]).rename(
+            {"j": "k"}
+        )
+        assert result.table.same_rows(expected, float_tol=1e-9)
+
+    def test_inline_query(self):
+        ctx = make_context()
+        result = ctx.inline(
+            schema(("x", "int")), [(3,), (1,), (2,)]
+        ).order_by("x").collect()
+        assert result.rows() == [(1,), (2,), (3,)]
+
+    def test_explain_mentions_server(self):
+        ctx = make_context()
+        text = ctx.table("orders").where(col("amount") > 0.0).explain()
+        assert "sql" in text
+
+    def test_coverage_matrix_shape(self):
+        ctx = make_context()
+        matrix = ctx.coverage_matrix()
+        assert matrix["Window"]["sql"] is False
+        assert matrix["Window"]["scidb"] is True
+        assert matrix["Join"]["sql"] is True
+
+    def test_unbound_query_cannot_collect(self):
+        from repro.client.query import Query
+
+        q = Query(A.Scan("orders", ORDERS))
+        with pytest.raises(AlgebraError):
+            q.collect()
+
+    def test_pin_server_portability(self):
+        """The same client program runs unchanged on different servers."""
+        ctx = make_context()
+        ctx.add_provider(ReferenceProvider("naive"))
+        ctx.load("orders", orders_table(), on="naive")
+        query = ctx.table("orders").where(col("amount") > 20.0)
+        on_sql = query.collect(on="sql")
+        on_naive = query.collect(on="naive")
+        assert on_sql.table.same_rows(on_naive.table)
+
+
+class TestQueryVerbs:
+    def test_derive_and_rename(self):
+        ctx = make_context()
+        result = (
+            ctx.table("orders")
+            .derive(taxed=col("amount") * 1.1)
+            .rename(taxed="with_tax")
+            .select("oid", "with_tax")
+            .limit(1)
+            .collect()
+        )
+        assert result.schema.names == ("oid", "with_tax")
+
+    def test_set_operations(self):
+        ctx = make_context()
+        a = ctx.inline(schema(("x", "int")), [(1,), (2,), (2,)])
+        b = ctx.inline(schema(("x", "int")), [(2,), (3,)])
+        assert len(a.union(b).collect()) == 5
+        assert a.intersect(b).collect().rows() == [(2,)]
+        assert a.except_(b).collect().rows() == [(1,)]
+
+    def test_distinct_reverse_limit(self):
+        ctx = make_context()
+        q = ctx.inline(schema(("x", "int")), [(1,), (1,), (2,), (3,)])
+        assert len(q.distinct().collect()) == 3
+        assert q.reverse().limit(1).collect().rows() == [(3,)]
+
+    def test_aggregate_requires_specs(self):
+        ctx = make_context()
+        with pytest.raises(AlgebraError):
+            ctx.table("orders").aggregate(["cust"])
+
+    def test_iterate_fluent(self):
+        ctx = make_context()
+        state = schema(("i", "int", True), ("v", "float"))
+        ctx.load("seed", table(state, [(0, 1.0), (1, 4.0)]), on="sql")
+        result = (
+            ctx.table("seed")
+            .iterate(
+                lambda s: s.derive(nv=col("v") * 0.5)
+                          .select("i", "nv")
+                          .rename(nv="v"),
+                until=("v", 0.3),
+                max_iter=50,
+            )
+            .collect()
+        )
+        values = {r[0]: r[1] for r in result}
+        assert values[1] == pytest.approx(0.25)  # 4 -> 2 -> 1 -> .5 -> .25
+
+    def test_semi_join_string_keys(self):
+        ctx = make_context()
+        us = ctx.table("customers").where(col("country") == "us")
+        result = (
+            ctx.table("customers")
+            .join(us.rename(cid="cid2", name="n2", country="c2"),
+                  on=[("cid", "cid2")], how="semi")
+            .collect()
+        )
+        assert {r[1] for r in result} == {"bob", "dee"}
+
+
+class TestCollection:
+    def test_protocol(self):
+        ctx = make_context()
+        result = ctx.table("customers").order_by("cid").collect()
+        assert len(result) == 4
+        assert result[0][1] == "ada"
+        assert result[-1][1] == "dee"
+        assert [r[0] for r in result] == [1, 2, 3, 4]
+        assert bool(result)
+
+    def test_out_of_range(self):
+        ctx = make_context()
+        result = ctx.table("customers").collect()
+        with pytest.raises(IndexError):
+            result[99]
+
+    def test_column_and_dicts(self):
+        ctx = make_context()
+        result = ctx.table("customers").order_by("cid").limit(2).collect()
+        assert result.column("name") == ["ada", "bob"]
+        assert result.dicts()[0]["country"] == "uk"
+
+    def test_scalar(self):
+        ctx = make_context()
+        total = (
+            ctx.table("orders")
+            .aggregate([], total=("sum", col("amount")))
+            .collect()
+            .scalar()
+        )
+        assert total == pytest.approx(415.0)
+
+    def test_scalar_rejects_non_scalar(self):
+        ctx = make_context()
+        with pytest.raises(ValueError):
+            ctx.table("orders").collect().scalar()
+
+
+class TestFrontendShortcuts:
+    def test_sql_shortcut(self):
+        ctx = make_context()
+        result = ctx.sql(
+            "SELECT oid FROM orders WHERE amount > 100.0 ORDER BY oid"
+        ).collect()
+        assert result.rows() == [(103,)]
+
+    def test_pipeline_shortcut(self):
+        ctx = make_context()
+        result = ctx.pipeline(
+            "load orders | filter amount > 100.0 | keep oid"
+        ).collect()
+        assert result.rows() == [(103,)]
+
+    def test_all_three_surfaces_agree(self):
+        ctx = make_context()
+        fluent = (ctx.table("orders").where(col("amount") > 20.0)
+                    .select("oid").order_by("oid").collect())
+        sql = ctx.sql("SELECT oid FROM orders WHERE amount > 20.0 "
+                      "ORDER BY oid").collect()
+        pipe = ctx.pipeline("load orders | filter amount > 20.0 "
+                            "| keep oid | sort oid").collect()
+        assert fluent.rows() == sql.rows() == pipe.rows()

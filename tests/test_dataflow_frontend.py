@@ -1,0 +1,158 @@
+"""Dataflow (pipeline) frontend tests."""
+
+import pytest
+
+from repro import BigDataContext, col
+from repro.core import algebra as A
+from repro.core.errors import ParseError, SchemaError
+from repro.frontends.dataflow import parse_pipeline
+from repro.providers import RelationalProvider
+
+from .helpers import CUSTOMERS, ORDERS, customers_table, orders_table, schema
+
+
+def resolver(name):
+    return {"customers": CUSTOMERS, "orders": ORDERS}[name]
+
+
+def make_context():
+    ctx = BigDataContext()
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.load("customers", customers_table(), on="sql")
+    ctx.load("orders", orders_table(), on="sql")
+    return ctx
+
+
+def run(ctx, text):
+    return ctx.run(ctx.query(parse_pipeline(text, ctx.catalog.schema_of)))
+
+
+class TestParsing:
+    def test_must_start_with_load(self):
+        with pytest.raises(ParseError):
+            parse_pipeline("filter x > 1", resolver)
+
+    def test_load_only(self):
+        tree = parse_pipeline("load orders", resolver)
+        assert isinstance(tree, A.Scan)
+        assert tree.schema == ORDERS
+
+    def test_unknown_stage(self):
+        with pytest.raises(ParseError):
+            parse_pipeline("load orders | frobnicate", resolver)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pipeline("load orders extra", resolver)
+
+    def test_drop_all_columns_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pipeline("load orders | drop oid, cust, amount", resolver)
+
+    def test_schema_errors_surface_at_parse(self):
+        with pytest.raises(SchemaError):
+            parse_pipeline("load orders | keep nonexistent", resolver)
+
+    def test_stage_chain_shapes(self):
+        tree = parse_pipeline(
+            """
+            load orders
+            | filter amount > 10.0
+            | derive taxed = amount * 1.1
+            | keep oid, taxed
+            | sort taxed desc
+            | limit 3
+            """,
+            resolver,
+        )
+        ops = [n.op_name for n in tree.walk()]
+        assert ops == ["Limit", "Sort", "Project", "Extend", "Filter", "Scan"]
+
+    def test_group_syntax(self):
+        tree = parse_pipeline(
+            "load orders | group cust: total = sum(amount), n = count(*)",
+            resolver,
+        )
+        agg = tree
+        assert isinstance(agg, A.Aggregate)
+        assert agg.group_by == ("cust",)
+        assert [s.func for s in agg.aggs] == ["sum", "count"]
+
+    def test_global_group(self):
+        tree = parse_pipeline("load orders | group : n = count(*)", resolver)
+        assert isinstance(tree, A.Aggregate)
+        assert tree.group_by == ()
+
+    def test_join_orientation_and_how(self):
+        tree = parse_pipeline(
+            "load customers | join orders on cust = cid how left", resolver
+        )
+        join = next(n for n in tree.walk() if isinstance(n, A.Join))
+        assert join.on == (("cid", "cust"),)
+        assert join.how == "left"
+
+    def test_rename_arrow(self):
+        tree = parse_pipeline("load orders | rename amount -> total", resolver)
+        assert "total" in tree.schema
+
+
+class TestExecution:
+    def test_full_pipeline(self):
+        ctx = make_context()
+        result = run(ctx, """
+            load orders
+            | filter amount > 10.0
+            | join customers on cust = cid
+            | group country: total = sum(amount), n = count(*)
+            | sort total desc
+            | limit 2
+        """)
+        assert result.rows()[0][0] == "jp"
+
+    def test_matches_fluent_equivalent(self):
+        ctx = make_context()
+        via_pipeline = run(ctx, """
+            load orders
+            | derive taxed = amount * 1.2
+            | keep oid, taxed
+            | sort taxed desc
+        """)
+        via_fluent = (
+            ctx.table("orders")
+            .derive(taxed=col("amount") * 1.2)
+            .select("oid", "taxed")
+            .order_by("taxed", ascending=False)
+            .collect()
+        )
+        assert via_pipeline.rows() == via_fluent.rows()
+
+    def test_distinct_and_reverse(self):
+        ctx = make_context()
+        result = run(ctx, """
+            load customers | keep country | distinct
+            | sort country | reverse
+        """)
+        assert result.rows() == [("us",), ("uk",), ("jp",)]
+
+    def test_case_expression_in_pipeline(self):
+        ctx = make_context()
+        result = run(ctx, """
+            load orders
+            | derive bucket = case when amount > 50.0 then 'big'
+                                   else 'small' end
+            | group bucket: n = count(*)
+            | sort bucket
+        """)
+        assert result.rows() == [("big", 2), ("small", 3)]
+
+    def test_semi_join(self):
+        ctx = make_context()
+        result = run(ctx, """
+            load customers | join orders on cid = cust how semi | sort name
+        """)
+        assert [r[1] for r in result] == ["ada", "bob", "cho"]
+
+    def test_limit_offset(self):
+        ctx = make_context()
+        result = run(ctx, "load orders | sort oid | limit 2 offset 1")
+        assert [r[0] for r in result] == [101, 102]

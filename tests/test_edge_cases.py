@@ -1,0 +1,198 @@
+"""Assorted edge cases across engines: unusual aggregate types, empty
+inputs, degenerate shapes, provider bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core import algebra as A
+from repro.core.errors import ExecutionError, PlanningError
+from repro.core.expressions import col, lit
+from repro.providers import (
+    ArrayProvider, ReferenceProvider, RelationalProvider,
+)
+
+from .helpers import (
+    MATRIX, inline, matrix_table, run_reference, schema, table,
+)
+
+
+def both(tree, float_tol=0.0, **datasets):
+    ref = ReferenceProvider("ref")
+    rel = RelationalProvider("rel")
+    for name, t in datasets.items():
+        ref.register_dataset(name, t)
+        rel.register_dataset(name, t)
+    expected = ref.execute(tree)
+    actual = rel.execute(tree)
+    assert actual.same_rows(expected, float_tol=float_tol)
+    return actual
+
+
+class TestAggregateTypes:
+    def test_string_min_max(self):
+        t = inline(schema(("g", "int"), ("s", "str")),
+                   [(1, "pear"), (1, "apple"), (2, None), (2, "fig")])
+        tree = A.Aggregate(t, ("g",), (
+            A.AggSpec("lo", "min", col("s")),
+            A.AggSpec("hi", "max", col("s")),
+        ))
+        result = {r["g"]: (r["lo"], r["hi"]) for r in both(tree).iter_dicts()}
+        assert result == {1: ("apple", "pear"), 2: ("fig", "fig")}
+
+    def test_string_min_all_null_group(self):
+        t = inline(schema(("g", "int"), ("s", "str")), [(1, None), (1, None)])
+        tree = A.Aggregate(t, ("g",), (A.AggSpec("lo", "min", col("s")),))
+        assert list(both(tree).iter_rows()) == [(1, None)]
+
+    def test_bool_min_max(self):
+        t = inline(schema(("g", "int"), ("b", "bool")),
+                   [(1, True), (1, False), (2, True)])
+        tree = A.Aggregate(t, ("g",), (
+            A.AggSpec("any_false", "min", col("b")),
+            A.AggSpec("any_true", "max", col("b")),
+        ))
+        result = {r["g"]: (r["any_false"], r["any_true"])
+                  for r in both(tree).iter_dicts()}
+        assert result == {1: (False, True), 2: (True, True)}
+
+    def test_sum_on_computed_expression(self):
+        t = inline(schema(("g", "int"), ("x", "int")),
+                   [(1, 2), (1, 3), (2, 4)])
+        tree = A.Aggregate(t, ("g",), (
+            A.AggSpec("sq", "sum", col("x") * col("x")),
+        ))
+        result = {r["g"]: r["sq"] for r in both(tree).iter_dicts()}
+        assert result == {1: 13, 2: 16}
+
+    def test_int_sum_stays_exact(self):
+        big = 2**52 + 1  # would lose precision through float64
+        t = inline(schema(("x", "int")), [(big,), (big,)])
+        tree = A.Aggregate(t, (), (A.AggSpec("s", "sum", col("x")),))
+        assert both(tree).row(0)[0] == 2 * big
+
+
+class TestEmptyInputs:
+    def test_join_both_empty(self):
+        left = inline(schema(("k", "int")), [])
+        right = inline(schema(("k2", "int")), [])
+        for how in ("inner", "left", "full", "semi", "anti"):
+            tree = A.Join(left, right, (("k", "k2"),), how)
+            assert both(tree).num_rows == 0
+
+    def test_outer_join_empty_right_pads(self):
+        left = inline(schema(("k", "int"), ("a", "str")), [(1, "x")])
+        right = inline(schema(("k2", "int"), ("b", "float")), [])
+        tree = A.Join(left, right, (("k", "k2"),), "left")
+        assert list(both(tree).iter_rows()) == [(1, "x", None)]
+
+    def test_full_join_empty_left(self):
+        left = inline(schema(("k", "int"), ("a", "str")), [])
+        right = inline(schema(("k2", "int"), ("b", "float")), [(7, 1.5)])
+        tree = A.Join(left, right, (("k", "k2"),), "full")
+        assert list(both(tree).iter_rows()) == [(None, None, 1.5)]
+
+    def test_sort_limit_distinct_on_empty(self):
+        t = inline(schema(("x", "int")), [])
+        for tree in (
+            A.Sort(t, ("x",), (True,)),
+            A.Limit(t, 5),
+            A.Distinct(t),
+            A.Reverse(t),
+        ):
+            assert both(tree).num_rows == 0
+
+    def test_grouped_aggregate_on_empty_is_empty(self):
+        t = inline(schema(("g", "int"), ("x", "int")), [])
+        tree = A.Aggregate(t, ("g",), (A.AggSpec("n", "count"),))
+        assert both(tree).num_rows == 0
+
+    def test_regrid_on_empty_array(self):
+        t = inline(MATRIX, [])
+        tree = A.Regrid(t, (("i", 2),), (A.AggSpec("v", "mean", col("v")),))
+        arr = ArrayProvider("arr")
+        arr.register_dataset("unused", matrix_table([[1.0]]))
+        assert arr.execute(tree).num_rows == 0
+        assert run_reference(tree).num_rows == 0
+
+    def test_matmul_empty_side(self):
+        m2 = schema(("j", "int", True), ("k", "int", True), ("w", "float"))
+        tree = A.MatMul(inline(MATRIX, []), A.Scan("m2", m2))
+        result = both(tree, m2=table(m2, [(0, 0, 1.0)]))
+        assert result.num_rows == 0
+
+
+class TestDegenerateShapes:
+    def test_limit_beyond_end(self):
+        t = inline(schema(("x", "int")), [(1,), (2,)])
+        tree = A.Limit(t, 100, 1)
+        assert list(both(tree).iter_rows()) == [(2,)]
+
+    def test_limit_zero(self):
+        t = inline(schema(("x", "int")), [(1,)])
+        assert both(A.Limit(t, 0)).num_rows == 0
+
+    def test_one_by_one_matmul(self):
+        m2 = schema(("j", "int", True), ("k", "int", True), ("w", "float"))
+        tree = A.MatMul(A.Scan("m", MATRIX), A.Scan("m2", m2))
+        result = both(
+            tree,
+            m=matrix_table([[3.0]]),
+            m2=table(m2, [(0, 0, 4.0)]),
+        )
+        assert list(result.iter_rows()) == [(0, 0, 12.0)]
+
+    def test_window_radius_zero_is_identity_for_sum(self):
+        tree = A.Window(A.Scan("m", MATRIX), (("i", 0), ("j", 0)),
+                        (A.AggSpec("v", "sum", col("v")),))
+        m = matrix_table([[1, 2], [3, 4]])
+        arr = ArrayProvider("arr")
+        arr.register_dataset("m", m)
+        assert arr.execute(tree).same_rows(m)
+
+    def test_single_column_single_row(self):
+        t = inline(schema(("x", "int")), [(42,)])
+        tree = A.Extend(t, ("y",), (col("x") + 1,))
+        assert list(both(tree).iter_rows()) == [(42, 43)]
+
+    def test_iterate_max_iter_one(self):
+        state = schema(("i", "int", True), ("v", "float"))
+        init = inline(state, [(0, 2.0)])
+        body = A.Rename(
+            A.Project(
+                A.Extend(A.LoopVar("s", state), ("v2",), (col("v") * 3,)),
+                ("i", "v2"),
+            ),
+            (("v2", "v"),),
+        )
+        tree = A.Iterate(init, body, var="s", max_iter=1)
+        assert list(both(tree).iter_rows()) == [(0, 6.0)]
+
+
+class TestProviderBookkeeping:
+    def test_stats_reset(self):
+        p = ReferenceProvider("ref")
+        p.register_dataset("t", table(schema(("x", "int")), [(1,)]))
+        p.execute(A.Scan("t", schema(("x", "int"))))
+        assert p.stats.queries == 1
+        p.stats.reset()
+        assert p.stats.queries == 0 and not p.stats.ops_by_name
+
+    def test_dataset_names_sorted(self):
+        p = ReferenceProvider("ref")
+        p.register_dataset("zeta", table(schema(("x", "int")), []))
+        p.register_dataset("alpha", table(schema(("x", "int")), []))
+        assert p.dataset_names() == ["alpha", "zeta"]
+
+    def test_reregistering_replaces(self):
+        p = RelationalProvider("sql")
+        s = schema(("x", "int"))
+        p.register_dataset("t", table(s, [(1,)]))
+        p.register_dataset("t", table(s, [(1,), (2,)]))
+        assert p.dataset("t").num_rows == 2
+        assert p.catalog.entry("t").row_count == 2
+
+    def test_missing_dataset_message_lists_known(self):
+        p = ReferenceProvider("ref")
+        p.register_dataset("known", table(schema(("x", "int")), []))
+        with pytest.raises(PlanningError, match="known"):
+            p.dataset("unknown")

@@ -1,0 +1,172 @@
+"""Unit tests for the scalar expression language."""
+
+import pytest
+
+from repro.core.errors import TypeMismatchError
+from repro.core.expressions import (
+    BinOp, Cast, Col, Func, If, IsNull, Lit, UnaryOp,
+    col, eval_row, func, if_, lit,
+)
+from repro.core.types import DType
+
+from .helpers import schema
+
+S = schema(("a", "int"), ("b", "float"), ("s", "str"), ("flag", "bool"))
+
+
+class TestBuilders:
+    def test_operator_sugar_builds_tree(self):
+        expr = (col("a") + 1) * col("b")
+        assert isinstance(expr, BinOp)
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+        assert isinstance(expr.left.right, Lit)
+
+    def test_comparison_sugar(self):
+        expr = col("a") >= 10
+        assert expr.op == ">="
+
+    def test_boolean_sugar(self):
+        expr = (col("a") > 1) & ~(col("flag"))
+        assert expr.op == "and"
+        assert expr.right.op == "not"
+
+    def test_reflected_operators(self):
+        expr = 1 - col("a")
+        assert expr.op == "-"
+        assert isinstance(expr.left, Lit)
+
+    def test_null_literal_requires_dtype(self):
+        with pytest.raises(TypeMismatchError):
+            lit(None)
+        assert lit(None, DType.INT64).dtype is DType.INT64
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            func("frobnicate", col("a"))
+
+
+class TestTypeInference:
+    def test_arithmetic_promotion(self):
+        assert (col("a") + 1).infer_type(S) is DType.INT64
+        assert (col("a") + col("b")).infer_type(S) is DType.FLOAT64
+        assert (col("a") / 2).infer_type(S) is DType.FLOAT64
+        assert (col("a") // 2).infer_type(S) is DType.INT64
+
+    def test_string_concatenation(self):
+        assert (col("s") + col("s")).infer_type(S) is DType.STRING
+
+    def test_arithmetic_on_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            (col("s") * 2).infer_type(S)
+
+    def test_comparison_yields_bool(self):
+        assert (col("a") < col("b")).infer_type(S) is DType.BOOL
+
+    def test_cross_type_comparison_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            (col("s") == col("a")).infer_type(S)
+
+    def test_boolean_ops_require_bool(self):
+        with pytest.raises(TypeMismatchError):
+            (col("a") & col("flag")).infer_type(S)
+
+    def test_if_common_type(self):
+        expr = if_(col("flag"), col("a"), col("b"))
+        assert expr.infer_type(S) is DType.FLOAT64
+
+    def test_if_requires_bool_condition(self):
+        with pytest.raises(TypeMismatchError):
+            if_(col("a"), 1, 2).infer_type(S)
+
+    def test_func_types(self):
+        assert func("sqrt", col("a")).infer_type(S) is DType.FLOAT64
+        assert func("abs", col("a")).infer_type(S) is DType.INT64
+        assert func("length", col("s")).infer_type(S) is DType.INT64
+        assert func("upper", col("s")).infer_type(S) is DType.STRING
+
+    def test_func_argument_types_checked(self):
+        with pytest.raises(TypeMismatchError):
+            func("sqrt", col("s")).infer_type(S)
+        with pytest.raises(TypeMismatchError):
+            func("upper", col("a")).infer_type(S)
+
+    def test_cast_rules(self):
+        assert col("a").cast(DType.FLOAT64).infer_type(S) is DType.FLOAT64
+        assert col("s").cast(DType.INT64).infer_type(S) is DType.INT64
+        with pytest.raises(TypeMismatchError):
+            col("flag").cast(DType.STRING).infer_type(S)
+
+    def test_missing_column_raises(self):
+        from repro.core.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            col("zzz").infer_type(S)
+
+
+class TestEvalRow:
+    ROW = {"a": 4, "b": 2.5, "s": "Hi", "flag": True}
+
+    def test_arithmetic(self):
+        assert eval_row((col("a") + 1) * 2, self.ROW) == 10
+        assert eval_row(col("a") / 8, self.ROW) == 0.5
+        assert eval_row(col("a") % 3, self.ROW) == 1
+        assert eval_row(col("a") ** 2, self.ROW) == 16
+
+    def test_comparisons_and_boolean(self):
+        assert eval_row((col("a") > 3) & col("flag"), self.ROW) is True
+        assert eval_row((col("a") > 5) | col("flag"), self.ROW) is True
+        assert eval_row(~col("flag"), self.ROW) is False
+
+    def test_functions(self):
+        assert eval_row(func("sqrt", col("a")), self.ROW) == 2.0
+        assert eval_row(func("upper", col("s")), self.ROW) == "HI"
+        assert eval_row(func("length", col("s")), self.ROW) == 2
+
+    def test_conditional(self):
+        expr = if_(col("a") > 3, lit("big"), lit("small"))
+        assert eval_row(expr, self.ROW) == "big"
+        assert eval_row(expr, {**self.ROW, "a": 1}) == "small"
+
+    def test_cast(self):
+        assert eval_row(col("b").cast(DType.INT64), self.ROW) == 2
+        assert eval_row(col("a").cast(DType.STRING), self.ROW) == "4"
+
+    def test_null_propagation(self):
+        row = {"a": None, "b": 2.5, "s": None, "flag": True}
+        assert eval_row(col("a") + 1, row) is None
+        assert eval_row(col("a") > 3, row) is None
+        assert eval_row(func("upper", col("s")), row) is None
+        assert eval_row(-col("a"), row) is None
+        assert eval_row(col("a").cast(DType.FLOAT64), row) is None
+
+    def test_is_null_never_null(self):
+        row = {"a": None, "b": 2.5, "s": "x", "flag": True}
+        assert eval_row(col("a").is_null(), row) is True
+        assert eval_row(col("b").is_null(), row) is False
+
+    def test_null_condition_takes_else_branch(self):
+        row = {"a": None, "b": 2.5, "s": "x", "flag": True}
+        expr = if_(col("a") > 0, lit(1), lit(-1))
+        assert eval_row(expr, row) == -1
+
+
+class TestStructure:
+    def test_columns_collects_references(self):
+        expr = if_(col("flag"), col("a") + col("b"), func("length", col("s")))
+        assert expr.columns() == {"flag", "a", "b", "s"}
+
+    def test_same_as_structural(self):
+        assert (col("a") + 1).same_as(col("a") + 1)
+        assert not (col("a") + 1).same_as(col("a") + 2)
+        assert not (col("a") + 1).same_as(col("a") - 1)
+
+    def test_with_children_rebuilds(self):
+        expr = col("a") + col("b")
+        rebuilt = expr.with_children((col("x"), col("y")))
+        assert rebuilt.same_as(col("x") + col("y"))
+
+    def test_walk_preorder(self):
+        expr = (col("a") + 1) * col("b")
+        kinds = [type(n).__name__ for n in expr.walk()]
+        assert kinds == ["BinOp", "BinOp", "Col", "Lit", "Col"]

@@ -1,0 +1,319 @@
+"""Federation tests: planning, fragment execution, channel metering, and the
+interoperation (direct vs application routing) comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core import algebra as A
+from repro.core.errors import PlanningError
+from repro.core.expressions import col
+from repro.federation.catalog import FederationCatalog
+from repro.federation.channels import (
+    ApplicationChannel, DirectChannel, NetworkModel, TransferMetrics,
+)
+from repro.federation.executor import FederatedExecutor, run_iterate_clientside
+from repro.federation.planner import FederationPlanner
+from repro.graph import queries
+from repro.providers import (
+    ArrayProvider, GraphProvider, LinalgProvider, ReferenceProvider,
+    RelationalProvider,
+)
+
+from .helpers import (
+    CUSTOMERS, MATRIX, ORDERS,
+    customers_table, matrix_table, orders_table, schema, table,
+)
+
+
+def full_catalog():
+    catalog = FederationCatalog()
+    catalog.add_provider(RelationalProvider("sql"))
+    catalog.add_provider(ArrayProvider("scidb"))
+    catalog.add_provider(LinalgProvider("scalapack"))
+    catalog.add_provider(GraphProvider("graphd"))
+    catalog.register_dataset("customers", customers_table(), on="sql")
+    catalog.register_dataset("orders", orders_table(), on="sql")
+    catalog.register_dataset(
+        "m", matrix_table([[1, 2, 3], [4, 5, 6], [7, 8, 9]]), on="scidb"
+    )
+    return catalog
+
+
+class TestChannels:
+    def test_direct_channel_one_hop(self):
+        metrics = TransferMetrics()
+        channel = DirectChannel(metrics, NetworkModel(latency_s=0.01,
+                                                      bandwidth_bytes_per_s=1e6))
+        t = customers_table()
+        channel.send(t, "a", "b")
+        assert metrics.hop_count == 1
+        assert metrics.bytes_direct == t.nbytes
+        assert metrics.bytes_through_application == 0
+        assert metrics.simulated_network_s == pytest.approx(
+            0.01 + t.nbytes / 1e6
+        )
+
+    def test_application_channel_two_hops(self):
+        metrics = TransferMetrics()
+        channel = ApplicationChannel(metrics, NetworkModel(latency_s=0.01,
+                                                           bandwidth_bytes_per_s=1e6))
+        t = customers_table()
+        channel.send(t, "a", "b")
+        assert metrics.hop_count == 2
+        assert metrics.bytes_through_application == 2 * t.nbytes
+        assert metrics.simulated_network_s == pytest.approx(
+            2 * (0.01 + t.nbytes / 1e6)
+        )
+
+
+class TestCatalog:
+    def test_locations_and_replication(self):
+        catalog = full_catalog()
+        catalog.register_dataset("orders", orders_table(), on=["scidb"])
+        assert catalog.locations("orders") == ["scidb", "sql"]
+
+    def test_duplicate_provider_rejected(self):
+        catalog = full_catalog()
+        with pytest.raises(PlanningError):
+            catalog.add_provider(RelationalProvider("sql"))
+
+    def test_unknown_dataset(self):
+        catalog = full_catalog()
+        assert catalog.locations("nope") == []
+        with pytest.raises(PlanningError):
+            catalog.schema_of("nope")
+
+
+class TestPlanner:
+    def test_single_server_query_is_one_fragment(self):
+        catalog = full_catalog()
+        planner = FederationPlanner(catalog)
+        tree = A.Filter(A.Scan("orders", ORDERS), col("amount") > 10.0)
+        plan = planner.plan(tree)
+        assert len(plan.fragments) == 1
+        assert plan.root.server == "sql"
+
+    def test_window_routed_to_array_server(self):
+        catalog = full_catalog()
+        planner = FederationPlanner(catalog)
+        tree = A.Window(
+            A.Scan("m", MATRIX), (("i", 1),),
+            (A.AggSpec("v", "sum", col("v")),),
+        )
+        plan = planner.plan(tree)
+        assert plan.root.server == "scidb"
+
+    def test_cross_server_query_gets_cut(self):
+        # relational data feeding an array-only operator forces a transfer
+        catalog = full_catalog()
+        catalog.register_dataset(
+            "grid_rel", matrix_table([[1, 2], [3, 4]]), on="sql"
+        )
+        planner = FederationPlanner(catalog)
+        tree = A.Window(
+            A.Scan("grid_rel", MATRIX), (("i", 1), ("j", 1)),
+            (A.AggSpec("v", "mean", col("v")),),
+        )
+        plan = planner.plan(tree)
+        assert len(plan.fragments) == 2
+        assert plan.fragments[0].server == "sql"
+        assert plan.root.server == "scidb"
+        assert plan.transfers() == [(0, 1)]
+
+    def test_uncovered_operator_fails_with_names(self):
+        catalog = FederationCatalog()
+        catalog.add_provider(LinalgProvider("scalapack"))
+        catalog.register_dataset("orders", orders_table(), on="scalapack")
+        planner = FederationPlanner(catalog)
+        tree = A.Filter(A.Scan("orders", ORDERS), col("amount") > 10.0)
+        with pytest.raises(PlanningError, match="Filter"):
+            planner.plan(tree)
+
+    def test_unregistered_dataset_fails(self):
+        catalog = full_catalog()
+        planner = FederationPlanner(catalog)
+        with pytest.raises(PlanningError):
+            planner.plan(A.Scan("ghost", ORDERS))
+
+    def test_pin_server_forces_placement(self):
+        catalog = full_catalog()
+        catalog.register_dataset("orders", orders_table(), on="graphd")
+        planner = FederationPlanner(catalog)
+        tree = A.Filter(A.Scan("orders", ORDERS), col("amount") > 10.0)
+        plan = planner.plan(tree, pin_server="graphd")
+        assert plan.root.server == "graphd"
+
+    def test_pin_server_checks_coverage(self):
+        catalog = full_catalog()
+        planner = FederationPlanner(catalog)
+        tree = A.Filter(A.Scan("orders", ORDERS), col("amount") > 10.0)
+        with pytest.raises(PlanningError):
+            planner.plan(tree, pin_server="scalapack")
+
+    def test_iterate_is_atomic(self):
+        catalog = full_catalog()
+        catalog.register_dataset(
+            "edges", table(schema(("src", "int"), ("dst", "int")),
+                           [(0, 1), (1, 2), (2, 0)]),
+            on="graphd",
+        )
+        catalog.register_dataset(
+            "vertices", table(schema(("v", "int", True)), [(0,), (1,), (2,)]),
+            on="graphd",
+        )
+        planner = FederationPlanner(catalog)
+        tree = queries.pagerank(
+            A.Scan("vertices", queries.VERTEX_SCHEMA),
+            A.Scan("edges", queries.EDGE_SCHEMA),
+            3,
+        )
+        plan = planner.plan(tree)
+        assert len(plan.fragments) == 1
+        assert plan.root.server == "graphd"
+
+    def test_iterate_ships_missing_datasets(self):
+        # edge data lives on sql; the loop must run on graphd with inputs fed
+        catalog = full_catalog()
+        catalog.register_dataset(
+            "edges", table(schema(("src", "int"), ("dst", "int")),
+                           [(0, 1), (1, 2), (2, 0)]),
+            on="sql",
+        )
+        catalog.register_dataset(
+            "vertices", table(schema(("v", "int", True)), [(0,), (1,), (2,)]),
+            on="sql",
+        )
+        planner = FederationPlanner(catalog)
+        tree = queries.pagerank(
+            A.Scan("vertices", queries.VERTEX_SCHEMA),
+            A.Scan("edges", queries.EDGE_SCHEMA),
+            3,
+        )
+        plan = planner.plan(tree)
+        # feeders for the two datasets plus the loop fragment
+        assert plan.root.server in ("graphd", "sql")
+        if plan.root.server == "graphd":
+            assert len(plan.fragments) == 3
+            assert all(f.server == "sql" for f in plan.fragments[:-1])
+
+
+class TestExecutor:
+    def test_cross_server_execution_matches_reference(self):
+        catalog = full_catalog()
+        catalog.register_dataset(
+            "grid_rel", matrix_table([[1, 2], [3, 4]]), on="sql"
+        )
+        planner = FederationPlanner(catalog)
+        executor = FederatedExecutor(catalog, routing="direct")
+        tree = A.Window(
+            A.Scan("grid_rel", MATRIX), (("i", 1), ("j", 1)),
+            (A.AggSpec("v", "mean", col("v")),),
+        )
+        report = executor.execute(planner.plan(tree))
+        ref = ReferenceProvider("ref")
+        ref.register_dataset("grid_rel", matrix_table([[1, 2], [3, 4]]))
+        assert report.result.same_rows(ref.execute(tree), float_tol=1e-9)
+        assert report.metrics.bytes_direct > 0
+        assert report.metrics.bytes_through_application == 0
+
+    def test_application_routing_doubles_the_bytes(self):
+        catalog = full_catalog()
+        catalog.register_dataset(
+            "grid_rel", matrix_table([[1, 2], [3, 4]]), on="sql"
+        )
+        tree = A.Window(
+            A.Scan("grid_rel", MATRIX), (("i", 1), ("j", 1)),
+            (A.AggSpec("v", "mean", col("v")),),
+        )
+        reports = {}
+        for routing in ("direct", "application"):
+            planner = FederationPlanner(catalog)
+            executor = FederatedExecutor(catalog, routing=routing)
+            reports[routing] = executor.execute(planner.plan(tree))
+        direct, app = reports["direct"], reports["application"]
+        assert direct.result.same_rows(app.result)
+        moved = direct.metrics.bytes_direct
+        assert app.metrics.bytes_through_application == 2 * moved
+        assert app.metrics.simulated_network_s > direct.metrics.simulated_network_s
+
+    def test_query_shipping_is_metered(self):
+        catalog = full_catalog()
+        planner = FederationPlanner(catalog)
+        executor = FederatedExecutor(catalog)
+        tree = A.Filter(A.Scan("orders", ORDERS), col("amount") > 10.0)
+        report = executor.execute(planner.plan(tree))
+        assert len(report.metrics.queries) == 1
+        assert report.metrics.query_bytes > 0
+        assert report.result_bytes > 0
+
+    def test_three_server_pipeline(self):
+        """relational filter -> linalg matmul -> array regrid, end to end."""
+        rng = np.random.default_rng(0)
+        a = rng.uniform(1, 2, (8, 8))
+        m2 = schema(("j", "int", True), ("k", "int", True), ("w", "float"))
+        catalog = full_catalog()
+        catalog.register_dataset("ga", table(MATRIX, [
+            (i, j, float(v)) for (i, j), v in np.ndenumerate(a)
+        ]), on="sql")
+        catalog.register_dataset("gb", table(m2, [
+            (i, j, float(v)) for (i, j), v in np.ndenumerate(a)
+        ]), on="scalapack")
+        planner = FederationPlanner(catalog)
+        executor = FederatedExecutor(catalog)
+
+        filtered = A.Filter(A.Scan("ga", MATRIX), col("v") > 1.2)
+        keyed = A.AsDims(filtered, ("i", "j"))
+        product = A.MatMul(keyed, A.Scan("gb", m2))
+        tree = A.Regrid(product, (("i", 2), ("k", 2)),
+                        (A.AggSpec("v", "mean", col("v")),))
+        plan = planner.plan(tree)
+        assert len(plan.servers_used) >= 2
+        report = executor.execute(plan)
+
+        ref = ReferenceProvider("ref")
+        ref.register_dataset("ga", catalog.provider("sql").dataset("ga"))
+        ref.register_dataset("gb", catalog.provider("scalapack").dataset("gb"))
+        assert report.result.same_rows(ref.execute(tree), float_tol=1e-6)
+        assert report.metrics.bytes_through_application == 0
+
+
+class TestClientsideIteration:
+    def make(self):
+        catalog = FederationCatalog()
+        catalog.add_provider(GraphProvider("graphd"))
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 0)]
+        catalog.register_dataset(
+            "edges", table(schema(("src", "int"), ("dst", "int")), edges),
+            on="graphd",
+        )
+        catalog.register_dataset(
+            "vertices", table(schema(("v", "int", True)),
+                              [(i,) for i in range(4)]),
+            on="graphd",
+        )
+        tree = queries.pagerank(
+            A.Scan("vertices", queries.VERTEX_SCHEMA),
+            A.Scan("edges", queries.EDGE_SCHEMA),
+            4, tolerance=1e-8, max_iter=100,
+        )
+        return catalog, tree
+
+    def test_clientside_loop_matches_inserver(self):
+        catalog, tree = self.make()
+        planner = FederationPlanner(catalog)
+        executor = FederatedExecutor(catalog)
+        in_server = executor.execute(planner.plan(tree))
+        client = run_iterate_clientside(tree, planner, executor)
+        assert client.result.same_rows(in_server.result, float_tol=1e-6)
+
+    def test_clientside_loop_pays_round_trips(self):
+        catalog, tree = self.make()
+        planner = FederationPlanner(catalog)
+        executor = FederatedExecutor(catalog)
+        in_server = executor.execute(planner.plan(tree))
+        client = run_iterate_clientside(tree, planner, executor)
+        assert in_server.round_trips == 1
+        assert client.round_trips > 5
+        # the client loop ships state in every query and pulls it back out
+        assert client.metrics.query_bytes > 10 * in_server.metrics.query_bytes
+        assert client.result_bytes > 5 * in_server.result_bytes

@@ -1,0 +1,206 @@
+"""End-to-end integration scenarios crossing every layer: frontends,
+rewriter, planner, multiple engines, channels and client collections."""
+
+import numpy as np
+import pytest
+
+from repro import BigDataContext, RewriteOptions, col, if_, lit
+from repro.analytics.kmeans import POINT_SCHEMA, kmeans_fit
+from repro.core import algebra as A
+from repro.core.intents import INTENT_MATMUL
+from repro.datasets import (
+    customers, dense_matrix_table, lineitems, orders, random_edges,
+    sensor_grid, sensor_metadata, vertex_table,
+)
+from repro.frontends.matrix import Matrix
+from repro.frontends.sql import parse_sql
+from repro.graph import queries as graph_queries
+from repro.providers import (
+    ArrayProvider, GraphProvider, LinalgProvider, ReferenceProvider,
+    RelationalProvider,
+)
+from repro.storage.table import ColumnTable
+
+
+@pytest.fixture()
+def world():
+    """A fully-populated four-server federation plus a reference twin."""
+    ctx = BigDataContext()
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.add_provider(ArrayProvider("scidb"))
+    ctx.add_provider(LinalgProvider("scalapack"))
+    ctx.add_provider(GraphProvider("graphd"))
+
+    ref = ReferenceProvider("oracle")
+
+    def load(name, table, on):
+        ctx.load(name, table, on=on)
+        ref.register_dataset(name, table)
+
+    load("customers", customers(120, seed=0), "sql")
+    load("orders", orders(600, 120, seed=1), "sql")
+    load("lineitems", lineitems(200, seed=2), "sql")
+    load("grid", sensor_grid(32, 32, seed=3), "scidb")
+    load("sensors", sensor_metadata(32, 32, seed=4), "sql")
+    load("ma", dense_matrix_table(12, 12, seed=5), "scalapack")
+    load("mb", dense_matrix_table(12, 12, seed=6, row_name="j",
+                                  col_name="k", value_name="w"), "scalapack")
+    load("edges", random_edges(40, 140, seed=7), "graphd")
+    load("vertices", vertex_table(40), "graphd")
+    return ctx, ref
+
+
+def check(ctx, ref, tree, float_tol=1e-9):
+    result = ctx.run(ctx.query(tree))
+    expected = ref.execute(tree)
+    assert result.table.same_rows(expected, float_tol=float_tol), (
+        f"federated result diverged from oracle for {tree!r}"
+    )
+    return result
+
+
+class TestEndToEnd:
+    def test_tpch_flavored_report(self, world):
+        ctx, ref = world
+        tree = (
+            ctx.table("orders")
+            .where(col("status") != "returned")
+            .join(ctx.table("customers"), on=[("cust", "cid")])
+            .derive(weighted=col("amount") *
+                    if_(col("segment") == "retail", lit(1.1), lit(1.0)))
+            .aggregate(["country", "segment"],
+                       revenue=("sum", col("weighted")),
+                       orders=("count", None))
+            .order_by("revenue", ascending=False)
+            .limit(10)
+            .node
+        )
+        result = check(ctx, ref, tree, float_tol=1e-6)
+        assert 0 < len(result) <= 10
+
+    def test_three_table_join_through_sql_frontend(self, world):
+        ctx, ref = world
+        tree = parse_sql(
+            """
+            SELECT country, COUNT(*) AS lines, SUM(price) AS spend
+            FROM lineitems
+            JOIN orders ON oid = oid
+            JOIN customers ON cust = cid
+            WHERE discount = 0.0
+            GROUP BY country
+            ORDER BY spend DESC
+            """,
+            ctx.catalog.schema_of,
+        )
+        result = check(ctx, ref, tree, float_tol=1e-6)
+        assert len(result) >= 1
+
+    def test_cross_model_sensor_pipeline(self, world):
+        ctx, ref = world
+        tree = (
+            ctx.table("grid")
+            .window({"x": 1, "y": 1}, reading=("mean", col("reading")))
+            .where(col("reading") > 40.0)
+            .join(ctx.table("sensors"),
+                  on=[("x", "sensor_x"), ("y", "sensor_y")])
+            .aggregate(["vendor"], hot=("count", None))
+            .node
+        )
+        result = check(ctx, ref, tree, float_tol=1e-6)
+        plan = ctx.planner.plan(ctx.rewriter.rewrite(tree))
+        assert set(plan.servers_used) >= {"scidb", "sql"}
+        assert len(result) >= 1
+
+    def test_matrix_dsl_to_linalg_server(self, world):
+        ctx, ref = world
+        product = (Matrix.wrap(ctx.table("ma")) @ Matrix.wrap(ctx.table("mb"))).node
+        result = check(ctx, ref, product, float_tol=1e-6)
+        plan = ctx.planner.plan(ctx.rewriter.rewrite(product))
+        assert "scalapack" in plan.servers_used
+        assert len(result) == 144
+
+    def test_relationally_lowered_matmul_end_to_end(self, world):
+        ctx, ref = world
+        lowered = (
+            Matrix.wrap(ctx.table("ma"), lowering="relational")
+            @ Matrix.wrap(ctx.table("mb"), lowering="relational")
+        ).node
+        optimized = ctx.rewriter.rewrite(lowered)
+        assert any(isinstance(n, A.MatMul) for n in optimized.walk())
+        assert INTENT_MATMUL in {
+            n.intent for n in optimized.walk() if n.intent
+        }
+        check(ctx, ref, lowered, float_tol=1e-6)
+
+    def test_pagerank_under_rewriter_and_planner(self, world):
+        ctx, ref = world
+        tree = graph_queries.pagerank(
+            ctx.table("vertices").node, ctx.table("edges").node, 40,
+            tolerance=1e-9, max_iter=100,
+        )
+        result = check(ctx, ref, tree, float_tol=1e-6)
+        assert ctx.catalog.provider("graphd").stats_native_hits == 1
+        total = sum(r[1] for r in result)
+        assert total <= 1.0 + 1e-9  # dangling vertices may leak mass
+
+    def test_disabling_rewriter_changes_nothing_semantically(self, world):
+        ctx, ref = world
+        plain = BigDataContext(rewrite=RewriteOptions(
+            filter_fusion=False, predicate_pushdown=False,
+            projection_pruning=False, extend_fusion=False,
+            recognize_intents=False,
+        ))
+        for provider in ctx.providers:
+            plain.catalog._providers[provider.name] = provider
+        tree = (
+            ctx.table("orders")
+            .where((col("amount") > 30.0) & (col("status") == "open"))
+            .join(ctx.table("customers"), on=[("cust", "cid")])
+            .select("name", "amount")
+            .node
+        )
+        optimized = ctx.run(ctx.query(tree))
+        unoptimized = plain.run(plain.query(tree))
+        assert optimized.table.same_rows(unoptimized.table, float_tol=1e-9)
+
+    def test_kmeans_on_the_federation(self, world):
+        ctx, ref = world
+        rng = np.random.default_rng(0)
+        pts = ColumnTable.from_rows(POINT_SCHEMA, [
+            (i, float(rng.normal(0 if i < 30 else 20, 1.0)),
+             float(rng.normal(0 if i < 30 else 20, 1.0)))
+            for i in range(60)
+        ])
+        ctx.load("points", pts, on="sql")
+        centroids, assignments = kmeans_fit(ctx, "points", 2, seed=1)
+        assert len(centroids) == 2
+        clusters = {c for _, c in assignments}
+        assert len(clusters) == 2
+
+    def test_replicated_dataset_avoids_transfers(self, world):
+        ctx, ref = world
+        # replicate orders onto graphd; a pure-relational query should still
+        # run on sql in one fragment with no transfers
+        ctx.load("orders", ref.dataset("orders"), on="graphd")
+        tree = ctx.table("orders").where(col("amount") > 100.0).node
+        plan = ctx.planner.plan(ctx.rewriter.rewrite(tree))
+        assert len(plan.fragments) == 1
+        result = check(ctx, ref, tree)
+        assert ctx.last_report.metrics.hop_count == 0
+
+    def test_explain_is_stable_and_informative(self, world):
+        ctx, __ = world
+        tree = (
+            ctx.table("grid")
+            .window({"x": 1}, reading=("mean", col("reading")))
+            .node
+        )
+        text = ctx.explain(ctx.query(tree))
+        assert "scidb" in text and "fragment" in text
+
+    def test_collection_report_exposes_metrics(self, world):
+        ctx, __ = world
+        result = ctx.table("customers").limit(3).collect()
+        assert result.report is not None
+        assert result.report.result_bytes > 0
+        assert len(result.report.metrics.queries) == 1

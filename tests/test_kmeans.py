@@ -1,0 +1,132 @@
+"""K-means in the algebra: agreement with the numpy oracle, in-server
+execution, and clustering quality on well-separated blobs."""
+
+import numpy as np
+import pytest
+
+from repro import BigDataContext
+from repro.analytics.kmeans import (
+    CENTROID_SCHEMA, POINT_SCHEMA,
+    assignments_query, initial_centroids_table, kmeans_fit, kmeans_numpy,
+    kmeans_query,
+)
+from repro.core import algebra as A
+from repro.core.errors import AlgebraError
+from repro.providers import ReferenceProvider, RelationalProvider
+from repro.storage.table import ColumnTable
+
+from .helpers import schema, table
+
+
+def blobs(seed=0, per_blob=20, centers=((0.0, 0.0), (10.0, 10.0), (-8.0, 6.0))):
+    rng = np.random.default_rng(seed)
+    rows = []
+    pid = 0
+    for cx, cy in centers:
+        for _ in range(per_blob):
+            rows.append((
+                pid,
+                float(cx + rng.normal(0, 0.8)),
+                float(cy + rng.normal(0, 0.8)),
+            ))
+            pid += 1
+    return ColumnTable.from_rows(POINT_SCHEMA, rows)
+
+
+def make_context(points):
+    ctx = BigDataContext()
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.load("points", points, on="sql")
+    return ctx
+
+
+class TestKmeansQuery:
+    def test_validates_schemas(self):
+        bad = A.Scan("p", schema(("pid", "int", True), ("x", "float")))
+        good_c = A.Scan("c", CENTROID_SCHEMA)
+        with pytest.raises(AlgebraError):
+            kmeans_query(bad, good_c)
+
+    def test_matches_numpy_oracle(self):
+        points = blobs(seed=1)
+        init = initial_centroids_table(points, 3, seed=2)
+        ctx = make_context(points)
+        loop = kmeans_query(
+            A.Scan("points", POINT_SCHEMA),
+            A.InlineTable(CENTROID_SCHEMA, tuple(init.iter_rows())),
+            tolerance=1e-9, max_iter=40,
+        )
+        result = ctx.run(ctx.query(loop))
+        expected_centroids, __ = kmeans_numpy(
+            points.array("x"), points.array("y"),
+            np.array([[cx, cy] for _, cx, cy in init.iter_rows()]),
+            tolerance=1e-9, max_iter=40,
+        )
+        got = {c: (cx, cy) for c, cx, cy in result.table.iter_rows()}
+        assert len(got) == len(expected_centroids)
+        got_sorted = np.array([got[c] for c in sorted(got)])
+        assert np.allclose(got_sorted, expected_centroids, atol=1e-9)
+
+    def test_engine_and_reference_agree(self):
+        points = blobs(seed=3, per_blob=8)
+        init = initial_centroids_table(points, 3, seed=4)
+        loop = kmeans_query(
+            A.Scan("points", POINT_SCHEMA),
+            A.InlineTable(CENTROID_SCHEMA, tuple(init.iter_rows())),
+            tolerance=1e-9, max_iter=30,
+        )
+        ref = ReferenceProvider("ref")
+        rel = RelationalProvider("rel")
+        for p in (ref, rel):
+            p.register_dataset("points", points)
+        assert rel.execute(loop).same_rows(ref.execute(loop), float_tol=1e-9)
+
+    def test_clusters_separate_blobs(self):
+        points = blobs(seed=5)
+        ctx = make_context(points)
+        centroids, assignments = kmeans_fit(ctx, "points", 3, seed=6)
+        assert len(centroids) == 3
+        # each blob occupies a contiguous pid range; all members must share
+        # a cluster, and the three blobs must get three distinct clusters
+        by_pid = {pid: c for pid, c in assignments}
+        blob_clusters = []
+        for blob_index in range(3):
+            members = {by_pid[pid] for pid in range(blob_index * 20,
+                                                    (blob_index + 1) * 20)}
+            assert len(members) == 1, f"blob {blob_index} split: {members}"
+            blob_clusters.append(members.pop())
+        assert len(set(blob_clusters)) == 3
+
+    def test_runs_in_one_round_trip(self):
+        points = blobs(seed=7, per_blob=6)
+        ctx = make_context(points)
+        init = initial_centroids_table(points, 2, seed=8)
+        loop = kmeans_query(
+            A.Scan("points", POINT_SCHEMA),
+            A.InlineTable(CENTROID_SCHEMA, tuple(init.iter_rows())),
+            max_iter=25,
+        )
+        ctx.run(ctx.query(loop))
+        assert ctx.last_report.round_trips == 1
+        assert ctx.last_report.fragments == 1
+
+    def test_assignments_cover_all_points(self):
+        points = blobs(seed=9, per_blob=5)
+        ctx = make_context(points)
+        __, assignments = kmeans_fit(ctx, "points", 2, seed=10)
+        assert len(assignments) == points.num_rows
+        assert {pid for pid, _ in assignments} == set(range(points.num_rows))
+
+    def test_initialization_needs_enough_points(self):
+        points = blobs(seed=11, per_blob=1)  # 3 points
+        with pytest.raises(AlgebraError):
+            initial_centroids_table(points, 10)
+
+    def test_intent_tag_present(self):
+        points = blobs(seed=12, per_blob=4)
+        init = initial_centroids_table(points, 2)
+        loop = kmeans_query(
+            A.Scan("points", POINT_SCHEMA),
+            A.InlineTable(CENTROID_SCHEMA, tuple(init.iter_rows())),
+        )
+        assert loop.intent == "kmeans"

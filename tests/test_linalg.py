@@ -1,0 +1,207 @@
+"""Tests for blocked matrices, kernels, and the linalg provider."""
+
+import numpy as np
+import pytest
+
+from repro.core import algebra as A
+from repro.core.errors import ExecutionError
+from repro.linalg import kernels
+from repro.linalg.blocked import BlockedMatrix
+from repro.providers.linalg_p import LinalgProvider
+
+from .helpers import MATRIX, matrix_table, schema, table
+
+
+def random_dense(rng, shape):
+    return rng.normal(size=shape)
+
+
+class TestBlockedMatrix:
+    def test_dense_round_trip(self):
+        rng = np.random.default_rng(0)
+        dense = random_dense(rng, (10, 7))
+        for block in (1, 3, 4, 16):
+            m = BlockedMatrix.from_dense(dense, block)
+            assert np.allclose(m.to_dense(), dense)
+
+    def test_grid_and_block_shapes(self):
+        m = BlockedMatrix((10, 7), 4)
+        assert m.grid == (3, 2)
+        assert m.block_shape(2, 1) == (2, 3)  # clipped edge tile
+
+    def test_zero_tiles_not_stored(self):
+        dense = np.zeros((8, 8))
+        dense[0, 0] = 1.0
+        m = BlockedMatrix.from_dense(dense, 4)
+        assert len(m.blocks) == 1
+
+    def test_set_block_validates_shape(self):
+        m = BlockedMatrix((10, 7), 4)
+        with pytest.raises(ExecutionError):
+            m.set_block(2, 1, np.zeros((4, 4)))
+
+    def test_table_round_trip(self):
+        t = matrix_table([[1, 0, 2], [0, 3, 0]])
+        m = BlockedMatrix.from_table(t, 2)
+        assert m.shape == (2, 3)
+        # zero cells of the table are indistinguishable from absent (dense)
+        back = m.to_table()
+        assert back.same_rows(table(MATRIX, [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]))
+
+    def test_from_table_rejects_negative_coords(self):
+        t = table(MATRIX, [(-1, 0, 1.0)])
+        with pytest.raises(ExecutionError):
+            BlockedMatrix.from_table(t)
+
+    def test_from_table_rejects_nulls(self):
+        t = table(MATRIX, [(0, 0, None)])
+        with pytest.raises(ExecutionError):
+            BlockedMatrix.from_table(t)
+
+
+class TestKernels:
+    def test_blocked_matmul_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        a = random_dense(rng, (13, 9))
+        b = random_dense(rng, (9, 11))
+        for block in (2, 4, 64):
+            out = kernels.matmul(
+                BlockedMatrix.from_dense(a, block),
+                BlockedMatrix.from_dense(b, block),
+            )
+            assert np.allclose(out.to_dense(), a @ b)
+
+    def test_matmul_mixed_block_sizes(self):
+        rng = np.random.default_rng(2)
+        a = random_dense(rng, (6, 6))
+        b = random_dense(rng, (6, 6))
+        out = kernels.matmul(
+            BlockedMatrix.from_dense(a, 4), BlockedMatrix.from_dense(b, 3)
+        )
+        assert np.allclose(out.to_dense(), a @ b)
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ExecutionError):
+            kernels.matmul(BlockedMatrix((2, 3), 2), BlockedMatrix((2, 3), 2))
+
+    def test_transpose(self):
+        rng = np.random.default_rng(3)
+        a = random_dense(rng, (5, 8))
+        out = kernels.transpose(BlockedMatrix.from_dense(a, 3))
+        assert np.allclose(out.to_dense(), a.T)
+
+    def test_add_and_scale(self):
+        rng = np.random.default_rng(4)
+        a = random_dense(rng, (5, 5))
+        b = random_dense(rng, (5, 5))
+        am, bm = BlockedMatrix.from_dense(a, 2), BlockedMatrix.from_dense(b, 2)
+        assert np.allclose(kernels.add(am, bm, beta=-2.0).to_dense(), a - 2 * b)
+        assert np.allclose(kernels.scale(am, 3.0).to_dense(), 3 * a)
+
+    def test_norms(self):
+        rng = np.random.default_rng(5)
+        a = random_dense(rng, (6, 4))
+        m = BlockedMatrix.from_dense(a, 3)
+        assert np.isclose(kernels.frobenius_norm(m), np.linalg.norm(a, "fro"))
+        assert np.isclose(kernels.inf_norm(m), np.abs(a).sum(axis=1).max())
+
+    def test_lu_reconstructs(self):
+        rng = np.random.default_rng(6)
+        a = random_dense(rng, (12, 12)) + 12 * np.eye(12)
+        lower, upper, perm = kernels.lu_factor(BlockedMatrix.from_dense(a, 4))
+        reconstructed = lower.to_dense() @ upper.to_dense()
+        assert np.allclose(reconstructed, a[perm])
+
+    def test_lu_rejects_singular(self):
+        with pytest.raises(ExecutionError):
+            kernels.lu_factor(BlockedMatrix.from_dense(np.zeros((4, 4)), 2))
+
+    def test_solve_matches_numpy(self):
+        rng = np.random.default_rng(7)
+        a = random_dense(rng, (15, 15)) + 15 * np.eye(15)
+        rhs = random_dense(rng, (15,))
+        x = kernels.solve(BlockedMatrix.from_dense(a, 4), rhs)
+        assert np.allclose(x, np.linalg.solve(a, rhs))
+
+    def test_solve_multiple_rhs(self):
+        rng = np.random.default_rng(8)
+        a = random_dense(rng, (9, 9)) + 9 * np.eye(9)
+        rhs = random_dense(rng, (9, 3))
+        x = kernels.solve(BlockedMatrix.from_dense(a, 3), rhs)
+        assert np.allclose(x, np.linalg.solve(a, rhs))
+
+    def test_matvec(self):
+        rng = np.random.default_rng(9)
+        a = random_dense(rng, (7, 5))
+        x = random_dense(rng, (5,))
+        out = kernels.matvec(BlockedMatrix.from_dense(a, 3), x)
+        assert np.allclose(out, a @ x)
+
+    def test_power_iteration_finds_dominant_eigenpair(self):
+        rng = np.random.default_rng(10)
+        q, _ = np.linalg.qr(random_dense(rng, (8, 8)))
+        a = q @ np.diag([5.0, 2.0, 1.0, 0.5, 0.3, 0.2, 0.1, 0.05]) @ q.T
+        value, vector, iterations = kernels.power_iteration(
+            BlockedMatrix.from_dense(a, 4), tolerance=1e-12, max_iter=2000
+        )
+        assert np.isclose(value, 5.0, atol=1e-5)
+        assert np.allclose(np.abs(a @ vector), np.abs(5.0 * vector), atol=1e-4)
+        assert iterations < 2000
+
+
+class TestLinalgProvider:
+    M2 = schema(("j", "int", True), ("k", "int", True), ("w", "float"))
+
+    def test_matmul_via_algebra(self):
+        rng = np.random.default_rng(11)
+        a = rng.uniform(1, 2, (5, 4))
+        b = rng.uniform(1, 2, (4, 6))
+        provider = LinalgProvider("sca", block_size=2)
+        provider.register_dataset("m", table(MATRIX, [
+            (i, j, float(v)) for (i, j), v in np.ndenumerate(a)
+        ]))
+        provider.register_dataset("m2", table(self.M2, [
+            (i, j, float(v)) for (i, j), v in np.ndenumerate(b)
+        ]))
+        tree = A.MatMul(A.Scan("m", MATRIX), A.Scan("m2", self.M2))
+        result = provider.execute(tree)
+        dense = np.zeros((5, 6))
+        for i, k, v in result.iter_rows():
+            dense[i, k] = v
+        assert np.allclose(dense, a @ b)
+
+    def test_matmul_chain(self):
+        provider = LinalgProvider("sca", block_size=2)
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        provider.register_dataset("m", table(MATRIX, [
+            (i, j, float(v)) for (i, j), v in np.ndenumerate(a)
+        ]))
+        m2 = schema(("j", "int", True), ("k", "int", True), ("v2", "float"))
+        m3 = schema(("k", "int", True), ("l", "int", True), ("v3", "float"))
+        provider.register_dataset("m2", table(m2, [
+            (i, j, float(v)) for (i, j), v in np.ndenumerate(a)
+        ]))
+        provider.register_dataset("m3", table(m3, [
+            (i, j, float(v)) for (i, j), v in np.ndenumerate(a)
+        ]))
+        tree = A.MatMul(
+            A.MatMul(A.Scan("m", MATRIX), A.Scan("m2", m2)),
+            A.Scan("m3", m3),
+        )
+        result = provider.execute(tree)
+        dense = np.zeros((2, 2))
+        for i, l, v in result.iter_rows():
+            dense[i, l] = v
+        assert np.allclose(dense, a @ a @ a)
+
+    def test_rejects_relational_operators(self):
+        from repro.core.expressions import col
+
+        provider = LinalgProvider("sca")
+        tree = A.Filter(A.Scan("m", MATRIX), col("v") > 0.0)
+        assert not provider.accepts(tree)
+
+    def test_rejects_non_matrix_scans(self):
+        provider = LinalgProvider("sca")
+        vector = schema(("i", "int", True), ("v", "float"))
+        assert not provider.accepts(A.Scan("vec", vector))

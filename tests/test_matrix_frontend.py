@@ -1,0 +1,131 @@
+"""Matrix frontend tests: operator overloading, intent tagging, and the
+native-vs-relational lowering paths agreeing."""
+
+import numpy as np
+import pytest
+
+from repro import BigDataContext
+from repro.core import algebra as A
+from repro.core.errors import SchemaError
+from repro.core.intents import INTENT_MATMUL, tags_in
+from repro.datasets import dense_matrix_table
+from repro.frontends.matrix import Matrix
+from repro.providers import ArrayProvider, LinalgProvider, RelationalProvider
+
+from .helpers import schema, table
+
+
+def make_context():
+    ctx = BigDataContext()
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.add_provider(ArrayProvider("scidb"))
+    ctx.add_provider(LinalgProvider("scalapack"))
+    a = dense_matrix_table(4, 3, seed=1)
+    b = dense_matrix_table(3, 5, seed=2, row_name="j", col_name="k",
+                           value_name="w")
+    ctx.load("a", a, on="scidb")
+    ctx.load("b", b, on="scidb")
+    return ctx, a, b
+
+
+def to_dense(collection, shape):
+    out = np.zeros(shape)
+    for i, j, v in collection:
+        out[i, j] = v
+    return out
+
+
+def table_dense(t, shape):
+    out = np.zeros(shape)
+    for i, j, v in t.iter_rows():
+        out[i, j] = v
+    return out
+
+
+class TestMatrixDsl:
+    def test_wrap_validates_shape(self):
+        ctx, *_ = make_context()
+        vec = schema(("i", "int", True), ("v", "float"))
+        ctx.load("vec", table(vec, [(0, 1.0)]), on="sql")
+        with pytest.raises(SchemaError):
+            Matrix.wrap(ctx.table("vec"))
+
+    def test_matmul_is_intent_tagged(self):
+        ctx, *_ = make_context()
+        a = Matrix.wrap(ctx.table("a"))
+        b = Matrix.wrap(ctx.table("b"))
+        product = a @ b
+        assert product.node.intent == INTENT_MATMUL
+        assert isinstance(product.node, A.MatMul)
+
+    def test_matmul_matches_numpy(self):
+        ctx, a_table, b_table = make_context()
+        a = Matrix.wrap(ctx.table("a"))
+        b = Matrix.wrap(ctx.table("b"))
+        result = (a @ b).collect()
+        expected = table_dense(a_table, (4, 3)) @ table_dense(
+            b_table.rename({"j": "i", "k": "j", "w": "v"}), (3, 5)
+        )
+        assert np.allclose(to_dense(result, (4, 5)), expected, atol=1e-9)
+
+    def test_relational_lowering_still_recognized(self):
+        """The lowered form keeps its intent and is rewritten to MatMul."""
+        ctx, *_ = make_context()
+        a = Matrix.wrap(ctx.table("a"), lowering="relational")
+        b = Matrix.wrap(ctx.table("b"), lowering="relational")
+        lowered = (a @ b).node
+        assert not any(isinstance(n, A.MatMul) for n in lowered.walk())
+        assert INTENT_MATMUL in tags_in(lowered)
+        optimized = ctx.rewriter.rewrite(lowered)
+        assert any(isinstance(n, A.MatMul) for n in optimized.walk())
+
+    def test_both_lowerings_agree(self):
+        ctx, *_ = make_context()
+        native = (Matrix.wrap(ctx.table("a")) @ Matrix.wrap(ctx.table("b"))).collect()
+        lowered = (
+            Matrix.wrap(ctx.table("a"), lowering="relational")
+            @ Matrix.wrap(ctx.table("b"), lowering="relational")
+        ).collect()
+        assert native.table.same_rows(lowered.table, float_tol=1e-9)
+
+    def test_transpose(self):
+        ctx, a_table, _ = make_context()
+        result = Matrix.wrap(ctx.table("a")).T.collect()
+        expected = table_dense(a_table, (4, 3)).T
+        got = np.zeros((3, 4))
+        for j, i, v in result:
+            got[j, i] = v
+        assert np.allclose(got, expected)
+
+    def test_elementwise_add_and_hadamard(self):
+        ctx, a_table, _ = make_context()
+        a = Matrix.wrap(ctx.table("a"))
+        dense = table_dense(a_table, (4, 3))
+        total = (a + a).collect()
+        assert np.allclose(to_dense(total, (4, 3)), 2 * dense, atol=1e-9)
+        squared = (a * a).collect()
+        assert np.allclose(to_dense(squared, (4, 3)), dense * dense, atol=1e-9)
+
+    def test_scale(self):
+        ctx, a_table, _ = make_context()
+        a = Matrix.wrap(ctx.table("a"))
+        result = (3.0 * a).collect()
+        assert np.allclose(
+            to_dense(result, (4, 3)), 3 * table_dense(a_table, (4, 3)),
+            atol=1e-9,
+        )
+
+    def test_expression_chain(self):
+        """(A @ B).T scaled — a realistic composite expression."""
+        ctx, a_table, b_table = make_context()
+        a = Matrix.wrap(ctx.table("a"))
+        b = Matrix.wrap(ctx.table("b"))
+        result = ((a @ b).T * 0.5).collect()
+        expected = 0.5 * (
+            table_dense(a_table, (4, 3))
+            @ table_dense(b_table.rename({"j": "i", "k": "j", "w": "v"}), (3, 5))
+        ).T
+        got = np.zeros((5, 4))
+        for i, j, v in result:
+            got[i, j] = v
+        assert np.allclose(got, expected, atol=1e-9)

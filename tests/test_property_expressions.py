@@ -1,0 +1,128 @@
+"""Property-based agreement: vectorized expression evaluation must match
+the row-at-a-time reference semantics on random expressions and tables."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import expressions as E
+from repro.core.errors import ReproError
+from repro.core.expressions import col, eval_row, func, if_, lit
+from repro.core.types import DType
+from repro.relational.eval import eval_vector
+from repro.storage.table import ColumnTable
+
+from .helpers import schema
+
+S = schema(("a", "int"), ("b", "float"), ("flag", "bool"), ("s", "str"))
+
+# value pools kept small/finite so arithmetic stays exact enough to compare
+INTS = st.one_of(st.none(), st.integers(-100, 100))
+FLOATS = st.one_of(st.none(), st.integers(-50, 50).map(lambda v: v / 4.0))
+BOOLS = st.one_of(st.none(), st.booleans())
+STRINGS = st.one_of(st.none(), st.sampled_from(["", "a", "b", "Hello", "zz"]))
+
+ROWS = st.lists(st.tuples(INTS, FLOATS, BOOLS, STRINGS), max_size=20)
+
+
+def numeric_expr(depth: int = 2):
+    leaf = st.one_of(
+        st.just(col("a")), st.just(col("b")),
+        st.integers(-10, 10).map(lit),
+        st.integers(-20, 20).map(lambda v: lit(v / 4.0)),
+    )
+    if depth == 0:
+        return leaf
+    sub = numeric_expr(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: E.BinOp(t[0], t[1], t[2])
+        ),
+        sub.map(lambda e: E.UnaryOp("-", e)),
+        st.tuples(bool_expr(0), sub, sub).map(lambda t: E.If(*t)),
+    )
+
+
+def bool_expr(depth: int = 1):
+    leaf = st.one_of(
+        st.just(col("flag")),
+        st.booleans().map(lit),
+        st.tuples(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+                  st.just(col("a")), st.integers(-10, 10).map(lit)).map(
+            lambda t: E.BinOp(t[0], t[1], t[2])
+        ),
+        st.just(col("b").is_null()),
+        st.just(col("s").is_null()),
+    )
+    if depth == 0:
+        return leaf
+    sub = bool_expr(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["and", "or"]), sub, sub).map(
+            lambda t: E.BinOp(t[0], t[1], t[2])
+        ),
+        sub.map(lambda e: E.UnaryOp("not", e)),
+    )
+
+
+def assert_agreement(expr, rows):
+    table = ColumnTable.from_rows(S, rows)
+    vector = eval_vector(expr, table).to_list()
+    reference = [eval_row(expr, r) for r in table.iter_dicts()]
+    assert len(vector) == len(reference)
+    for got, want in zip(vector, reference):
+        if want is None:
+            assert got is None, f"{expr!r}: expected null, got {got!r}"
+        elif isinstance(want, float):
+            if math.isnan(want):
+                assert isinstance(got, float) and math.isnan(got)
+            else:
+                assert got == want or math.isclose(got, want, rel_tol=1e-12), (
+                    f"{expr!r}: {got!r} != {want!r}"
+                )
+        else:
+            assert got == want, f"{expr!r}: {got!r} != {want!r}"
+
+
+class TestVectorizedAgreement:
+    @settings(max_examples=150, deadline=None)
+    @given(numeric_expr(), ROWS)
+    def test_numeric_expressions(self, expr, rows):
+        assert_agreement(expr, rows)
+
+    @settings(max_examples=150, deadline=None)
+    @given(bool_expr(2), ROWS)
+    def test_boolean_expressions(self, expr, rows):
+        assert_agreement(expr, rows)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(["sqrt", "exp", "log", "abs", "floor", "ceil",
+                            "sign", "sin", "cos"]),
+           ROWS)
+    def test_math_functions(self, name, rows):
+        assert_agreement(func(name, col("b")), rows)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(["upper", "lower", "length"]), ROWS)
+    def test_string_functions(self, name, rows):
+        assert_agreement(func(name, col("s")), rows)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from([DType.FLOAT64, DType.STRING]), ROWS)
+    def test_casts_from_int(self, target, rows):
+        assert_agreement(col("a").cast(target), rows)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ROWS)
+    def test_string_concat_and_compare(self, rows):
+        assert_agreement(col("s") + col("s"), rows)
+        assert_agreement(col("s") == lit("a"), rows)
+        assert_agreement(col("s") < lit("b"), rows)
+
+    @settings(max_examples=60, deadline=None)
+    @given(numeric_expr(1), ROWS)
+    def test_division_agreement_including_by_zero(self, denominator, rows):
+        assert_agreement(col("b") / denominator, rows)

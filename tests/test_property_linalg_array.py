@@ -1,0 +1,125 @@
+"""Property-based tests for blocked linear algebra and chunked arrays."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.array.chunked import ChunkedArray
+from repro.linalg import kernels
+from repro.linalg.blocked import BlockedMatrix
+from repro.storage.table import ColumnTable
+
+from .helpers import schema
+
+DIMS = st.integers(1, 12)
+BLOCKS = st.sampled_from([1, 2, 3, 5, 8])
+
+
+def random_dense(draw, rows, cols):
+    seed = draw(st.integers(0, 2**16))
+    return np.random.default_rng(seed).normal(size=(rows, cols))
+
+
+class TestBlockedMatrixProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_matmul_matches_numpy(self, data):
+        m, k, n = data.draw(DIMS), data.draw(DIMS), data.draw(DIMS)
+        block = data.draw(BLOCKS)
+        a = random_dense(data.draw, m, k)
+        b = random_dense(data.draw, k, n)
+        out = kernels.matmul(
+            BlockedMatrix.from_dense(a, block),
+            BlockedMatrix.from_dense(b, block),
+        )
+        assert out.shape == (m, n)
+        assert np.allclose(out.to_dense(), a @ b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_transpose_involution(self, data):
+        m, n = data.draw(DIMS), data.draw(DIMS)
+        a = random_dense(data.draw, m, n)
+        blocked = BlockedMatrix.from_dense(a, data.draw(BLOCKS))
+        assert np.allclose(
+            kernels.transpose(kernels.transpose(blocked)).to_dense(), a
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_solve_inverts_matmul(self, data):
+        n = data.draw(st.integers(2, 10))
+        a = random_dense(data.draw, n, n) + n * np.eye(n)
+        x = random_dense(data.draw, n, 1).reshape(-1)
+        blocked = BlockedMatrix.from_dense(a, data.draw(BLOCKS))
+        rhs = kernels.matvec(blocked, x)
+        solved = kernels.solve(blocked, rhs)
+        assert np.allclose(solved, x, atol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_norms_match_numpy(self, data):
+        m, n = data.draw(DIMS), data.draw(DIMS)
+        a = random_dense(data.draw, m, n)
+        blocked = BlockedMatrix.from_dense(a, data.draw(BLOCKS))
+        assert np.isclose(kernels.frobenius_norm(blocked),
+                          np.linalg.norm(a, "fro"))
+        assert np.isclose(kernels.inf_norm(blocked),
+                          np.abs(a).sum(axis=1).max())
+
+
+GRID = schema(("i", "int", True), ("j", "int", True), ("v", "float"))
+
+
+@st.composite
+def sparse_cells(draw):
+    coords = draw(st.sets(
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+        min_size=1, max_size=40,
+    ))
+    return [
+        (i, j, draw(st.one_of(st.none(), st.integers(-8, 8).map(float))))
+        for i, j in sorted(coords)
+    ]
+
+
+class TestChunkedArrayProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(sparse_cells(), st.sampled_from([1, 2, 4, 7, 32]))
+    def test_table_round_trip(self, rows, chunk):
+        table = ColumnTable.from_rows(GRID, rows)
+        arr = ChunkedArray.from_table(table, chunk)
+        assert arr.cell_count == len(rows)
+        assert arr.to_table().same_rows(table)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sparse_cells(), st.sampled_from([2, 5]), st.data())
+    def test_get_region_agrees_with_rows(self, rows, chunk, data):
+        table = ColumnTable.from_rows(GRID, rows)
+        arr = ChunkedArray.from_table(table, chunk)
+        lo = (data.draw(st.integers(-25, 10)), data.draw(st.integers(-25, 10)))
+        hi = (lo[0] + data.draw(st.integers(0, 30)),
+              lo[1] + data.draw(st.integers(0, 30)))
+        present, values, masks = arr.get_region(lo, hi)
+        cells = {
+            (i, j): v for i, j, v in rows
+        }
+        for i in range(lo[0], hi[0] + 1):
+            for j in range(lo[1], hi[1] + 1):
+                pos = (i - lo[0], j - lo[1])
+                if (i, j) in cells:
+                    assert present[pos], (i, j)
+                    want = cells[(i, j)]
+                    if want is None:
+                        assert masks["v"] is not None and masks["v"][pos]
+                    else:
+                        assert values["v"][pos] == want
+                else:
+                    assert not present[pos], (i, j)
+
+    @settings(max_examples=40, deadline=None)
+    @given(sparse_cells(), st.sampled_from([2, 6]), st.sampled_from([3, 9]))
+    def test_rechunking_preserves_contents(self, rows, chunk_a, chunk_b):
+        table = ColumnTable.from_rows(GRID, rows)
+        a = ChunkedArray.from_table(table, chunk_a)
+        b = ChunkedArray.from_table(a.to_table(), chunk_b)
+        assert b.to_table().same_rows(table)

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the storage layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.types import DType
+from repro.storage.column import Column
+from repro.storage.table import ColumnTable
+
+from .helpers import schema
+
+
+def value_strategy(dtype: DType, allow_null: bool = True):
+    base = {
+        DType.INT64: st.integers(-2**40, 2**40),
+        DType.FLOAT64: st.floats(allow_nan=False, allow_infinity=False,
+                                 width=32),
+        DType.BOOL: st.booleans(),
+        DType.STRING: st.text(max_size=8),
+    }[dtype]
+    if allow_null:
+        return st.one_of(st.none(), base)
+    return base
+
+
+def column_strategy(dtype: DType):
+    return st.lists(value_strategy(dtype), max_size=30).map(
+        lambda values: Column.from_values(dtype, values)
+    )
+
+
+class TestColumnProperties:
+    @pytest.mark.parametrize("dtype", list(DType))
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_to_list_round_trips(self, dtype, data):
+        values = data.draw(st.lists(value_strategy(dtype), max_size=30))
+        column = Column.from_values(dtype, values)
+        out = column.to_list()
+        assert len(out) == len(values)
+        for got, want in zip(out, values):
+            if want is None:
+                assert got is None
+            elif dtype is DType.FLOAT64:
+                assert got == float(want)
+            else:
+                assert got == want
+
+    @given(st.lists(value_strategy(DType.INT64), min_size=1, max_size=30),
+           st.data())
+    def test_take_matches_pointwise(self, values, data):
+        column = Column.from_values(DType.INT64, values)
+        indices = data.draw(st.lists(
+            st.integers(0, len(values) - 1), max_size=40
+        ))
+        taken = column.take(np.array(indices, dtype=np.int64))
+        assert taken.to_list() == [column[i] for i in indices]
+
+    @given(st.lists(value_strategy(DType.FLOAT64), max_size=30))
+    def test_reverse_is_involution(self, values):
+        column = Column.from_values(DType.FLOAT64, values)
+        assert column.reverse().reverse().to_list() == column.to_list()
+
+    @given(st.lists(st.lists(value_strategy(DType.STRING), max_size=10),
+                    min_size=1, max_size=5))
+    def test_concat_preserves_order_and_length(self, chunks):
+        columns = [Column.from_values(DType.STRING, c) for c in chunks]
+        merged = Column.concat(columns)
+        expected = [v for chunk in chunks for v in chunk]
+        assert merged.to_list() == expected
+
+
+ROW = st.tuples(
+    value_strategy(DType.INT64),
+    value_strategy(DType.FLOAT64),
+    value_strategy(DType.STRING),
+)
+
+
+class TestTableProperties:
+    S = schema(("a", "int"), ("b", "float"), ("s", "str"))
+
+    @given(st.lists(ROW, max_size=25))
+    def test_rows_round_trip(self, rows):
+        table = ColumnTable.from_rows(self.S, rows)
+        assert table.to_rows() == [
+            (a, None if b is None else float(b), s) for a, b, s in rows
+        ]
+
+    @given(st.lists(ROW, max_size=25))
+    def test_same_rows_reflexive_and_order_insensitive(self, rows):
+        table = ColumnTable.from_rows(self.S, rows)
+        assert table.same_rows(table)
+        shuffled = ColumnTable.from_rows(self.S, list(reversed(rows)))
+        assert table.same_rows(shuffled)
+
+    @given(st.lists(ROW, min_size=1, max_size=25))
+    def test_filter_then_concat_partitions(self, rows):
+        table = ColumnTable.from_rows(self.S, rows)
+        keep = np.array([i % 2 == 0 for i in range(len(rows))])
+        kept = table.filter(keep)
+        dropped = table.filter(~keep)
+        assert kept.num_rows + dropped.num_rows == table.num_rows
+        assert ColumnTable.concat([kept, dropped]).same_rows(table)
+
+    @given(st.lists(ROW, max_size=25))
+    def test_nbytes_monotone_in_rows(self, rows):
+        table = ColumnTable.from_rows(self.S, rows)
+        half = table.slice(0, table.num_rows // 2)
+        assert half.nbytes <= table.nbytes

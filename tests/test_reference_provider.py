@@ -1,0 +1,382 @@
+"""Semantics tests for the reference interpreter — the project's oracle.
+
+These tests pin down the meaning of every operator; engines are later tested
+for agreement with this provider, so correctness here is load-bearing.
+"""
+
+import pytest
+
+from repro.core import algebra as A
+from repro.core.errors import (
+    ConvergenceError, ExecutionError, PlanningError, TranslationError,
+)
+from repro.core.expressions import col, func, if_, lit
+from repro.providers.reference import ReferenceProvider
+
+from .helpers import (
+    CUSTOMERS, MATRIX, ORDERS,
+    customers_table, inline, matrix_rows, matrix_table, orders_table,
+    rows_of, run_reference, schema, table,
+)
+
+CUST = A.Scan("customers", CUSTOMERS)
+ORD = A.Scan("orders", ORDERS)
+
+
+def run(tree):
+    return run_reference(
+        tree, customers=customers_table(), orders=orders_table()
+    )
+
+
+class TestLeaves:
+    def test_scan(self):
+        assert run(CUST).num_rows == 4
+
+    def test_missing_dataset(self):
+        with pytest.raises(PlanningError):
+            run_reference(A.Scan("nope", CUSTOMERS))
+
+    def test_inline_table(self):
+        t = inline(schema(("x", "int")), [(1,), (2,)])
+        assert rows_of(run(t)) == [(1,), (2,)]
+
+    def test_inline_rejects_type_error(self):
+        t = inline(schema(("x", "int")), [("oops",)])
+        with pytest.raises(Exception):
+            run(t)
+
+
+class TestRelational:
+    def test_filter(self):
+        result = run(A.Filter(ORD, col("amount") > 20.0))
+        assert {r[0] for r in result.iter_rows()} == {100, 101, 103}
+
+    def test_filter_null_predicate_drops_row(self):
+        t = inline(schema(("x", "float")), [(1.0,), (None,), (3.0,)])
+        result = run(A.Filter(t, col("x") > 0.0))
+        assert result.num_rows == 2
+
+    def test_project_and_extend(self):
+        tree = A.Extend(
+            A.Project(ORD, ("oid", "amount")),
+            ("taxed",), (col("amount") * 1.1,),
+        )
+        result = run(tree)
+        assert result.schema.names == ("oid", "amount", "taxed")
+        first = dict(zip(result.schema.names, result.row(0)))
+        assert first["taxed"] == pytest.approx(first["amount"] * 1.1)
+
+    def test_rename(self):
+        result = run(A.Rename(CUST, (("name", "customer_name"),)))
+        assert "customer_name" in result.schema
+
+    def test_inner_join(self):
+        tree = A.Join(CUST, ORD, (("cid", "cust"),))
+        result = run(tree)
+        assert result.num_rows == 4  # order 104 dangles
+        names = {r[1] for r in result.iter_rows()}
+        assert names == {"ada", "bob", "cho"}
+
+    def test_left_join_pads_with_null(self):
+        tree = A.Join(CUST, ORD, (("cid", "cust"),), how="left")
+        result = run(tree)
+        assert result.num_rows == 5  # dee gets a null order
+        dee = [r for r in result.iter_dicts() if r["name"] == "dee"]
+        assert dee[0]["oid"] is None and dee[0]["amount"] is None
+
+    def test_full_join(self):
+        tree = A.Join(CUST, ORD, (("cid", "cust"),), how="full")
+        result = run(tree)
+        assert result.num_rows == 6  # 4 matches + dee + order 104
+        dangling = [r for r in result.iter_dicts() if r["cid"] is None]
+        assert len(dangling) == 1 and dangling[0]["oid"] == 104
+
+    def test_semi_and_anti_join(self):
+        semi = run(A.Join(CUST, ORD, (("cid", "cust"),), how="semi"))
+        anti = run(A.Join(CUST, ORD, (("cid", "cust"),), how="anti"))
+        assert {r[1] for r in semi.iter_rows()} == {"ada", "bob", "cho"}
+        assert {r[1] for r in anti.iter_rows()} == {"dee"}
+
+    def test_join_null_keys_never_match(self):
+        left = inline(schema(("k", "int")), [(1,), (None,)])
+        right = inline(schema(("k2", "int")), [(1,), (None,)])
+        result = run(A.Join(left, right, (("k", "k2"),)))
+        assert result.num_rows == 1
+
+    def test_product(self):
+        left = inline(schema(("a", "int")), [(1,), (2,)])
+        right = inline(schema(("b", "str")), [("x",), ("y",)])
+        result = run(A.Product(left, right))
+        assert result.num_rows == 4
+
+    def test_aggregate_grouped(self):
+        tree = A.Aggregate(
+            ORD, ("cust",),
+            (A.AggSpec("n", "count"), A.AggSpec("total", "sum", col("amount"))),
+        )
+        result = {r["cust"]: r for r in run(tree).iter_dicts()}
+        assert result[1]["n"] == 2 and result[1]["total"] == 100.0
+        assert result[9]["total"] == 5.0
+
+    def test_aggregate_global_on_empty_input(self):
+        empty = A.Filter(ORD, lit(False))
+        tree = A.Aggregate(
+            empty, (),
+            (A.AggSpec("n", "count"), A.AggSpec("total", "sum", col("amount")),
+             A.AggSpec("avg", "mean", col("amount"))),
+        )
+        result = list(run(tree).iter_dicts())
+        assert result == [{"n": 0, "total": None, "avg": None}]
+
+    def test_count_arg_skips_nulls(self):
+        t = inline(schema(("x", "int")), [(1,), (None,), (3,)])
+        tree = A.Aggregate(
+            t, (),
+            (A.AggSpec("rows", "count"), A.AggSpec("vals", "count", col("x"))),
+        )
+        result = list(run(tree).iter_dicts())[0]
+        assert result["rows"] == 3 and result["vals"] == 2
+
+    def test_aggregate_null_group_key_is_a_group(self):
+        t = inline(schema(("g", "int"), ("x", "int")),
+                   [(1, 10), (None, 5), (None, 7)])
+        tree = A.Aggregate(t, ("g",), (A.AggSpec("s", "sum", col("x")),))
+        result = {r["g"]: r["s"] for r in run(tree).iter_dicts()}
+        assert result == {1: 10, None: 12}
+
+    def test_sort_multi_key_with_nulls_first(self):
+        t = inline(schema(("a", "int"), ("b", "int")),
+                   [(2, 1), (1, 2), (None, 0), (1, 1)])
+        tree = A.Sort(t, ("a", "b"), (True, False))
+        assert list(run(tree).iter_rows()) == [
+            (None, 0), (1, 2), (1, 1), (2, 1)
+        ]
+
+    def test_sort_descending_puts_nulls_last(self):
+        t = inline(schema(("a", "int")), [(1,), (None,), (3,)])
+        tree = A.Sort(t, ("a",), (False,))
+        assert list(run(tree).iter_rows()) == [(3,), (1,), (None,)]
+
+    def test_limit_offset(self):
+        tree = A.Limit(A.Sort(ORD, ("oid",), (True,)), 2, offset=1)
+        assert [r[0] for r in run(tree).iter_rows()] == [101, 102]
+
+    def test_reverse(self):
+        tree = A.Reverse(A.Sort(ORD, ("oid",), (True,)))
+        assert [r[0] for r in run(tree).iter_rows()] == [104, 103, 102, 101, 100]
+
+    def test_distinct(self):
+        t = inline(schema(("x", "int")), [(1,), (2,), (1,), (1,)])
+        assert run(A.Distinct(t)).num_rows == 2
+
+    def test_union_is_bag(self):
+        t = inline(schema(("x", "int")), [(1,)])
+        assert run(A.Union(t, t)).num_rows == 2
+
+    def test_intersect_and_except_are_sets(self):
+        a = inline(schema(("x", "int")), [(1,), (1,), (2,), (3,)])
+        b = inline(schema(("x", "int")), [(1,), (3,), (4,)])
+        assert rows_of(run(A.Intersect(a, b))) == [(1,), (3,)]
+        assert rows_of(run(A.Except(a, b))) == [(2,)]
+
+
+class TestDimensional:
+    M = A.Scan("m", MATRIX)
+
+    def run_m(self, tree, values):
+        return run_reference(tree, m=matrix_table(values))
+
+    def test_as_dims_enforces_key(self):
+        t = inline(schema(("i", "int"), ("v", "float")),
+                   [(0, 1.0), (0, 2.0)])
+        with pytest.raises(ExecutionError, match="duplicate"):
+            run(A.AsDims(t, ("i",)))
+
+    def test_as_dims_rejects_null_coordinate(self):
+        t = inline(schema(("i", "int"), ("v", "float")), [(None, 1.0)])
+        with pytest.raises(ExecutionError, match="null"):
+            run(A.AsDims(t, ("i",)))
+
+    def test_slice_dims_inclusive(self):
+        tree = A.SliceDims(self.M, (("i", 0, 1), ("j", 1, 1)))
+        result = self.run_m(tree, [[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        assert rows_of(result) == [(0, 1, 2.0), (1, 1, 5.0)]
+
+    def test_shift_dim(self):
+        tree = A.ShiftDim(self.M, "i", 10)
+        result = self.run_m(tree, [[1.0]])
+        assert list(result.iter_rows()) == [(10, 0, 1.0)]
+
+    def test_regrid_means_blocks(self):
+        tree = A.Regrid(
+            self.M, (("i", 2), ("j", 2)),
+            (A.AggSpec("v", "mean", col("v")),),
+        )
+        result = self.run_m(tree, [[1, 2], [3, 4]])
+        assert list(result.iter_rows()) == [(0, 0, 2.5)]
+
+    def test_window_sum(self):
+        tree = A.Window(
+            self.M, (("i", 1), ("j", 1)),
+            (A.AggSpec("v", "sum", col("v")),),
+        )
+        result = self.run_m(tree, [[1, 2], [3, 4]])
+        by_coord = {(r["i"], r["j"]): r["v"] for r in result.iter_dicts()}
+        # every cell's window covers the whole 2x2 array
+        assert by_coord == {(0, 0): 10.0, (0, 1): 10.0, (1, 0): 10.0, (1, 1): 10.0}
+
+    def test_window_respects_unlisted_dims(self):
+        tree = A.Window(self.M, (("j", 1),), (A.AggSpec("v", "sum", col("v")),))
+        result = self.run_m(tree, [[1, 2], [3, 4]])
+        by_coord = {(r["i"], r["j"]): r["v"] for r in result.iter_dicts()}
+        assert by_coord == {(0, 0): 3.0, (0, 1): 3.0, (1, 0): 7.0, (1, 1): 7.0}
+
+    def test_reduce_dims(self):
+        tree = A.ReduceDims(self.M, ("i",), (A.AggSpec("s", "sum", col("v")),))
+        result = self.run_m(tree, [[1, 2], [3, 4]])
+        assert rows_of(result) == [(0, 3.0), (1, 7.0)]
+
+    def test_reduce_to_scalar(self):
+        tree = A.ReduceDims(self.M, (), (A.AggSpec("s", "sum", col("v")),))
+        result = self.run_m(tree, [[1, 2], [3, 4]])
+        assert list(result.iter_rows()) == [(10.0,)]
+
+    def test_matmul_matches_numpy(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 5, (3, 4)).astype(float)
+        b = rng.integers(0, 5, (4, 2)).astype(float)
+        other_schema = schema(("j", "int", True), ("k", "int", True), ("w", "float"))
+        tree = A.MatMul(self.M, A.Scan("m2", other_schema))
+        result = run_reference(
+            tree,
+            m=matrix_table(a.tolist()),
+            m2=table(other_schema, [
+                (i, j, float(v)) for i, row in enumerate(b) for j, v in enumerate(row)
+            ]),
+        )
+        dense = np.zeros((3, 2))
+        for i, k, v in result.iter_rows():
+            dense[i, k] = v
+        expected = a @ b
+        # sparse result omits exact zeros; compare where defined
+        assert np.allclose(dense[dense != 0], expected[dense != 0])
+        assert np.allclose(dense, expected)
+
+    def test_cell_join(self):
+        other_schema = schema(("i", "int", True), ("j", "int", True), ("w", "float"))
+        tree = A.CellJoin(self.M, A.Scan("m2", other_schema))
+        result = run_reference(
+            tree,
+            m=matrix_table([[1, 2]]),
+            m2=table(other_schema, [(0, 0, 10.0), (0, 5, 99.0)]),
+        )
+        assert list(result.iter_rows()) == [(0, 0, 1.0, 10.0)]
+
+
+class TestIterate:
+    STATE = schema(("i", "int", True), ("v", "float"))
+
+    def test_fixed_iteration_count(self):
+        init = inline(self.STATE, [(0, 1.0)])
+        body = A.Extend(
+            A.Project(A.LoopVar("s", self.STATE), ("i",)),
+            ("v",), (lit(0.0),),
+        )
+        # v doubles each round: schema-preserving body computing v*2
+        body = A.Extend(
+            A.Project(A.LoopVar("s", self.STATE), ("i",)), ("v",), (lit(0.0),)
+        )
+        del body
+        double = A.Project(
+            A.Extend(A.LoopVar("s", self.STATE), ("v2",), (col("v") * 2,)),
+            ("i", "v2"),
+        )
+        double = A.Rename(double, (("v2", "v"),))
+        tree = A.Iterate(init, double, var="s", max_iter=5)
+        result = list(run_reference(tree).iter_rows())
+        assert result == [(0, 32.0)]
+
+    def test_convergence_stops_early(self):
+        init = inline(self.STATE, [(0, 1.0)])
+        halve = A.Rename(
+            A.Project(
+                A.Extend(A.LoopVar("s", self.STATE), ("v2",), (col("v") * 0.5,)),
+                ("i", "v2"),
+            ),
+            (("v2", "v"),),
+        )
+        tree = A.Iterate(
+            init, halve, var="s",
+            stop=A.Convergence("v", tolerance=0.3), max_iter=100,
+        )
+        result = list(run_reference(tree).iter_rows())
+        # 1.0 -> .5 (delta .5) -> .25 (delta .25 <= .3, stop)
+        assert result == [(0, 0.25)]
+
+    def test_strict_nonconvergence_raises(self):
+        init = inline(self.STATE, [(0, 1.0)])
+        grow = A.Rename(
+            A.Project(
+                A.Extend(A.LoopVar("s", self.STATE), ("v2",), (col("v") + 1.0,)),
+                ("i", "v2"),
+            ),
+            (("v2", "v"),),
+        )
+        tree = A.Iterate(
+            init, grow, var="s",
+            stop=A.Convergence("v", tolerance=1e-9), max_iter=3, strict=True,
+        )
+        with pytest.raises(ConvergenceError):
+            run_reference(tree)
+
+    def test_nested_scan_inside_body(self):
+        # body joins loop state against a static dataset each round
+        weights = schema(("i", "int", True), ("w", "float"))
+        init = inline(self.STATE, [(0, 1.0), (1, 1.0)])
+        body = A.Rename(
+            A.Project(
+                A.Extend(
+                    A.Join(
+                        A.LoopVar("s", self.STATE),
+                        A.Scan("weights", weights),
+                        (("i", "i"),),
+                    ),
+                    ("nv",), (col("v") * col("w"),),
+                ),
+                ("i", "nv"),
+            ),
+            (("nv", "v"),),
+        )
+        tree = A.Iterate(init, body, var="s", max_iter=2)
+        result = run_reference(
+            tree, weights=table(weights, [(0, 2.0), (1, 3.0)])
+        )
+        assert rows_of(result) == [(0, 4.0), (1, 9.0)]
+
+
+class TestProviderContract:
+    def test_unsupported_operator_raises_translation_error(self):
+        class NoJoins(ReferenceProvider):
+            capabilities = ReferenceProvider.capabilities - {"Join"}
+
+        p = NoJoins("limited")
+        p.register_dataset("customers", customers_table())
+        p.register_dataset("orders", orders_table())
+        with pytest.raises(TranslationError):
+            p.execute(A.Join(CUST, ORD, (("cid", "cust"),)))
+
+    def test_stats_accumulate(self):
+        p = ReferenceProvider("ref")
+        p.register_dataset("orders", orders_table())
+        p.execute(A.Filter(ORD, col("amount") > 0.0))
+        assert p.stats.queries == 1
+        assert p.stats.ops_by_name["Filter"] == 1
+
+    def test_fragment_inputs_override_datasets(self):
+        p = ReferenceProvider("ref")
+        t = table(schema(("x", "int")), [(1,), (2,)])
+        result = p.execute(A.Scan("@frag0", t.schema), inputs={"@frag0": t})
+        assert result.num_rows == 2

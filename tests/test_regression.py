@@ -1,0 +1,120 @@
+"""OLS regression across servers: agreement with numpy's solver, routing
+of the Gram products to the linear-algebra server."""
+
+import numpy as np
+import pytest
+
+from repro import BigDataContext
+from repro.analytics.regression import (
+    design_matrix_tables, fit_linear_regression, normal_equation_trees,
+)
+from repro.core import algebra as A
+from repro.core.errors import ExecutionError
+from repro.providers import LinalgProvider, ReferenceProvider, RelationalProvider
+
+
+def make_problem(seed=0, n=120, d=3, noise=0.01):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, d))
+    true_coefficients = rng.normal(size=d + 1)  # with intercept
+    targets = (
+        true_coefficients[0]
+        + features @ true_coefficients[1:]
+        + rng.normal(0, noise, n)
+    )
+    return features, targets, true_coefficients
+
+
+def make_context(features, targets):
+    ctx = BigDataContext()
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.add_provider(LinalgProvider("scalapack"))
+    x, y = design_matrix_tables(features, targets)
+    ctx.load("X", x, on=["sql", "scalapack"])
+    ctx.load("Y", y, on=["sql", "scalapack"])
+    return ctx
+
+
+class TestDesignMatrices:
+    def test_intercept_column_prepended(self):
+        x, y = design_matrix_tables(np.ones((4, 2)), np.zeros(4))
+        assert x.num_rows == 4 * 3  # d + intercept
+        ones = [v for i, j, v in x.iter_rows() if j == 0]
+        assert ones == [1.0] * 4
+
+    def test_shape_validation(self):
+        with pytest.raises(ExecutionError):
+            design_matrix_tables(np.ones((3, 2)), np.zeros(4))
+        with pytest.raises(ExecutionError):
+            design_matrix_tables(np.ones(3), np.zeros(3))
+
+
+class TestNormalEquations:
+    def test_gram_tree_contracts_one_dimension(self):
+        features, targets, __ = make_problem(n=20, d=2)
+        ctx = make_context(features, targets)
+        gram_tree, moment_tree = normal_equation_trees(
+            ctx.table("X").node, ctx.table("Y").node
+        )
+        assert gram_tree.schema.dimension_names == ("jT", "j")
+        assert moment_tree.schema.dimension_names == ("jT", "j")
+
+    def test_gram_matches_numpy(self):
+        features, targets, __ = make_problem(n=30, d=2)
+        ctx = make_context(features, targets)
+        gram_tree, __ = normal_equation_trees(
+            ctx.table("X").node, ctx.table("Y").node
+        )
+        gram = ctx.run(ctx.query(gram_tree)).table
+        with_intercept = np.hstack([np.ones((30, 1)), features])
+        expected = with_intercept.T @ with_intercept
+        dense = np.zeros_like(expected)
+        for i, j, v in gram.iter_rows():
+            dense[i, j] = v
+        assert np.allclose(dense, expected, atol=1e-9)
+
+    def test_products_route_to_linalg_server(self):
+        features, targets, __ = make_problem(n=25, d=2)
+        ctx = make_context(features, targets)
+        gram_tree, __ = normal_equation_trees(
+            ctx.table("X").node, ctx.table("Y").node
+        )
+        plan = ctx.planner.plan(ctx.rewriter.rewrite(gram_tree))
+        assert "scalapack" in plan.servers_used
+
+
+class TestFit:
+    def test_recovers_coefficients(self):
+        features, targets, truth = make_problem(seed=1, noise=1e-9)
+        ctx = make_context(features, targets)
+        coefficients = fit_linear_regression(ctx, "X", "Y")
+        assert np.allclose(coefficients, truth, atol=1e-5)
+
+    def test_matches_numpy_lstsq_with_noise(self):
+        features, targets, __ = make_problem(seed=2, noise=0.5)
+        ctx = make_context(features, targets)
+        coefficients = fit_linear_regression(ctx, "X", "Y")
+        with_intercept = np.hstack([np.ones((len(features), 1)), features])
+        expected, *_ = np.linalg.lstsq(with_intercept, targets, rcond=None)
+        assert np.allclose(coefficients, expected, atol=1e-8)
+
+    def test_agrees_with_reference_oracle(self):
+        features, targets, __ = make_problem(seed=3, n=40, d=2)
+        ctx = make_context(features, targets)
+        ref = ReferenceProvider("oracle")
+        x, y = design_matrix_tables(features, targets)
+        ref.register_dataset("X", x)
+        ref.register_dataset("Y", y)
+        gram_tree, moment_tree = normal_equation_trees(
+            ctx.table("X").node, ctx.table("Y").node
+        )
+        for tree in (gram_tree, moment_tree):
+            assert ctx.run(ctx.query(tree)).table.same_rows(
+                ref.execute(tree), float_tol=1e-9
+            )
+
+    def test_unknown_dataset(self):
+        features, targets, __ = make_problem(n=10, d=1)
+        ctx = make_context(features, targets)
+        with pytest.raises(Exception):
+            fit_linear_regression(ctx, "ghost", "Y")

@@ -1,0 +1,323 @@
+"""Relational engine tests: direct behaviour plus agreement with the oracle.
+
+Every operator the relational provider claims is executed on both the
+vectorized engine and the reference interpreter over the same inputs, and
+the results must match as multisets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import algebra as A
+from repro.core.errors import ExecutionError
+from repro.core.expressions import col, func, if_, lit
+from repro.providers.reference import ReferenceProvider
+from repro.providers.relational_p import RelationalProvider
+from repro.relational.engine import EngineOptions
+from repro.relational import joins
+from repro.relational.eval import eval_vector
+
+from .helpers import (
+    CUSTOMERS, MATRIX, ORDERS,
+    customers_table, inline, matrix_table, orders_table, schema, table,
+)
+
+CUST = A.Scan("customers", CUSTOMERS)
+ORD = A.Scan("orders", ORDERS)
+MAT = A.Scan("m", MATRIX)
+
+
+def both(tree, float_tol=1e-9, options=None, **datasets):
+    """Run on reference and relational providers; assert agreement."""
+    ref = ReferenceProvider("ref")
+    rel = RelationalProvider("rel", options)
+    for name, tbl in datasets.items():
+        ref.register_dataset(name, tbl)
+        rel.register_dataset(name, tbl)
+    expected = ref.execute(tree)
+    actual = rel.execute(tree)
+    assert actual.schema == expected.schema
+    assert actual.same_rows(expected, float_tol=float_tol), (
+        f"relational result differs from reference\n"
+        f"reference: {expected.sort_key()[:10]}\n"
+        f"relational: {actual.sort_key()[:10]}"
+    )
+    return actual
+
+
+def default_datasets():
+    return {
+        "customers": customers_table(),
+        "orders": orders_table(),
+        "m": matrix_table([[1, 2, 3], [4, 5, 6], [7, 8, 9]]),
+    }
+
+
+AGREEMENT_TREES = [
+    A.Filter(ORD, col("amount") > 20.0),
+    A.Filter(ORD, (col("amount") > 5.0) & (col("cust") != 9)),
+    A.Project(CUST, ("country", "name")),
+    A.Extend(ORD, ("t", "half"), (col("amount") * 1.1, col("amount") / 2)),
+    A.Extend(CUST, ("u",), (func("upper", col("name")),)),
+    A.Extend(ORD, ("big",), (if_(col("amount") > 50.0, lit("Y"), lit("N")),)),
+    A.Rename(CUST, (("name", "customer"),)),
+    A.Join(CUST, ORD, (("cid", "cust"),)),
+    A.Join(CUST, ORD, (("cid", "cust"),), "left"),
+    A.Join(CUST, ORD, (("cid", "cust"),), "full"),
+    A.Join(CUST, ORD, (("cid", "cust"),), "semi"),
+    A.Join(CUST, ORD, (("cid", "cust"),), "anti"),
+    A.Product(A.Project(CUST, ("name",)), A.Project(ORD, ("oid",))),
+    A.Aggregate(ORD, ("cust",), (
+        A.AggSpec("n", "count"),
+        A.AggSpec("total", "sum", col("amount")),
+        A.AggSpec("top", "max", col("amount")),
+        A.AggSpec("avg", "mean", col("amount")),
+    )),
+    A.Aggregate(CUST, ("country",), (A.AggSpec("first", "min", col("name")),)),
+    A.Aggregate(ORD, (), (A.AggSpec("n", "count"),)),
+    A.Sort(ORD, ("amount",), (False,)),
+    A.Sort(ORD, ("cust", "amount"), (True, False)),
+    A.Limit(A.Sort(ORD, ("oid",), (True,)), 3, 1),
+    A.Reverse(A.Sort(ORD, ("oid",), (True,))),
+    A.Distinct(A.Project(CUST, ("country",))),
+    A.Union(A.Rename(A.Project(ORD, ("cust",)), (("cust", "cid"),)),
+            A.Project(CUST, ("cid",))),
+    A.Intersect(A.Rename(A.Project(ORD, ("cust",)), (("cust", "cid"),)),
+                A.Project(CUST, ("cid",))),
+    A.Except(A.Project(CUST, ("cid",)),
+             A.Rename(A.Project(ORD, ("cust",)), (("cust", "cid"),))),
+    A.SliceDims(MAT, (("i", 0, 1), ("j", 1, 2))),
+    A.ShiftDim(MAT, "i", 5),
+    A.Regrid(MAT, (("i", 2), ("j", 2)), (A.AggSpec("v", "mean", col("v")),)),
+    A.ReduceDims(MAT, ("j",), (A.AggSpec("s", "sum", col("v")),)),
+    A.ReduceDims(MAT, (), (A.AggSpec("s", "sum", col("v")),)),
+    A.TransposeDims(MAT, ("j", "i")),
+]
+
+
+@pytest.mark.parametrize(
+    "tree", AGREEMENT_TREES,
+    ids=lambda t: f"{t.op_name}-{abs(hash(repr(t))) % 10**6}",
+)
+def test_agreement_with_reference(tree):
+    both(tree, **default_datasets())
+
+
+class TestOrderSensitive:
+    """Sort/limit results must match in exact order, not just as multisets."""
+
+    def run_rel(self, tree, **datasets):
+        rel = RelationalProvider("rel")
+        for name, tbl in datasets.items():
+            rel.register_dataset(name, tbl)
+        return rel.execute(tree)
+
+    def test_sort_exact_order_with_nulls(self):
+        t = inline(schema(("a", "int"), ("b", "int")),
+                   [(2, 1), (1, 2), (None, 0), (1, 1)])
+        tree = A.Sort(t, ("a", "b"), (True, False))
+        assert self.run_rel(tree).to_rows() == [(None, 0), (1, 2), (1, 1), (2, 1)]
+
+    def test_sort_descending_nulls_last(self):
+        t = inline(schema(("a", "int")), [(1,), (None,), (3,)])
+        tree = A.Sort(t, ("a",), (False,))
+        assert self.run_rel(tree).to_rows() == [(3,), (1,), (None,)]
+
+    def test_sort_string_keys(self):
+        t = inline(schema(("s", "str")), [("b",), (None,), ("a",), ("c",)])
+        asc = self.run_rel(A.Sort(t, ("s",), (True,)))
+        desc = self.run_rel(A.Sort(t, ("s",), (False,)))
+        assert asc.to_rows() == [(None,), ("a",), ("b",), ("c",)]
+        assert desc.to_rows() == [("c",), ("b",), ("a",), (None,)]
+
+    def test_sort_is_stable(self):
+        t = inline(schema(("k", "int"), ("tag", "str")),
+                   [(1, "first"), (2, "x"), (1, "second"), (1, "third")])
+        result = self.run_rel(A.Sort(t, ("k",), (True,)))
+        tags = [r[1] for r in result.to_rows() if r[0] == 1]
+        assert tags == ["first", "second", "third"]
+
+    def test_limit_offset_exact(self):
+        t = inline(schema(("x", "int")), [(i,) for i in range(10)])
+        tree = A.Limit(A.Sort(t, ("x",), (True,)), 3, 4)
+        assert self.run_rel(tree).to_rows() == [(4,), (5,), (6,)]
+
+
+class TestJoinAlgorithms:
+    LEFT = schema(("k", "int"), ("lv", "str"))
+    RIGHT = schema(("k2", "int"), ("rv", "str"))
+
+    def make(self, seed=3, n_left=60, n_right=40, key_range=20):
+        rng = np.random.default_rng(seed)
+        left = table(self.LEFT, [
+            (int(k), f"l{i}") for i, k in enumerate(rng.integers(0, key_range, n_left))
+        ])
+        right = table(self.RIGHT, [
+            (int(k), f"r{i}") for i, k in enumerate(rng.integers(0, key_range, n_right))
+        ])
+        return left, right
+
+    def pairs(self, lidx, ridx):
+        return sorted(zip(lidx.tolist(), ridx.tolist()))
+
+    def test_merge_equals_hash(self):
+        left, right = self.make()
+        h = joins.hash_join(left, right, ["k"], ["k2"], "inner")
+        m = joins.merge_join(left, right, ["k"], ["k2"])
+        assert self.pairs(*h) == self.pairs(*m)
+
+    def test_nested_equals_hash(self):
+        left, right = self.make(seed=11, n_left=30, n_right=30)
+        h = joins.hash_join(left, right, ["k"], ["k2"], "inner")
+        n = joins.nested_loop_join(left, right, ["k"], ["k2"])
+        assert self.pairs(*h) == self.pairs(*n)
+
+    def test_merge_presorted(self):
+        left, right = self.make(seed=5)
+        ls = table(self.LEFT, sorted(left.to_rows()))
+        rs = table(self.RIGHT, sorted(right.to_rows()))
+        h = joins.hash_join(ls, rs, ["k"], ["k2"], "inner")
+        m = joins.merge_join(ls, rs, ["k"], ["k2"], presorted=True)
+        assert self.pairs(*h) == self.pairs(*m)
+
+    def test_null_keys_never_match(self):
+        left = table(self.LEFT, [(1, "a"), (None, "b")])
+        right = table(self.RIGHT, [(1, "x"), (None, "y")])
+        for fn in (joins.hash_join, joins.nested_loop_join):
+            lidx, ridx = fn(left, right, ["k"], ["k2"])
+            assert len(lidx) == 1
+        lidx, __ = joins.merge_join(left, right, ["k"], ["k2"])
+        assert len(lidx) == 1
+
+    def test_engine_option_forces_algorithm(self):
+        datasets = default_datasets()
+        tree = A.Join(CUST, ORD, (("cid", "cust"),))
+        for algorithm in ("merge", "nested"):
+            both(tree, options=EngineOptions(join_algorithm=algorithm), **datasets)
+
+    def test_multi_key_join(self):
+        s1 = schema(("a", "int"), ("b", "str"), ("x", "int"))
+        s2 = schema(("c", "int"), ("d", "str"), ("y", "int"))
+        t1 = inline(s1, [(1, "p", 10), (1, "q", 11), (2, "p", 12)])
+        t2 = inline(s2, [(1, "p", 100), (2, "p", 200), (2, "q", 300)])
+        both(A.Join(t1, t2, (("a", "c"), ("b", "d"))))
+
+
+class TestMatMulViaJoinAggregate:
+    def test_matches_reference_and_numpy(self):
+        rng = np.random.default_rng(42)
+        a = rng.integers(1, 5, (4, 3)).astype(float)
+        b = rng.integers(1, 5, (3, 5)).astype(float)
+        m2_schema = schema(("j", "int", True), ("k", "int", True), ("w", "float"))
+        tree = A.MatMul(MAT, A.Scan("m2", m2_schema))
+        result = both(
+            tree,
+            m=matrix_table(a.tolist()),
+            m2=table(m2_schema, [
+                (i, j, float(v)) for i, row in enumerate(b) for j, v in enumerate(row)
+            ]),
+        )
+        dense = np.zeros((4, 5))
+        for i, k, v in result.iter_rows():
+            dense[i, k] = v
+        assert np.allclose(dense, a @ b)
+
+    def test_sparse_inputs_stay_sparse(self):
+        # identity x identity: only diagonal cells exist in the output
+        eye = [(i, i, 1.0) for i in range(5)]
+        m2_schema = schema(("j", "int", True), ("k", "int", True), ("w", "float"))
+        tree = A.MatMul(MAT, A.Scan("m2", m2_schema))
+        result = both(
+            tree,
+            m=table(MATRIX, eye),
+            m2=table(m2_schema, [(i, i, 1.0) for i in range(5)]),
+        )
+        assert result.num_rows == 5
+
+
+class TestDimensionChecks:
+    def test_as_dims_rejects_duplicates(self):
+        t = inline(schema(("i", "int"), ("v", "float")), [(0, 1.0), (0, 2.0)])
+        rel = RelationalProvider("rel")
+        with pytest.raises(ExecutionError, match="key"):
+            rel.execute(A.AsDims(t, ("i",)))
+
+    def test_window_not_supported(self):
+        rel = RelationalProvider("rel")
+        tree = A.Window(MAT, (("i", 1),), (A.AggSpec("v", "sum", col("v")),))
+        assert not rel.accepts(tree)
+        assert rel.unsupported(tree) == ["Window"]
+
+
+class TestIterateInEngine:
+    STATE = schema(("i", "int", True), ("v", "float"))
+
+    def test_iterate_agreement(self):
+        init = inline(self.STATE, [(0, 1.0), (1, 10.0)])
+        halve = A.Rename(
+            A.Project(
+                A.Extend(A.LoopVar("s", self.STATE), ("v2",), (col("v") * 0.5,)),
+                ("i", "v2"),
+            ),
+            (("v2", "v"),),
+        )
+        tree = A.Iterate(init, halve, var="s",
+                         stop=A.Convergence("v", 0.01), max_iter=50)
+        both(tree)
+
+    def test_iterate_with_join_body(self):
+        weights = schema(("i", "int", True), ("w", "float"))
+        init = inline(self.STATE, [(0, 1.0), (1, 1.0)])
+        body = A.Rename(
+            A.Project(
+                A.Extend(
+                    A.Join(A.LoopVar("s", self.STATE), A.Scan("weights", weights),
+                           (("i", "i"),)),
+                    ("nv",), (col("v") * col("w"),),
+                ),
+                ("i", "nv"),
+            ),
+            (("nv", "v"),),
+        )
+        tree = A.Iterate(init, body, var="s", max_iter=3)
+        both(tree, weights=table(weights, [(0, 2.0), (1, 0.5)]))
+
+
+class TestVectorizedEval:
+    def test_null_propagation_matches_rows(self):
+        s = schema(("x", "float"), ("y", "float"))
+        t = table(s, [(1.0, 2.0), (None, 3.0), (4.0, None), (None, None)])
+        for expr in [
+            col("x") + col("y"),
+            col("x") > col("y"),
+            col("x").is_null(),
+            if_(col("x") > 2.0, col("y"), col("x")),
+            func("sqrt", col("x")),
+            -col("x"),
+        ]:
+            from repro.core.expressions import eval_row
+
+            vector = eval_vector(expr, t).to_list()
+            rows = [eval_row(expr, r) for r in t.iter_dicts()]
+            assert vector == rows, f"mismatch for {expr!r}"
+
+    def test_division_ieee_semantics(self):
+        s = schema(("x", "float"), ("y", "float"))
+        t = table(s, [(1.0, 0.0), (0.0, 0.0), (-1.0, 0.0)])
+        values = eval_vector(col("x") / col("y"), t).to_list()
+        assert values[0] == float("inf")
+        assert np.isnan(values[1])
+        assert values[2] == float("-inf")
+
+    def test_integer_floor_div_by_zero_raises(self):
+        s = schema(("x", "int"),)
+        t = table(s, [(1,)])
+        with pytest.raises(ExecutionError):
+            eval_vector(col("x") // 0, t)
+
+    def test_string_operations(self):
+        s = schema(("s", "str"),)
+        t = table(s, [("ab",), (None,), ("c",)])
+        assert eval_vector(col("s") + col("s"), t).to_list() == ["abab", None, "cc"]
+        assert eval_vector(func("length", col("s")), t).to_list() == [2, None, 1]
+        assert eval_vector(col("s") == "c", t).to_list() == [False, None, True]

@@ -1,0 +1,267 @@
+"""Rewriter tests: structural effects, semantics preservation against the
+oracle, and intent-tag preservation."""
+
+import pytest
+
+from repro.core import algebra as A
+from repro.core import intents
+from repro.core.expressions import col, func, lit
+from repro.core.rewriter import RewriteOptions, Rewriter, prune_projections
+from repro.core.visitors import count_ops, find_all
+
+from .helpers import (
+    CUSTOMERS, MATRIX, ORDERS,
+    customers_table, matrix_table, orders_table, run_reference, schema, table,
+)
+
+CUST = A.Scan("customers", CUSTOMERS)
+ORD = A.Scan("orders", ORDERS)
+MAT = A.Scan("m", MATRIX)
+
+
+def datasets():
+    import numpy as np
+
+    rng = np.random.default_rng(5)
+    b = rng.integers(0, 4, (3, 4)).astype(float)
+    m2_schema = schema(("j", "int", True), ("k", "int", True), ("w", "float"))
+    return {
+        "customers": customers_table(),
+        "orders": orders_table(),
+        "m": matrix_table([[1, 0, 2], [0, 3, 0], [4, 5, 6]]),
+        "m2": table(m2_schema, [
+            (i, j, float(v)) for i, row in enumerate(b) for j, v in enumerate(row)
+        ]),
+    }
+
+
+def assert_equivalent(before: A.Node, after: A.Node):
+    data = datasets()
+    expected = run_reference(before, **data)
+    actual = run_reference(after, **data)
+    assert after.schema == before.schema
+    assert actual.same_rows(expected, float_tol=1e-9)
+
+
+class TestFilterRules:
+    def test_filter_fusion(self):
+        tree = A.Filter(A.Filter(ORD, col("amount") > 5.0), col("cust") == 1)
+        out = Rewriter().rewrite(tree)
+        filters = list(find_all(out, A.Filter))
+        assert len(filters) == 1
+        assert_equivalent(tree, out)
+
+    def test_pushdown_through_project(self):
+        tree = A.Filter(A.Project(ORD, ("oid", "amount")), col("amount") > 5.0)
+        out = Rewriter(RewriteOptions(projection_pruning=False)).rewrite(tree)
+        # filter must now sit below the project
+        assert isinstance(out, A.Project)
+        assert_equivalent(tree, out)
+
+    def test_pushdown_into_inner_join_both_sides(self):
+        tree = A.Filter(
+            A.Join(CUST, ORD, (("cid", "cust"),)),
+            (col("country") == "us") & (col("amount") > 5.0),
+        )
+        out = Rewriter(RewriteOptions(projection_pruning=False)).rewrite(tree)
+        join = next(iter(find_all(out, A.Join)))
+        assert isinstance(join.left, A.Filter)
+        assert isinstance(join.right, A.Filter)
+        assert_equivalent(tree, out)
+
+    def test_left_join_pushes_only_left_conjuncts(self):
+        tree = A.Filter(
+            A.Join(CUST, ORD, (("cid", "cust"),), "left"),
+            col("country") == "us",
+        )
+        out = Rewriter(RewriteOptions(projection_pruning=False)).rewrite(tree)
+        join = next(iter(find_all(out, A.Join)))
+        assert isinstance(join.left, A.Filter)
+        assert_equivalent(tree, out)
+
+    def test_left_join_keeps_right_conjuncts_above(self):
+        tree = A.Filter(
+            A.Join(CUST, ORD, (("cid", "cust"),), "left"),
+            col("amount") > 5.0,
+        )
+        out = Rewriter(RewriteOptions(projection_pruning=False)).rewrite(tree)
+        assert isinstance(out, A.Filter)  # stayed above the join
+        assert_equivalent(tree, out)
+
+    def test_full_join_pushes_nothing(self):
+        tree = A.Filter(
+            A.Join(CUST, ORD, (("cid", "cust"),), "full"),
+            col("country") == "us",
+        )
+        out = Rewriter(RewriteOptions(projection_pruning=False)).rewrite(tree)
+        join = next(iter(find_all(out, A.Join)))
+        assert isinstance(join.left, A.Scan)
+        assert_equivalent(tree, out)
+
+    def test_pushdown_through_extend(self):
+        tree = A.Filter(
+            A.Extend(ORD, ("taxed",), (col("amount") * 1.1,)),
+            (col("cust") == 1) & (col("taxed") > 20.0),
+        )
+        out = Rewriter(RewriteOptions(projection_pruning=False)).rewrite(tree)
+        extend = next(iter(find_all(out, A.Extend)))
+        assert isinstance(extend.child, A.Filter)  # cust conjunct moved down
+        assert_equivalent(tree, out)
+
+    def test_pushdown_through_sort(self):
+        tree = A.Filter(A.Sort(ORD, ("oid",), (True,)), col("amount") > 5.0)
+        out = Rewriter(RewriteOptions(projection_pruning=False)).rewrite(tree)
+        assert isinstance(out, A.Sort)
+        assert_equivalent(tree, out)
+
+    def test_disabled_rule_is_inert(self):
+        tree = A.Filter(A.Project(ORD, ("oid", "amount")), col("amount") > 5.0)
+        out = Rewriter(RewriteOptions(
+            predicate_pushdown=False, projection_pruning=False,
+        )).rewrite(tree)
+        assert out.same_as(tree)
+
+
+class TestExtendFusion:
+    def test_independent_extends_merge(self):
+        tree = A.Extend(
+            A.Extend(ORD, ("a",), (col("amount") * 2,)),
+            ("b",), (col("amount") + 1,),
+        )
+        out = Rewriter().rewrite(tree)
+        extends = list(find_all(out, A.Extend))
+        assert len(extends) == 1
+        assert extends[0].names == ("a", "b")
+        assert_equivalent(tree, out)
+
+    def test_dependent_extends_do_not_merge(self):
+        tree = A.Extend(
+            A.Extend(ORD, ("a",), (col("amount") * 2,)),
+            ("b",), (col("a") + 1,),
+        )
+        out = Rewriter(RewriteOptions(projection_pruning=False)).rewrite(tree)
+        assert len(list(find_all(out, A.Extend))) == 2
+        assert_equivalent(tree, out)
+
+
+class TestProjectionPruning:
+    def test_join_inputs_narrowed(self):
+        tree = A.Project(
+            A.Join(CUST, ORD, (("cid", "cust"),)),
+            ("name", "amount"),
+        )
+        out = prune_projections(tree)
+        join = next(iter(find_all(out, A.Join)))
+        assert set(join.left.schema.names) == {"cid", "name"}
+        assert set(join.right.schema.names) == {"cust", "amount"}
+        assert_equivalent(tree, out)
+
+    def test_aggregate_child_narrowed(self):
+        tree = A.Aggregate(
+            A.Join(CUST, ORD, (("cid", "cust"),)),
+            ("country",), (A.AggSpec("total", "sum", col("amount")),),
+        )
+        out = prune_projections(tree)
+        join = next(iter(find_all(out, A.Join)))
+        assert "name" not in join.schema.names
+        assert_equivalent(tree, out)
+
+    def test_global_count_star_survives(self):
+        tree = A.Aggregate(CUST, (), (A.AggSpec("n", "count"),))
+        out = prune_projections(tree)
+        assert_equivalent(tree, out)
+
+    def test_root_schema_unchanged(self):
+        tree = A.Join(CUST, ORD, (("cid", "cust"),))
+        out = prune_projections(tree)
+        assert out.schema == tree.schema
+
+    def test_unused_extend_column_dropped(self):
+        tree = A.Project(
+            A.Extend(ORD, ("a", "b"), (col("amount") * 2, col("amount") + 1)),
+            ("oid", "a"),
+        )
+        out = prune_projections(tree)
+        extend = next(iter(find_all(out, A.Extend)))
+        assert extend.names == ("a",)
+        assert_equivalent(tree, out)
+
+    def test_distinct_keeps_all_columns(self):
+        tree = A.Project(A.Distinct(CUST), ("country",))
+        out = prune_projections(tree)
+        distinct = next(iter(find_all(out, A.Distinct)))
+        assert set(distinct.child.schema.names) == set(CUSTOMERS.names)
+        assert_equivalent(tree, out)
+
+
+class TestIntentRecognition:
+    def m2_scan(self):
+        return A.Scan("m2", schema(("j", "int", True), ("k", "int", True),
+                                   ("w", "float")))
+
+    def test_lowered_matmul_recognized(self):
+        lowered = intents.matmul_as_join_aggregate(MAT, self.m2_scan())
+        out = Rewriter().rewrite(lowered)
+        assert count_ops(out).get("MatMul", 0) == 1
+        assert count_ops(out).get("Join", 0) == 0
+        assert_equivalent(lowered, out)
+
+    def test_recognition_requires_dimensions_or_tag(self):
+        # same shape but inputs untagged and no intent tag: not rewritten
+        plain_left = A.Scan("a", schema(("i", "int"), ("k", "int"), ("v", "float")))
+        plain_right = A.Scan("b", schema(("k2", "int"), ("j", "int"), ("w", "float")))
+        joined = A.Join(plain_left, plain_right, (("k", "k2"),))
+        product = A.Extend(joined, ("p",), (col("v") * col("w"),))
+        agg = A.Aggregate(product, ("i", "j"), (A.AggSpec("s", "sum", col("p")),))
+        out = Rewriter(RewriteOptions(projection_pruning=False)).rewrite(agg)
+        assert count_ops(out).get("MatMul", 0) == 0
+
+    def test_tag_makes_untagged_inputs_recognizable(self):
+        plain_left = A.Scan("a", schema(("i", "int"), ("k", "int"), ("v", "float")))
+        plain_right = A.Scan("b", schema(("k2", "int"), ("j", "int"), ("w", "float")))
+        joined = A.Join(plain_left, plain_right, (("k", "k2"),))
+        product = A.Extend(joined, ("p",), (col("v") * col("w"),))
+        agg = A.Aggregate(product, ("i", "j"),
+                          (A.AggSpec("s", "sum", col("p")),),
+                          intent=intents.INTENT_MATMUL)
+        out = Rewriter(RewriteOptions(projection_pruning=False)).rewrite(agg)
+        assert count_ops(out).get("MatMul", 0) == 1
+
+    def test_recognition_can_be_disabled(self):
+        lowered = intents.matmul_as_join_aggregate(MAT, self.m2_scan())
+        out = Rewriter(RewriteOptions(recognize_intents=False)).rewrite(lowered)
+        assert count_ops(out).get("MatMul", 0) == 0
+
+    def test_recognized_result_matches_native(self):
+        lowered = intents.matmul_as_join_aggregate(MAT, self.m2_scan())
+        native = A.MatMul(MAT, self.m2_scan())
+        data = datasets()
+        lowered_result = run_reference(Rewriter().rewrite(lowered), **data)
+        native_result = run_reference(native, **data)
+        # schemas have the same shape; compare rows directly
+        assert sorted(lowered_result.iter_rows()) == sorted(native_result.iter_rows())
+
+
+class TestTagPreservation:
+    def test_tags_survive_all_rules(self):
+        tree = A.Filter(
+            A.Project(
+                A.Join(CUST, ORD, (("cid", "cust"),), intent="hot-join"),
+                ("name", "amount", "country"),
+            ),
+            col("amount") > 5.0,
+        ).with_intent("selective")
+        out = Rewriter().rewrite(tree)
+        tags = intents.tags_in(out)
+        assert tags.get("hot-join") == 1
+        assert tags.get("selective") == 1
+        assert_equivalent(tree, out)
+
+    def test_matmul_tag_present_after_recognition(self):
+        lowered = intents.matmul_as_join_aggregate(
+            MAT,
+            A.Scan("m2", schema(("j", "int", True), ("k", "int", True),
+                                ("w", "float"))),
+        )
+        out = Rewriter().rewrite(lowered)
+        assert intents.INTENT_MATMUL in intents.tags_in(out)

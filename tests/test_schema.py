@@ -1,0 +1,110 @@
+"""Unit tests for Attribute/Schema."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.schema import Attribute, Schema
+from repro.core.types import DType
+
+from .helpers import schema
+
+
+class TestAttribute:
+    def test_dimension_must_be_int64(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", DType.FLOAT64, dimension=True)
+
+    def test_as_dimension_round_trip(self):
+        attr = Attribute("i", DType.INT64)
+        dim = attr.as_dimension()
+        assert dim.dimension
+        assert dim.as_value() == attr
+
+    def test_as_dimension_rejects_string(self):
+        with pytest.raises(SchemaError):
+            Attribute("s", DType.STRING).as_dimension()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", DType.INT64)
+
+    def test_renamed(self):
+        attr = Attribute("a", DType.STRING)
+        assert attr.renamed("b").name == "b"
+        assert attr.renamed("b").dtype is DType.STRING
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            schema(("a", "int"), ("a", "float"))
+
+    def test_lookup_by_name_and_position(self):
+        s = schema(("a", "int"), ("b", "str"))
+        assert s["a"].dtype is DType.INT64
+        assert s[1].name == "b"
+        assert s.position("b") == 1
+        assert "a" in s and "z" not in s
+
+    def test_missing_name_raises_with_available_names(self):
+        s = schema(("a", "int"))
+        with pytest.raises(SchemaError, match="'z'"):
+            s["z"]
+
+    def test_dimension_value_split(self):
+        s = schema(("i", "int", True), ("j", "int", True), ("v", "float"))
+        assert s.dimension_names == ("i", "j")
+        assert s.value_names == ("v",)
+
+    def test_project_preserves_order(self):
+        s = schema(("a", "int"), ("b", "str"), ("c", "float"))
+        assert s.project(["c", "a"]).names == ("c", "a")
+
+    def test_project_rejects_duplicates(self):
+        s = schema(("a", "int"), ("b", "str"))
+        with pytest.raises(SchemaError):
+            s.project(["a", "a"])
+
+    def test_drop(self):
+        s = schema(("a", "int"), ("b", "str"), ("c", "float"))
+        assert s.drop(["b"]).names == ("a", "c")
+
+    def test_rename(self):
+        s = schema(("a", "int"), ("b", "str"))
+        renamed = s.rename({"a": "x"})
+        assert renamed.names == ("x", "b")
+        assert renamed["x"].dtype is DType.INT64
+
+    def test_rename_requires_existing(self):
+        s = schema(("a", "int"))
+        with pytest.raises(SchemaError):
+            s.rename({"zzz": "y"})
+
+    def test_concat_rejects_collisions(self):
+        left = schema(("a", "int"))
+        right = schema(("a", "float"))
+        with pytest.raises(SchemaError):
+            left.concat(right)
+
+    def test_with_dimensions_retags_exactly(self):
+        s = schema(("i", "int", True), ("j", "int"), ("v", "float"))
+        retagged = s.with_dimensions(["j"])
+        assert retagged.dimension_names == ("j",)
+        assert not retagged["i"].dimension
+
+    def test_with_dimensions_rejects_non_int(self):
+        s = schema(("v", "float"))
+        with pytest.raises(SchemaError):
+            s.with_dimensions(["v"])
+
+    def test_without_dimensions(self):
+        s = schema(("i", "int", True), ("v", "float"))
+        assert s.without_dimensions().dimension_names == ()
+
+    def test_equality_and_hash(self):
+        a = schema(("i", "int", True), ("v", "float"))
+        b = schema(("i", "int", True), ("v", "float"))
+        c = schema(("i", "int"), ("v", "float"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c

@@ -1,0 +1,144 @@
+"""Round-trip tests for the expression-tree wire format."""
+
+import json
+
+import pytest
+
+from repro.core import algebra as A
+from repro.core.expressions import col, func, if_, lit
+from repro.core.serialize import (
+    SerializationError, dumps, expr_from_dict, expr_to_dict, loads,
+    node_from_dict, schema_from_dict, schema_to_dict,
+)
+from repro.core.types import DType
+
+from .helpers import CUSTOMERS, MATRIX, ORDERS, schema
+
+
+def round_trip(node: A.Node) -> A.Node:
+    return loads(dumps(node))
+
+
+CUST = A.Scan("customers", CUSTOMERS)
+ORD = A.Scan("orders", ORDERS)
+MAT = A.Scan("m", MATRIX)
+
+
+class TestSchemaPayload:
+    def test_round_trip_preserves_dimensions(self):
+        s = schema(("i", "int", True), ("v", "float"))
+        assert schema_from_dict(schema_to_dict(s)) == s
+
+    def test_bad_payload_raises(self):
+        with pytest.raises(SerializationError):
+            schema_from_dict({"not": "a list"})
+        with pytest.raises(SerializationError):
+            schema_from_dict([{"name": "x", "dtype": "decimal"}])
+
+
+class TestExprPayload:
+    CASES = [
+        col("a"),
+        lit(3),
+        lit(2.5),
+        lit("hello"),
+        lit(None, DType.FLOAT64),
+        (col("a") + 1) * col("b"),
+        (col("a") > 3) & ~col("flag"),
+        func("sqrt", col("a")),
+        if_(col("flag"), lit(1), lit(0)),
+        col("a").is_null(),
+        col("a").cast(DType.STRING),
+    ]
+
+    @pytest.mark.parametrize("expr", CASES, ids=lambda e: repr(e)[:40])
+    def test_round_trip(self, expr):
+        decoded = expr_from_dict(expr_to_dict(expr))
+        assert decoded.same_as(expr)
+
+    def test_payload_is_json(self):
+        payload = expr_to_dict((col("a") + 1) > col("b"))
+        json.dumps(payload)  # must not raise
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            expr_from_dict({"expr": "Lambda"})
+
+
+class TestNodePayload:
+    CASES = [
+        CUST,
+        A.InlineTable(schema(("x", "int")), ((1,), (2,))),
+        A.Filter(ORD, col("amount") > 10.0),
+        A.Project(CUST, ("name",)),
+        A.Extend(ORD, ("t",), (col("amount") * 1.1,)),
+        A.Rename(CUST, (("name", "n"),)),
+        A.Join(CUST, ORD, (("cid", "cust"),), "left"),
+        A.Product(A.Scan("a", schema(("x", "int"))), A.Scan("b", schema(("y", "int")))),
+        A.Aggregate(ORD, ("cust",), (A.AggSpec("n", "count"),
+                                     A.AggSpec("s", "sum", col("amount")))),
+        A.Sort(ORD, ("amount",), (False,)),
+        A.Limit(ORD, 5, 2),
+        A.Reverse(ORD),
+        A.Distinct(CUST),
+        A.Union(ORD, ORD),
+        A.Intersect(ORD, ORD),
+        A.Except(ORD, ORD),
+        A.AsDims(A.Scan("t", schema(("i", "int"), ("v", "float"))), ("i",)),
+        A.SliceDims(MAT, (("i", 0, 9),)),
+        A.ShiftDim(MAT, "i", -3),
+        A.Regrid(MAT, (("i", 4),), (A.AggSpec("v", "mean", col("v")),)),
+        A.Window(MAT, (("i", 1), ("j", 2)), (A.AggSpec("v", "sum", col("v")),)),
+        A.ReduceDims(MAT, ("i",), (A.AggSpec("s", "sum", col("v")),)),
+        A.TransposeDims(MAT, ("j", "i")),
+        A.MatMul(MAT, A.Scan("m2", schema(("j", "int", True), ("k", "int", True),
+                                          ("w", "float")))),
+        A.CellJoin(MAT, A.Scan("m2", schema(("i", "int", True), ("j", "int", True),
+                                            ("w", "float")))),
+    ]
+
+    @pytest.mark.parametrize("node", CASES, ids=lambda n: n.op_name)
+    def test_round_trip(self, node):
+        assert round_trip(node).same_as(node)
+
+    def test_iterate_round_trip(self):
+        state = schema(("i", "int", True), ("v", "float"))
+        init = A.InlineTable(state, ((0, 1.0),))
+        body = A.Rename(
+            A.Project(
+                A.Extend(A.LoopVar("s", state), ("v2",), (col("v") * 0.5,)),
+                ("i", "v2"),
+            ),
+            (("v2", "v"),),
+        )
+        node = A.Iterate(init, body, var="s",
+                         stop=A.Convergence("v", 1e-6, "l1"),
+                         max_iter=42, strict=True)
+        decoded = round_trip(node)
+        assert decoded.same_as(node)
+        assert decoded.stop == node.stop
+        assert decoded.max_iter == 42 and decoded.strict
+
+    def test_intent_tag_survives(self):
+        node = A.MatMul(
+            MAT,
+            A.Scan("m2", schema(("j", "int", True), ("k", "int", True), ("w", "float"))),
+        ).with_intent("matmul")
+        assert round_trip(node).intent == "matmul"
+
+    def test_schema_preserved_through_wire(self):
+        tree = A.Filter(ORD, col("amount") > 10.0)
+        assert round_trip(tree).schema == tree.schema
+
+    def test_wire_format_is_compact_json(self):
+        payload = dumps(A.Filter(ORD, col("amount") > 10.0))
+        assert " " not in payload
+        json.loads(payload)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SerializationError):
+            loads("not json at all {")
+        with pytest.raises(SerializationError):
+            node_from_dict({"op": "DropTable"})
+        with pytest.raises(SerializationError):
+            node_from_dict({"op": "Filter"})  # missing fields

@@ -1,0 +1,194 @@
+"""SQL frontend tests: lexing, parsing, translation, and end-to-end
+execution against the fluent API's results."""
+
+import pytest
+
+from repro import BigDataContext, col
+from repro.core import algebra as A
+from repro.core.errors import ParseError, SchemaError
+from repro.frontends.sql import parse_sql, tokenize
+from repro.providers import RelationalProvider
+
+from .helpers import CUSTOMERS, ORDERS, customers_table, orders_table, schema
+
+
+def resolver(name):
+    return {"customers": CUSTOMERS, "orders": ORDERS}[name]
+
+
+def make_context():
+    ctx = BigDataContext()
+    ctx.add_provider(RelationalProvider("sql"))
+    ctx.load("customers", customers_table(), on="sql")
+    ctx.load("orders", orders_table(), on="sql")
+    return ctx
+
+
+def run_sql(ctx, text):
+    tree = parse_sql(text, ctx.catalog.schema_of)
+    return ctx.run(ctx.query(tree))
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("SELECT a, 1.5 FROM t WHERE s = 'x''y'")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "name", "op", "float", "keyword", "name",
+                         "keyword", "name", "op", "string", "eof"]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select SELECT SeLeCt")
+        assert all(t.kind == "keyword" and t.text == "select"
+                   for t in tokens[:-1])
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            tokenize("select @ from t")
+
+    def test_operators(self):
+        tokens = tokenize("<> <= >= != = < >")
+        assert [t.text for t in tokens[:-1]] == [
+            "<>", "<=", ">=", "!=", "=", "<", ">"
+        ]
+
+
+class TestParsing:
+    def test_simple_select(self):
+        tree = parse_sql("SELECT name, country FROM customers", resolver)
+        assert tree.schema.names == ("name", "country")
+
+    def test_select_star(self):
+        tree = parse_sql("SELECT * FROM orders", resolver)
+        assert tree.schema == ORDERS
+
+    def test_computed_item_needs_alias(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT amount * 2 FROM orders", resolver)
+
+    def test_unknown_column_caught_at_parse_time(self):
+        with pytest.raises(SchemaError):
+            parse_sql("SELECT frobnitz FROM orders", resolver)
+
+    def test_having_requires_group(self):
+        with pytest.raises(SchemaError):
+            parse_sql("SELECT oid FROM orders HAVING oid > 2", resolver)
+
+    def test_star_with_aggregate_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_sql("SELECT *, COUNT(*) FROM orders", resolver)
+
+    def test_non_key_select_with_group_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_sql(
+                "SELECT oid, SUM(amount) AS s FROM orders GROUP BY cust",
+                resolver,
+            )
+
+    def test_join_condition_orientation(self):
+        # both "cid = cust" and "cust = cid" must work
+        for cond in ("cid = cust", "cust = cid"):
+            tree = parse_sql(
+                f"SELECT name FROM customers JOIN orders ON {cond}", resolver
+            )
+            joins = [n for n in tree.walk() if isinstance(n, A.Join)]
+            assert joins[0].on == (("cid", "cust"),)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM orders banana", resolver)
+
+
+class TestExecution:
+    def test_filter_order_limit(self):
+        ctx = make_context()
+        result = run_sql(ctx, """
+            SELECT oid, amount FROM orders
+            WHERE amount > 20.0
+            ORDER BY amount DESC
+            LIMIT 2
+        """)
+        assert result.rows() == [(103, 300.0), (101, 75.0)]
+
+    def test_matches_fluent_api(self):
+        ctx = make_context()
+        via_sql = run_sql(ctx, """
+            SELECT country, SUM(amount) AS total, COUNT(*) AS n
+            FROM customers JOIN orders ON cid = cust
+            GROUP BY country
+            ORDER BY total DESC
+        """)
+        via_fluent = (
+            ctx.table("customers")
+            .join(ctx.table("orders"), on=[("cid", "cust")])
+            .aggregate(["country"], total=("sum", col("amount")),
+                       n=("count", None))
+            .select("country", "total", "n")
+            .order_by("total", ascending=False)
+            .collect()
+        )
+        assert via_sql.rows() == via_fluent.rows()
+
+    def test_left_join_is_null(self):
+        ctx = make_context()
+        result = run_sql(ctx, """
+            SELECT name FROM customers LEFT JOIN orders ON cid = cust
+            WHERE oid IS NULL
+        """)
+        assert result.rows() == [("dee",)]
+
+    def test_case_expression(self):
+        ctx = make_context()
+        result = run_sql(ctx, """
+            SELECT oid, CASE WHEN amount > 50.0 THEN 'big' ELSE 'small' END AS size
+            FROM orders ORDER BY oid
+        """)
+        sizes = dict(result.rows())
+        assert sizes[103] == "big" and sizes[100] == "small"
+
+    def test_scalar_functions(self):
+        ctx = make_context()
+        result = run_sql(ctx, """
+            SELECT upper(name) AS shout FROM customers ORDER BY shout LIMIT 1
+        """)
+        assert result.rows() == [("ADA",)]
+
+    def test_having(self):
+        ctx = make_context()
+        result = run_sql(ctx, """
+            SELECT cust, COUNT(*) AS n FROM orders
+            GROUP BY cust HAVING n > 1
+        """)
+        assert result.rows() == [(1, 2)]
+
+    def test_distinct(self):
+        ctx = make_context()
+        result = run_sql(ctx, "SELECT DISTINCT country FROM customers")
+        assert len(result) == 3
+
+    def test_avg_maps_to_mean(self):
+        ctx = make_context()
+        result = run_sql(ctx, "SELECT AVG(amount) AS a FROM orders")
+        assert result.scalar() == pytest.approx(415.0 / 5)
+
+    def test_arithmetic_and_boolean(self):
+        ctx = make_context()
+        result = run_sql(ctx, """
+            SELECT oid FROM orders
+            WHERE (amount > 20.0 AND amount < 100.0) OR cust = 9
+            ORDER BY oid
+        """)
+        assert [r[0] for r in result] == [100, 101, 104]
+
+    def test_not_and_negative_literals(self):
+        ctx = make_context()
+        result = run_sql(ctx, """
+            SELECT oid FROM orders WHERE NOT amount > -5.0
+        """)
+        assert result.rows() == []
+
+    def test_limit_offset(self):
+        ctx = make_context()
+        result = run_sql(ctx, """
+            SELECT oid FROM orders ORDER BY oid LIMIT 2 OFFSET 2
+        """)
+        assert [r[0] for r in result] == [102, 103]

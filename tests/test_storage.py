@@ -1,0 +1,177 @@
+"""Unit tests for the columnar storage layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SchemaError, TypeMismatchError
+from repro.core.types import DType
+from repro.storage.column import Column
+from repro.storage.table import ColumnTable
+
+from .helpers import schema, table
+
+
+class TestColumn:
+    def test_from_values_without_nulls_has_no_mask(self):
+        c = Column.from_values(DType.INT64, [1, 2, 3])
+        assert c.mask is None
+        assert c.to_list() == [1, 2, 3]
+
+    def test_from_values_with_nulls(self):
+        c = Column.from_values(DType.FLOAT64, [1.0, None, 3.0])
+        assert c.null_count == 1
+        assert c.to_list() == [1.0, None, 3.0]
+        assert c[1] is None
+
+    def test_all_false_mask_is_dropped(self):
+        c = Column(DType.INT64, np.array([1, 2]), np.array([False, False]))
+        assert c.mask is None
+
+    def test_type_error_on_bad_values(self):
+        with pytest.raises(TypeMismatchError):
+            Column.from_values(DType.INT64, ["a", "b"])
+
+    def test_take_with_negative_indices_pads_nulls(self):
+        c = Column.from_values(DType.INT64, [10, 20, 30])
+        taken = c.take(np.array([2, -1, 0]))
+        assert taken.to_list() == [30, None, 10]
+
+    def test_take_propagates_existing_nulls(self):
+        c = Column.from_values(DType.INT64, [10, None, 30])
+        taken = c.take(np.array([1, 1, 2]))
+        assert taken.to_list() == [None, None, 30]
+
+    def test_filter_and_slice_and_reverse(self):
+        c = Column.from_values(DType.INT64, [1, 2, 3, 4])
+        assert c.filter(np.array([True, False, True, False])).to_list() == [1, 3]
+        assert c.slice(1, 3).to_list() == [2, 3]
+        assert c.reverse().to_list() == [4, 3, 2, 1]
+
+    def test_string_columns(self):
+        c = Column.from_values(DType.STRING, ["a", None, "ccc"])
+        assert c.to_list() == ["a", None, "ccc"]
+        assert c.nbytes > 0
+
+    def test_cast_numeric(self):
+        c = Column.from_values(DType.INT64, [1, 2])
+        assert c.cast(DType.FLOAT64).to_list() == [1.0, 2.0]
+
+    def test_cast_string_preserves_nulls(self):
+        c = Column.from_values(DType.INT64, [1, None])
+        assert c.cast(DType.STRING).to_list() == ["1", None]
+
+    def test_concat(self):
+        a = Column.from_values(DType.INT64, [1])
+        b = Column.from_values(DType.INT64, [None, 3])
+        merged = Column.concat([a, b])
+        assert merged.to_list() == [1, None, 3]
+
+    def test_concat_rejects_mixed_types(self):
+        a = Column.from_values(DType.INT64, [1])
+        b = Column.from_values(DType.FLOAT64, [1.0])
+        with pytest.raises(TypeMismatchError):
+            Column.concat([a, b])
+
+    def test_full_null_column(self):
+        c = Column.full(DType.FLOAT64, None, 3)
+        assert c.to_list() == [None, None, None]
+
+    def test_equals(self):
+        a = Column.from_values(DType.INT64, [1, None])
+        b = Column.from_values(DType.INT64, [1, None])
+        c = Column.from_values(DType.INT64, [1, 2])
+        assert a.equals(b)
+        assert not a.equals(c)
+
+
+class TestColumnTable:
+    S = schema(("a", "int"), ("b", "str"))
+
+    def test_from_rows_round_trip(self):
+        t = table(self.S, [(1, "x"), (2, None)])
+        assert t.to_rows() == [(1, "x"), (2, None)]
+        assert t.num_rows == 2
+
+    def test_schema_column_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnTable(self.S, {"a": Column.from_values(DType.INT64, [1])})
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnTable(self.S, {
+                "a": Column.from_values(DType.INT64, [1, 2]),
+                "b": Column.from_values(DType.STRING, ["x"]),
+            })
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnTable(self.S, {
+                "a": Column.from_values(DType.FLOAT64, [1.0]),
+                "b": Column.from_values(DType.STRING, ["x"]),
+            })
+
+    def test_null_in_dimension_rejected(self):
+        dim_schema = schema(("i", "int", True), ("v", "float"))
+        with pytest.raises(SchemaError):
+            table(dim_schema, [(None, 1.0)])
+
+    def test_iter_dicts(self):
+        t = table(self.S, [(1, "x")])
+        assert list(t.iter_dicts()) == [{"a": 1, "b": "x"}]
+
+    def test_take_filter_slice_reverse(self):
+        t = table(self.S, [(1, "a"), (2, "b"), (3, "c")])
+        assert t.take(np.array([2, 0])).to_rows() == [(3, "c"), (1, "a")]
+        assert t.filter(np.array([True, False, True])).to_rows() == [(1, "a"), (3, "c")]
+        assert t.slice(1, 2).to_rows() == [(2, "b")]
+        assert t.reverse().to_rows() == [(3, "c"), (2, "b"), (1, "a")]
+
+    def test_select_and_rename(self):
+        t = table(self.S, [(1, "a")])
+        assert t.select(["b"]).to_rows() == [("a",)]
+        renamed = t.rename({"a": "x"})
+        assert renamed.schema.names == ("x", "b")
+
+    def test_concat(self):
+        t1 = table(self.S, [(1, "a")])
+        t2 = table(self.S, [(2, "b")])
+        assert ColumnTable.concat([t1, t2]).num_rows == 2
+
+    def test_from_arrays_zero_copy(self):
+        s = schema(("x", "int"), ("y", "float"))
+        t = ColumnTable.from_arrays(s, {
+            "x": np.arange(3), "y": np.linspace(0, 1, 3),
+        })
+        assert t.num_rows == 3
+        assert t.array("x").dtype == np.int64
+
+    def test_same_rows_order_insensitive(self):
+        t1 = table(self.S, [(1, "a"), (2, "b")])
+        t2 = table(self.S, [(2, "b"), (1, "a")])
+        assert t1.same_rows(t2)
+
+    def test_same_rows_detects_multiset_difference(self):
+        t1 = table(self.S, [(1, "a"), (1, "a")])
+        t2 = table(self.S, [(1, "a"), (2, "b")])
+        assert not t1.same_rows(t2)
+
+    def test_same_rows_with_float_tolerance(self):
+        s = schema(("v", "float"))
+        t1 = table(s, [(1.0,)])
+        t2 = table(s, [(1.0 + 1e-12,)])
+        assert not t1.same_rows(t2)
+        assert t1.same_rows(t2, float_tol=1e-9)
+
+    def test_same_rows_nulls_match_only_nulls(self):
+        s = schema(("v", "float"))
+        assert not table(s, [(None,)]).same_rows(table(s, [(0.0,)]))
+        assert table(s, [(None,)]).same_rows(table(s, [(None,)]))
+
+    def test_nbytes_positive(self):
+        t = table(self.S, [(1, "hello")])
+        assert t.nbytes > 0
+
+    def test_empty_table(self):
+        t = ColumnTable.empty(self.S)
+        assert t.num_rows == 0
+        assert t.to_rows() == []

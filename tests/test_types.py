@@ -1,0 +1,80 @@
+"""Unit tests for the scalar type system."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TypeMismatchError
+from repro.core.types import DType, common_type, comparable, promote
+
+
+class TestDType:
+    def test_numeric_flags(self):
+        assert DType.INT64.is_numeric
+        assert DType.FLOAT64.is_numeric
+        assert not DType.BOOL.is_numeric
+        assert not DType.STRING.is_numeric
+
+    def test_numpy_round_trip(self):
+        for dtype in DType:
+            assert DType.from_numpy(dtype.to_numpy()) is dtype
+
+    def test_from_numpy_classifies_narrow_ints(self):
+        assert DType.from_numpy(np.dtype(np.int32)) is DType.INT64
+        assert DType.from_numpy(np.dtype(np.float32)) is DType.FLOAT64
+
+    def test_from_numpy_rejects_complex(self):
+        with pytest.raises(TypeMismatchError):
+            DType.from_numpy(np.dtype(np.complex128))
+
+    def test_of_value(self):
+        assert DType.of_value(3) is DType.INT64
+        assert DType.of_value(3.5) is DType.FLOAT64
+        assert DType.of_value(True) is DType.BOOL  # bool before int!
+        assert DType.of_value("x") is DType.STRING
+
+    def test_of_value_numpy_scalars(self):
+        assert DType.of_value(np.int64(3)) is DType.INT64
+        assert DType.of_value(np.float64(1.5)) is DType.FLOAT64
+        assert DType.of_value(np.bool_(True)) is DType.BOOL
+
+    def test_of_value_rejects_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            DType.of_value(object())
+
+    def test_validate_none_is_always_legal(self):
+        for dtype in DType:
+            assert dtype.validate(None)
+
+    def test_validate_accepts_int_in_float(self):
+        assert DType.FLOAT64.validate(3)
+        assert not DType.INT64.validate(3.5)
+
+    def test_validate_rejects_cross_type(self):
+        assert not DType.STRING.validate(3)
+        assert not DType.INT64.validate("x")
+        assert not DType.INT64.validate(True)
+
+
+class TestPromotion:
+    def test_promote_int_float(self):
+        assert promote(DType.INT64, DType.FLOAT64) is DType.FLOAT64
+        assert promote(DType.FLOAT64, DType.INT64) is DType.FLOAT64
+        assert promote(DType.INT64, DType.INT64) is DType.INT64
+
+    def test_promote_rejects_non_numeric(self):
+        with pytest.raises(TypeMismatchError):
+            promote(DType.STRING, DType.INT64)
+        with pytest.raises(TypeMismatchError):
+            promote(DType.BOOL, DType.BOOL)
+
+    def test_comparable(self):
+        assert comparable(DType.INT64, DType.FLOAT64)
+        assert comparable(DType.STRING, DType.STRING)
+        assert not comparable(DType.STRING, DType.INT64)
+        assert not comparable(DType.BOOL, DType.INT64)
+
+    def test_common_type(self):
+        assert common_type(DType.STRING, DType.STRING) is DType.STRING
+        assert common_type(DType.INT64, DType.FLOAT64) is DType.FLOAT64
+        with pytest.raises(TypeMismatchError):
+            common_type(DType.BOOL, DType.INT64)

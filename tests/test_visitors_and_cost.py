@@ -1,0 +1,133 @@
+"""Tests for tree traversal utilities and the federation cost model."""
+
+import pytest
+
+from repro.core import algebra as A
+from repro.core.expressions import col, lit
+from repro.core.visitors import (
+    count_ops, find_all, substitute_loop_var, transform_bottom_up,
+    transform_top_down,
+)
+from repro.federation.catalog import FederationCatalog
+from repro.federation.cost import estimate_bytes, estimate_rows, row_width
+from repro.providers import RelationalProvider
+
+from .helpers import CUSTOMERS, ORDERS, customers_table, orders_table, schema
+
+CUST = A.Scan("customers", CUSTOMERS)
+ORD = A.Scan("orders", ORDERS)
+
+
+class TestTransforms:
+    def test_bottom_up_rebuilds_only_changed_paths(self):
+        tree = A.Filter(A.Project(ORD, ("oid", "amount")), col("amount") > 0.0)
+
+        def rename_scan(node):
+            if isinstance(node, A.Scan):
+                return A.Scan("orders2", node.source_schema)
+            return node
+
+        out = transform_bottom_up(tree, rename_scan)
+        assert next(iter(find_all(out, A.Scan))).name == "orders2"
+        assert isinstance(out, A.Filter)  # structure above preserved
+
+    def test_top_down_sees_parent_first(self):
+        seen = []
+
+        def record(node):
+            seen.append(node.op_name)
+            return node
+
+        transform_top_down(A.Filter(ORD, col("amount") > 0.0), record)
+        assert seen == ["Filter", "Scan"]
+
+    def test_identity_transform_returns_same_object(self):
+        tree = A.Filter(ORD, col("amount") > 0.0)
+        assert transform_bottom_up(tree, lambda n: n) is tree
+
+    def test_count_ops(self):
+        tree = A.Union(A.Filter(ORD, col("amount") > 0.0), ORD)
+        ops = count_ops(tree)
+        assert ops == {"Union": 1, "Filter": 1, "Scan": 2}
+
+
+class TestLoopVarSubstitution:
+    STATE = schema(("i", "int", True), ("v", "float"))
+
+    def test_substitutes_matching_var(self):
+        body = A.Filter(A.LoopVar("s", self.STATE), col("v") > 0.0)
+        replacement = A.InlineTable(self.STATE, ((0, 1.0),))
+        out = substitute_loop_var(body, "s", replacement)
+        assert isinstance(out.child, A.InlineTable)
+
+    def test_leaves_other_vars_alone(self):
+        body = A.Filter(A.LoopVar("other", self.STATE), col("v") > 0.0)
+        out = substitute_loop_var(
+            body, "s", A.InlineTable(self.STATE, ())
+        )
+        assert isinstance(out.child, A.LoopVar)
+
+    def test_shadowing_inner_iterate_body_untouched(self):
+        inner_body = A.Filter(A.LoopVar("s", self.STATE), col("v") > 0.0)
+        inner = A.Iterate(
+            A.LoopVar("s", self.STATE),  # init sees the OUTER binding
+            inner_body, var="s", max_iter=2,
+        )
+        replacement = A.InlineTable(self.STATE, ((0, 1.0),))
+        out = substitute_loop_var(inner, "s", replacement)
+        assert isinstance(out.init, A.InlineTable)  # init substituted
+        inner_vars = list(find_all(out.body, A.LoopVar))
+        assert len(inner_vars) == 1  # body still references its own var
+
+
+class TestCostModel:
+    def make_catalog(self):
+        catalog = FederationCatalog()
+        catalog.add_provider(RelationalProvider("sql"))
+        catalog.register_dataset("customers", customers_table(), on="sql")
+        catalog.register_dataset("orders", orders_table(), on="sql")
+        return catalog
+
+    def test_scan_uses_real_cardinality(self):
+        catalog = self.make_catalog()
+        assert estimate_rows(ORD, catalog) == 5
+        assert estimate_rows(CUST, catalog) == 4
+
+    def test_filter_reduces_estimate(self):
+        catalog = self.make_catalog()
+        filtered = A.Filter(ORD, col("amount") > 0.0)
+        assert estimate_rows(filtered, catalog) < estimate_rows(ORD, catalog)
+
+    def test_limit_caps_estimate(self):
+        catalog = self.make_catalog()
+        assert estimate_rows(A.Limit(ORD, 2), catalog) == 2
+
+    def test_join_estimate_monotone_in_inputs(self):
+        catalog = self.make_catalog()
+        join = A.Join(CUST, ORD, (("cid", "cust"),))
+        left_join = A.Join(CUST, ORD, (("cid", "cust"),), "left")
+        assert estimate_rows(left_join, catalog) >= estimate_rows(CUST, catalog)
+        assert estimate_rows(join, catalog) >= 1
+
+    def test_aggregate_without_keys_is_one_row(self):
+        catalog = self.make_catalog()
+        agg = A.Aggregate(ORD, (), (A.AggSpec("n", "count"),))
+        assert estimate_rows(agg, catalog) == 1
+
+    def test_row_width_counts_types(self):
+        s = schema(("a", "int"), ("b", "str"), ("c", "bool"))
+        assert row_width(s) == 8 + 24 + 1
+
+    def test_bytes_scale_with_rows(self):
+        catalog = self.make_catalog()
+        assert estimate_bytes(ORD, catalog) == 5 * row_width(ORDERS)
+
+    def test_unregistered_scan_gets_default(self):
+        catalog = self.make_catalog()
+        ghost = A.Scan("ghost", ORDERS)
+        assert estimate_rows(ghost, catalog) == 1000
+
+    def test_union_adds(self):
+        catalog = self.make_catalog()
+        u = A.Union(ORD, ORD)
+        assert estimate_rows(u, catalog) == 10
