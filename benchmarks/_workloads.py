@@ -189,3 +189,42 @@ def chunked_window_context(chunk_side: int, grid_side: int = 192,
         .window({"x": 2, "y": 2}, reading=("mean", col("reading")))
     )
     return ctx, query.node, (hi - lo + 1) ** 2
+
+
+# -- E12 fused execution ------------------------------------------------------------------
+
+def fusion_table(n_rows: int, n_extra: int = 14, seed: int = 60) -> ColumnTable:
+    """A wide float table: the workload where fusion pays.
+
+    An unfused Filter must mask-compress every column and materialize a
+    full-width intermediate; the fused pipeline only ever touches the
+    columns its output needs.
+    """
+    from repro.core.schema import Attribute, DType, Schema
+
+    rng = np.random.default_rng(seed)
+    attrs = [Attribute("k", DType.INT64)]
+    attrs += [Attribute(f"c{i}", DType.FLOAT64) for i in range(n_extra + 2)]
+    schema = Schema(tuple(attrs))
+    columns = {"k": np.arange(n_rows, dtype=np.int64)}
+    for i in range(n_extra + 2):
+        columns[f"c{i}"] = rng.normal(size=n_rows)
+    from repro.storage.column import Column
+    from repro.storage.table import ColumnTable as CT
+
+    return CT(schema, {n: Column(schema[n].dtype, v) for n, v in columns.items()})
+
+
+def fusion_query(schema) -> A.Node:
+    """Selective Filter -> Extend -> Project: the canonical fusible chain."""
+    from repro import lit
+
+    scan = A.Scan("wide", schema)
+    filtered = A.Filter(scan, col("c0") > lit(0.2))          # ~42% selective
+    extended = A.Extend(
+        filtered,
+        ("score", "ratio"),
+        (col("c1") * col("c2") + col("c3"),
+         (col("c4") - col("c5")) / (col("c0") + lit(1.0))),
+    )
+    return A.Project(extended, ("k", "score", "ratio", "c1"))

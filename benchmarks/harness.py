@@ -138,9 +138,25 @@ def e11() -> None:
               f"{wall * 1e3:>7.2f} ms")
 
 
+def e12() -> None:
+    from bench_e12_fusion import emit_json
+
+    print("\n== E12: fused execution ablation (filter->extend->project, wide) ==")
+    payload = emit_json(Path(__file__).parent.parent / "BENCH_E12.json")
+    print(f"rows: {payload['rows']}, cpus: {payload['cpus']}")
+    print(f"{'config':>20s} {'wall':>10s} {'vs neither':>11s}")
+    for entry in payload["configs"]:
+        print(f"{entry['config']:>20s} {entry['wall_s'] * 1e3:>7.1f} ms "
+              f"{entry['speedup_vs_neither']:>10.2f}x")
+    cache = payload["expr_cache"]
+    print(f"expr cache: {cache['entries']} entries, "
+          f"{cache['hits']} hits / {cache['misses']} misses")
+
+
 ALL = {
     "e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5,
     "e6": e6, "e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11,
+    "e12": e12,
 }
 
 

@@ -86,6 +86,20 @@ class ChunkedArray:
     def iter_chunks(self) -> Iterator[tuple[tuple[int, ...], Chunk]]:
         return iter(self.chunks.items())
 
+    def map_chunks(self, fn, workers: int = 1) -> list[tuple[tuple[int, ...], object]]:
+        """Apply ``fn(chunk_coord, chunk)`` to every chunk, optionally on a
+        thread pool, returning ``[(chunk_coord, result), ...]``.
+
+        Chunks are visited in sorted coordinate order and results are
+        returned in that same order regardless of worker count, so callers
+        that rebuild an array from the results are deterministic.
+        """
+        from ..exec.morsel import parallel_map
+
+        items = sorted(self.chunks.items())
+        results = parallel_map(lambda item: fn(item[0], item[1]), items, workers)
+        return [(cc, result) for (cc, _), result in zip(items, results)]
+
     def block_shape(self, chunk_coord: tuple[int, ...]) -> tuple[int, ...]:
         """Dense shape of the chunk at ``chunk_coord`` (edge chunks clip)."""
         out = []

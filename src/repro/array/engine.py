@@ -33,6 +33,9 @@ class ArrayEngineOptions:
     """Physical knobs; ``chunk_side`` is swept by the chunking bench (E9)."""
 
     chunk_side: int = DEFAULT_CHUNK
+    #: worker threads for chunk-wise apply/filter/regrid maps; 1 = serial,
+    #: 0 = one worker per CPU
+    workers: int = 1
 
 
 class ArrayEngine:
@@ -44,6 +47,10 @@ class ArrayEngine:
     @property
     def chunk_side(self) -> int:
         return self.options.chunk_side
+
+    @property
+    def workers(self) -> int:
+        return self.options.workers
 
     def run(
         self,
@@ -99,11 +106,14 @@ class ArrayEngine:
             return ops.transpose_array(arr, node.order, node.schema)
         if isinstance(node, A.Filter):
             arr = self._child_array(node.child, resolver, env)
-            return ops.filter_array(arr, node.predicate, node.child.schema)
+            return ops.filter_array(
+                arr, node.predicate, node.child.schema, workers=self.workers
+            )
         if isinstance(node, A.Extend):
             arr = self._child_array(node.child, resolver, env)
             return ops.extend_array(
-                arr, node.names, node.exprs, node.child.schema, node.schema
+                arr, node.names, node.exprs, node.child.schema, node.schema,
+                workers=self.workers,
             )
         if isinstance(node, A.Project):
             missing = [
@@ -124,7 +134,7 @@ class ArrayEngine:
             arr = self._child_array(node.child, resolver, env)
             return ops.regrid_array(
                 arr, node.factors, node.aggs, node.child.schema, node.schema,
-                self.chunk_side,
+                self.chunk_side, workers=self.workers,
             )
         if isinstance(node, A.Window):
             arr = self._child_array(node.child, resolver, env)

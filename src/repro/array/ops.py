@@ -135,26 +135,36 @@ def transpose_array(arr: ChunkedArray, order: Sequence[str], schema: Schema) -> 
     return out
 
 
-def filter_array(arr: ChunkedArray, predicate, child_schema: Schema) -> ChunkedArray:
-    """Clear presence bits where the predicate is not exactly True."""
-    out = ChunkedArray(arr.schema, arr.origin, arr.shape, arr.chunk_shape)
-    for cc, chunk in arr.iter_chunks():
+def filter_array(
+    arr: ChunkedArray, predicate, child_schema: Schema, workers: int = 1
+) -> ChunkedArray:
+    """Clear presence bits where the predicate is not exactly True.
+
+    Chunks are independent, so the map runs on a thread pool when
+    ``workers`` allows; results merge in sorted chunk order either way.
+    """
+    def one_chunk(cc: tuple[int, ...], chunk: Chunk) -> Chunk | None:
         cells, _ = chunk_cells(arr, cc, chunk, child_schema)
         if cells.num_rows == 0:
-            continue
+            return None
         verdict = eval_vector(predicate, cells)
         keep = verdict.values.astype(bool)
         if verdict.mask is not None:
             keep &= ~verdict.mask
         if not keep.any():
-            continue
+            return None
         where = np.nonzero(chunk.present)
         present = np.zeros_like(chunk.present)
         kept = tuple(w[keep] for w in where)
         present[kept] = True
-        out.chunks[cc] = Chunk(
+        return Chunk(
             present=present, values=dict(chunk.values), masks=dict(chunk.masks)
         )
+
+    out = ChunkedArray(arr.schema, arr.origin, arr.shape, arr.chunk_shape)
+    for cc, chunk in arr.map_chunks(one_chunk, workers):
+        if chunk is not None:
+            out.chunks[cc] = chunk
     return out
 
 
@@ -164,10 +174,13 @@ def extend_array(
     exprs: Sequence,
     child_schema: Schema,
     out_schema: Schema,
+    workers: int = 1,
 ) -> ChunkedArray:
-    """Compute new value attributes cell-wise (SciDB ``apply``)."""
-    out = ChunkedArray(out_schema, arr.origin, arr.shape, arr.chunk_shape)
-    for cc, chunk in arr.iter_chunks():
+    """Compute new value attributes cell-wise (SciDB ``apply``).
+
+    Purely chunk-local, so the map parallelizes across ``workers`` threads.
+    """
+    def one_chunk(cc: tuple[int, ...], chunk: Chunk) -> Chunk:
         cells, _ = chunk_cells(arr, cc, chunk, child_schema)
         where = np.nonzero(chunk.present)
         values = dict(chunk.values)
@@ -187,7 +200,11 @@ def extend_array(
                 masks[name] = mask_block
             else:
                 masks[name] = None
-        out.chunks[cc] = Chunk(present=chunk.present, values=values, masks=masks)
+        return Chunk(present=chunk.present, values=values, masks=masks)
+
+    out = ChunkedArray(out_schema, arr.origin, arr.shape, arr.chunk_shape)
+    for cc, chunk in arr.map_chunks(one_chunk, workers):
+        out.chunks[cc] = chunk
     return out
 
 
@@ -308,8 +325,14 @@ def regrid_array(
     child_schema: Schema,
     out_schema: Schema,
     chunk_shape: int | Sequence[int],
+    workers: int = 1,
 ) -> ChunkedArray:
-    """Coarsen dimensions by integer factors, aggregating within bins."""
+    """Coarsen dimensions by integer factors, aggregating within bins.
+
+    Per-chunk extraction (cell gather + bin index computation) parallelizes
+    across ``workers``; accumulation stays serial because the aggregator's
+    scatter-adds (``np.add.at``) are not thread-safe.
+    """
     if arr.cell_count == 0:
         return ChunkedArray.from_table(ColumnTable.empty(out_schema), chunk_shape)
     factor_by_dim = dict(factors)
@@ -323,17 +346,21 @@ def regrid_array(
         for h, d in zip(hi, arr.dims)
     )
     out_shape = tuple(int(h - l + 1) for l, h in zip(out_lo, out_hi))
-    agg = DenseAggregator(out_shape, aggs, out_schema)
-    for cc, chunk in arr.iter_chunks():
+
+    def extract(cc: tuple[int, ...], chunk) -> tuple[np.ndarray, ColumnTable] | None:
         cells, coords = chunk_cells(arr, cc, chunk, child_schema)
         if cells.num_rows == 0:
-            continue
+            return None
         out_coords = tuple(
             _floor_div(coords[axis], factor_by_dim.get(d, 1)) - out_lo[axis]
             for axis, d in enumerate(arr.dims)
         )
-        flat = np.ravel_multi_index(out_coords, out_shape)
-        agg.update(flat, cells)
+        return np.ravel_multi_index(out_coords, out_shape), cells
+
+    agg = DenseAggregator(out_shape, aggs, out_schema)
+    for _, extracted in arr.map_chunks(extract, workers):
+        if extracted is not None:
+            agg.update(*extracted)
     present, values, masks = agg.finalize()
     return ChunkedArray.from_dense_region(
         out_schema, out_lo, present, values, masks, chunk_shape

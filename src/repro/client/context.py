@@ -19,9 +19,11 @@ Typical setup::
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Iterable, Sequence
 
 from ..core import algebra as A
+from ..core import serialize
 from ..core.errors import PlanningError
 from ..core.rewriter import RewriteOptions, Rewriter
 from ..core.schema import Schema
@@ -55,11 +57,20 @@ class BigDataContext:
         )
         #: report of the most recent execution (metrics, fragments, ...)
         self.last_report: ExecutionReport | None = None
+        # plan cache: serialized logical tree -> physical plan.  Repeat
+        # queries (dashboards, loops re-issuing the same shape) skip the
+        # rewrite and planning passes entirely.  Invalidated whenever the
+        # federation changes (new provider, new dataset).
+        self._plan_cache: OrderedDict[tuple[str, str | None], Any] = OrderedDict()
+        self._plan_cache_cap = 256
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # -- setup ------------------------------------------------------------------
 
     def add_provider(self, provider: Provider) -> "BigDataContext":
         self.catalog.add_provider(provider)
+        self.invalidate_plan_cache()
         return self
 
     def load(
@@ -67,6 +78,7 @@ class BigDataContext:
     ) -> "BigDataContext":
         """Register a dataset on one or more servers."""
         self.catalog.register_dataset(name, table, on)
+        self.invalidate_plan_cache()
         return self
 
     def load_rows(
@@ -116,12 +128,37 @@ class BigDataContext:
         self, query: Query | A.Node, *, pin_server: str | None = None
     ) -> Collection:
         tree = query.node if isinstance(query, Query) else query
-        tree.schema  # validate before optimizing
-        optimized = self.rewriter.rewrite(tree)
-        plan = self.planner.plan(optimized, pin_server=pin_server)
+        plan = self._plan_for(tree, pin_server)
         report = self.executor.execute(plan)
         self.last_report = report
         return Collection(report.result, report)
+
+    def _plan_for(self, tree: A.Node, pin_server: str | None):
+        """Rewrite + plan ``tree``, memoized on its serialized form.
+
+        Physical plans are immutable (the executor builds fresh input
+        bindings per run), so re-executing a cached plan is safe; the cache
+        key includes ``pin_server`` because pinning changes fragment
+        assignment.
+        """
+        key = (serialize.dumps(tree), pin_server)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self._plan_cache.move_to_end(key)
+            self.plan_cache_hits += 1
+            return cached
+        self.plan_cache_misses += 1
+        tree.schema  # validate before optimizing
+        optimized = self.rewriter.rewrite(tree)
+        plan = self.planner.plan(optimized, pin_server=pin_server)
+        self._plan_cache[key] = plan
+        while len(self._plan_cache) > self._plan_cache_cap:
+            self._plan_cache.popitem(last=False)
+        return plan
+
+    def invalidate_plan_cache(self) -> None:
+        """Drop all cached physical plans (topology or data layout changed)."""
+        self._plan_cache.clear()
 
     def run_clientside_loop(
         self, query: Query | A.Node, *, pin_server: str | None = None
@@ -139,9 +176,7 @@ class BigDataContext:
     def explain(self, query: Query | A.Node) -> str:
         """The optimized tree and its fragment assignment, as text."""
         tree = query.node if isinstance(query, Query) else query
-        optimized = self.rewriter.rewrite(tree)
-        plan = self.planner.plan(optimized)
-        return plan.describe()
+        return self._plan_for(tree, None).describe()
 
     # -- introspection ----------------------------------------------------------------
 

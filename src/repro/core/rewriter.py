@@ -192,6 +192,60 @@ def _fuse_extends(node: A.Node) -> A.Node:
 
 
 # --------------------------------------------------------------------------
+# Fusion eligibility (consumed by the physical layer, repro.exec.pipeline)
+# --------------------------------------------------------------------------
+
+#: Row-order-preserving unary operators a fused pipeline may absorb.  Every
+#: other operator (Join, Aggregate, Sort, Iterate, ...) is a pipeline breaker.
+FUSIBLE_OPS: tuple[type, ...] = (A.Filter, A.Project, A.Extend, A.Rename)
+
+
+def split_fusible_chain(node: A.Node) -> tuple[list[A.Node], A.Node]:
+    """Peel the maximal fusible run starting at ``node``.
+
+    Returns ``(chain, source)`` where ``chain`` lists the fusible operators
+    top-first (``chain[0] is node`` when non-empty) and ``source`` is the
+    first non-fusible descendant — the subtree the pipeline consumes.
+    An empty chain means ``node`` itself is a pipeline breaker.
+    """
+    chain: list[A.Node] = []
+    current = node
+    while isinstance(current, FUSIBLE_OPS):
+        chain.append(current)
+        current = current.child  # type: ignore[attr-defined]
+    return chain, current
+
+
+def fusion_regions(
+    root: A.Node, min_length: int = 2
+) -> list[tuple[list[A.Node], A.Node]]:
+    """All maximal fusible regions in a tree, outermost first.
+
+    A region is reported when its chain has at least ``min_length``
+    operators (a single Filter gains nothing from fusion; two or more
+    skip intermediate materializations).  Regions never overlap: the
+    search resumes below each region's source.
+    """
+    regions: list[tuple[list[A.Node], A.Node]] = []
+
+    def visit(node: A.Node) -> None:
+        chain, source = split_fusible_chain(node)
+        if len(chain) >= min_length:
+            regions.append((chain, source))
+            for child in source.children():
+                visit(child)
+        elif chain:
+            for child in source.children():
+                visit(child)
+        else:
+            for child in node.children():
+                visit(child)
+
+    visit(root)
+    return regions
+
+
+# --------------------------------------------------------------------------
 # Intent recognition
 # --------------------------------------------------------------------------
 

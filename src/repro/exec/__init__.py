@@ -1,0 +1,40 @@
+"""Physical execution layer: compiled expressions, fused pipelines, morsels.
+
+The logical algebra (:mod:`repro.core.algebra`) stays pure structure; this
+package is what providers *lower* optimized trees into before running them:
+
+* :mod:`repro.exec.compile` — turns scalar ``Expr`` trees into reusable
+  closures over numpy arrays, memoized on the expression's structural key,
+  so repeated executions (and every iteration of ``Iterate``) skip AST
+  walking and type inference.
+* :mod:`repro.exec.pipeline` — collapses maximal Filter/Project/Extend/
+  Rename chains into one fused operator that evaluates every predicate and
+  derived column in a single vectorized pass per batch, with no
+  intermediate ``ColumnTable`` materialization between the steps.
+* :mod:`repro.exec.morsel` — splits a fused pipeline over a base table into
+  row-range morsels executed on a thread pool (numpy releases the GIL) with
+  a deterministic, order-preserving merge.
+"""
+
+from .compile import (
+    CompiledExpr,
+    clear_expr_cache,
+    compile_expr,
+    expr_cache_stats,
+    expr_key,
+)
+from .morsel import morsel_ranges, parallel_map, run_pipeline_morsels
+from .pipeline import FusedPipeline, pipeline_key
+
+__all__ = [
+    "CompiledExpr",
+    "FusedPipeline",
+    "clear_expr_cache",
+    "compile_expr",
+    "expr_cache_stats",
+    "expr_key",
+    "morsel_ranges",
+    "parallel_map",
+    "pipeline_key",
+    "run_pipeline_morsels",
+]

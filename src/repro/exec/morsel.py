@@ -1,0 +1,88 @@
+"""Morsel-parallel execution of fused pipelines.
+
+A fused pipeline is a pure function of its input columns, so a scan can be
+split into fixed row ranges ("morsels") executed concurrently on a thread
+pool — numpy kernels release the GIL, which is where the parallelism comes
+from.  ``ThreadPoolExecutor.map`` yields results in submission order and
+morsel boundaries are a pure function of the row count, so the merged
+output is bit-identical to a single-threaded run regardless of worker
+count or scheduling (pinned by a regression test).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+from ..storage.column import Column
+from ..storage.table import ColumnTable
+from .pipeline import FusedPipeline
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Default rows per morsel: large enough to amortize per-task overhead,
+#: small enough that a handful of morsels exist per million-row scan.
+DEFAULT_MORSEL_SIZE = 131_072
+
+
+def morsel_ranges(n: int, size: int = DEFAULT_MORSEL_SIZE) -> list[tuple[int, int]]:
+    """Deterministic ``[start, stop)`` row ranges covering ``n`` rows."""
+    size = max(1, int(size))
+    return [(start, min(start + size, n)) for start in range(0, n, size)]
+
+
+def resolve_workers(workers: int) -> int:
+    """Normalize a worker-count knob: ``0`` (or negative) means one per CPU."""
+    if workers <= 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Iterable[T], workers: int = 1
+) -> list[R]:
+    """Order-preserving map over a thread pool (serial when it cannot help)."""
+    items = list(items)
+    workers = resolve_workers(workers)
+    if workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+def run_pipeline_morsels(
+    pipeline: FusedPipeline,
+    table: ColumnTable,
+    *,
+    workers: int = 1,
+    morsel_size: int = DEFAULT_MORSEL_SIZE,
+) -> ColumnTable:
+    """Run a fused pipeline over ``table`` split into row-range morsels.
+
+    Falls back to a single pass when one worker (or one morsel) would do;
+    otherwise slices the live input columns per range (zero-copy views),
+    runs the pipeline concurrently, and concatenates morsel outputs in
+    range order.
+    """
+    n = table.num_rows
+    workers = resolve_workers(workers)
+    ranges = morsel_ranges(n, morsel_size)
+    if workers == 1 or len(ranges) <= 1:
+        return pipeline.run(table)
+
+    base = {name: table.columns[name] for name in pipeline.source_live}
+
+    def run_range(bounds: tuple[int, int]) -> dict[str, Column]:
+        start, stop = bounds
+        cols = {name: c.slice(start, stop) for name, c in base.items()}
+        out, _ = pipeline.run_columns(cols, stop - start)
+        return out
+
+    pieces = parallel_map(run_range, ranges, workers)
+    merged = {
+        name: Column.concat([piece[name] for piece in pieces])
+        for name in pipeline.out_schema.names
+    }
+    return ColumnTable(pipeline.out_schema, merged)

@@ -1,0 +1,216 @@
+"""Fused pipelines: one vectorized pass over maximal fusible operator chains.
+
+The logical engine executes one operator at a time, materializing a full
+``ColumnTable`` between every step.  A :class:`FusedPipeline` instead takes
+a maximal Filter/Project/Extend/Rename chain (as identified by
+:func:`repro.core.rewriter.split_fusible_chain`) and runs it as a single
+physical operator over a bare ``{name: Column}`` mapping:
+
+* **no intermediate tables** — steps pass the column dict through; schema
+  revalidation happens once, at the final output;
+* **liveness pruning** — a backward pass computes which columns each step
+  actually needs, so filters compress only live columns and Extend skips
+  derived columns nothing downstream reads;
+* **lazy filter compression** — a filter that keeps every row leaves the
+  (possibly zero-copy) input columns untouched.
+
+Pipelines are pure functions of their input columns, which is what makes
+the morsel-parallel driver (:mod:`repro.exec.morsel`) safe: the same
+pipeline object runs concurrently over disjoint row ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core import algebra as A
+from ..core.errors import ExecutionError
+from ..storage.column import Column
+from ..storage.table import ColumnTable
+from .compile import compile_expr, expr_key
+
+#: A step maps (columns-by-name, row count) -> (columns-by-name, row count).
+Step = Callable[[dict[str, Column], int], "tuple[dict[str, Column], int]"]
+
+
+def pipeline_key(chain: Sequence[A.Node]) -> tuple:
+    """Structural identity of a fusible chain (for physical-plan caches).
+
+    Two chains with the same key lower to the same pipeline given the same
+    source schema; callers combine this with a schema fingerprint.
+    """
+    parts: list[tuple] = []
+    for node in chain:
+        if isinstance(node, A.Filter):
+            parts.append(("filter", expr_key(node.predicate)))
+        elif isinstance(node, A.Project):
+            parts.append(("project", tuple(node.names)))
+        elif isinstance(node, A.Extend):
+            parts.append((
+                "extend",
+                tuple(node.names),
+                tuple(expr_key(e) for e in node.exprs),
+            ))
+        elif isinstance(node, A.Rename):
+            parts.append(("rename", tuple(node.mapping)))
+        else:
+            raise ExecutionError(
+                f"{node.op_name} is not fusible; cannot key a pipeline on it"
+            )
+    return tuple(parts)
+
+
+class FusedPipeline:
+    """A compiled physical operator for one fusible chain.
+
+    ``chain`` lists the logical nodes top-first (``chain[0]`` produces the
+    output, ``chain[-1]`` reads the source).  ``compiled=False`` falls back
+    to the interpreted expression walker inside each step — the fused-but-
+    uncompiled corner of the E12 ablation.
+    """
+
+    __slots__ = ("chain", "out_schema", "source_live", "steps")
+
+    def __init__(self, chain: Sequence[A.Node], *, compiled: bool = True):
+        if not chain:
+            raise ExecutionError("cannot fuse an empty chain")
+        self.chain = list(chain)
+        self.out_schema = self.chain[0].schema
+
+        # Backward liveness: live_after[i] = columns consumed above chain[i].
+        live: set[str] = set(self.out_schema.names)
+        live_after: list[set[str]] = []
+        for node in self.chain:
+            live_after.append(set(live))
+            live = _live_in(node, live)
+        self.source_live = tuple(
+            n for n in self.chain[-1].child.schema.names if n in live
+        )
+
+        # Steps run bottom-up: steps[0] executes chain[-1].
+        self.steps: list[Step] = [
+            _build_step(node, live_after[i], compiled)
+            for i, node in reversed(list(enumerate(self.chain)))
+        ]
+
+    def run_columns(
+        self, cols: Mapping[str, Column], n: int
+    ) -> tuple[dict[str, Column], int]:
+        """Run over bare columns (the morsel path); no table validation."""
+        out = dict(cols)
+        for step in self.steps:
+            out, n = step(out, n)
+        return out, n
+
+    def run(self, table: ColumnTable) -> ColumnTable:
+        """Run over a source table, producing the chain's output table."""
+        cols = {name: table.columns[name] for name in self.source_live}
+        out, _ = self.run_columns(cols, table.num_rows)
+        return ColumnTable(self.out_schema, out)
+
+
+# --------------------------------------------------------------------------
+# Liveness
+# --------------------------------------------------------------------------
+
+
+def _live_in(node: A.Node, live_after: set[str]) -> set[str]:
+    """Columns a step needs from its input, given what survives above it."""
+    if isinstance(node, A.Filter):
+        return live_after | node.predicate.columns()
+    if isinstance(node, A.Project):
+        return live_after & set(node.names)
+    if isinstance(node, A.Extend):
+        live = live_after - set(node.names)
+        for name, expr in zip(node.names, node.exprs):
+            if name in live_after:
+                live |= expr.columns()
+        return live
+    if isinstance(node, A.Rename):
+        inverse = {new: old for old, new in node.mapping}
+        return {inverse.get(name, name) for name in live_after}
+    raise ExecutionError(f"{node.op_name} is not fusible")
+
+
+# --------------------------------------------------------------------------
+# Step construction
+# --------------------------------------------------------------------------
+
+
+def _build_step(node: A.Node, live_after: set[str], compiled: bool) -> Step:
+    # deterministic column order: follow the node's output schema
+    out_names = tuple(n for n in node.schema.names if n in live_after)
+
+    if isinstance(node, A.Filter):
+        evaluate = _make_evaluator(node.predicate, node.child.schema, compiled)
+
+        def filter_step(cols: dict[str, Column], n: int):
+            pred = evaluate(cols, n)
+            keep = pred.values.astype(bool, copy=False)
+            if pred.mask is not None:
+                keep = keep & ~pred.mask  # null predicate drops the row
+            kept = int(np.count_nonzero(keep))
+            if kept == n:  # fully-selective: keep the input views untouched
+                return {name: cols[name] for name in out_names}, n
+            return {name: cols[name].filter(keep) for name in out_names}, kept
+
+        return filter_step
+
+    if isinstance(node, A.Project):
+
+        def project_step(cols: dict[str, Column], n: int):
+            return {name: cols[name] for name in out_names}, n
+
+        return project_step
+
+    if isinstance(node, A.Extend):
+        # derived columns nothing downstream reads are never evaluated
+        evaluators = [
+            (name, _make_evaluator(expr, node.child.schema, compiled))
+            for name, expr in zip(node.names, node.exprs)
+            if name in live_after
+        ]
+
+        def extend_step(cols: dict[str, Column], n: int):
+            derived = {name: ev(cols, n) for name, ev in evaluators}
+            out = {}
+            for name in out_names:  # exprs see the input columns only
+                out[name] = derived[name] if name in derived else cols[name]
+            return out, n
+
+        return extend_step
+
+    if isinstance(node, A.Rename):
+        forward = dict(node.mapping)
+
+        def rename_step(cols: dict[str, Column], n: int):
+            renamed = {forward.get(name, name): c for name, c in cols.items()}
+            return {name: renamed[name] for name in out_names}, n
+
+        return rename_step
+
+    raise ExecutionError(f"{node.op_name} is not fusible")
+
+
+def _make_evaluator(expr, schema, compiled: bool):
+    """An (cols, n) -> Column evaluator for one scalar expression."""
+    needed = tuple(n for n in schema.names if n in expr.columns())
+    if compiled or not needed:
+        # constant expressions always use the compiled kernel: the
+        # interpreted walker derives the row count from its input table,
+        # which a zero-column carrier cannot convey
+        compiled_expr = compile_expr(expr, schema)
+        return compiled_expr.evaluate_columns
+
+    # interpreted fallback: rebuild a minimal table for the legacy walker
+    from ..relational.eval import eval_vector
+
+    sub_schema = schema.project(needed)
+
+    def interpret(cols: Mapping[str, Column], n: int) -> Column:
+        table = ColumnTable(sub_schema, {name: cols[name] for name in needed})
+        return eval_vector(expr, table, compiled=False)
+
+    return interpret

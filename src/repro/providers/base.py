@@ -15,6 +15,7 @@ honest.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -32,6 +33,10 @@ class ProviderStats:
     operators: int = 0
     rows_out: int = 0
     ops_by_name: dict[str, int] = field(default_factory=dict)
+    #: wall-clock seconds spent inside ``execute`` (all stages)
+    seconds: float = 0.0
+    #: per-stage wall-clock breakdown ("validate", "execute", ...)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     def record(self, tree: A.Node, result: ColumnTable) -> None:
         self.queries += 1
@@ -40,11 +45,18 @@ class ProviderStats:
             self.ops_by_name[node.op_name] = self.ops_by_name.get(node.op_name, 0) + 1
         self.rows_out += result.num_rows
 
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate wall-clock time for one named execution stage."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+        self.seconds += seconds
+
     def reset(self) -> None:
         self.queries = 0
         self.operators = 0
         self.rows_out = 0
         self.ops_by_name.clear()
+        self.seconds = 0.0
+        self.stage_seconds.clear()
 
 
 class Provider(abc.ABC):
@@ -132,11 +144,16 @@ class Provider(abc.ABC):
 
         ``inputs`` supplies tables for :class:`Scan` leaves whose names are
         not local datasets — the federation executor uses names starting with
-        ``"@"`` for fragment inputs.
+        ``"@"`` for fragment inputs.  Wall-clock time per stage accumulates
+        in ``stats.stage_seconds`` ("validate" / "execute").
         """
+        started = time.perf_counter()
         self._check(tree)
         tree.schema  # full validation before any work
+        validated = time.perf_counter()
+        self.stats.record_stage("validate", validated - started)
         result = self._run(tree, dict(inputs or {}))
+        self.stats.record_stage("execute", time.perf_counter() - validated)
         self.stats.record(tree, result)
         return result
 

@@ -51,6 +51,24 @@ class RelationalProvider(Provider):
             return 2.0
         return 1.0
 
+    def perf_snapshot(self) -> dict[str, object]:
+        """Physical-execution counters for benches and diagnostics.
+
+        Combines this provider's stage timings with the engine's fused-
+        pipeline / index-path counters and the process-wide compiled-
+        expression cache statistics.
+        """
+        from ..exec.compile import expr_cache_stats
+
+        return {
+            "queries": self.stats.queries,
+            "seconds": self.stats.seconds,
+            "stage_seconds": dict(self.stats.stage_seconds),
+            "fused_runs": self.engine.fused_runs,
+            "index_hits": self.engine.index_hits,
+            "expr_cache": expr_cache_stats(),
+        }
+
     def _run(self, tree: A.Node, inputs: dict[str, ColumnTable]) -> ColumnTable:
         def resolve(dataset: str) -> ColumnTable:
             if dataset in inputs:

@@ -70,12 +70,15 @@ def compute_aggregates(
     num_groups: int,
     aggs: Sequence[A.AggSpec],
     out_schema: Schema,
+    compiled: bool = True,
 ) -> dict[str, Column]:
     """Evaluate each AggSpec over the grouped table, vectorized."""
     out: dict[str, Column] = {}
     for spec in aggs:
         out_dtype = out_schema[spec.name].dtype
-        out[spec.name] = _one_aggregate(table, gids, num_groups, spec, out_dtype)
+        out[spec.name] = _one_aggregate(
+            table, gids, num_groups, spec, out_dtype, compiled
+        )
     return out
 
 
@@ -85,12 +88,13 @@ def _one_aggregate(
     num_groups: int,
     spec: A.AggSpec,
     out_dtype: DType,
+    compiled: bool = True,
 ) -> Column:
     if spec.func == "count" and spec.arg is None:
         counts = np.bincount(gids, minlength=num_groups).astype(np.int64)
         return Column(DType.INT64, counts)
 
-    arg = eval_vector(spec.arg, table)
+    arg = eval_vector(spec.arg, table, compiled=compiled)
     valid = np.ones(len(arg), dtype=bool) if arg.mask is None else ~arg.mask
     vgids = gids[valid]
 
@@ -177,8 +181,14 @@ def group_aggregate(
     group_by: Sequence[str],
     aggs: Sequence[A.AggSpec],
     out_schema: Schema,
+    compiled: bool = True,
 ) -> ColumnTable:
-    """Full GROUP BY: factorize keys, aggregate, assemble the output table."""
+    """Full GROUP BY: factorize keys, aggregate, assemble the output table.
+
+    ``compiled`` selects the compiled-closure path for aggregate argument
+    expressions (see :mod:`repro.exec.compile`); the interpreted walker
+    remains available for ablations.
+    """
     gids, group_keys = factorize(table, group_by)
     if table.num_rows == 0 and group_by:
         group_keys = []
@@ -194,6 +204,8 @@ def group_aggregate(
     if num_groups == 0 and not group_by:
         num_groups = 1  # global aggregate over empty input yields one row
         gids = np.zeros(0, dtype=np.int64)
-    agg_columns = compute_aggregates(table, gids, num_groups, aggs, out_schema)
+    agg_columns = compute_aggregates(
+        table, gids, num_groups, aggs, out_schema, compiled
+    )
     columns.update(agg_columns)
     return ColumnTable(out_schema, columns)

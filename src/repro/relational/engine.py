@@ -23,9 +23,12 @@ import numpy as np
 
 from ..core import algebra as A
 from ..core.errors import ConvergenceError, ExecutionError
+from ..core.rewriter import split_fusible_chain
 from ..core.schema import Schema
 from ..core.types import DType
 from ..core.expressions import BinOp, Col, Expr, Lit
+from ..exec.morsel import run_pipeline_morsels
+from ..exec.pipeline import FusedPipeline, pipeline_key
 from ..storage.column import Column
 from ..storage.table import ColumnTable
 from . import joins
@@ -46,6 +49,17 @@ class EngineOptions:
     join_algorithm: str = "auto"
     #: assume join inputs are already sorted on their keys (merge join only)
     assume_sorted: bool = False
+    #: collapse maximal Filter/Project/Extend/Rename chains into one fused
+    #: physical operator (no intermediate ColumnTable per step)
+    fuse_pipelines: bool = True
+    #: evaluate scalar expressions through the compiled-closure cache
+    #: (repro.exec.compile); False forces the interpreted AST walk
+    compile_expressions: bool = True
+    #: worker threads for morsel-parallel fused scans; 1 = serial,
+    #: 0 = one worker per CPU
+    morsel_workers: int = 1
+    #: rows per morsel when splitting a fused scan across workers
+    morsel_size: int = 131_072
 
 
 class RelationalEngine:
@@ -65,6 +79,9 @@ class RelationalEngine:
         self.options = options or EngineOptions()
         self.catalog = catalog
         self.index_hits = 0
+        #: fused-pipeline executions (observable by tests and benches)
+        self.fused_runs = 0
+        self._pipelines: dict[tuple, FusedPipeline] = {}
 
     def run(
         self,
@@ -78,6 +95,12 @@ class RelationalEngine:
     # -- dispatcher --------------------------------------------------------------
 
     def _exec(self, node: A.Node, resolver: Resolver, env: dict) -> ColumnTable:
+        if self.options.fuse_pipelines and isinstance(
+            node, (A.Filter, A.Project, A.Extend, A.Rename)
+        ):
+            fused = self._exec_fused(node, resolver, env)
+            if fused is not None:
+                return fused
         if isinstance(node, A.Scan):
             return resolver(node.name)
         if isinstance(node, A.InlineTable):
@@ -102,7 +125,10 @@ class RelationalEngine:
             return self._product(node, resolver, env)
         if isinstance(node, A.Aggregate):
             child = self._exec(node.child, resolver, env)
-            return group_aggregate(child, node.group_by, node.aggs, node.schema)
+            return group_aggregate(
+                child, node.group_by, node.aggs, node.schema,
+                compiled=self.options.compile_expressions,
+            )
         if isinstance(node, A.Sort):
             child = self._exec(node.child, resolver, env)
             return child.take(sort_indices(child, node.keys, node.ascending))
@@ -138,6 +164,65 @@ class RelationalEngine:
             return self._iterate(node, resolver, env)
         raise ExecutionError(f"relational engine: unsupported operator {node.op_name}")
 
+    # -- fused physical pipelines -----------------------------------------------------
+
+    def _exec_fused(
+        self, node: A.Node, resolver: Resolver, env: dict
+    ) -> ColumnTable | None:
+        """Lower a maximal fusible chain into one physical pass, or decline.
+
+        Returns ``None`` when the chain is too short to win anything (a
+        single fusible operator), handing the node back to the one-at-a-
+        time dispatcher.
+        """
+        chain, source = split_fusible_chain(node)
+        if len(chain) < 2:
+            return None
+
+        # Preserve the secondary-index access path: when the chain bottoms
+        # out in a Filter over a stored Scan (possibly through the
+        # optimizer's Project veneer), let the index serve those nodes and
+        # fuse only what remains above the fetched subset.
+        source_table: ColumnTable | None = None
+        trimmed = chain
+        if isinstance(chain[-1], A.Filter):
+            source_table = self._index_filter(chain[-1])
+            if source_table is not None:
+                trimmed = chain[:-1]
+        elif isinstance(chain[-2], A.Filter) and isinstance(chain[-1], A.Project):
+            source_table = self._index_filter(chain[-2])
+            if source_table is not None:
+                trimmed = chain[:-2]
+        if not trimmed:
+            return source_table
+
+        pipeline = self._pipeline_for(trimmed)
+        if source_table is None:
+            source_table = self._exec(source, resolver, env)
+        self.fused_runs += 1
+        workers = self.options.morsel_workers
+        if workers != 1:
+            return run_pipeline_morsels(
+                pipeline, source_table,
+                workers=workers, morsel_size=self.options.morsel_size,
+            )
+        return pipeline.run(source_table)
+
+    def _pipeline_for(self, chain: list[A.Node]) -> FusedPipeline:
+        source_schema = chain[-1].child.schema
+        key = (
+            pipeline_key(chain),
+            tuple((a.name, a.dtype, a.dimension) for a in source_schema),
+            self.options.compile_expressions,
+        )
+        pipeline = self._pipelines.get(key)
+        if pipeline is None:
+            pipeline = FusedPipeline(
+                chain, compiled=self.options.compile_expressions
+            )
+            self._pipelines[key] = pipeline
+        return pipeline
+
     # -- relational operators ---------------------------------------------------------
 
     def _filter(self, node: A.Filter, resolver: Resolver, env: dict) -> ColumnTable:
@@ -148,7 +233,9 @@ class RelationalEngine:
         return self._apply_predicate(child, node.predicate)
 
     def _apply_predicate(self, child: ColumnTable, predicate: Expr) -> ColumnTable:
-        pred = eval_vector(predicate, child)
+        pred = eval_vector(
+            predicate, child, compiled=self.options.compile_expressions
+        )
         keep = pred.values.astype(bool)
         if pred.mask is not None:
             keep = keep & ~pred.mask  # null predicate drops the row
@@ -234,7 +321,10 @@ class RelationalEngine:
         child = self._exec(node.child, resolver, env)
         out = child
         for name, expr in zip(node.names, node.exprs):
-            column = eval_vector(expr, child)  # exprs see the input table only
+            # exprs see the input table only
+            column = eval_vector(
+                expr, child, compiled=self.options.compile_expressions
+            )
             out = out.with_column(name, column.dtype, column)
         return ColumnTable(node.schema, out.columns)
 
@@ -339,12 +429,18 @@ class RelationalEngine:
             )
         coarse = ColumnTable(child.schema, columns)
         dims = child.schema.dimension_names
-        return group_aggregate(coarse, dims, node.aggs, node.schema)
+        return group_aggregate(
+            coarse, dims, node.aggs, node.schema,
+            compiled=self.options.compile_expressions,
+        )
 
     def _reduce_dims(self, node: A.ReduceDims, resolver: Resolver, env: dict) -> ColumnTable:
         child = self._exec(node.child, resolver, env)
         keep = [d for d in child.schema.dimension_names if d in set(node.keep)]
-        return group_aggregate(child, keep, node.aggs, node.schema)
+        return group_aggregate(
+            child, keep, node.aggs, node.schema,
+            compiled=self.options.compile_expressions,
+        )
 
     def _cell_join(self, node: A.CellJoin, resolver: Resolver, env: dict) -> ColumnTable:
         left = self._exec(node.left, resolver, env)

@@ -35,8 +35,19 @@ _NP_MATH: dict[str, Callable[[np.ndarray], np.ndarray]] = {
 }
 
 
-def eval_vector(expr: E.Expr, table: ColumnTable) -> Column:
-    """Evaluate ``expr`` against every row of ``table`` at once."""
+def eval_vector(expr: E.Expr, table: ColumnTable, *, compiled: bool = True) -> Column:
+    """Evaluate ``expr`` against every row of ``table`` at once.
+
+    By default this goes through the compiled-expression cache
+    (:mod:`repro.exec.compile`): the AST is lowered once into a closure
+    pipeline and reused on every subsequent call with the same structure
+    and input dtypes.  ``compiled=False`` forces the interpreted walk —
+    kept for the ablation benches and as a cross-check in tests.
+    """
+    if compiled:
+        from ..exec.compile import compile_expr
+
+        return compile_expr(expr, table.schema).evaluate(table)
     dtype = expr.infer_type(table.schema)
     values, mask = _eval(expr, table)
     target = dtype.to_numpy()
@@ -91,11 +102,11 @@ def _eval(expr: E.Expr, table: ColumnTable) -> tuple[np.ndarray, np.ndarray | No
             if expr.name == "sign":
                 out = out.astype(np.float64)
             return out, mask
-        # string functions run element-wise over object arrays
+        # string functions run element-wise over object arrays (masked
+        # rows are skipped, not computed then discarded)
         fn = E.STRING_FUNCS[expr.name]
-        out_list = [fn(v) for v in values]
         result_dtype = np.int64 if expr.name == "length" else object
-        return np.array(out_list, dtype=result_dtype), mask
+        return _string_map(fn, values, mask, result_dtype), mask
 
     if isinstance(expr, E.If):
         cond_v, cond_m = _eval(expr.cond, table)
@@ -129,17 +140,9 @@ def _eval_binop(expr: E.BinOp, table: ColumnTable) -> tuple[np.ndarray, np.ndarr
 
     left_is_str = left_v.dtype == object
     if left_is_str and op == "+":
-        values = np.array(
-            [a + b for a, b in zip(left_v, right_v)], dtype=object
-        )
-        return values, mask
+        return _string_concat(left_v, right_v, mask), mask
     if left_is_str or right_v.dtype == object:
-        # string comparisons element-wise
-        values = np.fromiter(
-            (_compare(op, a, b) for a, b in zip(left_v, right_v)),
-            dtype=bool, count=len(left_v),
-        )
-        return values, mask
+        return _string_compare(op, left_v, right_v, mask), mask
 
     left_v, right_v = _align_pair(left_v, right_v)
     with np.errstate(all="ignore"):
@@ -172,6 +175,50 @@ def _eval_binop(expr: E.BinOp, table: ColumnTable) -> tuple[np.ndarray, np.ndarr
         else:
             raise ExecutionError(f"unknown binary operator {op!r}")
     return values, mask
+
+
+def _valid_indices(n: int, mask: np.ndarray | None) -> np.ndarray | range:
+    """Row positions that are not null (all of them when there is no mask)."""
+    return range(n) if mask is None else np.flatnonzero(~mask)
+
+
+def _string_map(
+    fn: Callable[[str], object],
+    values: np.ndarray,
+    mask: np.ndarray | None,
+    out_dtype,
+) -> np.ndarray:
+    """Apply a scalar string function element-wise, skipping masked rows."""
+    n = len(values)
+    if out_dtype is object:
+        out = np.full(n, "", dtype=object)
+    else:
+        out = np.zeros(n, dtype=out_dtype)
+    for i in _valid_indices(n, mask):
+        out[i] = fn(values[i])
+    return out
+
+
+def _string_concat(
+    left: np.ndarray, right: np.ndarray, mask: np.ndarray | None
+) -> np.ndarray:
+    """Element-wise string concatenation, skipping masked rows."""
+    n = len(left)
+    out = np.full(n, "", dtype=object)
+    for i in _valid_indices(n, mask):
+        out[i] = left[i] + right[i]
+    return out
+
+
+def _string_compare(
+    op: str, left: np.ndarray, right: np.ndarray, mask: np.ndarray | None
+) -> np.ndarray:
+    """Element-wise string comparison, skipping masked rows."""
+    n = len(left)
+    out = np.zeros(n, dtype=bool)
+    for i in _valid_indices(n, mask):
+        out[i] = _compare(op, left[i], right[i])
+    return out
 
 
 def _compare(op: str, a, b) -> bool:

@@ -1,0 +1,411 @@
+"""Physical execution layer: fused pipelines, compiled expressions, morsels.
+
+Property tests pit three evaluation paths against each other on random
+fusible chains — the fused engine, the unfused engine, and the reference
+interpreter — including null masks, empty tables and string columns.
+Regression tests pin the parts that are easy to silently break: morsel
+order determinism, compile-cache reuse, index access paths under fusion,
+and plan-cache invalidation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import algebra as A
+from repro.core.expressions import col, func, if_, lit
+from repro.core.rewriter import fusion_regions, split_fusible_chain
+from repro.core.schema import Schema
+from repro.exec.compile import (
+    clear_expr_cache, compile_expr, expr_cache_stats, expr_key,
+)
+from repro.exec.morsel import morsel_ranges, run_pipeline_morsels
+from repro.exec.pipeline import FusedPipeline, pipeline_key
+from repro.providers import ReferenceProvider, RelationalProvider
+from repro.relational.engine import EngineOptions, RelationalEngine
+from repro.relational.eval import eval_vector
+from repro.storage.table import ColumnTable
+
+from .helpers import schema
+
+BASE = schema(("k", "int"), ("v", "float"), ("tag", "str"))
+
+base_rows = st.lists(
+    st.tuples(
+        st.integers(-5, 5),
+        st.one_of(st.none(), st.integers(-20, 20).map(lambda v: v / 2.0)),
+        st.one_of(st.none(), st.sampled_from(["ab", "cd", ""])),
+    ),
+    max_size=30,
+)
+
+PREDICATES = [
+    col("v") > 0.0,
+    col("k") % 2 == 0,
+    (col("tag") == "ab") | (col("v") < -1.0),
+    ~col("v").is_null(),
+]
+
+EXTENSIONS = [
+    ("d", col("v") * 2 + col("k")),
+    ("d", if_(col("v") > 0, col("v"), lit(0.0))),
+    ("t2", func("upper", col("tag"))),
+    ("d", col("k") + lit(1)),
+]
+
+
+@st.composite
+def fusible_chain(draw):
+    """A random maximal Filter/Project/Extend/Rename chain over BASE."""
+    node = A.Scan("base", BASE)
+    for _ in range(draw(st.integers(1, 5))):
+        names = node.schema.names
+        choice = draw(st.integers(0, 3))
+        if choice == 0 and {"v", "k", "tag"} <= set(names):
+            node = A.Filter(node, draw(st.sampled_from(PREDICATES)))
+        elif choice == 1 and len(names) > 1:
+            keep = draw(st.sets(st.sampled_from(list(names)), min_size=1))
+            node = A.Project(node, tuple(n for n in names if n in keep))
+        elif choice == 2 and {"v", "k", "tag"} <= set(names):
+            name, expr = draw(st.sampled_from(EXTENSIONS))
+            if name not in names:
+                node = A.Extend(node, (name,), (expr,))
+        elif choice == 3:
+            target = draw(st.sampled_from(list(names)))
+            fresh = f"{target}_r"
+            if fresh not in names:
+                node = A.Rename(node, ((target, fresh),))
+    return node
+
+
+def _run_engine(tree, table, **options):
+    engine = RelationalEngine(EngineOptions(**options))
+    return engine.run(tree, lambda name: table)
+
+
+def _run_reference(tree, table):
+    provider = ReferenceProvider("ref")
+    provider.register_dataset("base", table)
+    return provider.execute(tree)
+
+
+class TestFusionAgreement:
+    @settings(max_examples=120, deadline=None)
+    @given(fusible_chain(), base_rows)
+    def test_fused_unfused_reference_agree(self, tree, rows):
+        table = ColumnTable.from_rows(BASE, rows)
+        expected = _run_reference(tree, table)
+        fused = _run_engine(tree, table)
+        unfused = _run_engine(
+            tree, table, fuse_pipelines=False, compile_expressions=False
+        )
+        assert fused.same_rows(expected, float_tol=1e-9), f"tree: {tree!r}"
+        assert unfused.same_rows(expected, float_tol=1e-9), f"tree: {tree!r}"
+
+    @settings(max_examples=60, deadline=None)
+    @given(fusible_chain(), base_rows, st.sampled_from([2, 3, 7]))
+    def test_morsel_parallel_agrees(self, tree, rows, workers):
+        table = ColumnTable.from_rows(BASE, rows)
+        serial = _run_engine(tree, table)
+        parallel = _run_engine(
+            tree, table, morsel_workers=workers, morsel_size=5
+        )
+        assert parallel.same_rows(serial, float_tol=0.0), f"tree: {tree!r}"
+
+    def test_empty_table(self):
+        table = ColumnTable.from_rows(BASE, [])
+        tree = A.Project(
+            A.Extend(A.Filter(A.Scan("base", BASE), col("v") > 0.0),
+                     ("d",), (col("v") * 2,)),
+            ("k", "d"),
+        )
+        result = _run_engine(tree, table)
+        assert result.num_rows == 0
+        assert result.schema.names == ("k", "d")
+
+    def test_intent_tags_survive_fusion(self):
+        """Fusion is physical: the logical tree (and its tags) is untouched."""
+        scan = A.Scan("base", BASE)
+        filt = A.Filter(scan, col("v") > 0.0).with_intent("hot-filter")
+        proj = A.Project(filt, ("k", "v")).with_intent("narrow")
+        chain, source = split_fusible_chain(proj)
+        assert [n.intent for n in chain] == ["narrow", "hot-filter"]
+        assert source is scan
+        table = ColumnTable.from_rows(BASE, [(1, 2.0, "ab"), (2, -1.0, "cd")])
+        engine = RelationalEngine()
+        result = engine.run(proj, lambda name: table)
+        assert engine.fused_runs == 1
+        assert proj.intent == "narrow" and filt.intent == "hot-filter"
+        assert result.num_rows == 1
+
+
+class TestFusionRegions:
+    def test_split_stops_at_breaker(self):
+        scan = A.Scan("base", BASE)
+        agg = A.Aggregate(A.Filter(scan, col("v") > 0.0), ("k",),
+                          (A.AggSpec("n", "count"),))
+        top = A.Project(A.Filter(agg, col("n") > 1), ("k",))
+        chain, source = split_fusible_chain(top)
+        assert len(chain) == 2
+        assert source is agg
+
+    def test_regions_are_maximal_and_disjoint(self):
+        scan = A.Scan("base", BASE)
+        inner = A.Extend(A.Filter(scan, col("v") > 0.0), ("d",), (col("v"),))
+        agg = A.Aggregate(inner, ("k",), (A.AggSpec("n", "count"),))
+        outer = A.Project(A.Rename(agg, (("n", "cnt"),)), ("k", "cnt"))
+        regions = fusion_regions(outer)
+        assert len(regions) == 2
+        tops = [r[0][0] for r in regions]
+        assert tops == [outer, inner]
+
+    def test_pipeline_key_ignores_intent(self):
+        scan = A.Scan("base", BASE)
+        plain = [A.Filter(scan, col("v") > 0.0)]
+        tagged = [A.Filter(scan, col("v") > 0.0).with_intent("x")]
+        assert pipeline_key(plain) == pipeline_key(tagged)
+
+
+class TestCompileCache:
+    def test_structurally_equal_exprs_share_entry(self):
+        clear_expr_cache()
+        expr_a = col("v") * 2 + col("k")
+        expr_b = col("v") * 2 + col("k")
+        compile_expr(expr_a, BASE)
+        before = expr_cache_stats()
+        compile_expr(expr_b, BASE)
+        after = expr_cache_stats()
+        assert expr_key(expr_a) == expr_key(expr_b)
+        assert after["hits"] == before["hits"] + 1
+        assert after["entries"] == before["entries"]
+
+    def test_schema_dtype_part_of_key(self):
+        clear_expr_cache()
+        other = schema(("v", "int"), ("k", "int"))
+        expr = col("v") + col("k")
+        compile_expr(expr, BASE)
+        compile_expr(expr, other)
+        assert expr_cache_stats()["entries"] == 2
+
+    def test_nan_literals_do_not_collide_with_strings(self):
+        assert expr_key(lit(float("nan"))) != expr_key(lit("nan"))
+
+    def test_compiled_matches_interpreted_on_strings_with_nulls(self):
+        table = ColumnTable.from_rows(
+            BASE, [(1, 1.0, "ab"), (2, None, None), (3, -1.0, "")]
+        )
+        exprs = [
+            func("upper", col("tag")),
+            func("length", col("tag")),
+            col("tag") + lit("!"),
+            col("tag") < lit("c"),
+        ]
+        for expr in exprs:
+            compiled = eval_vector(expr, table, compiled=True)
+            interpreted = eval_vector(expr, table, compiled=False)
+            assert compiled.dtype is interpreted.dtype
+            assert np.array_equal(
+                compiled.mask if compiled.mask is not None else
+                np.zeros(3, bool),
+                interpreted.mask if interpreted.mask is not None else
+                np.zeros(3, bool),
+            )
+            keep = np.ones(3, bool) if compiled.mask is None else ~compiled.mask
+            assert np.array_equal(
+                compiled.values[keep], interpreted.values[keep]
+            ), expr
+
+
+class TestMorselDeterminism:
+    def test_ranges_cover_exactly(self):
+        assert morsel_ranges(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert morsel_ranges(0, 4) == []
+        assert morsel_ranges(3, 4) == [(0, 3)]
+
+    def test_any_worker_count_preserves_row_order(self):
+        """Regression: morsel merge must keep single-threaded row order."""
+        rng = np.random.default_rng(7)
+        n = 20_000
+        rows = [
+            (int(k), float(v), "ab" if k % 3 else "cd")
+            for k, v in zip(
+                rng.integers(-5, 5, n), np.round(rng.normal(size=n), 3)
+            )
+        ]
+        table = ColumnTable.from_rows(BASE, rows)
+        chain = [
+            A.Project(
+                A.Extend(A.Filter(A.Scan("base", BASE), col("v") > 0.0),
+                         ("d",), (col("v") * col("k"),)),
+                ("k", "d"),
+            )
+        ]
+        chain = split_fusible_chain(chain[0])[0]
+        pipeline = FusedPipeline(chain)
+        baseline = pipeline.run(table)
+        for workers in (2, 3, 8):
+            result = run_pipeline_morsels(
+                pipeline, table, workers=workers, morsel_size=777
+            )
+            for name in baseline.schema.names:
+                assert np.array_equal(
+                    result.columns[name].values, baseline.columns[name].values
+                ), (workers, name)
+
+    def test_array_engine_workers_deterministic(self):
+        from repro.array.engine import ArrayEngine, ArrayEngineOptions
+
+        grid = schema(("i", "int", True), ("j", "int", True),
+                      ("cell", "float"))
+        rng = np.random.default_rng(3)
+        coords = {(int(a), int(b))
+                  for a, b in zip(rng.integers(0, 40, 600),
+                                  rng.integers(0, 40, 600))}
+        table = ColumnTable.from_rows(
+            grid, [(i, j, float(rng.normal())) for i, j in sorted(coords)]
+        )
+        tree = A.Regrid(
+            A.Extend(A.Filter(A.Scan("grid", grid), col("cell") > 0.0),
+                     ("twice",), (col("cell") * 2,)),
+            (("i", 4), ("j", 4)),
+            (A.AggSpec("s", "sum", col("twice")),),
+        )
+
+        def run(workers):
+            engine = ArrayEngine(ArrayEngineOptions(chunk_side=8,
+                                                    workers=workers))
+            return engine.run(tree, lambda name: table)
+
+        baseline = run(1)
+        for workers in (2, 4):
+            assert run(workers).same_rows(baseline, float_tol=0.0)
+
+    @pytest.mark.skipif(
+        (__import__("os").cpu_count() or 1) < 2,
+        reason="multi-worker speedup needs >1 CPU",
+    )
+    def test_multi_worker_not_slower(self):
+        import time
+
+        table = ColumnTable.from_rows(
+            BASE,
+            [(i % 7, float(i % 100), "ab") for i in range(400_000)],
+        )
+        tree = A.Project(
+            A.Extend(A.Filter(A.Scan("base", BASE), col("v") > 10.0),
+                     ("d",), (col("v") * 2 + col("k"),)),
+            ("k", "d"),
+        )
+
+        def best(workers):
+            samples = []
+            for _ in range(3):
+                start = time.perf_counter()
+                _run_engine(tree, table, morsel_workers=workers)
+                samples.append(time.perf_counter() - start)
+            return min(samples)
+
+        best(1)  # warm
+        assert best(0) < best(1) * 1.5
+
+
+class TestEngineIntegration:
+    def test_fused_runs_counter(self):
+        table = ColumnTable.from_rows(BASE, [(1, 1.0, "ab")])
+        tree = A.Project(A.Filter(A.Scan("base", BASE), col("v") > 0.0),
+                         ("k",))
+        engine = RelationalEngine()
+        engine.run(tree, lambda name: table)
+        assert engine.fused_runs == 1
+        off = RelationalEngine(EngineOptions(fuse_pipelines=False))
+        off.run(tree, lambda name: table)
+        assert off.fused_runs == 0
+
+    def test_single_operator_not_fused(self):
+        table = ColumnTable.from_rows(BASE, [(1, 1.0, "ab")])
+        tree = A.Filter(A.Scan("base", BASE), col("v") > 0.0)
+        engine = RelationalEngine()
+        engine.run(tree, lambda name: table)
+        assert engine.fused_runs == 0
+
+    def test_index_path_survives_fusion(self):
+        provider = RelationalProvider("sql")
+        table = ColumnTable.from_rows(
+            BASE, [(i % 50, float(i), "ab") for i in range(500)]
+        )
+        provider.register_dataset("base", table)
+        provider.create_index("base", "k")
+        tree = A.Project(
+            A.Extend(A.Filter(A.Scan("base", BASE), col("k") == 7),
+                     ("d",), (col("v") * 2,)),
+            ("k", "d"),
+        )
+        result = provider.execute(tree)
+        assert provider.engine.index_hits == 1
+        assert provider.engine.fused_runs == 1
+        assert result.num_rows == 10
+
+    def test_pipeline_cache_reused_across_runs(self):
+        table = ColumnTable.from_rows(BASE, [(1, 1.0, "ab")])
+        tree = A.Project(A.Filter(A.Scan("base", BASE), col("v") > 0.0),
+                         ("k",))
+        engine = RelationalEngine()
+        engine.run(tree, lambda name: table)
+        engine.run(tree, lambda name: table)
+        assert engine.fused_runs == 2
+        assert len(engine._pipelines) == 1
+
+
+class TestPlanCache:
+    def _context(self):
+        from repro import BigDataContext
+
+        ctx = BigDataContext()
+        ctx.add_provider(RelationalProvider("sql"))
+        ctx.load(
+            "base",
+            ColumnTable.from_rows(BASE, [(1, 1.0, "ab"), (2, -1.0, "cd")]),
+            on="sql",
+        )
+        return ctx
+
+    def test_repeat_query_hits_cache(self):
+        ctx = self._context()
+        query = ctx.table("base").where(col("v") > 0.0).select("k")
+        first = ctx.run(query)
+        assert ctx.plan_cache_misses == 1
+        second = ctx.run(query)
+        assert ctx.plan_cache_hits == 1
+        assert first.table.same_rows(second.table)
+
+    def test_load_invalidates(self):
+        ctx = self._context()
+        query = ctx.table("base").where(col("v") > 0.0).select("k")
+        ctx.run(query)
+        ctx.load(
+            "extra",
+            ColumnTable.from_rows(BASE, [(9, 9.0, "zz")]),
+            on="sql",
+        )
+        ctx.run(query)
+        assert ctx.plan_cache_hits == 0
+        assert ctx.plan_cache_misses == 2
+
+    def test_pin_server_part_of_key(self):
+        ctx = self._context()
+        tree = ctx.table("base").where(col("v") > 0.0).node
+        ctx.run(ctx.query(tree))
+        ctx.run(ctx.query(tree), pin_server="sql")
+        assert ctx.plan_cache_misses == 2
+
+    def test_provider_stage_timing_recorded(self):
+        ctx = self._context()
+        ctx.run(ctx.table("base").where(col("v") > 0.0))
+        provider = ctx.providers[0]
+        snapshot = provider.perf_snapshot()
+        assert snapshot["queries"] >= 1
+        assert snapshot["seconds"] > 0.0
+        assert set(snapshot["stage_seconds"]) == {"validate", "execute"}
+        assert snapshot["fused_runs"] >= 0
