@@ -1,0 +1,320 @@
+"""E13 — Vectorized join & morsel-parallel aggregation ablation.
+
+Two ablations over the kernel layer PR 2 introduced:
+
+* **Joins**: the row-at-a-time Python hash table (the pre-kernel
+  implementation, kept as ``python_hash_join``) vs the vectorized
+  code-encoding join, serial and morsel-parallel, across key shapes —
+  single int64, multi-column (int + string), and single string.  The
+  single-int case was already vectorized before this layer existed; the
+  multi-key and string cases are where the Python path used to be the only
+  option, and where the acceptance bar (>=3x at 100k+ rows) applies.
+* **Group-by**: one single-pass scatter per aggregate (the old
+  ``np.add.at`` formulation, recovered by making the morsel one
+  table-sized range) vs per-morsel partial aggregates merged in morsel
+  order, serial and parallel.
+
+Every path is asserted to return identical results (bit-identical across
+worker counts) before anything is timed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import algebra as A
+from repro.core.expressions import col
+from repro.core.schema import Attribute, Schema
+from repro.core.types import DType
+from repro.relational.aggregation import group_aggregate
+from repro.relational.joins import hash_join, merge_join, python_hash_join
+from repro.storage.table import ColumnTable
+
+#: override for CI smoke runs (full run is 200k rows)
+DEFAULT_ROWS = int(os.environ.get("E13_ROWS", "200000"))
+
+KINDS = ("int", "multi", "str")
+
+JOIN_PATHS = {
+    "python-hash": lambda l, r, lk, rk, how: python_hash_join(l, r, lk, rk, how),
+    "vectorized": lambda l, r, lk, rk, how: hash_join(
+        l, r, lk, rk, how, workers=1
+    ),
+    "vectorized+mp": lambda l, r, lk, rk, how: hash_join(
+        l, r, lk, rk, how, workers=0, morsel_size=32_768
+    ),
+}
+
+
+def _strings(ids: np.ndarray) -> np.ndarray:
+    return np.array([f"key-{i:07d}" for i in ids], dtype=object)
+
+
+def join_workload(kind: str, n: int, seed: int = 0):
+    """(left, right, left_keys, right_keys) with ~1 match per probe row."""
+    rng = np.random.default_rng(seed)
+    n_right = max(n // 2, 1)
+    probe = rng.integers(0, n_right * 2, size=n)  # ~half dangle
+    build = np.arange(n_right, dtype=np.int64)
+    v = rng.standard_normal(n)
+    w = rng.standard_normal(n_right)
+    if kind == "int":
+        left = ColumnTable.from_arrays(
+            Schema([Attribute("k", DType.INT64), Attribute("v", DType.FLOAT64)]),
+            {"k": probe, "v": v},
+        )
+        right = ColumnTable.from_arrays(
+            Schema([Attribute("k2", DType.INT64), Attribute("w", DType.FLOAT64)]),
+            {"k2": build, "w": w},
+        )
+        return left, right, ["k"], ["k2"]
+    if kind == "str":
+        left = ColumnTable.from_arrays(
+            Schema([Attribute("s", DType.STRING), Attribute("v", DType.FLOAT64)]),
+            {"s": _strings(probe), "v": v},
+        )
+        right = ColumnTable.from_arrays(
+            Schema([Attribute("s2", DType.STRING), Attribute("w", DType.FLOAT64)]),
+            {"s2": _strings(build), "w": w},
+        )
+        return left, right, ["s"], ["s2"]
+    # multi: the (int, string) pair jointly identifies the key
+    left = ColumnTable.from_arrays(
+        Schema([
+            Attribute("k", DType.INT64), Attribute("tag", DType.STRING),
+            Attribute("v", DType.FLOAT64),
+        ]),
+        {"k": probe // 1000, "tag": _strings(probe % 1000), "v": v},
+    )
+    right = ColumnTable.from_arrays(
+        Schema([
+            Attribute("k2", DType.INT64), Attribute("tag2", DType.STRING),
+            Attribute("w", DType.FLOAT64),
+        ]),
+        {"k2": build // 1000, "tag2": _strings(build % 1000), "w": w},
+    )
+    return left, right, ["k", "tag"], ["k2", "tag2"]
+
+
+GROUPS = 1000
+
+GROUP_AGGS = (
+    A.AggSpec("rows", "count", None),
+    A.AggSpec("total", "sum", col("v")),
+    A.AggSpec("avg", "mean", col("v")),
+    A.AggSpec("lo", "min", col("v")),
+    A.AggSpec("hi", "max", col("n")),
+    A.AggSpec("first_tag", "min", col("tag")),
+)
+
+
+def groupby_workload(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    sch = Schema([
+        Attribute("g", DType.INT64), Attribute("tag", DType.STRING),
+        Attribute("v", DType.FLOAT64), Attribute("n", DType.INT64),
+    ])
+    data = ColumnTable.from_arrays(sch, {
+        "g": rng.integers(0, GROUPS, size=n),
+        "tag": _strings(rng.integers(0, 50, size=n)),
+        "v": rng.standard_normal(n),
+        "n": rng.integers(-100, 100, size=n),
+    })
+    out_schema = A.Aggregate(
+        A.InlineTable(sch, ()), ("g",), GROUP_AGGS
+    ).schema
+    return data, out_schema
+
+
+def groupby_configs(n: int):
+    """name -> (workers, morsel_size); "single-pass" is the old serial path."""
+    return {
+        "single-pass": (1, n + 1),
+        "partials": (1, 65_536),
+        "partials+mp": (0, 65_536),
+    }
+
+
+def _timed(fn, rounds: int = 3) -> float:
+    fn()  # warm up
+    return min(
+        (lambda s: (fn(), time.perf_counter() - s)[1])(time.perf_counter())
+        for _ in range(rounds)
+    )
+
+
+# -- agreement (asserted before anything is timed) ---------------------------
+
+
+def _pairs(how, idx):
+    lidx, ridx = idx
+    if how in ("semi", "anti"):
+        return sorted(lidx.tolist())
+    return sorted(zip(lidx.tolist(), ridx.tolist()))
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("how", ["inner", "left", "full", "semi", "anti"])
+def test_all_join_paths_agree(kind, how):
+    left, right, lk, rk = join_workload(kind, 4000)
+    base = _pairs(how, JOIN_PATHS["python-hash"](left, right, lk, rk, how))
+    for name in ("vectorized", "vectorized+mp"):
+        assert _pairs(how, JOIN_PATHS[name](left, right, lk, rk, how)) == base
+    if how in ("inner", "left"):
+        assert _pairs(how, merge_join(left, right, lk, rk, how=how)) == base
+    # bit-identity across worker counts (not just equal row sets)
+    one = hash_join(left, right, lk, rk, how, workers=1, morsel_size=512)
+    for workers in (2, 4):
+        multi = hash_join(
+            left, right, lk, rk, how, workers=workers, morsel_size=512
+        )
+        assert np.array_equal(one[0], multi[0])
+        assert np.array_equal(one[1], multi[1])
+
+
+def test_all_groupby_configs_agree():
+    n = 20_000
+    data, out_schema = groupby_workload(n)
+    results = {
+        name: group_aggregate(
+            data, ("g",), GROUP_AGGS, out_schema,
+            workers=workers, morsel_size=morsel,
+        )
+        for name, (workers, morsel) in groupby_configs(n).items()
+    }
+    base = results["single-pass"]
+    for name, other in results.items():
+        assert base.same_rows(other, float_tol=1e-9), name
+    # same decomposition, different worker count -> identical bits
+    serial = group_aggregate(
+        data, ("g",), GROUP_AGGS, out_schema, workers=1, morsel_size=4096
+    )
+    parallel = group_aggregate(
+        data, ("g",), GROUP_AGGS, out_schema, workers=0, morsel_size=4096
+    )
+    for name in serial.schema.names:
+        c1, c2 = serial.column(name), parallel.column(name)
+        if c1.dtype is DType.STRING:
+            assert all(a == b for a, b in zip(c1.values, c2.values))
+        else:
+            assert np.array_equal(c1.values, c2.values), name
+
+
+# -- pytest-benchmark hooks ---------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("path", list(JOIN_PATHS))
+@pytest.mark.benchmark(group="e13-joins")
+def test_bench_join_path(benchmark, kind, path):
+    left, right, lk, rk = join_workload(kind, min(DEFAULT_ROWS, 50_000))
+    out = benchmark.pedantic(
+        lambda: JOIN_PATHS[path](left, right, lk, rk, "inner"),
+        rounds=3, iterations=1,
+    )
+    assert len(out[0]) > 0
+
+
+@pytest.mark.parametrize("config", ["single-pass", "partials", "partials+mp"])
+@pytest.mark.benchmark(group="e13-groupby")
+def test_bench_groupby_config(benchmark, config):
+    n = min(DEFAULT_ROWS, 100_000)
+    data, out_schema = groupby_workload(n)
+    workers, morsel = groupby_configs(n)[config]
+    out = benchmark.pedantic(
+        lambda: group_aggregate(
+            data, ("g",), GROUP_AGGS, out_schema,
+            workers=workers, morsel_size=morsel,
+        ),
+        rounds=3, iterations=1,
+    )
+    assert out.num_rows == GROUPS
+
+
+# -- acceptance ----------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    DEFAULT_ROWS < 100_000,
+    reason="speedup bar applies at 100k+ rows (set E13_ROWS)",
+)
+@pytest.mark.parametrize("kind", ["multi", "str"])
+def test_vectorized_beats_python_hash_3x(kind):
+    left, right, lk, rk = join_workload(kind, DEFAULT_ROWS)
+    python = _timed(
+        lambda: python_hash_join(left, right, lk, rk, "inner"), rounds=2
+    )
+    vec = _timed(lambda: hash_join(left, right, lk, rk, "inner"), rounds=2)
+    assert python / vec >= 3.0, f"{kind}: only {python / vec:.2f}x"
+
+
+# -- harness rows --------------------------------------------------------------
+
+
+def join_ablation_rows(n: int | None = None):
+    """(kind, path, wall_s, speedup_vs_python) rows for the harness."""
+    n = n or DEFAULT_ROWS
+    rows = []
+    for kind in KINDS:
+        left, right, lk, rk = join_workload(kind, n)
+        times = {
+            name: _timed(lambda fn=fn: fn(left, right, lk, rk, "inner"))
+            for name, fn in JOIN_PATHS.items()
+        }
+        base = times["python-hash"]
+        rows.extend(
+            (kind, name, wall, base / wall) for name, wall in times.items()
+        )
+    return rows
+
+
+def groupby_ablation_rows(n: int | None = None):
+    """(config, wall_s, speedup_vs_single_pass) rows for the harness."""
+    n = n or DEFAULT_ROWS
+    data, out_schema = groupby_workload(n)
+    times = {
+        name: _timed(lambda w=workers, m=morsel: group_aggregate(
+            data, ("g",), GROUP_AGGS, out_schema, workers=w, morsel_size=m,
+        ))
+        for name, (workers, morsel) in groupby_configs(n).items()
+    }
+    base = times["single-pass"]
+    return [(name, wall, base / wall) for name, wall in times.items()]
+
+
+def emit_json(path: str | Path = "BENCH_E13.json", n_rows: int | None = None):
+    """Write both ablation tables (plus environment context) as JSON."""
+    payload = {
+        "experiment": "e13-join-kernels",
+        "rows": n_rows or DEFAULT_ROWS,
+        "cpus": os.cpu_count(),
+        "joins": [
+            {"kind": kind, "path": name, "wall_s": wall,
+             "speedup_vs_python": speedup}
+            for kind, name, wall, speedup in join_ablation_rows(n_rows)
+        ],
+        "groupby": [
+            {"config": name, "wall_s": wall, "speedup_vs_single_pass": speedup}
+            for name, wall, speedup in groupby_ablation_rows(n_rows)
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+if __name__ == "__main__":
+    data = emit_json()
+    for entry in data["joins"]:
+        print(f"{entry['kind']:>6s} {entry['path']:>14s} "
+              f"{entry['wall_s'] * 1e3:9.1f} ms  "
+              f"{entry['speedup_vs_python']:6.2f}x")
+    for entry in data["groupby"]:
+        print(f"group  {entry['config']:>14s} "
+              f"{entry['wall_s'] * 1e3:9.1f} ms  "
+              f"{entry['speedup_vs_single_pass']:6.2f}x")

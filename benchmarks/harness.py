@@ -153,20 +153,84 @@ def e12() -> None:
           f"{cache['hits']} hits / {cache['misses']} misses")
 
 
+def e13() -> None:
+    from bench_e13_joins import emit_json
+
+    print("\n== E13: join & aggregation kernel ablation ==")
+    payload = emit_json(Path(__file__).parent.parent / "BENCH_E13.json")
+    print(f"rows: {payload['rows']}, cpus: {payload['cpus']}")
+    print(f"{'kind':>6s} {'path':>14s} {'wall':>10s} {'vs python':>10s}")
+    for entry in payload["joins"]:
+        print(f"{entry['kind']:>6s} {entry['path']:>14s} "
+              f"{entry['wall_s'] * 1e3:>7.1f} ms "
+              f"{entry['speedup_vs_python']:>9.2f}x")
+    print(f"{'':>6s} {'group-by config':>14s} {'wall':>10s} {'vs 1-pass':>10s}")
+    for entry in payload["groupby"]:
+        print(f"{'':>6s} {entry['config']:>14s} "
+              f"{entry['wall_s'] * 1e3:>7.1f} ms "
+              f"{entry['speedup_vs_single_pass']:>9.2f}x")
+
+
 ALL = {
     "e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5,
     "e6": e6, "e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11,
-    "e12": e12,
+    "e12": e12, "e13": e13,
 }
 
 
+def _check_speedups() -> None:
+    """Perf smoke: assert the optimized configs are not slower than their
+    baselines, from the BENCH_*.json files the harness just emitted."""
+    import json
+
+    root = Path(__file__).parent.parent
+    failures: list[str] = []
+
+    e12_path = root / "BENCH_E12.json"
+    if e12_path.exists():
+        payload = json.loads(e12_path.read_text())
+        for entry in payload["configs"]:
+            if entry["config"] == "fused+compiled":
+                if entry["speedup_vs_neither"] < 1.0:
+                    failures.append(
+                        f"e12: fused+compiled slower than neither "
+                        f"({entry['speedup_vs_neither']:.2f}x)"
+                    )
+
+    e13_path = root / "BENCH_E13.json"
+    if e13_path.exists():
+        payload = json.loads(e13_path.read_text())
+        for entry in payload["joins"]:
+            if entry["path"] == "vectorized":
+                if entry["speedup_vs_python"] < 1.0:
+                    failures.append(
+                        f"e13: vectorized {entry['kind']}-key join slower "
+                        f"than python hash ({entry['speedup_vs_python']:.2f}x)"
+                    )
+        for entry in payload["groupby"]:
+            # small slack: at smoke scale partials and one pass are close
+            if entry["config"] == "partials":
+                if entry["speedup_vs_single_pass"] < 0.8:
+                    failures.append(
+                        f"e13: partial aggregation badly slower than "
+                        f"single-pass ({entry['speedup_vs_single_pass']:.2f}x)"
+                    )
+
+    if failures:
+        raise SystemExit("perf smoke failed:\n  " + "\n  ".join(failures))
+    print("\nperf smoke: optimized configs are not slower than baselines")
+
+
 def main(argv: list[str]) -> None:
-    wanted = [a.lower() for a in argv] or list(ALL)
+    check = "--check" in argv
+    wanted = [a.lower() for a in argv if a != "--check"] or list(ALL)
     unknown = [w for w in wanted if w not in ALL]
     if unknown:
         raise SystemExit(f"unknown experiments {unknown}; have {list(ALL)}")
     for name in wanted:
         ALL[name]()
+    if check:
+        _check_speedups()
 
 
 if __name__ == "__main__":

@@ -14,6 +14,10 @@ package is what providers *lower* optimized trees into before running them:
 * :mod:`repro.exec.morsel` — splits a fused pipeline over a base table into
   row-range morsels executed on a thread pool (numpy releases the GIL) with
   a deterministic, order-preserving merge.
+* :mod:`repro.exec.kernels` — vectorized join & aggregation kernels over
+  dense int64 key codes: multi-column/string/nullable key encoding, all
+  join kinds via sort+searchsorted with a morsel-parallel probe, and
+  partial group aggregates whose parallel merge is bit-identical to serial.
 """
 
 from .compile import (
@@ -23,6 +27,17 @@ from .compile import (
     expr_cache_stats,
     expr_key,
 )
+from .kernels import (
+    encode_group_keys,
+    encode_keys,
+    grouped_count,
+    grouped_min_max,
+    grouped_string_min_max,
+    grouped_sum_exact,
+    grouped_sum_float,
+    join_on_codes,
+    partition_ranges,
+)
 from .morsel import morsel_ranges, parallel_map, run_pipeline_morsels
 from .pipeline import FusedPipeline, pipeline_key
 
@@ -31,10 +46,19 @@ __all__ = [
     "FusedPipeline",
     "clear_expr_cache",
     "compile_expr",
+    "encode_group_keys",
+    "encode_keys",
     "expr_cache_stats",
     "expr_key",
+    "grouped_count",
+    "grouped_min_max",
+    "grouped_string_min_max",
+    "grouped_sum_exact",
+    "grouped_sum_float",
+    "join_on_codes",
     "morsel_ranges",
     "parallel_map",
+    "partition_ranges",
     "pipeline_key",
     "run_pipeline_morsels",
 ]

@@ -37,6 +37,9 @@ class ProviderStats:
     seconds: float = 0.0
     #: per-stage wall-clock breakdown ("validate", "execute", ...)
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: engine-internal physical-operator breakdown ("join", "aggregate");
+    #: these seconds are *inside* the "execute" stage, not in addition to it
+    engine_stage_seconds: dict[str, float] = field(default_factory=dict)
 
     def record(self, tree: A.Node, result: ColumnTable) -> None:
         self.queries += 1
@@ -50,6 +53,16 @@ class ProviderStats:
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
         self.seconds += seconds
 
+    def record_engine_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate engine-internal operator time (a subset of "execute").
+
+        Does not touch ``seconds``: the same wall time already entered via
+        :meth:`record_stage`, so adding it again would double-count.
+        """
+        self.engine_stage_seconds[stage] = (
+            self.engine_stage_seconds.get(stage, 0.0) + seconds
+        )
+
     def reset(self) -> None:
         self.queries = 0
         self.operators = 0
@@ -57,6 +70,7 @@ class ProviderStats:
         self.ops_by_name.clear()
         self.seconds = 0.0
         self.stage_seconds.clear()
+        self.engine_stage_seconds.clear()
 
 
 class Provider(abc.ABC):

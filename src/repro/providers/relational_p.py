@@ -64,6 +64,8 @@ class RelationalProvider(Provider):
             "queries": self.stats.queries,
             "seconds": self.stats.seconds,
             "stage_seconds": dict(self.stats.stage_seconds),
+            "engine_stage_seconds": dict(self.stats.engine_stage_seconds),
+            "op_seconds": dict(self.engine.op_seconds),
             "fused_runs": self.engine.fused_runs,
             "index_hits": self.engine.index_hits,
             "expr_cache": expr_cache_stats(),
@@ -75,4 +77,10 @@ class RelationalProvider(Provider):
                 return inputs[dataset]
             return self.dataset(dataset)
 
-        return self.engine.run(tree, resolve)
+        before = dict(self.engine.op_seconds)
+        result = self.engine.run(tree, resolve)
+        for stage, total in self.engine.op_seconds.items():
+            delta = total - before.get(stage, 0.0)
+            if delta > 0.0:
+                self.stats.record_engine_stage(stage, delta)
+        return result

@@ -1,8 +1,12 @@
 """Vectorized hash aggregation for the relational engine.
 
-Grouping factorizes the key columns into dense group ids, then every
-aggregate is computed with numpy scatter operations (``bincount`` /
-``minimum.at`` / ``maximum.at``) — no per-group Python loop.
+Grouping factorizes the key columns into dense group ids via the shared
+key-encoding kernel (:func:`repro.exec.kernels.encode_group_keys` — no
+Python dict over key tuples, whatever the key dtypes), then every aggregate
+decomposes into per-morsel partials (:mod:`repro.exec.kernels` ``grouped_*``)
+merged in morsel order.  The partial decomposition is a pure function of the
+data shape — never of the worker count — so parallel execution is
+bit-identical to serial.
 
 Null semantics match :mod:`repro.core.aggfuncs`: ``count(expr)`` counts
 non-nulls, the other functions skip nulls and yield null for groups with no
@@ -19,9 +23,23 @@ from ..core import algebra as A
 from ..core.errors import ExecutionError
 from ..core.schema import Schema
 from ..core.types import DType
+from ..exec.kernels import (
+    encode_group_keys,
+    grouped_count,
+    grouped_min_max,
+    grouped_string_min_max,
+    grouped_sum_exact,
+    grouped_sum_float,
+    partition_ranges,
+)
+from ..exec.morsel import DEFAULT_MORSEL_SIZE
 from ..storage.column import Column
 from ..storage.table import ColumnTable
 from .eval import eval_vector
+
+
+def _as_scalar(v):
+    return v.item() if isinstance(v, np.generic) else v
 
 
 def factorize(table: ColumnTable, keys: Sequence[str]) -> tuple[np.ndarray, list[tuple]]:
@@ -34,33 +52,27 @@ def factorize(table: ColumnTable, keys: Sequence[str]) -> tuple[np.ndarray, list
     if not keys:
         return np.zeros(n, dtype=np.int64), [()]
     columns = [table.column(k) for k in keys]
-    all_int_no_null = all(
-        c.dtype is DType.INT64 and c.mask is None for c in columns
+    codes = encode_group_keys(columns)
+    _, first_pos, inverse = np.unique(
+        codes, return_index=True, return_inverse=True
     )
-    if all_int_no_null and n > 0:
-        stacked = np.stack([c.values for c in columns], axis=1)
-        _, first_pos, inverse = np.unique(
-            stacked, axis=0, return_index=True, return_inverse=True
+    # renumber so group ids follow first appearance, not sorted code order
+    order = np.argsort(first_pos, kind="stable")
+    remap = np.empty(len(order), dtype=np.int64)
+    remap[order] = np.arange(len(order))
+    gids = remap[inverse.reshape(-1)]
+    firsts = first_pos[order]
+    taken = [
+        (c.values[firsts], c.mask[firsts] if c.mask is not None else None)
+        for c in columns
+    ]
+    keys_out = [
+        tuple(
+            None if m is not None and m[j] else _as_scalar(vals[j])
+            for vals, m in taken
         )
-        # renumber so group ids follow first appearance, not sorted order
-        order = np.argsort(first_pos, kind="stable")
-        remap = np.empty(len(order), dtype=np.int64)
-        remap[order] = np.arange(len(order))
-        gids = remap[inverse.reshape(-1)]
-        keys_out = [tuple(stacked[first_pos[g]].tolist()) for g in order]
-        return gids, keys_out
-    # generic path: Python dict over key tuples (handles strings and nulls)
-    lists = [c.to_list() for c in columns]
-    mapping: dict[tuple, int] = {}
-    gids = np.empty(n, dtype=np.int64)
-    keys_out: list[tuple] = []
-    for i, key in enumerate(zip(*lists)):
-        gid = mapping.get(key)
-        if gid is None:
-            gid = len(mapping)
-            mapping[key] = gid
-            keys_out.append(key)
-        gids[i] = gid
+        for j in range(len(firsts))
+    ]
     return gids, keys_out
 
 
@@ -71,13 +83,17 @@ def compute_aggregates(
     aggs: Sequence[A.AggSpec],
     out_schema: Schema,
     compiled: bool = True,
+    *,
+    workers: int = 1,
+    morsel_size: int = DEFAULT_MORSEL_SIZE,
 ) -> dict[str, Column]:
     """Evaluate each AggSpec over the grouped table, vectorized."""
     out: dict[str, Column] = {}
     for spec in aggs:
         out_dtype = out_schema[spec.name].dtype
         out[spec.name] = _one_aggregate(
-            table, gids, num_groups, spec, out_dtype, compiled
+            table, gids, num_groups, spec, out_dtype, compiled,
+            workers=workers, morsel_size=morsel_size,
         )
     return out
 
@@ -89,91 +105,74 @@ def _one_aggregate(
     spec: A.AggSpec,
     out_dtype: DType,
     compiled: bool = True,
+    *,
+    workers: int = 1,
+    morsel_size: int = DEFAULT_MORSEL_SIZE,
 ) -> Column:
     if spec.func == "count" and spec.arg is None:
-        counts = np.bincount(gids, minlength=num_groups).astype(np.int64)
-        return Column(DType.INT64, counts)
+        ranges = partition_ranges(len(gids), num_groups, morsel_size)
+        return Column(
+            DType.INT64, grouped_count(gids, num_groups, ranges, workers)
+        )
 
     arg = eval_vector(spec.arg, table, compiled=compiled)
     valid = np.ones(len(arg), dtype=bool) if arg.mask is None else ~arg.mask
     vgids = gids[valid]
+    ranges = partition_ranges(len(vgids), num_groups, morsel_size)
 
+    counts = grouped_count(vgids, num_groups, ranges, workers)
     if spec.func == "count":
-        counts = np.bincount(vgids, minlength=num_groups).astype(np.int64)
         return Column(DType.INT64, counts)
 
-    counts = np.bincount(vgids, minlength=num_groups)
     empty = counts == 0
     mask = empty if empty.any() else None
 
     if arg.dtype is DType.STRING:
-        return _string_min_max(arg, valid, vgids, num_groups, spec, mask)
+        if spec.func not in ("min", "max"):
+            raise ExecutionError(f"{spec.func}() is not defined for STRING")
+        best, present = grouped_string_min_max(
+            arg.values[valid], vgids, num_groups,
+            spec.func == "min", ranges, workers,
+        )
+        return Column(
+            DType.STRING, best, None if present.all() else ~present
+        )
 
     values = arg.values[valid]
     if spec.func == "sum":
-        acc = np.zeros(num_groups, dtype=arg.dtype.to_numpy())
-        np.add.at(acc, vgids, values)
+        if arg.dtype is DType.FLOAT64:
+            acc = grouped_sum_float(vgids, values, num_groups, ranges, workers)
+        else:
+            acc = grouped_sum_exact(
+                vgids, values, num_groups, arg.dtype.to_numpy(),
+                ranges, workers,
+            )
         return Column(out_dtype, acc.astype(out_dtype.to_numpy()), mask)
     if spec.func == "mean":
-        acc = np.zeros(num_groups, dtype=np.float64)
-        np.add.at(acc, vgids, values.astype(np.float64))
+        acc = grouped_sum_float(
+            vgids, values.astype(np.float64), num_groups, ranges, workers
+        )
         with np.errstate(all="ignore"):
             means = acc / np.maximum(counts, 1)
         return Column(DType.FLOAT64, means, mask)
     if spec.func in ("min", "max"):
+        pick_min = spec.func == "min"
         if arg.dtype is DType.FLOAT64:
-            sentinel = np.inf if spec.func == "min" else -np.inf
-        elif arg.dtype is DType.BOOL:
-            return _generic_min_max(arg, valid, vgids, num_groups, spec, out_dtype, mask)
+            sentinel = np.inf if pick_min else -np.inf
         else:
-            sentinel = np.iinfo(np.int64).max if spec.func == "min" else np.iinfo(np.int64).min
-        acc = np.full(num_groups, sentinel, dtype=arg.dtype.to_numpy())
-        op = np.minimum if spec.func == "min" else np.maximum
-        op.at(acc, vgids, values)
+            # BOOL rides the int64 path (no sentinel exists inside bool)
+            if arg.dtype is DType.BOOL:
+                values = values.astype(np.int64)
+            sentinel = (
+                np.iinfo(np.int64).max if pick_min else np.iinfo(np.int64).min
+            )
+        acc = grouped_min_max(
+            vgids, values, num_groups, pick_min, sentinel, ranges, workers
+        )
         if mask is not None:
             acc = np.where(mask, 0, acc)
         return Column(out_dtype, acc.astype(out_dtype.to_numpy()), mask)
     raise ExecutionError(f"unknown aggregate function {spec.func!r}")
-
-
-def _string_min_max(
-    arg: Column,
-    valid: np.ndarray,
-    vgids: np.ndarray,
-    num_groups: int,
-    spec: A.AggSpec,
-    mask: np.ndarray | None,
-) -> Column:
-    if spec.func not in ("min", "max"):
-        raise ExecutionError(f"{spec.func}() is not defined for STRING")
-    best: list[str | None] = [None] * num_groups
-    values = arg.values[valid]
-    pick_min = spec.func == "min"
-    for gid, value in zip(vgids, values):
-        current = best[gid]
-        if current is None or (value < current if pick_min else value > current):
-            best[gid] = value
-    return Column.from_values(DType.STRING, best)
-
-
-def _generic_min_max(
-    arg: Column,
-    valid: np.ndarray,
-    vgids: np.ndarray,
-    num_groups: int,
-    spec: A.AggSpec,
-    out_dtype: DType,
-    mask: np.ndarray | None,
-) -> Column:
-    best: list = [None] * num_groups
-    values = arg.values[valid]
-    pick_min = spec.func == "min"
-    for gid, value in zip(vgids, values):
-        current = best[gid]
-        v = bool(value)
-        if current is None or (v < current if pick_min else v > current):
-            best[gid] = v
-    return Column.from_values(out_dtype, best)
 
 
 def group_aggregate(
@@ -182,12 +181,16 @@ def group_aggregate(
     aggs: Sequence[A.AggSpec],
     out_schema: Schema,
     compiled: bool = True,
+    *,
+    workers: int = 1,
+    morsel_size: int = DEFAULT_MORSEL_SIZE,
 ) -> ColumnTable:
     """Full GROUP BY: factorize keys, aggregate, assemble the output table.
 
     ``compiled`` selects the compiled-closure path for aggregate argument
-    expressions (see :mod:`repro.exec.compile`); the interpreted walker
-    remains available for ablations.
+    expressions (see :mod:`repro.exec.compile`); ``workers`` fans the
+    partial-aggregate passes out over the shared morsel pool
+    (bit-identical to serial for every worker count).
     """
     gids, group_keys = factorize(table, group_by)
     if table.num_rows == 0 and group_by:
@@ -205,7 +208,8 @@ def group_aggregate(
         num_groups = 1  # global aggregate over empty input yields one row
         gids = np.zeros(0, dtype=np.int64)
     agg_columns = compute_aggregates(
-        table, gids, num_groups, aggs, out_schema, compiled
+        table, gids, num_groups, aggs, out_schema, compiled,
+        workers=workers, morsel_size=morsel_size,
     )
     columns.update(agg_columns)
     return ColumnTable(out_schema, columns)

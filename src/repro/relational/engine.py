@@ -16,6 +16,7 @@ physical knobs the ablation benches (E8/E10) sweep.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -44,8 +45,9 @@ Resolver = Callable[[str], ColumnTable]
 class EngineOptions:
     """Physical execution knobs (swept by the ablation benchmarks)."""
 
-    #: "auto" picks hash; "merge" forces sort-merge (inner joins only);
-    #: "nested" forces the quadratic baseline.
+    #: "auto" picks the vectorized code join; "merge" forces sort-merge
+    #: (inner/left joins); "nested" forces the quadratic baseline; "python"
+    #: forces the row-at-a-time hash table (the E13 ablation baseline).
     join_algorithm: str = "auto"
     #: assume join inputs are already sorted on their keys (merge join only)
     assume_sorted: bool = False
@@ -81,7 +83,14 @@ class RelationalEngine:
         self.index_hits = 0
         #: fused-pipeline executions (observable by tests and benches)
         self.fused_runs = 0
+        #: cumulative wall seconds per physical stage ("join", "aggregate")
+        self.op_seconds: dict[str, float] = {}
         self._pipelines: dict[tuple, FusedPipeline] = {}
+
+    def _record(self, stage: str, started: float) -> None:
+        self.op_seconds[stage] = (
+            self.op_seconds.get(stage, 0.0) + (time.perf_counter() - started)
+        )
 
     def run(
         self,
@@ -124,11 +133,7 @@ class RelationalEngine:
         if isinstance(node, A.Product):
             return self._product(node, resolver, env)
         if isinstance(node, A.Aggregate):
-            child = self._exec(node.child, resolver, env)
-            return group_aggregate(
-                child, node.group_by, node.aggs, node.schema,
-                compiled=self.options.compile_expressions,
-            )
+            return self._aggregate(node, resolver, env)
         if isinstance(node, A.Sort):
             child = self._exec(node.child, resolver, env)
             return child.take(sort_indices(child, node.keys, node.ascending))
@@ -222,6 +227,31 @@ class RelationalEngine:
             )
             self._pipelines[key] = pipeline
         return pipeline
+
+    def _narrowed_source(
+        self, child: A.Node, needed: set[str], resolver: Resolver, env: dict
+    ) -> ColumnTable:
+        """Execute a pipeline-breaker's input, fused down to ``needed`` columns.
+
+        When the input is a fusible chain and the breaker only consumes a
+        subset of its columns, a synthetic Project on top lets the fused
+        pipeline's liveness analysis skip the dead columns — the chain feeds
+        the join/aggregate in one morsel pass without materializing the
+        full-width intermediate.  Declines (falls back to plain execution)
+        when nothing would be pruned; ``needed`` must be non-empty because a
+        zero-column table loses its row count.
+        """
+        if (
+            self.options.fuse_pipelines
+            and needed
+            and isinstance(child, (A.Filter, A.Project, A.Extend, A.Rename))
+            and needed < set(child.schema.names)
+        ):
+            names = tuple(n for n in child.schema.names if n in needed)
+            fused = self._exec_fused(A.Project(child, names), resolver, env)
+            if fused is not None:
+                return fused
+        return self._exec(child, resolver, env)
 
     # -- relational operators ---------------------------------------------------------
 
@@ -328,29 +358,63 @@ class RelationalEngine:
             out = out.with_column(name, column.dtype, column)
         return ColumnTable(node.schema, out.columns)
 
+    def _aggregate(self, node: A.Aggregate, resolver: Resolver, env: dict) -> ColumnTable:
+        needed = set(node.group_by)
+        for spec in node.aggs:
+            if spec.arg is not None:
+                needed |= spec.arg.columns()
+        child = self._narrowed_source(node.child, needed, resolver, env)
+        started = time.perf_counter()
+        result = group_aggregate(
+            child, node.group_by, node.aggs, node.schema,
+            compiled=self.options.compile_expressions,
+            workers=self.options.morsel_workers,
+            morsel_size=self.options.morsel_size,
+        )
+        self._record("aggregate", started)
+        return result
+
     def _join(self, node: A.Join, resolver: Resolver, env: dict) -> ColumnTable:
         left = self._exec(node.left, resolver, env)
-        right = self._exec(node.right, resolver, env)
         lkeys = [l for l, _ in node.on]
         rkeys = [r for _, r in node.on]
+        if node.how in ("semi", "anti"):
+            # only the right keys matter: fuse the build side down to them
+            right = self._narrowed_source(
+                node.right, set(rkeys), resolver, env
+            )
+        else:
+            right = self._exec(node.right, resolver, env)
 
+        started = time.perf_counter()
         algorithm = self.options.join_algorithm
-        if algorithm == "merge" and node.how == "inner":
+        if algorithm == "merge" and node.how in ("inner", "left"):
             lidx, ridx = joins.merge_join(
-                left, right, lkeys, rkeys,
+                left, right, lkeys, rkeys, how=node.how,
                 presorted=self.options.assume_sorted,
             )
         elif algorithm == "nested" and node.how == "inner":
             lidx, ridx = joins.nested_loop_join(left, right, lkeys, rkeys)
+        elif algorithm == "python":
+            lidx, ridx = joins.python_hash_join(
+                left, right, lkeys, rkeys, node.how
+            )
         else:
-            lidx, ridx = joins.hash_join(left, right, lkeys, rkeys, node.how)
+            lidx, ridx = joins.hash_join(
+                left, right, lkeys, rkeys, node.how,
+                workers=self.options.morsel_workers,
+                morsel_size=self.options.morsel_size,
+            )
 
         if node.how in ("semi", "anti"):
-            return ColumnTable(node.schema, left.take(lidx).columns)
-        right_keep = [n for n in right.schema.names if n not in set(rkeys)]
-        return joins.gather_join_output(
-            left, right, right_keep, lidx, ridx, node.schema
-        )
+            result = ColumnTable(node.schema, left.take(lidx).columns)
+        else:
+            right_keep = [n for n in right.schema.names if n not in set(rkeys)]
+            result = joins.gather_join_output(
+                left, right, right_keep, lidx, ridx, node.schema
+            )
+        self._record("join", started)
+        return result
 
     def _product(self, node: A.Product, resolver: Resolver, env: dict) -> ColumnTable:
         left = self._exec(node.left, resolver, env)
@@ -365,9 +429,7 @@ class RelationalEngine:
         gids, _ = factorize(table, table.schema.names)
         if len(gids) == 0:
             return table
-        first = np.full(int(gids.max()) + 1 if len(gids) else 0, -1, dtype=np.int64)
-        for pos in range(len(gids) - 1, -1, -1):
-            first[gids[pos]] = pos
+        _, first = np.unique(gids, return_index=True)
         return table.take(np.sort(first))
 
     def _union(self, node: A.Union, resolver: Resolver, env: dict) -> ColumnTable:
@@ -429,24 +491,40 @@ class RelationalEngine:
             )
         coarse = ColumnTable(child.schema, columns)
         dims = child.schema.dimension_names
-        return group_aggregate(
+        started = time.perf_counter()
+        result = group_aggregate(
             coarse, dims, node.aggs, node.schema,
             compiled=self.options.compile_expressions,
+            workers=self.options.morsel_workers,
+            morsel_size=self.options.morsel_size,
         )
+        self._record("aggregate", started)
+        return result
 
     def _reduce_dims(self, node: A.ReduceDims, resolver: Resolver, env: dict) -> ColumnTable:
         child = self._exec(node.child, resolver, env)
         keep = [d for d in child.schema.dimension_names if d in set(node.keep)]
-        return group_aggregate(
+        started = time.perf_counter()
+        result = group_aggregate(
             child, keep, node.aggs, node.schema,
             compiled=self.options.compile_expressions,
+            workers=self.options.morsel_workers,
+            morsel_size=self.options.morsel_size,
         )
+        self._record("aggregate", started)
+        return result
 
     def _cell_join(self, node: A.CellJoin, resolver: Resolver, env: dict) -> ColumnTable:
         left = self._exec(node.left, resolver, env)
         right = self._exec(node.right, resolver, env)
         dims = list(node.schema.dimension_names)
-        lidx, ridx = joins.hash_join(left, right, dims, dims, "inner")
+        started = time.perf_counter()
+        lidx, ridx = joins.hash_join(
+            left, right, dims, dims, "inner",
+            workers=self.options.morsel_workers,
+            morsel_size=self.options.morsel_size,
+        )
+        self._record("join", started)
         columns = {}
         for name in left.schema.names:
             columns[name] = left.column(name).take(lidx)
@@ -469,7 +547,13 @@ class RelationalEngine:
         lval = node.left.schema.value_names[0]
         rval = node.right.schema.value_names[0]
 
-        lidx, ridx = joins.hash_join(left, right, [lk], [rk], "inner")
+        started = time.perf_counter()
+        lidx, ridx = joins.hash_join(
+            left, right, [lk], [rk], "inner",
+            workers=self.options.morsel_workers,
+            morsel_size=self.options.morsel_size,
+        )
+        self._record("join", started)
         out_schema = node.schema
         out_i, out_j = out_schema.dimension_names
         out_v = out_schema.value_names[0]
@@ -497,11 +581,15 @@ class RelationalEngine:
                           product_values.astype(out_schema[out_v].dtype.to_numpy()),
                           product_mask),
         })
+        started = time.perf_counter()
         summed = group_aggregate(
             joined, (out_i, out_j),
             (A.AggSpec(out_v, "sum", col(out_v)),),
             node.schema,
+            workers=self.options.morsel_workers,
+            morsel_size=self.options.morsel_size,
         )
+        self._record("aggregate", started)
         # drop all-null sums (cells with only null contributions do not exist)
         out_col = summed.column(out_v)
         if out_col.mask is not None:

@@ -1,30 +1,46 @@
 """Join algorithms for the relational engine.
 
-Three physical implementations of the algebra's equi-join:
+Four physical implementations of the algebra's equi-join:
 
-* :func:`hash_join` — build a hash table on the right input, probe with the
-  left.  The default; handles every join kind.
-* :func:`merge_join` — sort-merge join for inner joins; wins when inputs are
-  already sorted on the key (the E10 bench measures exactly this trade-off).
+* :func:`hash_join` — the default.  Despite the historical name it is a
+  fully vectorized sort+searchsorted join over dense int64 key codes
+  (:func:`repro.exec.kernels.encode_keys`): every key shape — multi-column,
+  string, float, bool, nullable — and every join kind (inner/left/full/
+  semi/anti) runs without a per-row Python loop, and the probe side can be
+  morsel-parallel.
+* :func:`merge_join` — sort-merge formulation (inner and left joins); wins
+  when inputs arrive already sorted on the key (the E10 bench measures the
+  trade-off).  Runs over the same key codes.
+* :func:`python_hash_join` — the per-row Python hash table the vectorized
+  path replaced.  Kept as the E13 ablation baseline and as a semantics
+  cross-check in the property tests.
 * :func:`nested_loop_join` — the quadratic baseline, kept for the join
   ablation bench and as an obviously-correct cross-check.
 
-All three return ``(left_indices, right_indices)`` gather arrays, where
+All of them return ``(left_indices, right_indices)`` gather arrays, where
 ``-1`` means "pad with nulls" (outer joins); the caller gathers columns with
 :meth:`Column.take`, which understands ``-1``.
 
-Null join keys never match anything, per the algebra's semantics.
+Null join keys never match anything, per the algebra's semantics (float NaN
+keys behave the same: NaN never equals itself).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..core.errors import ExecutionError
+from ..exec.kernels import encode_keys, join_on_codes
+from ..exec.morsel import DEFAULT_MORSEL_SIZE
 from ..storage.table import ColumnTable
 
 
 def _key_rows(table: ColumnTable, keys: list[str]) -> list[tuple | None]:
-    """Per-row key tuples; None for rows whose key contains a null."""
+    """Per-row key tuples; None for rows whose key contains a null.
+
+    Only the Python baselines (:func:`python_hash_join`,
+    :func:`nested_loop_join`) still pay for this per-row materialization.
+    """
     columns = [table.column(k).to_list() for k in keys]
     out: list[tuple | None] = []
     for row in zip(*columns):
@@ -32,52 +48,17 @@ def _key_rows(table: ColumnTable, keys: list[str]) -> list[tuple | None]:
     return out
 
 
-def _single_int_key(table: ColumnTable, keys: list[str]) -> np.ndarray | None:
-    """The key column's raw int64 values, when the vectorized path applies."""
-    if len(keys) != 1:
-        return None
-    column = table.column(keys[0])
-    if column.mask is not None or column.values.dtype != np.int64:
-        return None
-    return column.values
-
-
-def _vectorized_equi_join(
-    lk: np.ndarray, rk: np.ndarray, how: str
-) -> tuple[np.ndarray, np.ndarray]:
-    """Single-int-key equi-join via sort + binary search, fully vectorized."""
-    order = np.argsort(rk, kind="stable")
-    sorted_rk = rk[order]
-    lo = np.searchsorted(sorted_rk, lk, side="left")
-    hi = np.searchsorted(sorted_rk, lk, side="right")
-    counts = hi - lo
-
-    if how == "semi":
-        return np.nonzero(counts > 0)[0].astype(np.int64), np.empty(0, dtype=np.int64)
-    if how == "anti":
-        return np.nonzero(counts == 0)[0].astype(np.int64), np.empty(0, dtype=np.int64)
-
-    total = int(counts.sum())
-    left_idx = np.repeat(np.arange(len(lk), dtype=np.int64), counts)
-    starts = np.repeat(lo, counts)
-    group_base = np.repeat(np.cumsum(counts) - counts, counts)
-    right_idx = order[starts + (np.arange(total, dtype=np.int64) - group_base)]
-
-    if how in ("left", "full"):
-        dangling_left = np.nonzero(counts == 0)[0].astype(np.int64)
-        left_idx = np.concatenate([left_idx, dangling_left])
-        right_idx = np.concatenate([
-            right_idx, np.full(len(dangling_left), -1, dtype=np.int64)
-        ])
-    if how == "full":
-        matched = np.zeros(len(rk), dtype=bool)
-        matched[right_idx[right_idx >= 0]] = True
-        dangling_right = np.nonzero(~matched)[0].astype(np.int64)
-        left_idx = np.concatenate([
-            left_idx, np.full(len(dangling_right), -1, dtype=np.int64)
-        ])
-        right_idx = np.concatenate([right_idx, dangling_right])
-    return left_idx, right_idx
+def _encoded(
+    left: ColumnTable,
+    right: ColumnTable,
+    left_keys: list[str],
+    right_keys: list[str],
+):
+    codes, valid, card = encode_keys([
+        [left.column(k) for k in left_keys],
+        [right.column(k) for k in right_keys],
+    ])
+    return codes[0], codes[1], valid[0], valid[1], card
 
 
 def hash_join(
@@ -86,17 +67,81 @@ def hash_join(
     left_keys: list[str],
     right_keys: list[str],
     how: str = "inner",
+    *,
+    workers: int = 1,
+    morsel_size: int = DEFAULT_MORSEL_SIZE,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Hash join; returns (left_indices, right_indices) gather arrays.
+    """Vectorized equi-join; returns (left_indices, right_indices) gathers.
 
-    Single INT64 keys without nulls take a fully vectorized sort+search
-    path; everything else uses the generic Python hash table.
+    Keys of any shape are factorized into dense int64 codes shared across
+    both sides, then all join kinds run through one sort+searchsorted
+    kernel.  ``workers`` splits the probe into morsels on the shared thread
+    pool; the result is bit-identical for every worker count.
     """
-    lk = _single_int_key(left, left_keys)
-    rk = _single_int_key(right, right_keys)
-    if lk is not None and rk is not None:
-        return _vectorized_equi_join(lk, rk, how)
+    lk, rk, lvalid, rvalid, card = _encoded(left, right, left_keys, right_keys)
+    return join_on_codes(
+        lk, rk, lvalid, rvalid, how,
+        card=card, workers=workers, morsel_size=morsel_size,
+    )
 
+
+def merge_join(
+    left: ColumnTable,
+    right: ColumnTable,
+    left_keys: list[str],
+    right_keys: list[str],
+    *,
+    how: str = "inner",
+    presorted: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort-merge join (inner or left), emitting matches in key order.
+
+    With ``presorted=True`` the inputs are assumed already sorted on their
+    keys, and the probe keeps the input row order (which *is* key order);
+    otherwise both sides are ordered by key code first.  Left rows with
+    null keys never match but still emit with a ``-1`` right index under
+    ``how="left"``.
+    """
+    if how not in ("inner", "left"):
+        raise ExecutionError(f"merge join supports inner/left, not {how!r}")
+    lk, rk, lvalid, rvalid, _ = _encoded(left, right, left_keys, right_keys)
+    lpos = np.flatnonzero(lvalid)
+    rpos = np.flatnonzero(rvalid)
+    if not presorted:
+        lpos = lpos[np.argsort(lk[lpos], kind="stable")]
+    # the build side must be code-sorted for binary search either way
+    # (string codes follow hash order, not value order)
+    rpos = rpos[np.argsort(rk[rpos], kind="stable")]
+
+    sorted_rk = rk[rpos]
+    probe = lk[lpos]
+    lo = np.searchsorted(sorted_rk, probe, side="left")
+    counts = np.searchsorted(sorted_rk, probe, side="right") - lo
+    total = int(counts.sum())
+    left_idx = np.repeat(lpos, counts)
+    starts = np.repeat(lo, counts)
+    group_base = np.repeat(np.cumsum(counts) - counts, counts)
+    right_idx = rpos[starts + (np.arange(total, dtype=np.int64) - group_base)]
+
+    if how == "left":
+        hit = np.zeros(len(lk), dtype=bool)
+        hit[lpos[counts > 0]] = True
+        dangling = np.flatnonzero(~hit).astype(np.int64)
+        left_idx = np.concatenate([left_idx, dangling])
+        right_idx = np.concatenate([
+            right_idx, np.full(len(dangling), -1, dtype=np.int64)
+        ])
+    return left_idx, right_idx
+
+
+def python_hash_join(
+    left: ColumnTable,
+    right: ColumnTable,
+    left_keys: list[str],
+    right_keys: list[str],
+    how: str = "inner",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-at-a-time hash join over Python key tuples (ablation baseline)."""
     build = _key_rows(right, right_keys)
     index: dict[tuple, list[int]] = {}
     for pos, key in enumerate(build):
@@ -124,82 +169,22 @@ def hash_join(
         matched_right = np.zeros(len(build), dtype=bool)
 
     for pos, key in enumerate(probe):
-        matches = index.get(key, ()) if key is not None else ()
+        matches = index.get(key) if key is not None else None
         if matches:
             for rpos in matches:
                 left_idx.append(pos)
                 right_idx.append(rpos)
             if matched_right is not None:
-                matched_right[list(matches)] = True
+                matched_right[matches] = True
         elif how in ("left", "full"):
             left_idx.append(pos)
             right_idx.append(-1)
 
     if matched_right is not None:
-        for rpos in np.nonzero(~matched_right)[0]:
+        for rpos in np.flatnonzero(~matched_right):
             left_idx.append(-1)
             right_idx.append(int(rpos))
 
-    return (
-        np.array(left_idx, dtype=np.int64),
-        np.array(right_idx, dtype=np.int64),
-    )
-
-
-def merge_join(
-    left: ColumnTable,
-    right: ColumnTable,
-    left_keys: list[str],
-    right_keys: list[str],
-    *,
-    presorted: bool = False,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Sort-merge inner join.
-
-    With ``presorted=True`` the inputs are assumed already sorted on their
-    keys (nulls anywhere); otherwise both sides are sorted here first.
-    """
-    lrows = _key_rows(left, left_keys)
-    rrows = _key_rows(right, right_keys)
-    if presorted:
-        lorder = list(range(len(lrows)))
-        rorder = list(range(len(rrows)))
-    else:
-        lorder = sorted(
-            (i for i in range(len(lrows)) if lrows[i] is not None),
-            key=lambda i: lrows[i],
-        )
-        rorder = sorted(
-            (i for i in range(len(rrows)) if rrows[i] is not None),
-            key=lambda i: rrows[i],
-        )
-    if presorted:
-        lorder = [i for i in lorder if lrows[i] is not None]
-        rorder = [i for i in rorder if rrows[i] is not None]
-
-    left_idx: list[int] = []
-    right_idx: list[int] = []
-    li = ri = 0
-    while li < len(lorder) and ri < len(rorder):
-        lkey = lrows[lorder[li]]
-        rkey = rrows[rorder[ri]]
-        if lkey < rkey:
-            li += 1
-        elif lkey > rkey:
-            ri += 1
-        else:
-            # gather the run of equal keys on the right
-            r_end = ri
-            while r_end < len(rorder) and rrows[rorder[r_end]] == lkey:
-                r_end += 1
-            l_run = li
-            while l_run < len(lorder) and lrows[lorder[l_run]] == lkey:
-                for rr in range(ri, r_end):
-                    left_idx.append(lorder[l_run])
-                    right_idx.append(rorder[rr])
-                l_run += 1
-            li = l_run
-            ri = r_end
     return (
         np.array(left_idx, dtype=np.int64),
         np.array(right_idx, dtype=np.int64),

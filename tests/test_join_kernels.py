@@ -1,0 +1,341 @@
+"""Property tests for the vectorized join & aggregation kernel layer.
+
+Three families of guarantees:
+
+* every join implementation (vectorized code join, python hash baseline,
+  merge, nested loop) returns the same row *set* for the same inputs, for
+  every join kind and key shape (multi-key, string, nullable);
+* the morsel-parallel paths are **bit-identical** to serial for every
+  worker count — joins because the gather arrays are pure integer
+  arithmetic, aggregation because the partial decomposition is a pure
+  function of the data shape;
+* engine-level wiring: pipeline fusion into join/aggregate inputs, the
+  ``join_algorithm="python"`` ablation knob, and per-stage timings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import algebra as A
+from repro.core.expressions import col
+from repro.core.types import DType
+from repro.providers import ReferenceProvider, RelationalProvider
+from repro.relational.aggregation import group_aggregate
+from repro.relational.engine import EngineOptions, RelationalEngine
+from repro.relational.joins import (
+    hash_join,
+    merge_join,
+    nested_loop_join,
+    python_hash_join,
+)
+
+from .helpers import inline, rows_of, schema, table
+
+# -- random join inputs ------------------------------------------------------
+
+LEFT = schema(("a", "int"), ("b", "str"), ("x", "float"))
+RIGHT = schema(("a2", "int"), ("b2", "str"), ("y", "float"))
+
+key_int = st.one_of(st.none(), st.integers(0, 4))
+key_str = st.one_of(st.none(), st.sampled_from(["p", "q", "r"]))
+payload = st.integers(-20, 20).map(lambda v: v / 2.0)
+
+left_rows = st.lists(st.tuples(key_int, key_str, payload), max_size=30)
+right_rows = st.lists(st.tuples(key_int, key_str, payload), max_size=20)
+
+HOWS = ["inner", "left", "full", "semi", "anti"]
+
+
+def join_pairs(how, idx):
+    """Order-insensitive canonical form of a join's gather arrays."""
+    lidx, ridx = idx
+    if how in ("semi", "anti"):
+        return sorted(lidx.tolist())
+    return sorted(zip(lidx.tolist(), ridx.tolist()))
+
+
+@settings(max_examples=60, deadline=None)
+@given(left_rows, right_rows, st.sampled_from(HOWS))
+def test_vectorized_join_matches_python_hash(lrows, rrows, how):
+    left, right = table(LEFT, lrows), table(RIGHT, rrows)
+    keys = (["a", "b"], ["a2", "b2"])
+    vec = hash_join(left, right, *keys, how)
+    ref = python_hash_join(left, right, *keys, how)
+    assert join_pairs(how, vec) == join_pairs(how, ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(left_rows, right_rows, st.sampled_from(HOWS))
+def test_join_bit_identical_across_worker_counts(lrows, rrows, how):
+    left, right = table(LEFT, lrows), table(RIGHT, rrows)
+    keys = (["a", "b"], ["a2", "b2"])
+    base = hash_join(left, right, *keys, how, workers=1, morsel_size=5)
+    for workers in (2, 4):
+        out = hash_join(
+            left, right, *keys, how, workers=workers, morsel_size=5
+        )
+        assert np.array_equal(base[0], out[0])
+        assert np.array_equal(base[1], out[1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(left_rows, right_rows, st.sampled_from(["inner", "left"]))
+def test_merge_join_matches_python_hash(lrows, rrows, how):
+    left, right = table(LEFT, lrows), table(RIGHT, rrows)
+    keys = (["a", "b"], ["a2", "b2"])
+    merged = merge_join(left, right, *keys, how=how)
+    ref = python_hash_join(left, right, *keys, how)
+    assert join_pairs(how, merged) == join_pairs(how, ref)
+
+
+@settings(max_examples=30, deadline=None)
+@given(left_rows, right_rows)
+def test_nested_loop_matches_vectorized_inner(lrows, rrows):
+    left, right = table(LEFT, lrows), table(RIGHT, rrows)
+    keys = (["a", "b"], ["a2", "b2"])
+    assert join_pairs("inner", nested_loop_join(left, right, *keys)) == \
+        join_pairs("inner", hash_join(left, right, *keys, "inner"))
+
+
+def test_merge_join_left_keeps_null_key_rows():
+    # regression: the old row-at-a-time merge dropped null-key left rows
+    # even under how="left"; they must emit with a -1 right index.
+    left = table(LEFT, [(1, "p", 0.5), (None, "p", 1.0), (2, None, 1.5)])
+    right = table(RIGHT, [(1, "p", 9.0)])
+    lidx, ridx = merge_join(left, right, ["a", "b"], ["a2", "b2"], how="left")
+    got = sorted(zip(lidx.tolist(), ridx.tolist()))
+    assert got == [(0, 0), (1, -1), (2, -1)]
+
+
+def test_full_join_emits_unmatched_right_rows():
+    left = table(LEFT, [(1, "p", 0.5)])
+    right = table(RIGHT, [(1, "p", 9.0), (7, "q", 8.0), (None, "q", 7.0)])
+    lidx, ridx = hash_join(left, right, ["a", "b"], ["a2", "b2"], "full")
+    assert sorted(zip(lidx.tolist(), ridx.tolist())) == [
+        (-1, 1), (-1, 2), (0, 0)
+    ]
+
+
+# -- aggregation: parallel partials vs serial --------------------------------
+
+GROUPED = schema(
+    ("g", "int"), ("tag", "str"), ("v", "float"), ("n", "int"), ("flag", "bool")
+)
+
+grouped_rows = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.integers(0, 3)),
+        st.sampled_from(["p", "q", "r"]),
+        st.one_of(st.none(), payload),
+        st.one_of(st.none(), st.integers(-50, 50)),
+        st.booleans(),
+    ),
+    max_size=40,
+)
+
+ALL_AGGS = (
+    A.AggSpec("rows", "count", None),
+    A.AggSpec("nn", "count", col("v")),
+    A.AggSpec("sv", "sum", col("v")),
+    A.AggSpec("mv", "mean", col("v")),
+    A.AggSpec("lo", "min", col("v")),
+    A.AggSpec("hi", "max", col("n")),
+    A.AggSpec("sn", "sum", col("n")),
+    A.AggSpec("first_tag", "min", col("tag")),
+    A.AggSpec("last_tag", "max", col("tag")),
+    A.AggSpec("any_low", "min", col("flag")),
+    A.AggSpec("any_high", "max", col("flag")),
+)
+
+
+def agg_schema(child_schema, group_by, aggs):
+    return A.Aggregate(
+        A.InlineTable(child_schema, ()), group_by, aggs
+    ).schema
+
+
+def assert_bit_identical(t1, t2):
+    assert t1.schema.names == t2.schema.names
+    assert t1.num_rows == t2.num_rows
+    for name in t1.schema.names:
+        c1, c2 = t1.column(name), t2.column(name)
+        m1 = c1.mask if c1.mask is not None else np.zeros(len(c1), dtype=bool)
+        m2 = c2.mask if c2.mask is not None else np.zeros(len(c2), dtype=bool)
+        assert np.array_equal(m1, m2), name
+        v1, v2 = c1.values[~m1], c2.values[~m2]
+        if c1.dtype is DType.STRING:
+            assert all(a == b for a, b in zip(v1, v2)), name
+        else:
+            assert np.array_equal(v1, v2), name
+
+
+@settings(max_examples=50, deadline=None)
+@given(grouped_rows)
+def test_parallel_aggregation_bit_identical_to_serial(rows):
+    data = table(GROUPED, rows)
+    group_by = ("g", "tag")
+    out_schema = agg_schema(GROUPED, group_by, ALL_AGGS)
+    # tiny morsels force many partials even on small inputs
+    serial = group_aggregate(
+        data, group_by, ALL_AGGS, out_schema, workers=1, morsel_size=7
+    )
+    for workers in (2, 3, 0):
+        parallel = group_aggregate(
+            data, group_by, ALL_AGGS, out_schema,
+            workers=workers, morsel_size=7,
+        )
+        assert_bit_identical(serial, parallel)
+
+
+@settings(max_examples=50, deadline=None)
+@given(grouped_rows)
+def test_partial_aggregation_matches_single_pass(rows):
+    data = table(GROUPED, rows)
+    group_by = ("g", "tag")
+    out_schema = agg_schema(GROUPED, group_by, ALL_AGGS)
+    single = group_aggregate(
+        data, group_by, ALL_AGGS, out_schema,
+        workers=1, morsel_size=len(rows) + 1,
+    )
+    partial = group_aggregate(
+        data, group_by, ALL_AGGS, out_schema, workers=2, morsel_size=7
+    )
+    assert single.schema.names == partial.schema.names
+    assert single.num_rows == partial.num_rows
+    for name in single.schema.names:
+        c1, c2 = single.column(name), partial.column(name)
+        m1 = c1.mask if c1.mask is not None else np.zeros(len(c1), dtype=bool)
+        m2 = c2.mask if c2.mask is not None else np.zeros(len(c2), dtype=bool)
+        assert np.array_equal(m1, m2), name
+        v1, v2 = c1.values[~m1], c2.values[~m2]
+        if c1.dtype is DType.STRING:
+            assert all(a == b for a, b in zip(v1, v2)), name
+        elif c1.dtype is DType.FLOAT64:
+            # float partials may round differently from one long chain
+            assert np.allclose(v1.astype(float), v2.astype(float),
+                               rtol=1e-12, atol=1e-12), name
+        else:
+            assert np.array_equal(v1, v2), name
+
+
+def test_mean_over_all_null_group_is_null():
+    data = table(GROUPED, [
+        (1, "p", None, 1, True),
+        (1, "p", None, 2, True),
+        (2, "p", 3.0, 3, False),
+    ])
+    aggs = (A.AggSpec("mv", "mean", col("v")),)
+    out_schema = agg_schema(GROUPED, ("g",), aggs)
+    for workers, morsel in ((1, 100), (3, 1)):
+        out = group_aggregate(
+            data, ("g",), aggs, out_schema, workers=workers, morsel_size=morsel
+        )
+        mv = out.column("mv")
+        assert mv.mask is not None and mv.mask.tolist() == [True, False]
+        assert mv.values[1] == 3.0
+
+
+# -- engine wiring ------------------------------------------------------------
+
+
+def _customer_order_tree(how="inner"):
+    orders = inline(
+        schema(("cust", "int"), ("amount", "float"), ("junk", "float")),
+        [(1, 10.0, -1.0), (1, 20.0, -2.0), (2, 30.0, -3.0), (9, 4.0, -4.0)],
+    )
+    # fusible Filter+Extend chain under the aggregate: the engine should
+    # narrow it to the consumed columns inside one fused pass
+    chain = A.Extend(
+        A.Filter(orders, col("amount") > 5.0),
+        ("double",), (col("amount") * 2.0,),
+    )
+    return A.Aggregate(
+        chain, ("cust",),
+        (A.AggSpec("total", "sum", col("double")),
+         A.AggSpec("rows", "count", None)),
+    )
+
+
+def test_aggregate_input_fuses_and_matches_reference():
+    tree = _customer_order_tree()
+    engine = RelationalEngine(EngineOptions(fuse_pipelines=True))
+    fused = engine.run(tree, lambda name: None)
+    assert engine.fused_runs >= 1  # the narrowed chain ran as one pipeline
+    plain = RelationalEngine(EngineOptions(fuse_pipelines=False)).run(
+        tree, lambda name: None
+    )
+    assert rows_of(fused) == rows_of(plain)
+    ref = ReferenceProvider("ref")
+    assert rows_of(ref.execute(tree)) == rows_of(fused)
+
+
+def test_semi_join_build_side_narrows_to_keys():
+    people = inline(
+        schema(("pid", "int"), ("name", "str")),
+        [(1, "ada"), (2, "bob"), (3, "cho")],
+    )
+    wide = inline(
+        schema(("ref", "int"), ("a", "float"), ("b", "float")),
+        [(1, 0.1, 0.2), (1, 0.3, 0.4), (3, 0.5, 0.6)],
+    )
+    # Filter+Extend above the build side: only "ref" is needed by the join
+    build = A.Extend(
+        A.Filter(wide, col("a") >= 0.0), ("c",), (col("b") + 1.0,)
+    )
+    tree = A.Join(people, build, (("pid", "ref"),), "semi")
+    engine = RelationalEngine(EngineOptions(fuse_pipelines=True))
+    out = engine.run(tree, lambda name: None)
+    assert engine.fused_runs >= 1
+    assert sorted(out.column("pid").to_list()) == [1, 3]
+
+
+@pytest.mark.parametrize("how", HOWS)
+def test_engine_python_join_algorithm_matches_auto(how):
+    left = inline(
+        schema(("k", "int"), ("tag", "str"), ("v", "float")),
+        [(1, "p", 0.5), (2, "q", 1.5), (2, "q", 2.5), (5, "r", 3.5)],
+    )
+    right = inline(
+        schema(("k2", "int"), ("tag2", "str"), ("w", "float")),
+        [(2, "q", 9.0), (5, "x", 8.0), (7, "r", 7.0)],
+    )
+    tree = A.Join(left, right, (("k", "k2"), ("tag", "tag2")), how)
+    auto = RelationalEngine(EngineOptions(join_algorithm="auto")).run(
+        tree, lambda name: None
+    )
+    python = RelationalEngine(EngineOptions(join_algorithm="python")).run(
+        tree, lambda name: None
+    )
+    assert rows_of(auto) == rows_of(python)
+
+
+def test_provider_records_join_and_aggregate_timings():
+    orders_schema = schema(("cust", "int"), ("amount", "float"))
+    customers_schema = schema(("cid", "int"), ("name", "str"))
+    provider = RelationalProvider("sql")
+    provider.register_dataset(
+        "orders",
+        table(orders_schema, [(1, 10.0), (1, 20.0), (2, 30.0)]),
+    )
+    provider.register_dataset(
+        "customers",
+        table(customers_schema, [(1, "ada"), (2, "bob")]),
+    )
+    joined = A.Join(
+        A.Scan("orders", orders_schema),
+        A.Scan("customers", customers_schema),
+        (("cust", "cid"),), "inner",
+    )
+    tree = A.Aggregate(
+        joined, ("name",), (A.AggSpec("total", "sum", col("amount")),)
+    )
+    provider.execute(tree)
+    snap = provider.perf_snapshot()
+    assert snap["op_seconds"].keys() >= {"join", "aggregate"}
+    assert all(v >= 0.0 for v in snap["op_seconds"].values())
+    assert provider.stats.engine_stage_seconds.keys() >= {"join", "aggregate"}
+    # engine-internal time is a subset of execute time, never double-counted
+    assert provider.stats.seconds == pytest.approx(
+        sum(provider.stats.stage_seconds.values())
+    )
