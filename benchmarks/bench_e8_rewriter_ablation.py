@@ -6,12 +6,17 @@ win (the join shrinks before it happens); projection pruning adds a smaller
 win (narrower columns through the join); all-off is the slowest.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 import pytest
 
 from _workloads import ablation_context, ablation_query
 from repro import RewriteOptions
+
+DEFAULT_SCALE = int(os.environ.get("E8_SCALE", "80"))
 
 CONFIGS = {
     "all-on": RewriteOptions(),
@@ -62,11 +67,11 @@ def test_pushdown_wins():
     assert times["all-on"] < times["all-off"], times
 
 
-def ablation_rows(scale: int = 80):
+def ablation_rows(scale: int | None = None):
     """(config, wall_s) rows for the harness."""
     rows = []
     for name, options in CONFIGS.items():
-        ctx = ablation_context(options, scale=scale)
+        ctx = ablation_context(options, scale=scale or DEFAULT_SCALE)
         tree = ablation_query(ctx)
         ctx.run(ctx.query(tree))  # warm
         samples = []
@@ -76,3 +81,30 @@ def ablation_rows(scale: int = 80):
             samples.append(time.perf_counter() - start)
         rows.append((name, min(samples)))
     return rows
+
+
+def emit_json(path: str | Path = "BENCH_E8.json", scale: int | None = None):
+    """Write the ablation table (plus environment context) as JSON."""
+    rows = ablation_rows(scale)
+    walls = dict(rows)
+    payload = {
+        "experiment": "e8-rewriter-ablation",
+        "scale": scale or DEFAULT_SCALE,
+        "cpus": os.cpu_count(),
+        "configs": [
+            {
+                "config": name,
+                "wall_s": wall,
+                "speedup_vs_all_off": walls["all-off"] / wall,
+            }
+            for name, wall in rows
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+if __name__ == "__main__":
+    for entry in emit_json()["configs"]:
+        print(f"{entry['config']:>14s} {entry['wall_s'] * 1e3:9.1f} ms  "
+              f"{entry['speedup_vs_all_off']:5.2f}x")

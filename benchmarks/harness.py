@@ -102,12 +102,15 @@ def e7() -> None:
 
 
 def e8() -> None:
-    from bench_e8_rewriter_ablation import ablation_rows
+    from bench_e8_rewriter_ablation import emit_json
 
     print("\n== E8: rewriter ablation (selective filter over wide join) ==")
-    print(f"{'config':>14s} {'wall':>10s}")
-    for config, wall in ablation_rows():
-        print(f"{config:>14s} {wall * 1e3:>7.1f} ms")
+    payload = emit_json(Path(__file__).parent.parent / "BENCH_E8.json")
+    print(f"scale: {payload['scale']}, cpus: {payload['cpus']}")
+    print(f"{'config':>14s} {'wall':>10s} {'vs all-off':>11s}")
+    for entry in payload["configs"]:
+        print(f"{entry['config']:>14s} {entry['wall_s'] * 1e3:>7.1f} ms "
+              f"{entry['speedup_vs_all_off']:>10.2f}x")
 
 
 def e9() -> None:
@@ -185,6 +188,17 @@ def _check_speedups() -> None:
 
     root = Path(__file__).parent.parent
     failures: list[str] = []
+
+    e8_path = root / "BENCH_E8.json"
+    if e8_path.exists():
+        payload = json.loads(e8_path.read_text())
+        for entry in payload["configs"]:
+            if entry["config"] == "all-on":
+                if entry["speedup_vs_all_off"] < 1.0:
+                    failures.append(
+                        f"e8: all rewrites on slower than all off "
+                        f"({entry['speedup_vs_all_off']:.2f}x)"
+                    )
 
     e12_path = root / "BENCH_E12.json"
     if e12_path.exists():

@@ -71,3 +71,15 @@ print(f"\nresult type: {type(top).__name__}, len={len(top)}, "
 print(f"the query ran as {ctx.last_report.fragments} fragment(s); "
       f"bytes moved between servers: "
       f"{ctx.last_report.metrics.bytes_direct}")
+
+# -- 6. EXPLAIN: the fragment assignment, and each server's physical plan -----
+
+big_spenders = (
+    ctx.table("orders")
+    .where(col("amount") > 50.0)
+    .select("customer", "amount")
+)
+print("\nlogical plan (fragment assignment):")
+print(big_spenders.explain())
+print("\nphysical plan (what the server will actually run):")
+print(big_spenders.explain(physical=True))

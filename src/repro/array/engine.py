@@ -1,27 +1,29 @@
-"""The array engine: SciDB-style execution over chunked n-d arrays.
+"""The array engine: cached lowering + the shared physical executor.
 
-Executes the dimension-aware slice of the algebra (plus cell-wise filter,
-extend, project and control iteration) with chunked storage.  Tables enter
-as COO (a dimensioned ColumnTable), are converted to :class:`ChunkedArray`
-once, flow between operators in chunked form, and are converted back at the
-root.
+The SciDB stand-in.  Logical trees lower once (through
+:mod:`repro.array.lowering`, which freezes chunk side, worker count and
+COO↔chunked conversion points into the plan) and the memoized physical
+plan runs through the shared executor.  Tables enter as COO (a
+dimensioned ColumnTable), are converted to :class:`ChunkedArray` on first
+use, flow between operators in chunked form, and convert back at the
+plan root.
 
 The engine cannot execute relational operators that have no array reading
-(joins on arbitrary keys, sorts, set operations) — those gaps are the whole
-point of the coverage experiment (E1) and of federation (E4).
+(joins on arbitrary keys, sorts, set operations) — those gaps are the
+whole point of the coverage experiment (E1) and of federation (E4).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Union
 
 from ..core import algebra as A
-from ..core.errors import ConvergenceError, ExecutionError
-from ..core.schema import Schema
+from ..core import serialize
+from ..exec.physical.base import PhysPlan, run_plan
 from ..storage.table import ColumnTable
 from .chunked import DEFAULT_CHUNK, ChunkedArray
-from . import ops
 
 Value = Union[ChunkedArray, ColumnTable]
 #: Scan resolver; may return a pre-chunked array to skip conversion.
@@ -39,10 +41,15 @@ class ArrayEngineOptions:
 
 
 class ArrayEngine:
-    """Executes dimension-aware algebra trees over chunked arrays."""
+    """Plans and executes dimension-aware algebra trees over chunked arrays."""
+
+    PLAN_CACHE_CAP = 128
 
     def __init__(self, options: ArrayEngineOptions | None = None):
         self.options = options or ArrayEngineOptions()
+        #: stage timings of the most recent query only
+        self.last_stage_seconds: dict[str, float] = {}
+        self._plans: OrderedDict[tuple, PhysPlan] = OrderedDict()
 
     @property
     def chunk_side(self) -> int:
@@ -52,176 +59,32 @@ class ArrayEngine:
     def workers(self) -> int:
         return self.options.workers
 
+    def plan_for(self, node: A.Node) -> PhysPlan:
+        """The (cached) physical plan for ``node`` under current options."""
+        key = (serialize.dumps(node), self.chunk_side, self.workers)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            return plan
+        from .lowering import lower_array
+
+        plan = lower_array(node, self.options)
+        self._plans[key] = plan
+        while len(self._plans) > self.PLAN_CACHE_CAP:
+            self._plans.popitem(last=False)
+        return plan
+
+    def explain(self, node: A.Node) -> str:
+        """Render the lowered physical plan with its properties."""
+        return self.plan_for(node).render()
+
     def run(
         self,
         node: A.Node,
         resolver: Resolver,
         env: dict[str, Value] | None = None,
     ) -> ColumnTable:
-        result = self._exec(node, resolver, env or {})
-        if isinstance(result, ChunkedArray):
-            return result.to_table()
-        return result
-
-    # -- representation helpers ---------------------------------------------------
-
-    def _as_array(self, value: Value, schema: Schema) -> ChunkedArray:
-        if isinstance(value, ChunkedArray):
-            return value
-        if not schema.dimensions:
-            raise ExecutionError(
-                "array engine needs dimensioned input; tag dimensions with AsDims"
-            )
-        return ChunkedArray.from_table(value, self.chunk_side)
-
-    # -- dispatcher ------------------------------------------------------------------
-
-    def _exec(self, node: A.Node, resolver: Resolver, env: dict) -> Value:
-        if isinstance(node, A.Scan):
-            return resolver(node.name)
-        if isinstance(node, A.InlineTable):
-            return ColumnTable.from_rows(node.table_schema, node.rows)
-        if isinstance(node, A.LoopVar):
-            try:
-                return env[node.name]
-            except KeyError:
-                raise ExecutionError(f"unbound LoopVar({node.name!r})") from None
-
-        if isinstance(node, A.AsDims):
-            child = self._exec(node.child, resolver, env)
-            table = child.to_table() if isinstance(child, ChunkedArray) else child
-            retagged = ColumnTable(node.schema, table.columns)
-            # from_table enforces that dimensions form a key (duplicate
-            # coordinates raise) and contain no nulls
-            return ChunkedArray.from_table(retagged, self.chunk_side)
-
-        if isinstance(node, A.SliceDims):
-            arr = self._child_array(node.child, resolver, env)
-            return ops.slice_array(arr, node.bounds)
-        if isinstance(node, A.ShiftDim):
-            arr = self._child_array(node.child, resolver, env)
-            return ops.shift_array(arr, node.dim, node.offset)
-        if isinstance(node, A.TransposeDims):
-            arr = self._child_array(node.child, resolver, env)
-            return ops.transpose_array(arr, node.order, node.schema)
-        if isinstance(node, A.Filter):
-            arr = self._child_array(node.child, resolver, env)
-            return ops.filter_array(
-                arr, node.predicate, node.child.schema, workers=self.workers
-            )
-        if isinstance(node, A.Extend):
-            arr = self._child_array(node.child, resolver, env)
-            return ops.extend_array(
-                arr, node.names, node.exprs, node.child.schema, node.schema,
-                workers=self.workers,
-            )
-        if isinstance(node, A.Project):
-            missing = [
-                d for d in node.child.schema.dimension_names
-                if d not in node.names
-            ]
-            if missing:
-                raise ExecutionError(
-                    f"array engine Project must keep all dimensions; "
-                    f"missing {missing} (use ReduceDims to drop them)"
-                )
-            arr = self._child_array(node.child, resolver, env)
-            return ops.project_array(arr, node.schema)
-        if isinstance(node, A.Rename):
-            arr = self._child_array(node.child, resolver, env)
-            return ops.rename_array(arr, dict(node.mapping), node.schema)
-        if isinstance(node, A.Regrid):
-            arr = self._child_array(node.child, resolver, env)
-            return ops.regrid_array(
-                arr, node.factors, node.aggs, node.child.schema, node.schema,
-                self.chunk_side, workers=self.workers,
-            )
-        if isinstance(node, A.Window):
-            arr = self._child_array(node.child, resolver, env)
-            return ops.window_array(
-                arr, node.sizes, node.aggs, node.child.schema, node.schema
-            )
-        if isinstance(node, A.ReduceDims):
-            arr = self._child_array(node.child, resolver, env)
-            return ops.reduce_dims_array(
-                arr, node.keep, node.aggs, node.child.schema, node.schema,
-                self.chunk_side,
-            )
-        if isinstance(node, A.CellJoin):
-            left = self._child_array(node.left, resolver, env)
-            right = self._child_array(node.right, resolver, env)
-            return ops.cell_join_arrays(left, right, node.schema, self.chunk_side)
-        if isinstance(node, A.MatMul):
-            left = self._child_array(node.left, resolver, env)
-            right = self._child_array(node.right, resolver, env)
-            return ops.matmul_arrays(left, right, node.schema, self.chunk_side)
-        if isinstance(node, A.Iterate):
-            return self._iterate(node, resolver, env)
-        raise ExecutionError(f"array engine: unsupported operator {node.op_name}")
-
-    def _child_array(self, child: A.Node, resolver: Resolver, env: dict) -> ChunkedArray:
-        value = self._exec(child, resolver, env)
-        return self._as_array(value, child.schema)
-
-    # -- control iteration ----------------------------------------------------------------
-
-    def _iterate(self, node: A.Iterate, resolver: Resolver, env: dict) -> Value:
-        state_schema = node.init.schema
-        state = self._exec(node.init, resolver, env)
-        if state_schema.dimensions:
-            state = self._as_array(state, state_schema)
-        for _ in range(node.max_iter):
-            inner_env = dict(env)
-            inner_env[node.var] = state
-            new_state = self._exec(node.body, resolver, inner_env)
-            if state_schema.dimensions:
-                new_state = self._as_array(new_state, state_schema)
-            if self._converged(node.stop, state_schema, state, new_state):
-                return new_state
-            state = new_state
-        if node.stop.value_attr is not None and node.strict:
-            raise ConvergenceError(
-                f"Iterate did not converge within {node.max_iter} iterations"
-            )
-        return state
-
-    def _converged(
-        self,
-        stop: A.Convergence,
-        schema: Schema,
-        old: Value,
-        new: Value,
-    ) -> bool:
-        if stop.value_attr is None:
-            return False
-        import numpy as np
-
-        old_arr = old if isinstance(old, ChunkedArray) else None
-        new_arr = new if isinstance(new, ChunkedArray) else None
-        if old_arr is None or new_arr is None:
-            return False
-        if old_arr.cell_count != new_arr.cell_count:
-            return False
-        if old_arr.cell_count == 0:
-            return True
-        olo, ohi = old_arr.bounding_box()
-        nlo, nhi = new_arr.bounding_box()
-        lo = tuple(min(a, b) for a, b in zip(olo, nlo))
-        hi = tuple(max(a, b) for a, b in zip(ohi, nhi))
-        op, ov, om = old_arr.get_region(lo, hi)
-        np_, nv, nm = new_arr.get_region(lo, hi)
-        if not np.array_equal(op, np_):
-            return False
-        attr = stop.value_attr
-        omask = om[attr] if om[attr] is not None else np.zeros_like(op)
-        nmask = nm[attr] if nm[attr] is not None else np.zeros_like(op)
-        if not np.array_equal(omask & op, nmask & op):
-            return False
-        valid = op & ~omask
-        deltas = np.abs(
-            nv[attr][valid].astype(np.float64) - ov[attr][valid].astype(np.float64)
-        )
-        if deltas.size == 0:
-            return True
-        delta = float(deltas.max()) if stop.norm == "linf" else float(deltas.sum())
-        return delta <= stop.tolerance
+        plan = self.plan_for(node)
+        outcome = run_plan(plan, resolver, env=env)
+        self.last_stage_seconds = outcome.stage_seconds
+        return outcome.value

@@ -1,0 +1,150 @@
+"""Logical→physical lowering for the chunked-array engine.
+
+The array engine's physical decisions — chunk side, chunk-parallel worker
+count, and the COO↔chunked conversion points — are frozen into the plan
+here.  Structural validation that needs no data (a Project dropping
+dimensions, operators with no array reading) also happens at lowering, so
+invalid trees fail before any chunk is touched.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core import algebra as A
+from ..core.errors import ExecutionError
+from ..exec.physical import array as P
+from ..exec.physical.base import (
+    PhysInlineTable, PhysLoopVar, PhysOp, PhysPlan, PhysScan, props_for,
+)
+
+if TYPE_CHECKING:  # avoid a cycle: engine imports this module
+    from .engine import ArrayEngineOptions
+
+
+def lower_array(node: A.Node, options: "ArrayEngineOptions") -> PhysPlan:
+    """Lower a logical tree to a chunked-array physical plan."""
+    lowering = _Lowering(options)
+    root = P.PhysArrayResult(
+        node.schema, props_for(node.schema), (lowering.lower(node),)
+    )
+    return PhysPlan(root, engine="array")
+
+
+class _Lowering:
+    def __init__(self, options: "ArrayEngineOptions"):
+        self.options = options
+
+    def _common(self, node: A.Node) -> dict:
+        return {
+            "chunk_side": self.options.chunk_side,
+            "workers": self.options.workers,
+        }
+
+    def lower(self, node: A.Node) -> PhysOp:
+        chunk = self.options.chunk_side
+        workers = self.options.workers
+        par = workers if workers != 1 else 1
+        if isinstance(node, A.Scan):
+            return PhysScan(node.name, node.schema, props_for(node.schema))
+        if isinstance(node, A.InlineTable):
+            return PhysInlineTable(
+                node.table_schema, node.rows,
+                props_for(node.schema, len(node.rows)),
+            )
+        if isinstance(node, A.LoopVar):
+            return PhysLoopVar(node.name, node.schema, props_for(node.schema))
+        if isinstance(node, A.AsDims):
+            return P.PhysChunkedAsDims(
+                self.lower(node.child), node.child.schema, node.schema,
+                props_for(node.schema), chunk_side=chunk,
+            )
+        if isinstance(node, A.SliceDims):
+            return P.PhysChunkedSlice(
+                self.lower(node.child), node.child.schema, node.schema,
+                props_for(node.schema), bounds=node.bounds, chunk_side=chunk,
+            )
+        if isinstance(node, A.ShiftDim):
+            return P.PhysChunkedShift(
+                self.lower(node.child), node.child.schema, node.schema,
+                props_for(node.schema), dim=node.dim, offset=node.offset,
+                chunk_side=chunk,
+            )
+        if isinstance(node, A.TransposeDims):
+            return P.PhysChunkedTranspose(
+                self.lower(node.child), node.child.schema, node.schema,
+                props_for(node.schema), order=node.order, chunk_side=chunk,
+            )
+        if isinstance(node, A.Filter):
+            return P.PhysChunkedFilter(
+                self.lower(node.child), node.child.schema, node.schema,
+                props_for(node.schema, parallelism=par),
+                predicate=node.predicate, chunk_side=chunk, workers=workers,
+            )
+        if isinstance(node, A.Extend):
+            return P.PhysChunkedExtend(
+                self.lower(node.child), node.child.schema, node.schema,
+                props_for(node.schema, parallelism=par),
+                names=node.names, exprs=node.exprs,
+                chunk_side=chunk, workers=workers,
+            )
+        if isinstance(node, A.Project):
+            missing = [
+                d for d in node.child.schema.dimension_names
+                if d not in node.names
+            ]
+            if missing:
+                raise ExecutionError(
+                    f"array engine Project must keep all dimensions; "
+                    f"missing {missing} (use ReduceDims to drop them)"
+                )
+            return P.PhysChunkedProject(
+                self.lower(node.child), node.child.schema, node.schema,
+                props_for(node.schema), chunk_side=chunk,
+            )
+        if isinstance(node, A.Rename):
+            return P.PhysChunkedRename(
+                self.lower(node.child), node.child.schema, node.schema,
+                props_for(node.schema), mapping=node.mapping, chunk_side=chunk,
+            )
+        if isinstance(node, A.Regrid):
+            return P.PhysChunkedRegrid(
+                self.lower(node.child), node.child.schema, node.schema,
+                props_for(node.schema, parallelism=par),
+                factors=node.factors, aggs=node.aggs,
+                chunk_side=chunk, workers=workers,
+            )
+        if isinstance(node, A.Window):
+            return P.PhysChunkedWindow(
+                self.lower(node.child), node.child.schema, node.schema,
+                props_for(node.schema), sizes=node.sizes, aggs=node.aggs,
+                chunk_side=chunk,
+            )
+        if isinstance(node, A.ReduceDims):
+            return P.PhysChunkedReduceDims(
+                self.lower(node.child), node.child.schema, node.schema,
+                props_for(node.schema), keep=node.keep, aggs=node.aggs,
+                chunk_side=chunk,
+            )
+        if isinstance(node, A.CellJoin):
+            return P.PhysChunkedCellJoin(
+                self.lower(node.left), self.lower(node.right),
+                node.left.schema, node.right.schema, node.schema,
+                props_for(node.schema), chunk_side=chunk,
+            )
+        if isinstance(node, A.MatMul):
+            return P.PhysChunkedMatMul(
+                self.lower(node.left), self.lower(node.right),
+                node.left.schema, node.right.schema, node.schema,
+                props_for(node.schema), chunk_side=chunk,
+            )
+        if isinstance(node, A.Iterate):
+            return P.PhysChunkedIterate(
+                self.lower(node.init), self.lower(node.body),
+                node.var, node.stop, node.max_iter, node.strict,
+                node.init.schema, node.schema, props_for(node.schema),
+                chunk_side=chunk,
+            )
+        raise ExecutionError(
+            f"array engine: unsupported operator {node.op_name}"
+        )

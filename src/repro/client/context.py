@@ -173,10 +173,16 @@ class BigDataContext:
         self.last_report = report
         return Collection(report.result, report)
 
-    def explain(self, query: Query | A.Node) -> str:
-        """The optimized tree and its fragment assignment, as text."""
+    def explain(self, query: Query | A.Node, *, physical: bool = False) -> str:
+        """The optimized tree and its fragment assignment, as text.
+
+        With ``physical=True``, each fragment also shows the physical plan
+        its server lowered the fragment tree to — operators, per-operator
+        properties (estimated rows, ordering, parallelism) and abstract
+        cost.
+        """
         tree = query.node if isinstance(query, Query) else query
-        return self._plan_for(tree, None).describe()
+        return self._plan_for(tree, None).describe(physical=physical)
 
     # -- introspection ----------------------------------------------------------------
 

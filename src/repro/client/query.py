@@ -213,10 +213,12 @@ class Query:
     def to_list(self) -> list[tuple]:
         return self.collect().rows()
 
-    def explain(self) -> str:
+    def explain(self, *, physical: bool = False) -> str:
+        """The federated plan; ``physical=True`` adds each server's lowered
+        physical plan with per-operator properties."""
         if self._context is None:
             raise AlgebraError("query is not bound to a context")
-        return self._context.explain(self)
+        return self._context.explain(self, physical=physical)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Query({self.node!r})"

@@ -222,7 +222,10 @@ def join_on_codes(
     codes tightly enough, binary search otherwise — expanded
     morsel-parallel.  Invalid (null/NaN-key) rows never match: they still
     emit for left/full (left side) and full (right side) and count as
-    non-matches for anti.  Output is bit-identical for every worker count:
+    non-matches for anti.  Left/full joins preserve left row order, with
+    dangling rows padded in place (so a Limit above a left join sees the
+    same prefix the reference interpreter produces).  Output is
+    bit-identical for every worker count:
     morsel boundaries depend only on the probe length and the per-range
     results concatenate in range order.
     """
@@ -270,28 +273,32 @@ def join_on_codes(
     def expand(bounds: tuple[int, int]):
         start, stop = bounds
         lo, counts = counts_for(start, stop)
-        total = int(counts.sum())
-        left_part = np.repeat(np.arange(start, stop, dtype=np.int64), counts)
-        starts = np.repeat(lo, counts)
-        group_base = np.repeat(np.cumsum(counts) - counts, counts)
-        right_part = right_map[
-            starts + (np.arange(total, dtype=np.int64) - group_base)
-        ]
-        dangling = (
-            np.flatnonzero(counts == 0).astype(np.int64) + start
-            if how in ("left", "full") else None
-        )
-        return left_part, right_part, dangling
+        if how in ("left", "full"):
+            # dangling left rows emit a -1 pad in place, preserving left
+            # row order (Limit over a left join depends on it)
+            out_counts = np.maximum(counts, 1)
+        else:
+            out_counts = counts
+        total = int(out_counts.sum())
+        left_part = np.repeat(np.arange(start, stop, dtype=np.int64), out_counts)
+        starts = np.repeat(lo, out_counts)
+        group_base = np.repeat(np.cumsum(out_counts) - out_counts, out_counts)
+        gathers = starts + (np.arange(total, dtype=np.int64) - group_base)
+        if how in ("left", "full"):
+            matched = np.repeat(counts > 0, out_counts)
+            if len(right_map):
+                right_part = np.where(
+                    matched, right_map[np.where(matched, gathers, 0)], -1
+                )
+            else:
+                right_part = np.full(total, -1, dtype=np.int64)
+        else:
+            right_part = right_map[gathers]
+        return left_part, right_part
 
     pieces = parallel_map(expand, ranges, workers)
     left_idx = np.concatenate([p[0] for p in pieces])
     right_idx = np.concatenate([p[1] for p in pieces])
-    if how in ("left", "full"):
-        dangling_left = np.concatenate([p[2] for p in pieces])
-        left_idx = np.concatenate([left_idx, dangling_left])
-        right_idx = np.concatenate([
-            right_idx, np.full(len(dangling_left), -1, dtype=np.int64)
-        ])
     if how == "full":
         matched = np.zeros(len(rk), dtype=bool)
         matched[right_idx[right_idx >= 0]] = True

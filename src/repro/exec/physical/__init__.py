@@ -1,0 +1,43 @@
+"""The physical-operator IR and the shared plan executor.
+
+Providers lower rewritten logical trees into :class:`PhysPlan`s (see the
+per-engine lowering modules: ``repro.relational.lowering``,
+``repro.array.lowering``, ``repro.linalg.lowering``,
+``repro.graph.lowering``) and run them through :data:`EXECUTOR`.  Operator
+families live in submodules: :mod:`repro.exec.physical.relational`
+(tabular), :mod:`repro.exec.physical.array` (chunked arrays),
+:mod:`repro.exec.physical.linalg` (blocked matrices) and
+:mod:`repro.exec.physical.graph` (native graph kernels).
+"""
+
+from .base import (
+    EXECUTOR,
+    ExecContext,
+    ExecCounters,
+    ExecOutcome,
+    PhysicalExecutor,
+    PhysInlineTable,
+    PhysLoopVar,
+    PhysOp,
+    PhysPlan,
+    PhysProps,
+    PhysScan,
+    props_for,
+    run_plan,
+)
+
+__all__ = [
+    "EXECUTOR",
+    "ExecContext",
+    "ExecCounters",
+    "ExecOutcome",
+    "PhysInlineTable",
+    "PhysLoopVar",
+    "PhysOp",
+    "PhysPlan",
+    "PhysProps",
+    "PhysScan",
+    "PhysicalExecutor",
+    "props_for",
+    "run_plan",
+]

@@ -1,0 +1,385 @@
+"""Physical operators for the chunked-array (SciDB-style) engine family.
+
+Values flow between these operators as :class:`ChunkedArray`s; tables
+entering from scans or inline literals are chunked on first use by
+:func:`as_chunked` and converted back at the plan root by
+:class:`PhysArrayResult`.  The kernels themselves live in
+:mod:`repro.array.ops`; lowering (:mod:`repro.array.lowering`) freezes the
+chunk side and worker count into each operator.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from ...array import ops
+from ...array.chunked import ChunkedArray
+from ...core import algebra as A
+from ...core.errors import ConvergenceError, ExecutionError
+from ...core.schema import Schema
+from ...storage.table import ColumnTable
+from .base import ExecContext, PhysOp, PhysProps
+
+__all__ = [
+    "PhysArrayResult", "PhysChunkedAsDims", "PhysChunkedCellJoin",
+    "PhysChunkedExtend", "PhysChunkedFilter", "PhysChunkedIterate",
+    "PhysChunkedMatMul", "PhysChunkedProject", "PhysChunkedReduceDims",
+    "PhysChunkedRegrid", "PhysChunkedRename", "PhysChunkedShift",
+    "PhysChunkedSlice", "PhysChunkedTranspose", "PhysChunkedWindow",
+    "arrays_converged", "as_chunked",
+]
+
+
+def as_chunked(value: Any, schema: Schema, chunk_side: int) -> ChunkedArray:
+    """Coerce a scan/inline result to chunked form (idempotent)."""
+    if isinstance(value, ChunkedArray):
+        return value
+    if not schema.dimensions:
+        raise ExecutionError(
+            "array engine needs dimensioned input; tag dimensions with AsDims"
+        )
+    return ChunkedArray.from_table(value, chunk_side)
+
+
+class _ChunkedOp(PhysOp):
+    """Base for unary chunked operators: coerces the child to an array."""
+
+    stage: str | None = None
+
+    def __init__(
+        self, child: PhysOp, child_schema: Schema, schema: Schema,
+        props: PhysProps, *, chunk_side: int, workers: int = 1,
+    ):
+        super().__init__(schema, props, (child,))
+        self.child_schema = child_schema
+        self.chunk_side = chunk_side
+        self.workers = workers
+
+    def _child_array(self, ctx: ExecContext) -> ChunkedArray:
+        value = self._children[0].run(ctx)
+        return as_chunked(value, self.child_schema, self.chunk_side)
+
+    def run(self, ctx: ExecContext) -> ChunkedArray:
+        arr = self._child_array(ctx)
+        if self.stage is None:
+            return self._apply(arr)
+        started = time.perf_counter()
+        result = self._apply(arr)
+        ctx.record(self.stage, started)
+        return result
+
+    def _apply(self, arr: ChunkedArray) -> ChunkedArray:
+        raise NotImplementedError
+
+
+class PhysChunkedAsDims(_ChunkedOp):
+    """Retag + re-chunk; from_table enforces that dimensions form a key
+    (duplicate coordinates raise) and contain no nulls."""
+
+    def run(self, ctx: ExecContext) -> ChunkedArray:
+        child = self._children[0].run(ctx)
+        table = child.to_table() if isinstance(child, ChunkedArray) else child
+        retagged = ColumnTable(self.schema, table.columns)
+        return ChunkedArray.from_table(retagged, self.chunk_side)
+
+    def details(self) -> str:
+        return ",".join(self.schema.dimension_names)
+
+
+class PhysChunkedSlice(_ChunkedOp):
+    cost_weight = 0.3
+
+    def __init__(self, child, child_schema, schema, props, *, bounds, **kw):
+        super().__init__(child, child_schema, schema, props, **kw)
+        self.bounds = bounds
+
+    def details(self) -> str:
+        return ",".join(f"{d}[{lo}:{hi}]" for d, lo, hi in self.bounds)
+
+    def _apply(self, arr):
+        return ops.slice_array(arr, self.bounds)
+
+
+class PhysChunkedShift(_ChunkedOp):
+    cost_weight = 0.3
+
+    def __init__(self, child, child_schema, schema, props, *, dim, offset, **kw):
+        super().__init__(child, child_schema, schema, props, **kw)
+        self.dim = dim
+        self.offset = offset
+
+    def details(self) -> str:
+        return f"{self.dim}{self.offset:+d}"
+
+    def _apply(self, arr):
+        return ops.shift_array(arr, self.dim, self.offset)
+
+
+class PhysChunkedTranspose(_ChunkedOp):
+    def __init__(self, child, child_schema, schema, props, *, order, **kw):
+        super().__init__(child, child_schema, schema, props, **kw)
+        self.order = order
+
+    def details(self) -> str:
+        return ",".join(self.order)
+
+    def _apply(self, arr):
+        return ops.transpose_array(arr, self.order, self.schema)
+
+
+class PhysChunkedFilter(_ChunkedOp):
+    stage = "filter"
+
+    def __init__(self, child, child_schema, schema, props, *, predicate, **kw):
+        super().__init__(child, child_schema, schema, props, **kw)
+        self.predicate = predicate
+
+    def details(self) -> str:
+        return repr(self.predicate)
+
+    def _apply(self, arr):
+        return ops.filter_array(
+            arr, self.predicate, self.child_schema, workers=self.workers
+        )
+
+
+class PhysChunkedExtend(_ChunkedOp):
+    stage = "extend"
+
+    def __init__(
+        self, child, child_schema, schema, props, *, names, exprs, **kw
+    ):
+        super().__init__(child, child_schema, schema, props, **kw)
+        self.names = names
+        self.exprs = exprs
+
+    def details(self) -> str:
+        return ",".join(f"{n}={e!r}" for n, e in zip(self.names, self.exprs))
+
+    def _apply(self, arr):
+        return ops.extend_array(
+            arr, self.names, self.exprs, self.child_schema, self.schema,
+            workers=self.workers,
+        )
+
+
+class PhysChunkedProject(_ChunkedOp):
+    cost_weight = 0.1
+
+    def details(self) -> str:
+        return ",".join(self.schema.names)
+
+    def _apply(self, arr):
+        return ops.project_array(arr, self.schema)
+
+
+class PhysChunkedRename(_ChunkedOp):
+    cost_weight = 0.0
+
+    def __init__(self, child, child_schema, schema, props, *, mapping, **kw):
+        super().__init__(child, child_schema, schema, props, **kw)
+        self.mapping = mapping
+
+    def details(self) -> str:
+        return ",".join(f"{a}->{b}" for a, b in self.mapping)
+
+    def _apply(self, arr):
+        return ops.rename_array(arr, dict(self.mapping), self.schema)
+
+
+class PhysChunkedRegrid(_ChunkedOp):
+    stage = "regrid"
+
+    def __init__(
+        self, child, child_schema, schema, props, *, factors, aggs, **kw
+    ):
+        super().__init__(child, child_schema, schema, props, **kw)
+        self.factors = factors
+        self.aggs = aggs
+
+    def details(self) -> str:
+        return ",".join(f"{d}/{f}" for d, f in self.factors)
+
+    def _apply(self, arr):
+        return ops.regrid_array(
+            arr, self.factors, self.aggs, self.child_schema, self.schema,
+            self.chunk_side, workers=self.workers,
+        )
+
+
+class PhysChunkedWindow(_ChunkedOp):
+    stage = "window"
+    cost_weight = 3.0
+
+    def __init__(self, child, child_schema, schema, props, *, sizes, aggs, **kw):
+        super().__init__(child, child_schema, schema, props, **kw)
+        self.sizes = sizes
+        self.aggs = aggs
+
+    def details(self) -> str:
+        return ",".join(f"{d}±{r}" for d, r in self.sizes)
+
+    def _apply(self, arr):
+        return ops.window_array(
+            arr, self.sizes, self.aggs, self.child_schema, self.schema
+        )
+
+
+class PhysChunkedReduceDims(_ChunkedOp):
+    stage = "reduce"
+
+    def __init__(self, child, child_schema, schema, props, *, keep, aggs, **kw):
+        super().__init__(child, child_schema, schema, props, **kw)
+        self.keep = keep
+        self.aggs = aggs
+
+    def details(self) -> str:
+        return f"keep {','.join(self.keep) or '()'}"
+
+    def _apply(self, arr):
+        return ops.reduce_dims_array(
+            arr, self.keep, self.aggs, self.child_schema, self.schema,
+            self.chunk_side,
+        )
+
+
+class _ChunkedBinary(PhysOp):
+    stage = "join"
+
+    def __init__(
+        self, left: PhysOp, right: PhysOp,
+        left_schema: Schema, right_schema: Schema,
+        schema: Schema, props: PhysProps, *, chunk_side: int,
+    ):
+        super().__init__(schema, props, (left, right))
+        self.left_schema = left_schema
+        self.right_schema = right_schema
+        self.chunk_side = chunk_side
+
+    def run(self, ctx: ExecContext) -> ChunkedArray:
+        left = as_chunked(
+            self._children[0].run(ctx), self.left_schema, self.chunk_side
+        )
+        right = as_chunked(
+            self._children[1].run(ctx), self.right_schema, self.chunk_side
+        )
+        started = time.perf_counter()
+        result = self._apply(left, right)
+        ctx.record(self.stage, started)
+        return result
+
+    def _apply(self, left, right):
+        raise NotImplementedError
+
+
+class PhysChunkedCellJoin(_ChunkedBinary):
+    def _apply(self, left, right):
+        return ops.cell_join_arrays(left, right, self.schema, self.chunk_side)
+
+
+class PhysChunkedMatMul(_ChunkedBinary):
+    stage = "matmul"
+    cost_weight = 5.0
+
+    def _apply(self, left, right):
+        return ops.matmul_arrays(left, right, self.schema, self.chunk_side)
+
+
+# -- control iteration --------------------------------------------------------------
+
+
+def arrays_converged(
+    stop: A.Convergence, old: Any, new: Any
+) -> bool:
+    """Region-aligned convergence test between two chunked loop states."""
+    if stop.value_attr is None:
+        return False
+    old_arr = old if isinstance(old, ChunkedArray) else None
+    new_arr = new if isinstance(new, ChunkedArray) else None
+    if old_arr is None or new_arr is None:
+        return False
+    if old_arr.cell_count != new_arr.cell_count:
+        return False
+    if old_arr.cell_count == 0:
+        return True
+    olo, ohi = old_arr.bounding_box()
+    nlo, nhi = new_arr.bounding_box()
+    lo = tuple(min(a, b) for a, b in zip(olo, nlo))
+    hi = tuple(max(a, b) for a, b in zip(ohi, nhi))
+    op, ov, om = old_arr.get_region(lo, hi)
+    np_, nv, nm = new_arr.get_region(lo, hi)
+    if not np.array_equal(op, np_):
+        return False
+    attr = stop.value_attr
+    omask = om[attr] if om[attr] is not None else np.zeros_like(op)
+    nmask = nm[attr] if nm[attr] is not None else np.zeros_like(op)
+    if not np.array_equal(omask & op, nmask & op):
+        return False
+    valid = op & ~omask
+    deltas = np.abs(
+        nv[attr][valid].astype(np.float64) - ov[attr][valid].astype(np.float64)
+    )
+    if deltas.size == 0:
+        return True
+    delta = float(deltas.max()) if stop.norm == "linf" else float(deltas.sum())
+    return delta <= stop.tolerance
+
+
+class PhysChunkedIterate(PhysOp):
+    """In-engine convergence loop with chunked-array state."""
+
+    def __init__(
+        self, init: PhysOp, body: PhysOp, var: str, stop: A.Convergence,
+        max_iter: int, strict: bool, state_schema: Schema,
+        schema: Schema, props: PhysProps, *, chunk_side: int,
+    ):
+        super().__init__(schema, props, (init, body))
+        self.var = var
+        self.stop = stop
+        self.max_iter = max_iter
+        self.strict = strict
+        self.state_schema = state_schema
+        self.chunk_side = chunk_side
+        self.cost_weight = float(min(max_iter, 20))
+
+    def details(self) -> str:
+        stop = (
+            f"|{self.stop.value_attr}|_{self.stop.norm}"
+            f"<={self.stop.tolerance}"
+            if self.stop.value_attr is not None else "fixed"
+        )
+        return f"{self.var} x{self.max_iter} until {stop}"
+
+    def _coerce(self, value: Any) -> Any:
+        if self.state_schema.dimensions:
+            return as_chunked(value, self.state_schema, self.chunk_side)
+        return value
+
+    def run(self, ctx: ExecContext) -> Any:
+        state = self._coerce(self._children[0].run(ctx))
+        for _ in range(self.max_iter):
+            inner = ctx.bind(self.var, state)
+            new_state = self._coerce(self._children[1].run(inner))
+            if arrays_converged(self.stop, state, new_state):
+                return new_state
+            state = new_state
+        if self.stop.value_attr is not None and self.strict:
+            raise ConvergenceError(
+                f"Iterate did not converge within {self.max_iter} iterations"
+            )
+        return state
+
+
+class PhysArrayResult(PhysOp):
+    """Plan root: convert the final chunked array back to COO table form."""
+
+    cost_weight = 0.0
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        result = self._children[0].run(ctx)
+        if isinstance(result, ChunkedArray):
+            return result.to_table()
+        return result

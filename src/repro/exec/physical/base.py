@@ -1,0 +1,318 @@
+"""The physical-operator IR shared by every provider's lowering pass.
+
+A logical algebra tree says *what* to compute; a physical plan says *how*:
+which access path serves a filter, which join algorithm runs, which chains
+fuse into one pass, how many morsel workers split a scan.  Providers turn
+rewritten logical trees into :class:`PhysPlan`s with a pure lowering pass
+(no data touched), and one shared :class:`PhysicalExecutor` runs them.
+
+Keeping lowering separate from execution buys three things:
+
+* decisions are **inspectable** — ``explain(physical=True)`` renders the
+  lowered plan, and golden tests pin it down without executing anything;
+* decisions are **cacheable** — engines memoize physical plans keyed on
+  the serialized logical tree, the physical options and the catalog
+  version, so repeat queries skip both lowering and pipeline construction;
+* per-query **stage timings** live in one place — the executor's context —
+  instead of being diffed out of ever-growing engine counters.
+
+Every operator carries :class:`PhysProps`: estimated cardinality, output
+ordering, dimension metadata and parallelism degree.  The federation cost
+model reads these off lowered fragment plans instead of re-guessing from
+logical trees.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ...core.errors import ExecutionError
+from ...core.schema import Schema
+from ...storage.table import ColumnTable
+
+#: Resolves a Scan leaf to its stored value (table, chunked array, matrix).
+Resolver = Callable[[str], Any]
+
+
+# -- physical properties -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhysProps:
+    """Physical properties of one operator's output."""
+
+    #: estimated output cardinality (rows / cells); None = unknown
+    est_rows: int | None = None
+    #: output ordering as (column, ascending) pairs; () = no guarantee
+    ordering: tuple[tuple[str, bool], ...] = ()
+    #: dimension columns of the output (array/matrix-shaped data)
+    dimensions: tuple[str, ...] = ()
+    #: worker threads this operator may use; 1 = serial, 0 = per-CPU
+    parallelism: int = 1
+
+    def describe(self) -> str:
+        parts = []
+        if self.est_rows is not None:
+            parts.append(f"rows~{self.est_rows}")
+        if self.ordering:
+            keys = ",".join(
+                (name if asc else f"-{name}") for name, asc in self.ordering
+            )
+            parts.append(f"order={keys}")
+        if self.dimensions:
+            parts.append(f"dims={','.join(self.dimensions)}")
+        if self.parallelism != 1:
+            parts.append(f"par={self.parallelism or 'cpu'}")
+        return " ".join(parts)
+
+
+def props_for(
+    schema: Schema,
+    est_rows: int | None = None,
+    *,
+    ordering: tuple[tuple[str, bool], ...] = (),
+    parallelism: int = 1,
+) -> PhysProps:
+    """Standard props: dimensions always mirror the output schema."""
+    return PhysProps(
+        est_rows=est_rows,
+        ordering=ordering,
+        dimensions=tuple(schema.dimension_names),
+        parallelism=parallelism,
+    )
+
+
+def scale_rows(est: int | None, factor: float) -> int | None:
+    """Estimate propagation helper; unknown (None) stays unknown."""
+    if est is None:
+        return None
+    return max(int(est * factor), 1)
+
+
+def sum_rows(*ests: int | None) -> int | None:
+    if any(e is None for e in ests):
+        return None
+    return sum(ests)  # type: ignore[arg-type]
+
+
+def join_rows(left: int | None, right: int | None, how: str) -> int | None:
+    """Textbook join-output estimate (mirrors federation.cost heuristics)."""
+    if left is None or right is None:
+        return None
+    if how in ("semi", "anti"):
+        return max(int(left * 0.5), 1)
+    matched = left * right * 0.1 / max(min(left, right), 1)
+    if how == "inner":
+        return max(int(matched), 1)
+    if how == "left":
+        return max(int(matched), left)
+    return max(int(matched), left + right)
+
+
+# -- execution context -------------------------------------------------------------
+
+
+@dataclass
+class ExecCounters:
+    """Cumulative access-path counters, shared across an engine's queries."""
+
+    fused_runs: int = 0
+    index_hits: int = 0
+
+
+class ExecContext:
+    """Per-query execution state threaded through ``PhysOp.run``.
+
+    Owns the per-query stage timings (the executor hands them back in the
+    :class:`ExecOutcome`), the scan resolver, and the loop-variable
+    environment for ``PhysIterate`` bodies.
+    """
+
+    __slots__ = ("resolver", "env", "counters", "stage_seconds")
+
+    def __init__(
+        self,
+        resolver: Resolver,
+        env: dict[str, Any] | None = None,
+        counters: ExecCounters | None = None,
+        stage_seconds: dict[str, float] | None = None,
+    ):
+        self.resolver = resolver
+        self.env = env if env is not None else {}
+        self.counters = counters if counters is not None else ExecCounters()
+        self.stage_seconds = stage_seconds if stage_seconds is not None else {}
+
+    def record(self, stage: str, started: float) -> None:
+        """Accumulate wall time for one physical stage of this query."""
+        self.stage_seconds[stage] = (
+            self.stage_seconds.get(stage, 0.0)
+            + (time.perf_counter() - started)
+        )
+
+    def bind(self, var: str, value: Any) -> "ExecContext":
+        """A child context with ``var`` bound (timings/counters shared)."""
+        env = dict(self.env)
+        env[var] = value
+        return ExecContext(self.resolver, env, self.counters, self.stage_seconds)
+
+
+# -- operators ----------------------------------------------------------------------
+
+
+class PhysOp:
+    """One physical operator: children, output schema, properties, run()."""
+
+    #: abstract per-row work multiplier (consumed by federation.cost)
+    cost_weight: float = 1.0
+
+    def __init__(self, schema: Schema, props: PhysProps, children: tuple = ()):
+        self.schema = schema
+        self.props = props
+        self._children: tuple[PhysOp, ...] = tuple(children)
+
+    @property
+    def op_name(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> tuple["PhysOp", ...]:
+        return self._children
+
+    def details(self) -> str:
+        """Compact operator parameters for plan rendering; "" = none."""
+        return ""
+
+    def run(self, ctx: ExecContext) -> Any:
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["PhysOp"]:
+        yield self
+        for child in self._children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.op_name} {self.props.describe()}>"
+
+
+# -- generic leaves (shared by every engine's lowering) ----------------------------
+
+
+class PhysScan(PhysOp):
+    """Fetch a stored dataset (or fragment input) through the resolver."""
+
+    cost_weight = 0.0  # no per-row work: hands back stored columns
+
+    def __init__(self, name: str, schema: Schema, props: PhysProps):
+        super().__init__(schema, props)
+        self.name = name
+
+    def details(self) -> str:
+        return self.name
+
+    def run(self, ctx: ExecContext) -> Any:
+        return ctx.resolver(self.name)
+
+
+class PhysInlineTable(PhysOp):
+    """Materialize literal rows shipped inside the expression tree."""
+
+    def __init__(self, schema: Schema, rows: tuple, props: PhysProps):
+        super().__init__(schema, props)
+        self.rows = rows
+
+    def details(self) -> str:
+        return f"{len(self.rows)} rows"
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        return ColumnTable.from_rows(self.schema, self.rows)
+
+
+class PhysLoopVar(PhysOp):
+    """Read the current loop state bound by an enclosing PhysIterate."""
+
+    cost_weight = 0.0
+
+    def __init__(self, name: str, schema: Schema, props: PhysProps):
+        super().__init__(schema, props)
+        self.name = name
+
+    def details(self) -> str:
+        return self.name
+
+    def run(self, ctx: ExecContext) -> Any:
+        try:
+            return ctx.env[self.name]
+        except KeyError:
+            raise ExecutionError(f"unbound LoopVar({self.name!r})") from None
+
+
+# -- plans and the shared executor --------------------------------------------------
+
+
+@dataclass
+class PhysPlan:
+    """A lowered physical plan for one provider's engine."""
+
+    root: PhysOp
+    #: which engine family the plan targets ("relational", "array", ...)
+    engine: str = "relational"
+
+    def walk(self) -> Iterator[PhysOp]:
+        return self.root.walk()
+
+    def render(self) -> str:
+        """Deterministic, compact plan text (EXPLAIN and golden tests)."""
+        lines: list[str] = []
+
+        def visit(op: PhysOp, depth: int) -> None:
+            line = "  " * depth + op.op_name
+            detail = op.details()
+            if detail:
+                line += f"({detail})"
+            props = op.props.describe()
+            if props:
+                line += f"  [{props}]"
+            lines.append(line)
+            for child in op.children():
+                visit(child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+
+@dataclass
+class ExecOutcome:
+    """One executed plan: the result plus this query's stage timings."""
+
+    value: Any
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+
+class PhysicalExecutor:
+    """Runs physical plans; engines share one stateless instance."""
+
+    def execute(
+        self,
+        plan: PhysPlan,
+        resolver: Resolver,
+        env: dict[str, Any] | None = None,
+        counters: ExecCounters | None = None,
+    ) -> ExecOutcome:
+        ctx = ExecContext(resolver, env, counters)
+        value = plan.root.run(ctx)
+        return ExecOutcome(value, ctx.stage_seconds)
+
+
+#: the shared executor instance every engine drives plans through
+EXECUTOR = PhysicalExecutor()
+
+
+def run_plan(
+    plan: PhysPlan,
+    resolver: Resolver,
+    env: dict[str, Any] | None = None,
+    counters: ExecCounters | None = None,
+) -> ExecOutcome:
+    """Execute ``plan`` on the shared :data:`EXECUTOR`."""
+    return EXECUTOR.execute(plan, resolver, env=env, counters=counters)

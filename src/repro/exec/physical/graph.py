@@ -1,0 +1,97 @@
+"""Physical operators for the graph-analytics engine family.
+
+The graph provider's only specialized physical operator is
+:class:`PhysPageRank`: a PageRank-shaped ``Iterate`` (recognized by
+:func:`repro.graph.queries.match_pagerank` at lowering time) running on
+CSR adjacency with the vectorized kernel.  One input to the decision —
+whether the tree's teleport constant equals ``(1-d)/n`` — depends on the
+*data* (the vertex count), so the operator carries a lowered generic plan
+as its fallback and re-checks that single condition at run time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from ...core.schema import Schema
+from ...core.types import DType
+from ...graph.algorithms import pagerank as native_pagerank
+from ...graph.csr import CSRGraph
+from ...storage.column import Column
+from ...storage.table import ColumnTable
+from .base import ExecContext, PhysOp, PhysProps
+
+__all__ = ["PhysPageRank"]
+
+
+class PhysPageRank(PhysOp):
+    """A recognized PageRank loop on CSR adjacency (native kernel).
+
+    Children are the lowered ``vertices`` and ``edges`` plans; ``fallback``
+    is the lowered generic iteration used when the runtime teleport check
+    fails.  ``provider`` (when given) has its ``stats_native_hits`` bumped
+    on each native execution.
+    """
+
+    cost_weight = 0.05  # the whole reason the graph server exists
+
+    def __init__(
+        self,
+        vertices: PhysOp,
+        edges: PhysOp,
+        spec: Any,  # repro.graph.queries.PageRankSpec
+        fallback: PhysOp,
+        schema: Schema,
+        props: PhysProps,
+        provider: Any = None,
+    ):
+        super().__init__(schema, props, (vertices, edges))
+        self.spec = spec
+        self.fallback = fallback
+        self.provider = provider
+
+    def details(self) -> str:
+        return (
+            f"damping={self.spec.damping} tol={self.spec.tolerance} "
+            f"x{self.spec.max_iter}"
+        )
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        vertices = self._children[0].run(ctx)
+        edges = self._children[1].run(ctx)
+        vertex_ids = vertices.array("v").astype(np.int64)
+        n = len(vertex_ids)
+        if n == 0:
+            if self.provider is not None:
+                self.provider.stats_native_hits += 1
+            return ColumnTable.empty(self.schema)
+        # teleport must equal (1 - d) / n for the native kernel to apply —
+        # the one part of the match that cannot be checked at lowering time
+        if abs(self.spec.teleport - (1.0 - self.spec.damping) / n) > 1e-12:
+            return self.fallback.run(ctx)
+        if self.provider is not None:
+            self.provider.stats_native_hits += 1
+        started = time.perf_counter()
+        graph = CSRGraph.from_edge_table(edges)
+        ranks_compact, _ = native_pagerank(
+            graph,
+            damping=self.spec.damping,
+            tolerance=self.spec.tolerance,
+            max_iter=self.spec.max_iter,
+        )
+        # map compact ids back to the caller's vertex ids; vertices with no
+        # edges at all never entered the CSR and hold the teleport rank
+        rank_by_id = dict(zip(graph.vertex_ids.tolist(), ranks_compact.tolist()))
+        teleport = (1.0 - self.spec.damping) / n
+        ranks = np.array(
+            [rank_by_id.get(int(v), teleport) for v in vertex_ids]
+        )
+        result = ColumnTable(self.schema, {
+            "v": Column(DType.INT64, vertex_ids.copy()),
+            "rank": Column(DType.FLOAT64, ranks),
+        })
+        ctx.record("pagerank", started)
+        return result

@@ -1,0 +1,115 @@
+"""Physical operators for the blocked linear-algebra engine family.
+
+Values flow between these operators as :class:`BlockedMatrix`; the
+coordinate-table names each matrix travels under are resolved *statically*
+during lowering (:mod:`repro.linalg.lowering`) — a ``Rename`` is therefore
+physically free and never appears in a lowered plan.  The root
+:class:`PhysMatrixToTable` converts back to COO form under the original
+tree's schema.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ...linalg import kernels
+from ...linalg.blocked import BlockedMatrix
+from ...storage.table import ColumnTable
+from .base import ExecContext, PhysOp, PhysProps
+from ...core.schema import Schema
+
+__all__ = [
+    "PhysBlockedMatMul", "PhysBlockedTranspose", "PhysMatrixLiteral",
+    "PhysMatrixSource", "PhysMatrixToTable",
+]
+
+
+class PhysMatrixSource(PhysOp):
+    """A named matrix input; accepts a pre-blocked matrix or a COO table."""
+
+    cost_weight = 0.0
+
+    def __init__(
+        self, name: str, schema: Schema, props: PhysProps, *, block_size: int
+    ):
+        super().__init__(schema, props, ())
+        self.name = name
+        self.block_size = block_size
+
+    def details(self) -> str:
+        return self.name
+
+    def run(self, ctx: ExecContext) -> BlockedMatrix:
+        value = ctx.resolver(self.name)
+        if isinstance(value, BlockedMatrix):
+            return value  # pre-blocked by the provider, skip conversion
+        return BlockedMatrix.from_table(value, self.block_size)
+
+
+class PhysMatrixLiteral(PhysOp):
+    """An inline COO literal blocked at run time."""
+
+    cost_weight = 0.0
+
+    def __init__(
+        self, table_schema: Schema, rows: tuple, schema: Schema,
+        props: PhysProps, *, block_size: int,
+    ):
+        super().__init__(schema, props, ())
+        self.table_schema = table_schema
+        self.rows = rows
+        self.block_size = block_size
+
+    def details(self) -> str:
+        return f"{len(self.rows)} rows"
+
+    def run(self, ctx: ExecContext) -> BlockedMatrix:
+        table = ColumnTable.from_rows(self.table_schema, self.rows)
+        return BlockedMatrix.from_table(table, self.block_size)
+
+
+class PhysBlockedMatMul(PhysOp):
+    cost_weight = 5.0
+
+    def run(self, ctx: ExecContext) -> BlockedMatrix:
+        left = self._children[0].run(ctx)
+        right = self._children[1].run(ctx)
+        started = time.perf_counter()
+        out = kernels.matmul(left, right)
+        ctx.record("matmul", started)
+        return out
+
+
+class PhysBlockedTranspose(PhysOp):
+    def run(self, ctx: ExecContext) -> BlockedMatrix:
+        child = self._children[0].run(ctx)
+        started = time.perf_counter()
+        out = kernels.transpose(child)
+        ctx.record("transpose", started)
+        return out
+
+
+class PhysMatrixToTable(PhysOp):
+    """Plan root: blocked matrix → COO table under the tree's schema.
+
+    Dense-semantics caveat carried over from the provider: exact-zero
+    cells are treated as absent by this server.
+    """
+
+    cost_weight = 0.0
+
+    def __init__(
+        self, child: PhysOp, names: tuple[str, str, str],
+        schema: Schema, props: PhysProps,
+    ):
+        super().__init__(schema, props, (child,))
+        self.names = names
+
+    def details(self) -> str:
+        return ",".join(self.names)
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        result = self._children[0].run(ctx)
+        table = result.to_table(*self.names)
+        # re-attach the tree's schema (same names; order/tags may differ)
+        return ColumnTable(self.schema, table.columns)

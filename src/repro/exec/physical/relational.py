@@ -1,0 +1,837 @@
+"""Physical operators for the tabular (relational) engine family.
+
+Each class here is the *how* behind one or more logical operators: fused
+pipelines for Filter/Project/Extend/Rename chains, four join algorithms,
+index probes for filters over stored base tables, scatter-based partial
+aggregation, and the in-engine convergence loop.  Operators are built by
+:mod:`repro.relational.lowering` and run through the shared executor in
+:mod:`repro.exec.physical.base`; none of them makes decisions at run
+time — algorithm and access-path choices are frozen at lowering.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ...core import algebra as A
+from ...core.errors import ConvergenceError, ExecutionError
+from ...core.expressions import Expr
+from ...core.schema import Schema
+from ...core.types import DType
+from ...relational import joins
+from ...relational.aggregation import factorize, group_aggregate
+from ...relational.eval import eval_vector
+from ...relational.sorting import sort_indices
+from ...storage.column import Column
+from ...storage.table import ColumnTable
+from ..morsel import run_pipeline_morsels
+from ..pipeline import FusedPipeline
+from .base import ExecContext, PhysOp, PhysProps
+
+__all__ = [
+    "PhysAsDims", "PhysCellJoin", "PhysCoarsenDims", "PhysDistinct",
+    "PhysExtend", "PhysFilter", "PhysFusedPipeline", "PhysHashJoin",
+    "PhysIndexProbe", "PhysIterate", "PhysLimit", "PhysMatMulJoinAgg",
+    "PhysMergeJoin", "PhysNestedLoopJoin", "PhysPartialAggregate",
+    "PhysProduct", "PhysProject", "PhysPythonHashJoin", "PhysRename",
+    "PhysRetag", "PhysReverse", "PhysSetOp", "PhysShiftDim",
+    "PhysSliceDims", "PhysSort", "PhysUnion", "apply_predicate",
+    "coerce_table", "tables_converged",
+]
+
+
+def apply_predicate(
+    table: ColumnTable, predicate: Expr, compiled: bool
+) -> ColumnTable:
+    """Vectorized filter; a null predicate drops the row."""
+    pred = eval_vector(predicate, table, compiled=compiled)
+    keep = pred.values.astype(bool)
+    if pred.mask is not None:
+        keep = keep & ~pred.mask
+    return table.filter(keep)
+
+
+def coerce_table(table: ColumnTable, schema: Schema) -> ColumnTable:
+    """Adapt a table to an equally-named schema (numeric promotion, retag)."""
+    columns = {}
+    for attr in schema:
+        column = table.column(attr.name)
+        if column.dtype is not attr.dtype:
+            column = column.cast(attr.dtype)
+        columns[attr.name] = column
+    return ColumnTable(schema, columns)
+
+
+# -- fused scans and row-at-a-time fallbacks ---------------------------------------
+
+
+class PhysFusedPipeline(PhysOp):
+    """A maximal Filter/Project/Extend/Rename chain as one vectorized pass."""
+
+    def __init__(
+        self,
+        source: PhysOp,
+        pipeline: FusedPipeline,
+        steps: tuple[str, ...],
+        schema: Schema,
+        props: PhysProps,
+        *,
+        workers: int,
+        morsel_size: int,
+    ):
+        super().__init__(schema, props, (source,))
+        self.pipeline = pipeline
+        self.steps = steps
+        self.workers = workers
+        self.morsel_size = morsel_size
+
+    def details(self) -> str:
+        return ">".join(self.steps)
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        source = self._children[0].run(ctx)
+        ctx.counters.fused_runs += 1
+        started = time.perf_counter()
+        if self.workers != 1:
+            result = run_pipeline_morsels(
+                self.pipeline, source,
+                workers=self.workers, morsel_size=self.morsel_size,
+            )
+        else:
+            result = self.pipeline.run(source)
+        ctx.record("pipeline", started)
+        return result
+
+
+class PhysFilter(PhysOp):
+    cost_weight = 1.0
+
+    def __init__(
+        self, child: PhysOp, predicate: Expr, schema: Schema,
+        props: PhysProps, *, compiled: bool,
+    ):
+        super().__init__(schema, props, (child,))
+        self.predicate = predicate
+        self.compiled = compiled
+
+    def details(self) -> str:
+        return repr(self.predicate)
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        child = self._children[0].run(ctx)
+        return apply_predicate(child, self.predicate, self.compiled)
+
+
+class PhysProject(PhysOp):
+    cost_weight = 0.1  # column selection is metadata work
+
+    def __init__(
+        self, child: PhysOp, names: tuple[str, ...], schema: Schema,
+        props: PhysProps,
+    ):
+        super().__init__(schema, props, (child,))
+        self.names = names
+
+    def details(self) -> str:
+        return ",".join(self.names)
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        return self._children[0].run(ctx).select(self.names)
+
+
+class PhysExtend(PhysOp):
+    def __init__(
+        self, child: PhysOp, names: tuple[str, ...],
+        exprs: tuple[Expr, ...], schema: Schema, props: PhysProps,
+        *, compiled: bool,
+    ):
+        super().__init__(schema, props, (child,))
+        self.names = names
+        self.exprs = exprs
+        self.compiled = compiled
+
+    def details(self) -> str:
+        return ",".join(
+            f"{n}={e!r}" for n, e in zip(self.names, self.exprs)
+        )
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        child = self._children[0].run(ctx)
+        out = child
+        for name, expr in zip(self.names, self.exprs):
+            # exprs see the input table only
+            column = eval_vector(expr, child, compiled=self.compiled)
+            out = out.with_column(name, column.dtype, column)
+        return ColumnTable(self.schema, out.columns)
+
+
+class PhysRename(PhysOp):
+    cost_weight = 0.0
+
+    def __init__(
+        self, child: PhysOp, mapping: tuple[tuple[str, str], ...],
+        schema: Schema, props: PhysProps,
+    ):
+        super().__init__(schema, props, (child,))
+        self.mapping = mapping
+
+    def details(self) -> str:
+        return ",".join(f"{a}->{b}" for a, b in self.mapping)
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        return self._children[0].run(ctx).rename(dict(self.mapping))
+
+
+# -- index access path -------------------------------------------------------------
+
+
+class PhysIndexProbe(PhysOp):
+    """Serve a filter over a stored base table from a secondary index.
+
+    The probed conjunct, the index kind and the residual conjuncts were all
+    chosen at lowering time from the catalog; run() only executes the
+    lookup and applies the residual vectorized over the fetched subset.
+    """
+
+    cost_weight = 0.1
+
+    def __init__(
+        self,
+        entry,  # repro.relational.catalog.TableEntry
+        dataset: str,
+        column: str,
+        op: str,
+        value,
+        kind: str,  # "hash" | "sorted"
+        project_names: tuple[str, ...] | None,
+        residual: tuple[Expr, ...],
+        schema: Schema,
+        props: PhysProps,
+        *,
+        compiled: bool,
+    ):
+        super().__init__(schema, props)
+        self.entry = entry
+        self.dataset = dataset
+        self.column = column
+        self.op = op
+        self.value = value
+        self.kind = kind
+        self.project_names = project_names
+        self.residual = residual
+        self.compiled = compiled
+
+    def details(self) -> str:
+        text = (
+            f"{self.dataset}.{self.column} {self.op} {self.value!r} "
+            f"via {self.kind}"
+        )
+        if self.residual:
+            text += f" +{len(self.residual)} residual"
+        if self.project_names is not None:
+            text += f" -> {','.join(self.project_names)}"
+        return text
+
+    def _lookup(self) -> np.ndarray:
+        if self.kind == "hash":
+            return self.entry.hash_indexes[self.column].lookup(self.value)
+        index = self.entry.sorted_indexes[self.column]
+        if self.op == "==":
+            return index.equality_lookup(self.value)
+        if self.op in ("<", "<="):
+            return index.range_lookup(
+                None, self.value, high_inclusive=(self.op == "<=")
+            )
+        return index.range_lookup(
+            self.value, None, low_inclusive=(self.op == ">=")
+        )
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        rows = self._lookup()
+        ctx.counters.index_hits += 1
+        subset = self.entry.table.take(rows)
+        if self.project_names is not None:
+            subset = subset.select(self.project_names)
+        for other in self.residual:
+            subset = apply_predicate(subset, other, self.compiled)
+        return subset
+
+
+# -- joins --------------------------------------------------------------------------
+
+
+class _PhysJoinBase(PhysOp):
+    """Shared output assembly; subclasses supply the matching algorithm."""
+
+    algorithm = "hash"
+
+    def __init__(
+        self, left: PhysOp, right: PhysOp,
+        on: tuple[tuple[str, str], ...], how: str,
+        schema: Schema, props: PhysProps,
+    ):
+        super().__init__(schema, props, (left, right))
+        self.on = on
+        self.how = how
+
+    def details(self) -> str:
+        keys = ",".join(f"{l}={r}" for l, r in self.on)
+        return f"{self.how} on {keys}"
+
+    def _indices(
+        self, left: ColumnTable, right: ColumnTable
+    ) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        left = self._children[0].run(ctx)
+        right = self._children[1].run(ctx)
+        started = time.perf_counter()
+        lidx, ridx = self._indices(left, right)
+        if self.how in ("semi", "anti"):
+            result = ColumnTable(self.schema, left.take(lidx).columns)
+        else:
+            rkeys = {r for _, r in self.on}
+            right_keep = [n for n in right.schema.names if n not in rkeys]
+            result = joins.gather_join_output(
+                left, right, right_keep, lidx, ridx, self.schema
+            )
+        ctx.record("join", started)
+        return result
+
+    @property
+    def _lkeys(self) -> list[str]:
+        return [l for l, _ in self.on]
+
+    @property
+    def _rkeys(self) -> list[str]:
+        return [r for _, r in self.on]
+
+
+class PhysHashJoin(_PhysJoinBase):
+    """Vectorized hash join over dense int64 key codes."""
+
+    def __init__(self, *args, workers: int = 1, morsel_size: int = 131_072):
+        super().__init__(*args)
+        self.workers = workers
+        self.morsel_size = morsel_size
+
+    def _indices(self, left, right):
+        return joins.hash_join(
+            left, right, self._lkeys, self._rkeys, self.how,
+            workers=self.workers, morsel_size=self.morsel_size,
+        )
+
+
+class PhysMergeJoin(_PhysJoinBase):
+    algorithm = "merge"
+    cost_weight = 1.5
+
+    def __init__(self, *args, presorted: bool = False):
+        super().__init__(*args)
+        self.presorted = presorted
+
+    def details(self) -> str:
+        text = super().details()
+        return f"{text} presorted" if self.presorted else text
+
+    def _indices(self, left, right):
+        return joins.merge_join(
+            left, right, self._lkeys, self._rkeys, how=self.how,
+            presorted=self.presorted,
+        )
+
+
+class PhysNestedLoopJoin(_PhysJoinBase):
+    algorithm = "nested"
+    cost_weight = 50.0  # quadratic baseline
+
+    def _indices(self, left, right):
+        return joins.nested_loop_join(left, right, self._lkeys, self._rkeys)
+
+
+class PhysPythonHashJoin(_PhysJoinBase):
+    algorithm = "python"
+    cost_weight = 10.0  # row-at-a-time ablation baseline
+
+    def _indices(self, left, right):
+        return joins.python_hash_join(
+            left, right, self._lkeys, self._rkeys, self.how
+        )
+
+
+class PhysProduct(PhysOp):
+    cost_weight = 5.0
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        left = self._children[0].run(ctx)
+        right = self._children[1].run(ctx)
+        lidx = np.repeat(
+            np.arange(left.num_rows, dtype=np.int64), right.num_rows
+        )
+        ridx = np.tile(
+            np.arange(right.num_rows, dtype=np.int64), left.num_rows
+        )
+        columns = {n: left.column(n).take(lidx) for n in left.schema.names}
+        columns.update(
+            {n: right.column(n).take(ridx) for n in right.schema.names}
+        )
+        return ColumnTable(self.schema, columns)
+
+
+# -- aggregation --------------------------------------------------------------------
+
+
+class PhysPartialAggregate(PhysOp):
+    """Scatter-based group aggregation (morsel-parallel partials)."""
+
+    def __init__(
+        self, child: PhysOp, group_by: tuple[str, ...],
+        aggs: tuple[A.AggSpec, ...], schema: Schema, props: PhysProps,
+        *, compiled: bool, workers: int, morsel_size: int,
+    ):
+        super().__init__(schema, props, (child,))
+        self.group_by = group_by
+        self.aggs = aggs
+        self.compiled = compiled
+        self.workers = workers
+        self.morsel_size = morsel_size
+
+    def details(self) -> str:
+        specs = ",".join(
+            f"{s.name}={s.func}({s.arg!r})" if s.arg is not None
+            else f"{s.name}={s.func}(*)"
+            for s in self.aggs
+        )
+        by = ",".join(self.group_by) or "()"
+        return f"by {by}: {specs}"
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        child = self._children[0].run(ctx)
+        started = time.perf_counter()
+        result = group_aggregate(
+            child, self.group_by, self.aggs, self.schema,
+            compiled=self.compiled,
+            workers=self.workers, morsel_size=self.morsel_size,
+        )
+        ctx.record("aggregate", started)
+        return result
+
+
+# -- ordering, limiting, set operations --------------------------------------------
+
+
+class PhysSort(PhysOp):
+    cost_weight = 4.0
+
+    def __init__(
+        self, child: PhysOp, keys: tuple[str, ...],
+        ascending: tuple[bool, ...], schema: Schema, props: PhysProps,
+    ):
+        super().__init__(schema, props, (child,))
+        self.keys = keys
+        self.ascending = ascending
+
+    def details(self) -> str:
+        return ",".join(
+            (k if asc else f"-{k}")
+            for k, asc in zip(self.keys, self.ascending)
+        )
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        child = self._children[0].run(ctx)
+        return child.take(sort_indices(child, self.keys, self.ascending))
+
+
+class PhysLimit(PhysOp):
+    cost_weight = 0.1
+
+    def __init__(
+        self, child: PhysOp, count: int, offset: int,
+        schema: Schema, props: PhysProps,
+    ):
+        super().__init__(schema, props, (child,))
+        self.count = count
+        self.offset = offset
+
+    def details(self) -> str:
+        if self.offset:
+            return f"{self.count} skip {self.offset}"
+        return str(self.count)
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        child = self._children[0].run(ctx)
+        return child.slice(self.offset, self.offset + self.count)
+
+
+class PhysReverse(PhysOp):
+    cost_weight = 0.1
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        return self._children[0].run(ctx).reverse()
+
+
+class PhysDistinct(PhysOp):
+    cost_weight = 2.0
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        table = self._children[0].run(ctx)
+        gids, _ = factorize(table, table.schema.names)
+        if len(gids) == 0:
+            return table
+        _, first = np.unique(gids, return_index=True)
+        return table.take(np.sort(first))
+
+
+class PhysUnion(PhysOp):
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        left = self._children[0].run(ctx)
+        right = self._children[1].run(ctx)
+        return ColumnTable.concat([
+            coerce_table(left, self.schema), coerce_table(right, self.schema)
+        ])
+
+
+class PhysSetOp(PhysOp):
+    """Intersect/Except via row-set membership (distinct output)."""
+
+    cost_weight = 10.0  # row-at-a-time
+
+    def __init__(
+        self, child_left: PhysOp, child_right: PhysOp,
+        keep_if_present: bool, schema: Schema, props: PhysProps,
+    ):
+        super().__init__(schema, props, (child_left, child_right))
+        self.keep_if_present = keep_if_present
+
+    def details(self) -> str:
+        return "intersect" if self.keep_if_present else "except"
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        left = coerce_table(self._children[0].run(ctx), self.schema)
+        right = coerce_table(self._children[1].run(ctx), self.schema)
+        right_keys = set(right.iter_rows())
+        seen: set[tuple] = set()
+        keep = np.zeros(left.num_rows, dtype=bool)
+        for i, row in enumerate(left.iter_rows()):
+            if (row in right_keys) is self.keep_if_present and row not in seen:
+                seen.add(row)
+                keep[i] = True
+        return left.filter(keep)
+
+
+# -- dimension-aware operators (relational readings) -------------------------------
+
+
+class PhysAsDims(PhysOp):
+    """Retag columns as dimensions, checking they form a key."""
+
+    def __init__(
+        self, child: PhysOp, dims: tuple[str, ...],
+        schema: Schema, props: PhysProps,
+    ):
+        super().__init__(schema, props, (child,))
+        self.dims = dims
+
+    def details(self) -> str:
+        return ",".join(self.dims)
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        child = self._children[0].run(ctx)
+        _, groups = factorize(child, self.dims)
+        if len(groups) != child.num_rows:
+            raise ExecutionError(
+                f"AsDims: dimensions {list(self.dims)} do not form a key "
+                f"({child.num_rows} rows, {len(groups)} distinct coordinates)"
+            )
+        return ColumnTable(self.schema, child.columns)
+
+
+class PhysSliceDims(PhysOp):
+    def __init__(
+        self, child: PhysOp, bounds: tuple, schema: Schema, props: PhysProps,
+    ):
+        super().__init__(schema, props, (child,))
+        self.bounds = bounds
+
+    def details(self) -> str:
+        return ",".join(f"{d}[{lo}:{hi}]" for d, lo, hi in self.bounds)
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        child = self._children[0].run(ctx)
+        keep = np.ones(child.num_rows, dtype=bool)
+        for dim, lo, hi in self.bounds:
+            values = child.array(dim)
+            keep &= (values >= lo) & (values <= hi)
+        return child.filter(keep)
+
+
+class PhysShiftDim(PhysOp):
+    cost_weight = 0.1
+
+    def __init__(
+        self, child: PhysOp, dim: str, offset: int,
+        schema: Schema, props: PhysProps,
+    ):
+        super().__init__(schema, props, (child,))
+        self.dim = dim
+        self.offset = offset
+
+    def details(self) -> str:
+        return f"{self.dim}{self.offset:+d}"
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        child = self._children[0].run(ctx)
+        columns = dict(child.columns)
+        columns[self.dim] = Column(
+            DType.INT64, child.array(self.dim) + self.offset
+        )
+        return ColumnTable(self.schema, columns)
+
+
+class PhysRetag(PhysOp):
+    """Reattach a schema over unchanged columns (TransposeDims in COO)."""
+
+    cost_weight = 0.0
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        child = self._children[0].run(ctx)
+        return ColumnTable(self.schema, child.columns)
+
+
+class PhysCoarsenDims(PhysOp):
+    """Floor-divide dimension coordinates (the map half of Regrid)."""
+
+    cost_weight = 0.1
+
+    def __init__(
+        self, child: PhysOp, factors: tuple[tuple[str, int], ...],
+        schema: Schema, props: PhysProps,
+    ):
+        super().__init__(schema, props, (child,))
+        self.factors = factors
+
+    def details(self) -> str:
+        return ",".join(f"{d}/{f}" for d, f in self.factors)
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        child = self._children[0].run(ctx)
+        columns = dict(child.columns)
+        for dim, factor in self.factors:
+            columns[dim] = Column(
+                DType.INT64, np.floor_divide(child.array(dim), factor)
+            )
+        return ColumnTable(self.schema, columns)
+
+
+class PhysCellJoin(PhysOp):
+    """Equi-join on shared dimensions, merging value attributes."""
+
+    cost_weight = 2.0
+
+    def __init__(
+        self, left: PhysOp, right: PhysOp, dims: tuple[str, ...],
+        right_values: tuple[str, ...], schema: Schema, props: PhysProps,
+        *, workers: int, morsel_size: int,
+    ):
+        super().__init__(schema, props, (left, right))
+        self.dims = dims
+        self.right_values = right_values
+        self.workers = workers
+        self.morsel_size = morsel_size
+
+    def details(self) -> str:
+        return f"on {','.join(self.dims)}"
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        left = self._children[0].run(ctx)
+        right = self._children[1].run(ctx)
+        dims = list(self.dims)
+        started = time.perf_counter()
+        lidx, ridx = joins.hash_join(
+            left, right, dims, dims, "inner",
+            workers=self.workers, morsel_size=self.morsel_size,
+        )
+        ctx.record("join", started)
+        columns = {}
+        for name in left.schema.names:
+            columns[name] = left.column(name).take(lidx)
+        for name in self.right_values:
+            columns[name] = right.column(name).take(ridx)
+        return ColumnTable(self.schema, columns)
+
+
+class PhysMatMulJoinAgg(PhysOp):
+    """MatMul in its relational formulation: join on the shared dimension,
+    multiply, group by the outer dimensions, sum.  Correct but much slower
+    than a native linear-algebra engine — the point of experiment E3."""
+
+    cost_weight = 25.0
+
+    def __init__(
+        self, left: PhysOp, right: PhysOp,
+        left_schema: Schema, right_schema: Schema,
+        schema: Schema, props: PhysProps,
+        *, workers: int, morsel_size: int,
+    ):
+        super().__init__(schema, props, (left, right))
+        self.li, self.lk = left_schema.dimension_names
+        self.rk, self.rj = right_schema.dimension_names
+        self.lval = left_schema.value_names[0]
+        self.rval = right_schema.value_names[0]
+        self.workers = workers
+        self.morsel_size = morsel_size
+        out_i, out_j = schema.dimension_names
+        self.out_v = schema.value_names[0]
+        self.joined_schema = Schema([
+            schema[out_i].as_value(), schema[out_j].as_value(),
+            schema[self.out_v],
+        ])
+
+    def details(self) -> str:
+        return f"{self.lk}={self.rk} sum({self.lval}*{self.rval})"
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        from ...core.expressions import col
+
+        left = self._children[0].run(ctx)
+        right = self._children[1].run(ctx)
+        started = time.perf_counter()
+        lidx, ridx = joins.hash_join(
+            left, right, [self.lk], [self.rk], "inner",
+            workers=self.workers, morsel_size=self.morsel_size,
+        )
+        ctx.record("join", started)
+        out_i, out_j = self.schema.dimension_names
+        out_v = self.out_v
+
+        i_col = left.column(self.li).take(lidx)
+        j_col = right.column(self.rj).take(ridx)
+        lv = left.column(self.lval).take(lidx)
+        rv = right.column(self.rval).take(ridx)
+        product_values = lv.values * rv.values
+        product_mask = None
+        if lv.mask is not None or rv.mask is not None:
+            product_mask = np.zeros(len(product_values), dtype=bool)
+            if lv.mask is not None:
+                product_mask |= lv.mask
+            if rv.mask is not None:
+                product_mask |= rv.mask
+        out_dtype = self.schema[out_v].dtype
+        joined = ColumnTable(self.joined_schema, {
+            out_i: Column(DType.INT64, i_col.values, i_col.mask),
+            out_j: Column(DType.INT64, j_col.values, j_col.mask),
+            out_v: Column(out_dtype,
+                          product_values.astype(out_dtype.to_numpy()),
+                          product_mask),
+        })
+        started = time.perf_counter()
+        summed = group_aggregate(
+            joined, (out_i, out_j),
+            (A.AggSpec(out_v, "sum", col(out_v)),),
+            self.schema,
+            workers=self.workers,
+            morsel_size=self.morsel_size,
+        )
+        ctx.record("aggregate", started)
+        # drop all-null sums (cells with only null contributions do not exist)
+        out_col = summed.column(out_v)
+        if out_col.mask is not None:
+            summed = summed.filter(~out_col.mask)
+        return summed
+
+
+# -- control iteration --------------------------------------------------------------
+
+
+def tables_converged(
+    stop: A.Convergence,
+    schema: Schema,
+    old: ColumnTable,
+    new: ColumnTable,
+) -> bool:
+    """Dimension-aligned convergence test between two loop states."""
+    if stop.value_attr is None:
+        return False
+    dims = list(schema.dimension_names)
+    if old.num_rows != new.num_rows:
+        return False
+    old_sorted = old.take(sort_indices(old, dims, [True] * len(dims)))
+    new_sorted = new.take(sort_indices(new, dims, [True] * len(dims)))
+    for d in dims:
+        if not np.array_equal(old_sorted.array(d), new_sorted.array(d)):
+            return False
+    ov = old_sorted.column(stop.value_attr)
+    nv = new_sorted.column(stop.value_attr)
+    if ov.mask is not None or nv.mask is not None:
+        om = ov.mask if ov.mask is not None else np.zeros(len(ov), dtype=bool)
+        nm = nv.mask if nv.mask is not None else np.zeros(len(nv), dtype=bool)
+        if not np.array_equal(om, nm):
+            return False
+        valid = ~om
+    else:
+        valid = slice(None)
+    deltas = np.abs(
+        nv.values[valid].astype(np.float64) - ov.values[valid].astype(np.float64)
+    )
+    if deltas.size == 0:
+        return True
+    delta = float(deltas.max()) if stop.norm == "linf" else float(deltas.sum())
+    return delta <= stop.tolerance
+
+
+class PhysIterate(PhysOp):
+    """In-engine convergence loop over a lowered body (tabular state)."""
+
+    def __init__(
+        self, init: PhysOp, body: PhysOp, var: str, stop: A.Convergence,
+        max_iter: int, strict: bool, state_schema: Schema,
+        schema: Schema, props: PhysProps,
+    ):
+        super().__init__(schema, props, (init, body))
+        self.var = var
+        self.stop = stop
+        self.max_iter = max_iter
+        self.strict = strict
+        self.state_schema = state_schema
+        self.cost_weight = float(min(max_iter, 20))
+
+    def details(self) -> str:
+        stop = (
+            f"|{self.stop.value_attr}|_{self.stop.norm}"
+            f"<={self.stop.tolerance}"
+            if self.stop.value_attr is not None else "fixed"
+        )
+        return f"{self.var} x{self.max_iter} until {stop}"
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        state = self._children[0].run(ctx)
+        for _ in range(self.max_iter):
+            inner = ctx.bind(self.var, state)
+            new_state = self._children[1].run(inner)
+            new_state = coerce_table(new_state, self.state_schema)
+            if tables_converged(self.stop, self.state_schema, state, new_state):
+                return new_state
+            state = new_state
+        if self.stop.value_attr is not None and self.strict:
+            raise ConvergenceError(
+                f"Iterate did not converge within {self.max_iter} iterations"
+            )
+        return state
+
+
+def split_conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten an AND tree into its conjuncts (index-probe candidates)."""
+    from ...core.expressions import BinOp
+
+    if isinstance(expr, BinOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def fused_steps(chain: Sequence[A.Node]) -> tuple[str, ...]:
+    """Display labels for a fusible chain (top-first), e.g. ('project','filter')."""
+    return tuple(node.op_name.lower() for node in chain)

@@ -109,6 +109,25 @@ def _estimate(node: A.Node, catalog: FederationCatalog) -> float:
     return sum(_estimate(c, catalog) for c in children)
 
 
+def physical_op_cost(op) -> float:
+    """Abstract work estimate for one lowered physical operator.
+
+    Row estimates come from lowering (catalog statistics threaded through
+    the plan's :class:`~repro.exec.physical.base.PhysProps`); operators
+    whose inputs have unknown cardinality fall back to the same default
+    the logical estimator uses for fragment inputs.
+    """
+    rows = op.props.est_rows
+    if rows is None:
+        rows = 1000.0
+    return float(rows) * op.cost_weight
+
+
+def physical_plan_cost(plan) -> float:
+    """Total abstract cost of a lowered physical plan (sum over operators)."""
+    return sum(physical_op_cost(op) for op in plan.walk())
+
+
 def operator_cost(node: A.Node, catalog: FederationCatalog) -> float:
     """Abstract per-operator work estimate (row-visits)."""
     rows = _estimate(node, catalog)

@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..core import algebra as A
+
+if TYPE_CHECKING:
+    from ..exec.physical.base import PhysPlan
 
 
 def fragment_input_name(index: int) -> str:
@@ -18,12 +22,15 @@ class Fragment:
 
     ``tree`` is an ordinary algebra tree whose ``Scan("@fragK")`` leaves
     stand for the outputs of other fragments; ``inputs`` lists those K.
+    ``physical`` is the server's lowered plan for ``tree`` (None for
+    providers that interpret trees directly, like the reference one).
     """
 
     index: int
     server: str
     tree: A.Node
     inputs: tuple[int, ...] = ()
+    physical: "PhysPlan | None" = None
 
     @property
     def input_names(self) -> tuple[str, ...]:
@@ -52,8 +59,13 @@ class PhysicalPlan:
                 out.append((source, fragment.index))
         return out
 
-    def describe(self) -> str:
-        """Human-readable plan summary (used by explain())."""
+    def describe(self, *, physical: bool = False) -> str:
+        """Human-readable plan summary (used by explain()).
+
+        With ``physical=True``, each fragment is followed by the lowered
+        physical plan its server would run, with per-operator properties
+        and the plan's abstract cost.
+        """
         lines = []
         for fragment in self.fragments:
             ops = " > ".join(
@@ -65,4 +77,16 @@ class PhysicalPlan:
             lines.append(
                 f"fragment {fragment.index} on {fragment.server}: {ops}{feeds}"
             )
+            if physical:
+                if fragment.physical is None:
+                    lines.append("  (interpreted; no physical plan)")
+                    continue
+                from .cost import physical_plan_cost
+
+                cost = physical_plan_cost(fragment.physical)
+                lines.append(
+                    f"  [{fragment.physical.engine} engine, cost~{cost:.1f}]"
+                )
+                for line in fragment.physical.render().splitlines():
+                    lines.append(f"  {line}")
         return "\n".join(lines)

@@ -65,7 +65,9 @@ class FederationPlanner:
                     f"{provider.unsupported(tree)}"
                 )
             self._check_datasets_on(tree, pin_server)
-            return PhysicalPlan([Fragment(0, pin_server, tree)])
+            return self._attach_physical(
+                PhysicalPlan([Fragment(0, pin_server, tree)])
+            )
 
         table: dict[int, dict[str, _Placement]] = {}
         self._solve(tree, table)
@@ -75,7 +77,18 @@ class FederationPlanner:
         best_server = min(root_options, key=lambda s: (root_options[s].cost, s))
         builder = _PlanBuilder(table, self.catalog)
         builder.materialize(tree, best_server)
-        return PhysicalPlan(builder.fragments)
+        return self._attach_physical(PhysicalPlan(builder.fragments))
+
+    def _attach_physical(self, plan: PhysicalPlan) -> PhysicalPlan:
+        """Lower each fragment on its assigned server.
+
+        Providers cache lowered plans, so the fragment executor reuses the
+        exact plans attached here; interpreting providers return None.
+        """
+        for fragment in plan.fragments:
+            provider = self.catalog.provider(fragment.server)
+            fragment.physical = provider.lower(fragment.tree)
+        return plan
 
     # -- DP ------------------------------------------------------------------------
 

@@ -1,0 +1,44 @@
+"""Logical→physical lowering for the graph-analytics provider.
+
+The graph server is a relational engine plus one native fast path:
+PageRank-shaped ``Iterate`` trees (recognized by
+:func:`repro.graph.queries.match_pagerank`, with inputs the provider can
+execute) lower to :class:`~repro.exec.physical.graph.PhysPageRank` on CSR
+adjacency.  Everything else lowers through the embedded relational
+engine's own pass, so generic iteration still happens in-server.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core import algebra as A
+from ..exec.physical.base import PhysPlan, props_for
+from ..exec.physical.graph import PhysPageRank
+from . import queries
+
+if TYPE_CHECKING:  # only for annotations; providers import this module
+    from ..providers.graph_p import GraphProvider
+
+
+def lower_graph(tree: A.Node, provider: "GraphProvider") -> PhysPlan:
+    """Lower ``tree`` for the graph provider (native PageRank or generic)."""
+    engine = provider.engine
+    if isinstance(tree, A.Iterate):
+        spec = queries.match_pagerank(tree)
+        # the recognized inputs must themselves be executable here
+        if (
+            spec is not None
+            and provider.accepts(spec.edges)
+            and provider.accepts(spec.vertices)
+        ):
+            vertices = engine.plan_for(spec.vertices).root
+            edges = engine.plan_for(spec.edges).root
+            fallback = engine.plan_for(tree).root
+            root = PhysPageRank(
+                vertices, edges, spec, fallback, tree.schema,
+                props_for(tree.schema, vertices.props.est_rows),
+                provider=provider,
+            )
+            return PhysPlan(root, engine="graph")
+    return engine.plan_for(tree)

@@ -1,0 +1,66 @@
+"""Logical→physical lowering for the blocked linear-algebra provider.
+
+The linalg server executes only ``MatMul`` chains, transposes and renames
+over 2-d matrices.  Lowering threads the (row, col, value) names each
+matrix travels under *statically*: a ``Rename`` only remaps names (so it
+lowers to nothing), and a ``TransposeDims`` whose order already matches
+the child is the identity.  Any other operator is a translation error —
+raised here, before execution, exactly as the provider used to raise it.
+"""
+
+from __future__ import annotations
+
+from ..core import algebra as A
+from ..core.errors import TranslationError
+from ..exec.physical.base import PhysOp, PhysPlan, props_for
+from ..exec.physical.linalg import (
+    PhysBlockedMatMul, PhysBlockedTranspose, PhysMatrixLiteral,
+    PhysMatrixSource, PhysMatrixToTable,
+)
+
+Names = tuple[str, str, str]
+
+
+def lower_linalg(tree: A.Node, block_size: int) -> PhysPlan:
+    """Lower a matrix-algebra tree to a blocked physical plan."""
+    op, names = _lower(tree, block_size)
+    root = PhysMatrixToTable(op, names, tree.schema, props_for(tree.schema))
+    return PhysPlan(root, engine="linalg")
+
+
+def _lower(node: A.Node, block_size: int) -> tuple[PhysOp, Names]:
+    if isinstance(node, A.Scan):
+        schema = node.schema
+        names = (*schema.dimension_names, schema.value_names[0])
+        op = PhysMatrixSource(
+            node.name, schema, props_for(schema), block_size=block_size
+        )
+        return op, names
+    if isinstance(node, A.InlineTable):
+        schema = node.schema
+        names = (*schema.dimension_names, schema.value_names[0])
+        op = PhysMatrixLiteral(
+            node.table_schema, node.rows, schema,
+            props_for(schema, len(node.rows)), block_size=block_size,
+        )
+        return op, names
+    if isinstance(node, A.MatMul):
+        left, lnames = _lower(node.left, block_size)
+        right, rnames = _lower(node.right, block_size)
+        op = PhysBlockedMatMul(
+            node.schema, props_for(node.schema), (left, right)
+        )
+        return op, (lnames[0], rnames[1], lnames[2])
+    if isinstance(node, A.TransposeDims):
+        child, names = _lower(node.child, block_size)
+        if node.order == node.child.schema.dimension_names:
+            return child, names  # identity order: physically nothing to do
+        op = PhysBlockedTranspose(node.schema, props_for(node.schema), (child,))
+        return op, (names[1], names[0], names[2])
+    if isinstance(node, A.Rename):
+        child, names = _lower(node.child, block_size)
+        mapping = dict(node.mapping)
+        return child, tuple(mapping.get(n, n) for n in names)
+    raise TranslationError(
+        f"linalg provider cannot execute {node.op_name}"
+    )

@@ -71,6 +71,10 @@ class ArrayProvider(Provider):
             return bool(node.child.schema.dimensions)
         return True
 
+    def lower(self, tree: A.Node):
+        """The cached physical plan the engine would execute ``tree`` with."""
+        return self.engine.plan_for(tree)
+
     def _run(self, tree: A.Node, inputs: dict[str, ColumnTable]) -> ColumnTable:
         def resolve(dataset: str):
             if dataset in inputs:
@@ -79,4 +83,6 @@ class ArrayProvider(Provider):
                 return self._chunked[dataset]  # pre-chunked, skip conversion
             return self.dataset(dataset)
 
-        return self.engine.run(tree, resolve)
+        result = self.engine.run(tree, resolve)
+        self._record_engine_stages(self.engine.last_stage_seconds)
+        return result

@@ -22,6 +22,7 @@ from typing import Iterable, Mapping
 from ..core import algebra as A
 from ..core.errors import PlanningError, TranslationError
 from ..core.schema import Schema
+from ..exec.physical.base import PhysPlan
 from ..storage.table import ColumnTable
 
 
@@ -174,6 +175,50 @@ class Provider(abc.ABC):
     @abc.abstractmethod
     def _run(self, tree: A.Node, inputs: dict[str, ColumnTable]) -> ColumnTable:
         """Engine-specific execution; called after capability/type checks."""
+
+    # -- physical plans -----------------------------------------------------------
+
+    def lower(self, tree: A.Node) -> PhysPlan | None:
+        """The physical plan this provider would execute ``tree`` with.
+
+        ``None`` means the provider executes logical trees directly (the
+        reference interpreter).  The federation planner attaches lowered
+        plans to fragments so ``explain(physical=True)`` and the cost model
+        can inspect per-fragment physical decisions; engine-backed
+        providers cache lowering, so this is cheap for repeat shapes.
+        """
+        return None
+
+    def _record_engine_stages(self, stage_seconds: Mapping[str, float]) -> None:
+        """Fold one query's physical-stage timings into this provider's stats.
+
+        The physical executor owns per-query stage timings (they arrive in
+        its :class:`~repro.exec.physical.base.ExecOutcome`), so providers
+        record deltas directly — no before/after diffing of cumulative
+        engine counters.
+        """
+        for stage, seconds in stage_seconds.items():
+            if seconds > 0.0:
+                self.stats.record_engine_stage(stage, seconds)
+
+    def perf_snapshot(self) -> dict[str, object]:
+        """Uniform per-provider performance counters (benches, diagnostics).
+
+        Base fields come from :class:`ProviderStats`; engine-backed
+        subclasses add engine-specific counters via :meth:`_perf_extra`.
+        """
+        snapshot: dict[str, object] = {
+            "queries": self.stats.queries,
+            "seconds": self.stats.seconds,
+            "stage_seconds": dict(self.stats.stage_seconds),
+            "engine_stage_seconds": dict(self.stats.engine_stage_seconds),
+        }
+        snapshot.update(self._perf_extra())
+        return snapshot
+
+    def _perf_extra(self) -> dict[str, object]:
+        """Engine-specific additions to :meth:`perf_snapshot`."""
+        return {}
 
     def resolve_scan(self, node: A.Scan, inputs: Mapping[str, ColumnTable]) -> ColumnTable:
         if node.name in inputs:

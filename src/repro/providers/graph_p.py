@@ -1,29 +1,30 @@
 """Graph provider: the graph-analytics back end.
 
 Executes iterative graph algebra (``Iterate`` over join/aggregate bodies)
-inside the server — the paper's control-iteration requirement.  Two paths:
+inside the server — the paper's control-iteration requirement.  Lowering
+(:mod:`repro.graph.lowering`) picks between two physical paths:
 
 * **Native path** — a tree recognized by
-  :func:`repro.graph.queries.match_pagerank` runs on CSR adjacency with the
-  vectorized kernel in :mod:`repro.graph.algorithms` (``stats_native_hits``
-  counts these).
-* **Generic path** — anything else within capabilities runs on an embedded
-  relational executor, iterating *inside* the provider, so even the generic
-  path avoids per-iteration client round-trips.
+  :func:`repro.graph.queries.match_pagerank` lowers to
+  :class:`~repro.exec.physical.graph.PhysPageRank`, running on CSR
+  adjacency with the vectorized kernel (``stats_native_hits`` counts
+  native executions).
+* **Generic path** — anything else within capabilities lowers through an
+  embedded relational engine, iterating *inside* the provider, so even
+  the generic path avoids per-iteration client round-trips.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from collections import OrderedDict
 
 from ..core import algebra as A
+from ..core import serialize
+from ..exec.physical.base import PhysPlan, run_plan
 from ..graph import queries
-from ..graph.algorithms import pagerank as native_pagerank
 from ..graph.csr import CSRGraph
 from ..relational.engine import RelationalEngine
-from ..storage.column import Column
 from ..storage.table import ColumnTable
-from ..core.types import DType
 from .base import Provider, capability_names
 
 
@@ -36,11 +37,14 @@ class GraphProvider(Provider):
         A.Union, A.Distinct, A.AsDims, A.Limit, A.Sort,
     )
 
+    PLAN_CACHE_CAP = 128
+
     def __init__(self, name: str):
         super().__init__(name)
         self.engine = RelationalEngine()
         self.stats_native_hits = 0
         self._csr_cache: dict[str, CSRGraph] = {}
+        self._plans: OrderedDict[str, PhysPlan] = OrderedDict()
 
     def register_dataset(self, name: str, table: ColumnTable) -> None:
         super().register_dataset(name, table)
@@ -60,50 +64,28 @@ class GraphProvider(Provider):
             )
         return self._csr_cache[name]
 
+    def lower(self, tree: A.Node) -> PhysPlan:
+        """The cached physical plan this provider would execute ``tree`` with."""
+        key = serialize.dumps(tree)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            return plan
+        from ..graph.lowering import lower_graph
+
+        plan = lower_graph(tree, self)
+        self._plans[key] = plan
+        while len(self._plans) > self.PLAN_CACHE_CAP:
+            self._plans.popitem(last=False)
+        return plan
+
     def _run(self, tree: A.Node, inputs: dict[str, ColumnTable]) -> ColumnTable:
         def resolve(dataset: str) -> ColumnTable:
             if dataset in inputs:
                 return inputs[dataset]
             return self.dataset(dataset)
 
-        if isinstance(tree, A.Iterate):
-            native = self._try_native_pagerank(tree, resolve)
-            if native is not None:
-                self.stats_native_hits += 1
-                return native
-        return self.engine.run(tree, resolve)
-
-    def _try_native_pagerank(self, tree: A.Iterate, resolve) -> ColumnTable | None:
-        spec = queries.match_pagerank(tree)
-        if spec is None:
-            return None
-        # the recognized inputs must themselves be executable here
-        if not self.accepts(spec.edges) or not self.accepts(spec.vertices):
-            return None
-        edges = self.engine.run(spec.edges, resolve)
-        vertices = self.engine.run(spec.vertices, resolve)
-        vertex_ids = vertices.array("v").astype(np.int64)
-        n = len(vertex_ids)
-        if n == 0:
-            return ColumnTable.empty(tree.schema)
-        # teleport must equal (1 - d) / n for the native kernel to apply
-        if abs(spec.teleport - (1.0 - spec.damping) / n) > 1e-12:
-            return None
-        graph = CSRGraph.from_edge_table(edges)
-        ranks_compact, _ = native_pagerank(
-            graph,
-            damping=spec.damping,
-            tolerance=spec.tolerance,
-            max_iter=spec.max_iter,
-        )
-        # map compact ids back to the caller's vertex ids; vertices with no
-        # edges at all never entered the CSR and hold the teleport rank
-        rank_by_id = dict(zip(graph.vertex_ids.tolist(), ranks_compact.tolist()))
-        teleport = (1.0 - spec.damping) / n
-        ranks = np.array(
-            [rank_by_id.get(int(v), teleport) for v in vertex_ids]
-        )
-        return ColumnTable(tree.schema, {
-            "v": Column(DType.INT64, vertex_ids.copy()),
-            "rank": Column(DType.FLOAT64, ranks),
-        })
+        plan = self.lower(tree)
+        outcome = run_plan(plan, resolve, counters=self.engine.counters)
+        self._record_engine_stages(outcome.stage_seconds)
+        return outcome.value

@@ -13,9 +13,11 @@ library API, the way a real linear-algebra service would.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from ..core import algebra as A
-from ..core.errors import TranslationError
-from ..linalg import kernels
+from ..core import serialize
+from ..exec.physical.base import PhysPlan, run_plan
 from ..linalg.blocked import DEFAULT_BLOCK, BlockedMatrix
 from ..storage.table import ColumnTable
 from .base import Provider, capability_names
@@ -28,10 +30,13 @@ class LinalgProvider(Provider):
         A.Scan, A.InlineTable, A.MatMul, A.TransposeDims, A.Rename,
     )
 
+    PLAN_CACHE_CAP = 128
+
     def __init__(self, name: str, block_size: int = DEFAULT_BLOCK):
         super().__init__(name)
         self.block_size = block_size
         self._matrices: dict[str, BlockedMatrix] = {}
+        self._plans: OrderedDict[str, PhysPlan] = OrderedDict()
 
     def register_dataset(self, name: str, table: ColumnTable) -> None:
         super().register_dataset(name, table)
@@ -61,45 +66,28 @@ class LinalgProvider(Provider):
             return len(node.child.schema.dimension_names) == 2
         return True
 
-    def _run(self, tree: A.Node, inputs: dict[str, ColumnTable]) -> ColumnTable:
-        result, names = self._eval(tree, inputs)
-        table = result.to_table(*names)
-        # re-attach the tree's schema (same names; order/tags may differ).
-        # Note the dense-semantics caveat: exact-zero cells are treated as
-        # absent by this server.
-        return ColumnTable(tree.schema, table.columns)
+    def lower(self, tree: A.Node) -> PhysPlan:
+        """The cached physical plan this provider would execute ``tree`` with."""
+        key = serialize.dumps(tree)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            return plan
+        from ..linalg.lowering import lower_linalg
 
-    def _eval(
-        self, node: A.Node, inputs: dict[str, ColumnTable]
-    ) -> tuple[BlockedMatrix, tuple[str, str, str]]:
-        if isinstance(node, A.Scan):
-            schema = node.schema
-            names = (*schema.dimension_names, schema.value_names[0])
-            if node.name in inputs:
-                return (
-                    BlockedMatrix.from_table(inputs[node.name], self.block_size),
-                    names,
-                )
-            return self.matrix(node.name), names
-        if isinstance(node, A.InlineTable):
-            schema = node.schema
-            table = ColumnTable.from_rows(schema, node.rows)
-            names = (*schema.dimension_names, schema.value_names[0])
-            return BlockedMatrix.from_table(table, self.block_size), names
-        if isinstance(node, A.MatMul):
-            left, lnames = self._eval(node.left, inputs)
-            right, rnames = self._eval(node.right, inputs)
-            out = kernels.matmul(left, right)
-            return out, (lnames[0], rnames[1], lnames[2])
-        if isinstance(node, A.TransposeDims):
-            child, names = self._eval(node.child, inputs)
-            if node.order == node.child.schema.dimension_names:
-                return child, names
-            return kernels.transpose(child), (names[1], names[0], names[2])
-        if isinstance(node, A.Rename):
-            child, names = self._eval(node.child, inputs)
-            mapping = dict(node.mapping)
-            return child, tuple(mapping.get(n, n) for n in names)
-        raise TranslationError(
-            f"linalg provider cannot execute {node.op_name}"
-        )
+        plan = lower_linalg(tree, self.block_size)
+        self._plans[key] = plan
+        while len(self._plans) > self.PLAN_CACHE_CAP:
+            self._plans.popitem(last=False)
+        return plan
+
+    def _run(self, tree: A.Node, inputs: dict[str, ColumnTable]) -> ColumnTable:
+        def resolve(name: str):
+            if name in inputs:
+                return inputs[name]  # PhysMatrixSource blocks it on entry
+            return self.matrix(name)  # pre-blocked and cached
+
+        plan = self.lower(tree)
+        outcome = run_plan(plan, resolve)
+        self._record_engine_stages(outcome.stage_seconds)
+        return outcome.value

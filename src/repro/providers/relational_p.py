@@ -51,20 +51,16 @@ class RelationalProvider(Provider):
             return 2.0
         return 1.0
 
-    def perf_snapshot(self) -> dict[str, object]:
-        """Physical-execution counters for benches and diagnostics.
+    def lower(self, tree: A.Node):
+        """The cached physical plan the engine would execute ``tree`` with."""
+        return self.engine.plan_for(tree)
 
-        Combines this provider's stage timings with the engine's fused-
-        pipeline / index-path counters and the process-wide compiled-
-        expression cache statistics.
-        """
+    def _perf_extra(self) -> dict[str, object]:
+        """Engine counters: fused pipelines, index paths, the process-wide
+        compiled-expression cache, and cumulative per-stage seconds."""
         from ..exec.compile import expr_cache_stats
 
         return {
-            "queries": self.stats.queries,
-            "seconds": self.stats.seconds,
-            "stage_seconds": dict(self.stats.stage_seconds),
-            "engine_stage_seconds": dict(self.stats.engine_stage_seconds),
             "op_seconds": dict(self.engine.op_seconds),
             "fused_runs": self.engine.fused_runs,
             "index_hits": self.engine.index_hits,
@@ -77,10 +73,7 @@ class RelationalProvider(Provider):
                 return inputs[dataset]
             return self.dataset(dataset)
 
-        before = dict(self.engine.op_seconds)
         result = self.engine.run(tree, resolve)
-        for stage, total in self.engine.op_seconds.items():
-            delta = total - before.get(stage, 0.0)
-            if delta > 0.0:
-                self.stats.record_engine_stage(stage, delta)
+        # the executor hands back this query's stage timings; no diffing
+        self._record_engine_stages(self.engine.last_stage_seconds)
         return result

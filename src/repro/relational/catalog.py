@@ -77,6 +77,9 @@ class RelationalCatalog:
 
     def __init__(self):
         self._entries: dict[str, TableEntry] = {}
+        #: bumped on every registration / drop / index build, so cached
+        #: physical plans keyed on it invalidate when access paths change
+        self.version = 0
 
     def register(self, name: str, table: ColumnTable) -> TableEntry:
         entry = TableEntry(
@@ -84,10 +87,12 @@ class RelationalCatalog:
             stats={n: ColumnStats.compute(table, n) for n in table.schema.names},
         )
         self._entries[name] = entry
+        self.version += 1
         return entry
 
     def drop(self, name: str) -> None:
         self._entries.pop(name, None)
+        self.version += 1
 
     def entry(self, name: str) -> TableEntry:
         try:
@@ -108,6 +113,7 @@ class RelationalCatalog:
             )
         index = HashIndex(entry.table.column(column))
         entry.hash_indexes[column] = index
+        self.version += 1
         return index
 
     def create_sorted_index(self, name: str, column: str) -> SortedIndex:
@@ -118,4 +124,5 @@ class RelationalCatalog:
             )
         index = SortedIndex(entry.table.column(column))
         entry.sorted_indexes[column] = index
+        self.version += 1
         return index

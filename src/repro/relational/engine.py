@@ -1,42 +1,33 @@
-"""The relational engine: vectorized execution of the algebra's tabular core.
+"""The relational engine: cached lowering + the shared physical executor.
 
-This is the project's SQLServer stand-in.  It executes expression trees over
-columnar tables with vectorized filters, hash/merge joins, scatter-based
-aggregation and stable multi-key sorts.  Dimension-aware operators with a
-natural relational reading (slice = filter, regrid/reduce = group-by,
-cell-join = equi-join, matmul = join + group-by) are supported too — which
-is precisely what makes the intent-preservation experiment (E3) possible:
-this engine *can* run a MatMul, just slowly, via its join-aggregate
-formulation.
+This is the project's SQLServer stand-in.  Since the physical-plan layer
+landed, the engine itself holds no execution logic: it lowers each algebra
+tree once (through :mod:`repro.relational.lowering`, where every fusion /
+join-algorithm / index-path decision lives), memoizes the resulting
+:class:`~repro.exec.physical.base.PhysPlan`, and drives it through the
+shared :data:`~repro.exec.physical.base.EXECUTOR`.
 
-The engine is deliberately provider-agnostic: it takes a resolver for scan
-leaves and returns ColumnTables.  :class:`EngineOptions` exposes the
-physical knobs the ablation benches (E8/E10) sweep.
+The plan cache keys on the serialized tree, the physical options and the
+catalog version — so repeat queries (benches, dashboards, every iteration
+of a loop) skip lowering and pipeline construction entirely, while index
+creation or re-registration transparently invalidates stale plans.
+
+:class:`EngineOptions` exposes the physical knobs the ablation benches
+(E8/E10/E12/E13) sweep.  ``explain`` renders the lowered plan with its
+physical properties (estimated rows, ordering, parallelism).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import astuple, dataclass
 from typing import Callable
 
-import numpy as np
-
 from ..core import algebra as A
-from ..core.errors import ConvergenceError, ExecutionError
-from ..core.rewriter import split_fusible_chain
-from ..core.schema import Schema
-from ..core.types import DType
-from ..core.expressions import BinOp, Col, Expr, Lit
-from ..exec.morsel import run_pipeline_morsels
-from ..exec.pipeline import FusedPipeline, pipeline_key
-from ..storage.column import Column
+from ..core import serialize
+from ..exec.physical.base import ExecCounters, PhysPlan, run_plan
 from ..storage.table import ColumnTable
-from . import joins
-from .aggregation import factorize, group_aggregate
 from .catalog import RelationalCatalog
-from .eval import eval_vector
-from .sorting import sort_indices
 
 Resolver = Callable[[str], ColumnTable]
 
@@ -65,13 +56,16 @@ class EngineOptions:
 
 
 class RelationalEngine:
-    """Executes algebra trees over columnar tables.
+    """Plans and executes algebra trees over columnar tables.
 
     When constructed with a :class:`RelationalCatalog`, filters directly
-    over stored base tables use secondary indexes where one matches the
+    over stored base tables lower to index probes where one matches the
     predicate (equality via hash index, ranges via sorted index);
     ``index_hits`` counts how often that access path fired.
     """
+
+    #: cached physical plans per engine (small trees; LRU-evicted)
+    PLAN_CACHE_CAP = 128
 
     def __init__(
         self,
@@ -80,17 +74,66 @@ class RelationalEngine:
     ):
         self.options = options or EngineOptions()
         self.catalog = catalog
-        self.index_hits = 0
-        #: fused-pipeline executions (observable by tests and benches)
-        self.fused_runs = 0
+        #: cumulative access-path counters (observable by tests and benches)
+        self.counters = ExecCounters()
         #: cumulative wall seconds per physical stage ("join", "aggregate")
         self.op_seconds: dict[str, float] = {}
-        self._pipelines: dict[tuple, FusedPipeline] = {}
+        #: stage timings of the most recent query only (no diffing needed)
+        self.last_stage_seconds: dict[str, float] = {}
+        #: compiled fused pipelines, shared across cached plans
+        self._pipelines: dict[tuple, object] = {}
+        self._plans: OrderedDict[tuple, PhysPlan] = OrderedDict()
+        self.plan_hits = 0
+        self.plan_misses = 0
 
-    def _record(self, stage: str, started: float) -> None:
-        self.op_seconds[stage] = (
-            self.op_seconds.get(stage, 0.0) + (time.perf_counter() - started)
+    # counters kept as attributes-with-setters for back-compat with callers
+    # that read/reset engine.fused_runs / engine.index_hits directly
+    @property
+    def fused_runs(self) -> int:
+        return self.counters.fused_runs
+
+    @fused_runs.setter
+    def fused_runs(self, value: int) -> None:
+        self.counters.fused_runs = value
+
+    @property
+    def index_hits(self) -> int:
+        return self.counters.index_hits
+
+    @index_hits.setter
+    def index_hits(self, value: int) -> None:
+        self.counters.index_hits = value
+
+    # -- lowering ----------------------------------------------------------------
+
+    def plan_for(self, node: A.Node) -> PhysPlan:
+        """The (cached) physical plan for ``node`` under current options."""
+        key = (
+            serialize.dumps(node),
+            astuple(self.options),
+            self.catalog.version if self.catalog is not None else 0,
         )
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.plan_hits += 1
+            return plan
+        self.plan_misses += 1
+        from .lowering import lower_relational
+
+        plan = lower_relational(
+            node, self.options, self.catalog, self._pipelines
+        )
+        self._plans[key] = plan
+        while len(self._plans) > self.PLAN_CACHE_CAP:
+            self._plans.popitem(last=False)
+        return plan
+
+    def explain(self, node: A.Node) -> str:
+        """Render the lowered physical plan with its properties."""
+        return self.plan_for(node).render()
+
+    # -- execution ---------------------------------------------------------------
 
     def run(
         self,
@@ -99,570 +142,9 @@ class RelationalEngine:
         env: dict[str, ColumnTable] | None = None,
     ) -> ColumnTable:
         """Execute ``node``; ``env`` binds LoopVar names inside Iterate."""
-        return self._exec(node, resolver, env or {})
-
-    # -- dispatcher --------------------------------------------------------------
-
-    def _exec(self, node: A.Node, resolver: Resolver, env: dict) -> ColumnTable:
-        if self.options.fuse_pipelines and isinstance(
-            node, (A.Filter, A.Project, A.Extend, A.Rename)
-        ):
-            fused = self._exec_fused(node, resolver, env)
-            if fused is not None:
-                return fused
-        if isinstance(node, A.Scan):
-            return resolver(node.name)
-        if isinstance(node, A.InlineTable):
-            return ColumnTable.from_rows(node.table_schema, node.rows)
-        if isinstance(node, A.LoopVar):
-            try:
-                return env[node.name]
-            except KeyError:
-                raise ExecutionError(f"unbound LoopVar({node.name!r})") from None
-        if isinstance(node, A.Filter):
-            return self._filter(node, resolver, env)
-        if isinstance(node, A.Project):
-            return self._exec(node.child, resolver, env).select(node.names)
-        if isinstance(node, A.Extend):
-            return self._extend(node, resolver, env)
-        if isinstance(node, A.Rename):
-            child = self._exec(node.child, resolver, env)
-            return child.rename(dict(node.mapping))
-        if isinstance(node, A.Join):
-            return self._join(node, resolver, env)
-        if isinstance(node, A.Product):
-            return self._product(node, resolver, env)
-        if isinstance(node, A.Aggregate):
-            return self._aggregate(node, resolver, env)
-        if isinstance(node, A.Sort):
-            child = self._exec(node.child, resolver, env)
-            return child.take(sort_indices(child, node.keys, node.ascending))
-        if isinstance(node, A.Limit):
-            child = self._exec(node.child, resolver, env)
-            return child.slice(node.offset, node.offset + node.count)
-        if isinstance(node, A.Reverse):
-            return self._exec(node.child, resolver, env).reverse()
-        if isinstance(node, A.Distinct):
-            return self._distinct(self._exec(node.child, resolver, env))
-        if isinstance(node, A.Union):
-            return self._union(node, resolver, env)
-        if isinstance(node, (A.Intersect, A.Except)):
-            return self._set_op(node, resolver, env)
-        if isinstance(node, A.AsDims):
-            return self._as_dims(node, resolver, env)
-        if isinstance(node, A.SliceDims):
-            return self._slice_dims(node, resolver, env)
-        if isinstance(node, A.ShiftDim):
-            return self._shift_dim(node, resolver, env)
-        if isinstance(node, A.Regrid):
-            return self._regrid(node, resolver, env)
-        if isinstance(node, A.ReduceDims):
-            return self._reduce_dims(node, resolver, env)
-        if isinstance(node, A.TransposeDims):
-            child = self._exec(node.child, resolver, env)
-            return ColumnTable(node.schema, child.columns)
-        if isinstance(node, A.CellJoin):
-            return self._cell_join(node, resolver, env)
-        if isinstance(node, A.MatMul):
-            return self._matmul_as_join_aggregate(node, resolver, env)
-        if isinstance(node, A.Iterate):
-            return self._iterate(node, resolver, env)
-        raise ExecutionError(f"relational engine: unsupported operator {node.op_name}")
-
-    # -- fused physical pipelines -----------------------------------------------------
-
-    def _exec_fused(
-        self, node: A.Node, resolver: Resolver, env: dict
-    ) -> ColumnTable | None:
-        """Lower a maximal fusible chain into one physical pass, or decline.
-
-        Returns ``None`` when the chain is too short to win anything (a
-        single fusible operator), handing the node back to the one-at-a-
-        time dispatcher.
-        """
-        chain, source = split_fusible_chain(node)
-        if len(chain) < 2:
-            return None
-
-        # Preserve the secondary-index access path: when the chain bottoms
-        # out in a Filter over a stored Scan (possibly through the
-        # optimizer's Project veneer), let the index serve those nodes and
-        # fuse only what remains above the fetched subset.
-        source_table: ColumnTable | None = None
-        trimmed = chain
-        if isinstance(chain[-1], A.Filter):
-            source_table = self._index_filter(chain[-1])
-            if source_table is not None:
-                trimmed = chain[:-1]
-        elif isinstance(chain[-2], A.Filter) and isinstance(chain[-1], A.Project):
-            source_table = self._index_filter(chain[-2])
-            if source_table is not None:
-                trimmed = chain[:-2]
-        if not trimmed:
-            return source_table
-
-        pipeline = self._pipeline_for(trimmed)
-        if source_table is None:
-            source_table = self._exec(source, resolver, env)
-        self.fused_runs += 1
-        workers = self.options.morsel_workers
-        if workers != 1:
-            return run_pipeline_morsels(
-                pipeline, source_table,
-                workers=workers, morsel_size=self.options.morsel_size,
-            )
-        return pipeline.run(source_table)
-
-    def _pipeline_for(self, chain: list[A.Node]) -> FusedPipeline:
-        source_schema = chain[-1].child.schema
-        key = (
-            pipeline_key(chain),
-            tuple((a.name, a.dtype, a.dimension) for a in source_schema),
-            self.options.compile_expressions,
-        )
-        pipeline = self._pipelines.get(key)
-        if pipeline is None:
-            pipeline = FusedPipeline(
-                chain, compiled=self.options.compile_expressions
-            )
-            self._pipelines[key] = pipeline
-        return pipeline
-
-    def _narrowed_source(
-        self, child: A.Node, needed: set[str], resolver: Resolver, env: dict
-    ) -> ColumnTable:
-        """Execute a pipeline-breaker's input, fused down to ``needed`` columns.
-
-        When the input is a fusible chain and the breaker only consumes a
-        subset of its columns, a synthetic Project on top lets the fused
-        pipeline's liveness analysis skip the dead columns — the chain feeds
-        the join/aggregate in one morsel pass without materializing the
-        full-width intermediate.  Declines (falls back to plain execution)
-        when nothing would be pruned; ``needed`` must be non-empty because a
-        zero-column table loses its row count.
-        """
-        if (
-            self.options.fuse_pipelines
-            and needed
-            and isinstance(child, (A.Filter, A.Project, A.Extend, A.Rename))
-            and needed < set(child.schema.names)
-        ):
-            names = tuple(n for n in child.schema.names if n in needed)
-            fused = self._exec_fused(A.Project(child, names), resolver, env)
-            if fused is not None:
-                return fused
-        return self._exec(child, resolver, env)
-
-    # -- relational operators ---------------------------------------------------------
-
-    def _filter(self, node: A.Filter, resolver: Resolver, env: dict) -> ColumnTable:
-        via_index = self._index_filter(node)
-        if via_index is not None:
-            return via_index
-        child = self._exec(node.child, resolver, env)
-        return self._apply_predicate(child, node.predicate)
-
-    def _apply_predicate(self, child: ColumnTable, predicate: Expr) -> ColumnTable:
-        pred = eval_vector(
-            predicate, child, compiled=self.options.compile_expressions
-        )
-        keep = pred.values.astype(bool)
-        if pred.mask is not None:
-            keep = keep & ~pred.mask  # null predicate drops the row
-        return child.filter(keep)
-
-    # -- index-aware access path -----------------------------------------------------
-
-    def _index_filter(self, node: A.Filter) -> ColumnTable | None:
-        """Serve a filter over a stored base table from a secondary index.
-
-        Splits the predicate into conjuncts, serves the first indexable one
-        with a probe/range lookup, and applies the rest vectorized over the
-        (usually much smaller) fetched subset.
-        """
-        if self.catalog is None:
-            return None
-        child = node.child
-        project: A.Project | None = None
-        if isinstance(child, A.Project):  # optimizer-inserted pruning veneer
-            project = child
-            child = child.child
-        if not isinstance(child, A.Scan):
-            return None
-        name = child.name
-        if name.startswith("@") or name not in self.catalog:
-            return None  # fragment inputs are never served from the catalog
-        entry = self.catalog.entry(name)
-        conjuncts = _split_conjuncts(node.predicate)
-        for pos, conjunct in enumerate(conjuncts):
-            rows = self._probe(entry, conjunct)
-            if rows is None:
-                continue
-            self.index_hits += 1
-            subset = entry.table.take(rows)
-            if project is not None:
-                subset = subset.select(project.names)
-            rest = conjuncts[:pos] + conjuncts[pos + 1:]
-            for other in rest:
-                subset = self._apply_predicate(subset, other)
-            return subset
-        return None
-
-    def _probe(self, entry, conjunct: Expr) -> "np.ndarray | None":
-        if not isinstance(conjunct, BinOp):
-            return None
-        left, right = conjunct.left, conjunct.right
-        if isinstance(left, Lit) and isinstance(right, Col):
-            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
-                       "==": "=="}.get(conjunct.op)
-            if flipped is None:
-                return None
-            left, right = right, left
-            op = flipped
-        elif isinstance(left, Col) and isinstance(right, Lit):
-            op = conjunct.op
-        else:
-            return None
-        column, value = left.name, right.value
-        if value is None:
-            return None
-        if op == "==":
-            hash_index = entry.hash_indexes.get(column)
-            if hash_index is not None:
-                return hash_index.lookup(value)
-            sorted_index = entry.sorted_indexes.get(column)
-            if sorted_index is not None:
-                return sorted_index.equality_lookup(value)
-            return None
-        if op in ("<", "<=", ">", ">="):
-            sorted_index = entry.sorted_indexes.get(column)
-            if sorted_index is None:
-                return None
-            if op in ("<", "<="):
-                return sorted_index.range_lookup(
-                    None, value, high_inclusive=(op == "<=")
-                )
-            return sorted_index.range_lookup(
-                value, None, low_inclusive=(op == ">=")
-            )
-        return None
-
-    def _extend(self, node: A.Extend, resolver: Resolver, env: dict) -> ColumnTable:
-        child = self._exec(node.child, resolver, env)
-        out = child
-        for name, expr in zip(node.names, node.exprs):
-            # exprs see the input table only
-            column = eval_vector(
-                expr, child, compiled=self.options.compile_expressions
-            )
-            out = out.with_column(name, column.dtype, column)
-        return ColumnTable(node.schema, out.columns)
-
-    def _aggregate(self, node: A.Aggregate, resolver: Resolver, env: dict) -> ColumnTable:
-        needed = set(node.group_by)
-        for spec in node.aggs:
-            if spec.arg is not None:
-                needed |= spec.arg.columns()
-        child = self._narrowed_source(node.child, needed, resolver, env)
-        started = time.perf_counter()
-        result = group_aggregate(
-            child, node.group_by, node.aggs, node.schema,
-            compiled=self.options.compile_expressions,
-            workers=self.options.morsel_workers,
-            morsel_size=self.options.morsel_size,
-        )
-        self._record("aggregate", started)
-        return result
-
-    def _join(self, node: A.Join, resolver: Resolver, env: dict) -> ColumnTable:
-        left = self._exec(node.left, resolver, env)
-        lkeys = [l for l, _ in node.on]
-        rkeys = [r for _, r in node.on]
-        if node.how in ("semi", "anti"):
-            # only the right keys matter: fuse the build side down to them
-            right = self._narrowed_source(
-                node.right, set(rkeys), resolver, env
-            )
-        else:
-            right = self._exec(node.right, resolver, env)
-
-        started = time.perf_counter()
-        algorithm = self.options.join_algorithm
-        if algorithm == "merge" and node.how in ("inner", "left"):
-            lidx, ridx = joins.merge_join(
-                left, right, lkeys, rkeys, how=node.how,
-                presorted=self.options.assume_sorted,
-            )
-        elif algorithm == "nested" and node.how == "inner":
-            lidx, ridx = joins.nested_loop_join(left, right, lkeys, rkeys)
-        elif algorithm == "python":
-            lidx, ridx = joins.python_hash_join(
-                left, right, lkeys, rkeys, node.how
-            )
-        else:
-            lidx, ridx = joins.hash_join(
-                left, right, lkeys, rkeys, node.how,
-                workers=self.options.morsel_workers,
-                morsel_size=self.options.morsel_size,
-            )
-
-        if node.how in ("semi", "anti"):
-            result = ColumnTable(node.schema, left.take(lidx).columns)
-        else:
-            right_keep = [n for n in right.schema.names if n not in set(rkeys)]
-            result = joins.gather_join_output(
-                left, right, right_keep, lidx, ridx, node.schema
-            )
-        self._record("join", started)
-        return result
-
-    def _product(self, node: A.Product, resolver: Resolver, env: dict) -> ColumnTable:
-        left = self._exec(node.left, resolver, env)
-        right = self._exec(node.right, resolver, env)
-        lidx = np.repeat(np.arange(left.num_rows, dtype=np.int64), right.num_rows)
-        ridx = np.tile(np.arange(right.num_rows, dtype=np.int64), left.num_rows)
-        columns = {n: left.column(n).take(lidx) for n in left.schema.names}
-        columns.update({n: right.column(n).take(ridx) for n in right.schema.names})
-        return ColumnTable(node.schema, columns)
-
-    def _distinct(self, table: ColumnTable) -> ColumnTable:
-        gids, _ = factorize(table, table.schema.names)
-        if len(gids) == 0:
-            return table
-        _, first = np.unique(gids, return_index=True)
-        return table.take(np.sort(first))
-
-    def _union(self, node: A.Union, resolver: Resolver, env: dict) -> ColumnTable:
-        left = self._exec(node.left, resolver, env)
-        right = self._exec(node.right, resolver, env)
-        out_schema = node.schema
-        return ColumnTable.concat([
-            _coerce(left, out_schema), _coerce(right, out_schema)
-        ])
-
-    def _set_op(self, node: A.Intersect | A.Except, resolver: Resolver, env: dict) -> ColumnTable:
-        left = _coerce(self._exec(node.left, resolver, env), node.schema)
-        right = _coerce(self._exec(node.right, resolver, env), node.schema)
-        right_keys = set(right.iter_rows())
-        keep_if_present = isinstance(node, A.Intersect)
-        seen: set[tuple] = set()
-        keep = np.zeros(left.num_rows, dtype=bool)
-        for i, row in enumerate(left.iter_rows()):
-            if (row in right_keys) is keep_if_present and row not in seen:
-                seen.add(row)
-                keep[i] = True
-        return left.filter(keep)
-
-    # -- dimension-aware operators ---------------------------------------------------------
-
-    def _as_dims(self, node: A.AsDims, resolver: Resolver, env: dict) -> ColumnTable:
-        child = self._exec(node.child, resolver, env)
-        gids, groups = factorize(child, node.dims)
-        if len(groups) != child.num_rows:
-            raise ExecutionError(
-                f"AsDims: dimensions {list(node.dims)} do not form a key "
-                f"({child.num_rows} rows, {len(groups)} distinct coordinates)"
-            )
-        return ColumnTable(node.schema, child.columns)
-
-    def _slice_dims(self, node: A.SliceDims, resolver: Resolver, env: dict) -> ColumnTable:
-        child = self._exec(node.child, resolver, env)
-        keep = np.ones(child.num_rows, dtype=bool)
-        for dim, lo, hi in node.bounds:
-            values = child.array(dim)
-            keep &= (values >= lo) & (values <= hi)
-        return child.filter(keep)
-
-    def _shift_dim(self, node: A.ShiftDim, resolver: Resolver, env: dict) -> ColumnTable:
-        child = self._exec(node.child, resolver, env)
-        columns = dict(child.columns)
-        columns[node.dim] = Column(
-            DType.INT64, child.array(node.dim) + node.offset
-        )
-        return ColumnTable(node.schema, columns)
-
-    def _regrid(self, node: A.Regrid, resolver: Resolver, env: dict) -> ColumnTable:
-        child = self._exec(node.child, resolver, env)
-        factors = dict(node.factors)
-        columns = dict(child.columns)
-        for dim, factor in factors.items():
-            columns[dim] = Column(
-                DType.INT64, np.floor_divide(child.array(dim), factor)
-            )
-        coarse = ColumnTable(child.schema, columns)
-        dims = child.schema.dimension_names
-        started = time.perf_counter()
-        result = group_aggregate(
-            coarse, dims, node.aggs, node.schema,
-            compiled=self.options.compile_expressions,
-            workers=self.options.morsel_workers,
-            morsel_size=self.options.morsel_size,
-        )
-        self._record("aggregate", started)
-        return result
-
-    def _reduce_dims(self, node: A.ReduceDims, resolver: Resolver, env: dict) -> ColumnTable:
-        child = self._exec(node.child, resolver, env)
-        keep = [d for d in child.schema.dimension_names if d in set(node.keep)]
-        started = time.perf_counter()
-        result = group_aggregate(
-            child, keep, node.aggs, node.schema,
-            compiled=self.options.compile_expressions,
-            workers=self.options.morsel_workers,
-            morsel_size=self.options.morsel_size,
-        )
-        self._record("aggregate", started)
-        return result
-
-    def _cell_join(self, node: A.CellJoin, resolver: Resolver, env: dict) -> ColumnTable:
-        left = self._exec(node.left, resolver, env)
-        right = self._exec(node.right, resolver, env)
-        dims = list(node.schema.dimension_names)
-        started = time.perf_counter()
-        lidx, ridx = joins.hash_join(
-            left, right, dims, dims, "inner",
-            workers=self.options.morsel_workers,
-            morsel_size=self.options.morsel_size,
-        )
-        self._record("join", started)
-        columns = {}
-        for name in left.schema.names:
-            columns[name] = left.column(name).take(lidx)
-        for name in node.right.schema.value_names:
-            columns[name] = right.column(name).take(ridx)
-        return ColumnTable(node.schema, columns)
-
-    def _matmul_as_join_aggregate(
-        self, node: A.MatMul, resolver: Resolver, env: dict
-    ) -> ColumnTable:
-        """The relational formulation: join on the shared dimension, multiply,
-        group by the outer dimensions, sum.  Correct but much slower than a
-        native linear-algebra engine — the point of experiment E3."""
-        from ..core.expressions import col
-
-        left = self._exec(node.left, resolver, env)
-        right = self._exec(node.right, resolver, env)
-        li, lk = node.left.schema.dimension_names
-        rk, rj = node.right.schema.dimension_names
-        lval = node.left.schema.value_names[0]
-        rval = node.right.schema.value_names[0]
-
-        started = time.perf_counter()
-        lidx, ridx = joins.hash_join(
-            left, right, [lk], [rk], "inner",
-            workers=self.options.morsel_workers,
-            morsel_size=self.options.morsel_size,
-        )
-        self._record("join", started)
-        out_schema = node.schema
-        out_i, out_j = out_schema.dimension_names
-        out_v = out_schema.value_names[0]
-
-        i_col = left.column(li).take(lidx)
-        j_col = right.column(rj).take(ridx)
-        lv = left.column(lval).take(lidx)
-        rv = right.column(rval).take(ridx)
-        product_values = lv.values * rv.values
-        product_mask = None
-        if lv.mask is not None or rv.mask is not None:
-            product_mask = np.zeros(len(product_values), dtype=bool)
-            if lv.mask is not None:
-                product_mask |= lv.mask
-            if rv.mask is not None:
-                product_mask |= rv.mask
-        joined_schema = Schema([
-            out_schema[out_i].as_value(), out_schema[out_j].as_value(),
-            out_schema[out_v],
-        ])
-        joined = ColumnTable(joined_schema, {
-            out_i: Column(DType.INT64, i_col.values, i_col.mask),
-            out_j: Column(DType.INT64, j_col.values, j_col.mask),
-            out_v: Column(out_schema[out_v].dtype,
-                          product_values.astype(out_schema[out_v].dtype.to_numpy()),
-                          product_mask),
-        })
-        started = time.perf_counter()
-        summed = group_aggregate(
-            joined, (out_i, out_j),
-            (A.AggSpec(out_v, "sum", col(out_v)),),
-            node.schema,
-            workers=self.options.morsel_workers,
-            morsel_size=self.options.morsel_size,
-        )
-        self._record("aggregate", started)
-        # drop all-null sums (cells with only null contributions do not exist)
-        out_col = summed.column(out_v)
-        if out_col.mask is not None:
-            summed = summed.filter(~out_col.mask)
-        return summed
-
-    # -- control iteration --------------------------------------------------------------------
-
-    def _iterate(self, node: A.Iterate, resolver: Resolver, env: dict) -> ColumnTable:
-        state = self._exec(node.init, resolver, env)
-        state_schema = node.init.schema
-        for _ in range(node.max_iter):
-            inner_env = dict(env)
-            inner_env[node.var] = state
-            new_state = self._exec(node.body, resolver, inner_env)
-            new_state = _coerce(new_state, state_schema)
-            if self._converged(node.stop, state_schema, state, new_state):
-                return new_state
-            state = new_state
-        if node.stop.value_attr is not None and node.strict:
-            raise ConvergenceError(
-                f"Iterate did not converge within {node.max_iter} iterations"
-            )
-        return state
-
-    def _converged(
-        self,
-        stop: A.Convergence,
-        schema: Schema,
-        old: ColumnTable,
-        new: ColumnTable,
-    ) -> bool:
-        if stop.value_attr is None:
-            return False
-        dims = list(schema.dimension_names)
-        if old.num_rows != new.num_rows:
-            return False
-        old_sorted = old.take(sort_indices(old, dims, [True] * len(dims)))
-        new_sorted = new.take(sort_indices(new, dims, [True] * len(dims)))
-        for d in dims:
-            if not np.array_equal(old_sorted.array(d), new_sorted.array(d)):
-                return False
-        ov = old_sorted.column(stop.value_attr)
-        nv = new_sorted.column(stop.value_attr)
-        if ov.mask is not None or nv.mask is not None:
-            om = ov.mask if ov.mask is not None else np.zeros(len(ov), dtype=bool)
-            nm = nv.mask if nv.mask is not None else np.zeros(len(nv), dtype=bool)
-            if not np.array_equal(om, nm):
-                return False
-            valid = ~om
-        else:
-            valid = slice(None)
-        deltas = np.abs(
-            nv.values[valid].astype(np.float64) - ov.values[valid].astype(np.float64)
-        )
-        if deltas.size == 0:
-            return True
-        delta = float(deltas.max()) if stop.norm == "linf" else float(deltas.sum())
-        return delta <= stop.tolerance
-
-
-def _split_conjuncts(expr: Expr) -> list[Expr]:
-    if isinstance(expr, BinOp) and expr.op == "and":
-        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
-    return [expr]
-
-
-def _coerce(table: ColumnTable, schema: Schema) -> ColumnTable:
-    """Adapt a table to an equally-named schema (numeric promotion, retag)."""
-    columns = {}
-    for attr in schema:
-        column = table.column(attr.name)
-        if column.dtype is not attr.dtype:
-            column = column.cast(attr.dtype)
-        columns[attr.name] = column
-    return ColumnTable(schema, columns)
+        plan = self.plan_for(node)
+        outcome = run_plan(plan, resolver, env=env, counters=self.counters)
+        self.last_stage_seconds = outcome.stage_seconds
+        for stage, seconds in outcome.stage_seconds.items():
+            self.op_seconds[stage] = self.op_seconds.get(stage, 0.0) + seconds
+        return outcome.value

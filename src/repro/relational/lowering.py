@@ -1,0 +1,497 @@
+"""Logical→physical lowering for the relational engine.
+
+This is where every physical decision the relational engine makes lives —
+as pure, inspectable rules over the rewritten logical tree:
+
+* **pipeline fusion** — maximal Filter/Project/Extend/Rename chains lower
+  to one :class:`PhysFusedPipeline` (morsel-parallel when configured);
+* **index access paths** — a filter over a stored base table whose first
+  indexable conjunct matches a hash/sorted index lowers to a
+  :class:`PhysIndexProbe`, residual conjuncts applied over the subset;
+* **join algorithm selection** — ``EngineOptions.join_algorithm`` picks
+  hash / merge / nested-loop / python-hash at lowering time;
+* **input narrowing** — pipeline breakers (joins, aggregates) push a
+  synthetic projection into fusible inputs so dead columns never
+  materialize.
+
+Nothing here touches data: lowering a tree is side-effect free and
+deterministic, which is what makes physical plans cacheable and the
+golden-plan tests meaningful.  Cardinality estimates (propagated through
+:class:`~repro.exec.physical.base.PhysProps`) come from catalog statistics
+at the leaves and textbook selectivities above them — the same heuristics
+the federation cost model uses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core import algebra as A
+from ..core.errors import ExecutionError
+from ..core.expressions import BinOp, Col, Lit
+from ..core.rewriter import split_fusible_chain
+from ..exec.physical import relational as P
+from ..exec.physical.base import (
+    PhysInlineTable, PhysLoopVar, PhysOp, PhysPlan, PhysProps, PhysScan,
+    join_rows, props_for, scale_rows, sum_rows,
+)
+from ..exec.pipeline import FusedPipeline, pipeline_key
+from .catalog import RelationalCatalog
+
+if TYPE_CHECKING:  # avoid a cycle: engine imports this module
+    from .engine import EngineOptions
+
+FILTER_SELECTIVITY = 0.33
+
+_FUSIBLE = (A.Filter, A.Project, A.Extend, A.Rename)
+
+
+def lower_relational(
+    node: A.Node,
+    options: EngineOptions,
+    catalog: RelationalCatalog | None = None,
+    pipeline_cache: dict | None = None,
+) -> PhysPlan:
+    """Lower a rewritten logical tree to a relational physical plan.
+
+    ``pipeline_cache`` (keyed like the old engine-internal cache) lets an
+    engine share compiled :class:`FusedPipeline` objects across plans.
+    """
+    lowering = _Lowering(options, catalog, pipeline_cache)
+    return PhysPlan(lowering.lower(node), engine="relational")
+
+
+class _Lowering:
+    def __init__(
+        self,
+        options: EngineOptions,
+        catalog: RelationalCatalog | None,
+        pipeline_cache: dict | None,
+    ):
+        self.options = options
+        self.catalog = catalog
+        self.pipelines = pipeline_cache if pipeline_cache is not None else {}
+
+    # -- dispatcher --------------------------------------------------------------
+
+    def lower(self, node: A.Node) -> PhysOp:
+        if self.options.fuse_pipelines and isinstance(node, _FUSIBLE):
+            fused = self._lower_fused(node)
+            if fused is not None:
+                return fused
+        if isinstance(node, A.Scan):
+            return self._lower_scan(node)
+        if isinstance(node, A.InlineTable):
+            return PhysInlineTable(
+                node.table_schema, node.rows,
+                props_for(node.schema, len(node.rows)),
+            )
+        if isinstance(node, A.LoopVar):
+            return PhysLoopVar(node.name, node.schema, props_for(node.schema))
+        if isinstance(node, A.Filter):
+            return self._lower_filter(node)
+        if isinstance(node, A.Project):
+            child = self.lower(node.child)
+            return P.PhysProject(
+                child, node.names, node.schema,
+                props_for(node.schema, child.props.est_rows,
+                          ordering=child.props.ordering),
+            )
+        if isinstance(node, A.Extend):
+            child = self.lower(node.child)
+            return P.PhysExtend(
+                child, node.names, node.exprs, node.schema,
+                props_for(node.schema, child.props.est_rows),
+                compiled=self.options.compile_expressions,
+            )
+        if isinstance(node, A.Rename):
+            child = self.lower(node.child)
+            return P.PhysRename(
+                child, node.mapping, node.schema,
+                props_for(node.schema, child.props.est_rows),
+            )
+        if isinstance(node, A.Join):
+            return self._lower_join(node)
+        if isinstance(node, A.Product):
+            left, right = self.lower(node.left), self.lower(node.right)
+            est = None
+            if left.props.est_rows is not None and right.props.est_rows is not None:
+                est = left.props.est_rows * right.props.est_rows
+            return P.PhysProduct(
+                node.schema, props_for(node.schema, est), (left, right)
+            )
+        if isinstance(node, A.Aggregate):
+            return self._lower_aggregate(node)
+        if isinstance(node, A.Sort):
+            child = self.lower(node.child)
+            ordering = tuple(zip(node.keys, node.ascending))
+            return P.PhysSort(
+                child, node.keys, node.ascending, node.schema,
+                props_for(node.schema, child.props.est_rows,
+                          ordering=ordering),
+            )
+        if isinstance(node, A.Limit):
+            child = self.lower(node.child)
+            est = child.props.est_rows
+            est = node.count if est is None else min(node.count, est)
+            return P.PhysLimit(
+                child, node.count, node.offset, node.schema,
+                props_for(node.schema, est, ordering=child.props.ordering),
+            )
+        if isinstance(node, A.Reverse):
+            child = self.lower(node.child)
+            return P.PhysReverse(
+                node.schema,
+                props_for(node.schema, child.props.est_rows), (child,)
+            )
+        if isinstance(node, A.Distinct):
+            child = self.lower(node.child)
+            return P.PhysDistinct(
+                node.schema,
+                props_for(node.schema, scale_rows(child.props.est_rows, 0.5)),
+                (child,),
+            )
+        if isinstance(node, A.Union):
+            left, right = self.lower(node.left), self.lower(node.right)
+            return P.PhysUnion(
+                node.schema,
+                props_for(node.schema,
+                          sum_rows(left.props.est_rows, right.props.est_rows)),
+                (left, right),
+            )
+        if isinstance(node, (A.Intersect, A.Except)):
+            left, right = self.lower(node.left), self.lower(node.right)
+            return P.PhysSetOp(
+                left, right, isinstance(node, A.Intersect), node.schema,
+                props_for(node.schema, scale_rows(left.props.est_rows, 0.5)),
+            )
+        if isinstance(node, A.AsDims):
+            child = self.lower(node.child)
+            return P.PhysAsDims(
+                child, node.dims, node.schema,
+                props_for(node.schema, child.props.est_rows),
+            )
+        if isinstance(node, A.SliceDims):
+            child = self.lower(node.child)
+            est = scale_rows(
+                child.props.est_rows, FILTER_SELECTIVITY ** len(node.bounds)
+            )
+            return P.PhysSliceDims(
+                child, node.bounds, node.schema, props_for(node.schema, est)
+            )
+        if isinstance(node, A.ShiftDim):
+            child = self.lower(node.child)
+            return P.PhysShiftDim(
+                child, node.dim, node.offset, node.schema,
+                props_for(node.schema, child.props.est_rows),
+            )
+        if isinstance(node, A.Regrid):
+            return self._lower_regrid(node)
+        if isinstance(node, A.ReduceDims):
+            child = self.lower(node.child)
+            # static: which dims survive, in the child's dimension order
+            keep = tuple(
+                d for d in node.child.schema.dimension_names
+                if d in set(node.keep)
+            )
+            est = scale_rows(child.props.est_rows, 0.1) if keep else 1
+            return self._aggregate_op(child, keep, node.aggs, node.schema, est)
+        if isinstance(node, A.TransposeDims):
+            child = self.lower(node.child)
+            return P.PhysRetag(
+                node.schema,
+                props_for(node.schema, child.props.est_rows), (child,)
+            )
+        if isinstance(node, A.CellJoin):
+            left, right = self.lower(node.left), self.lower(node.right)
+            ests = (left.props.est_rows, right.props.est_rows)
+            est = None if None in ests else min(ests)
+            return P.PhysCellJoin(
+                left, right, tuple(node.schema.dimension_names),
+                tuple(node.right.schema.value_names),
+                node.schema,
+                props_for(node.schema, est,
+                          parallelism=self.options.morsel_workers),
+                workers=self.options.morsel_workers,
+                morsel_size=self.options.morsel_size,
+            )
+        if isinstance(node, A.MatMul):
+            left, right = self.lower(node.left), self.lower(node.right)
+            est = None
+            if left.props.est_rows is not None and right.props.est_rows is not None:
+                # sparse output heuristic: geometric mean of input sizes
+                est = max(
+                    int((left.props.est_rows * right.props.est_rows) ** 0.5), 1
+                )
+            return P.PhysMatMulJoinAgg(
+                left, right, node.left.schema, node.right.schema, node.schema,
+                props_for(node.schema, est,
+                          parallelism=self.options.morsel_workers),
+                workers=self.options.morsel_workers,
+                morsel_size=self.options.morsel_size,
+            )
+        if isinstance(node, A.Iterate):
+            init = self.lower(node.init)
+            body = self.lower(node.body)
+            return P.PhysIterate(
+                init, body, node.var, node.stop, node.max_iter, node.strict,
+                node.init.schema, node.schema,
+                props_for(node.schema, init.props.est_rows),
+            )
+        raise ExecutionError(
+            f"relational engine: unsupported operator {node.op_name}"
+        )
+
+    # -- leaves ------------------------------------------------------------------
+
+    def _lower_scan(self, node: A.Scan) -> PhysOp:
+        est = None
+        if (
+            self.catalog is not None
+            and not node.name.startswith("@")
+            and node.name in self.catalog
+        ):
+            est = self.catalog.entry(node.name).row_count
+        return PhysScan(node.name, node.schema, props_for(node.schema, est))
+
+    # -- fused pipelines ---------------------------------------------------------
+
+    def _lower_fused(self, node: A.Node) -> PhysOp | None:
+        """Lower a maximal fusible chain into one physical pass, or decline.
+
+        Returns ``None`` when the chain is too short to win anything (a
+        single fusible operator), handing the node back to the one-at-a-
+        time rules.
+        """
+        chain, source = split_fusible_chain(node)
+        if len(chain) < 2:
+            return None
+
+        # Preserve the secondary-index access path: when the chain bottoms
+        # out in a Filter over a stored Scan (possibly through the
+        # optimizer's Project veneer), let the index serve those nodes and
+        # fuse only what remains above the fetched subset.
+        source_op: PhysOp | None = None
+        trimmed = chain
+        if isinstance(chain[-1], A.Filter):
+            source_op = self._lower_index_filter(chain[-1])
+            if source_op is not None:
+                trimmed = chain[:-1]
+        elif isinstance(chain[-2], A.Filter) and isinstance(chain[-1], A.Project):
+            source_op = self._lower_index_filter(chain[-2])
+            if source_op is not None:
+                trimmed = chain[:-2]
+        if not trimmed:
+            return source_op
+
+        if source_op is None:
+            source_op = self.lower(source)
+        est = source_op.props.est_rows
+        for step in trimmed:
+            if isinstance(step, A.Filter):
+                est = scale_rows(est, FILTER_SELECTIVITY)
+        workers = self.options.morsel_workers
+        return P.PhysFusedPipeline(
+            source_op, self._pipeline_for(trimmed), P.fused_steps(trimmed),
+            node.schema,
+            props_for(node.schema, est, parallelism=workers),
+            workers=workers, morsel_size=self.options.morsel_size,
+        )
+
+    def _pipeline_for(self, chain: list[A.Node]) -> FusedPipeline:
+        source_schema = chain[-1].child.schema
+        key = (
+            pipeline_key(chain),
+            tuple((a.name, a.dtype, a.dimension) for a in source_schema),
+            self.options.compile_expressions,
+        )
+        pipeline = self.pipelines.get(key)
+        if pipeline is None:
+            pipeline = FusedPipeline(
+                chain, compiled=self.options.compile_expressions
+            )
+            self.pipelines[key] = pipeline
+        return pipeline
+
+    def _lower_narrowed(self, child: A.Node, needed: set[str]) -> PhysOp:
+        """Lower a pipeline-breaker's input, fused down to ``needed`` columns.
+
+        A synthetic Project on top of a fusible chain lets the fused
+        pipeline's liveness analysis skip dead columns — the chain feeds
+        the join/aggregate in one pass without materializing the full-width
+        intermediate.  Declines when nothing would be pruned.
+        """
+        if (
+            self.options.fuse_pipelines
+            and needed
+            and isinstance(child, _FUSIBLE)
+            and needed < set(child.schema.names)
+        ):
+            names = tuple(n for n in child.schema.names if n in needed)
+            fused = self._lower_fused(A.Project(child, names))
+            if fused is not None:
+                return fused
+        return self.lower(child)
+
+    # -- filters and the index access path ---------------------------------------
+
+    def _lower_filter(self, node: A.Filter) -> PhysOp:
+        probe = self._lower_index_filter(node)
+        if probe is not None:
+            return probe
+        child = self.lower(node.child)
+        return P.PhysFilter(
+            child, node.predicate, node.schema,
+            props_for(node.schema,
+                      scale_rows(child.props.est_rows, FILTER_SELECTIVITY),
+                      ordering=child.props.ordering),
+            compiled=self.options.compile_expressions,
+        )
+
+    def _lower_index_filter(self, node: A.Filter) -> PhysOp | None:
+        """Lower a filter over a stored base table to an index probe.
+
+        Splits the predicate into conjuncts, serves the first indexable one
+        with a probe/range lookup, and leaves the rest as residual
+        predicates over the (usually much smaller) fetched subset.  Every
+        input to this decision — index existence, comparison shape, literal
+        non-nullness — is static, so it belongs in lowering.
+        """
+        if self.catalog is None:
+            return None
+        child = node.child
+        project: A.Project | None = None
+        if isinstance(child, A.Project):  # optimizer-inserted pruning veneer
+            project = child
+            child = child.child
+        if not isinstance(child, A.Scan):
+            return None
+        name = child.name
+        if name.startswith("@") or name not in self.catalog:
+            return None  # fragment inputs are never served from the catalog
+        entry = self.catalog.entry(name)
+        conjuncts = P.split_conjuncts(node.predicate)
+        for pos, conjunct in enumerate(conjuncts):
+            spec = _probe_spec(entry, conjunct)
+            if spec is None:
+                continue
+            column, op, value, kind = spec
+            residual = tuple(conjuncts[:pos] + conjuncts[pos + 1:])
+            if op == "==":
+                selectivity = entry.selectivity_of_equality(column)
+            else:
+                selectivity = FILTER_SELECTIVITY
+            est = scale_rows(entry.row_count, selectivity)
+            est = scale_rows(est, FILTER_SELECTIVITY ** len(residual))
+            out_schema = node.schema if project is None else project.schema
+            return P.PhysIndexProbe(
+                entry, name, column, op, value, kind,
+                None if project is None else project.names,
+                residual, out_schema, props_for(out_schema, est),
+                compiled=self.options.compile_expressions,
+            )
+        return None
+
+    # -- breakers ----------------------------------------------------------------
+
+    def _lower_join(self, node: A.Join) -> PhysOp:
+        left = self.lower(node.left)
+        rkeys = [r for _, r in node.on]
+        if node.how in ("semi", "anti"):
+            # only the right keys matter: fuse the build side down to them
+            right = self._lower_narrowed(node.right, set(rkeys))
+        else:
+            right = self.lower(node.right)
+        est = join_rows(left.props.est_rows, right.props.est_rows, node.how)
+
+        algorithm = self.options.join_algorithm
+        if algorithm == "merge" and node.how in ("inner", "left"):
+            return P.PhysMergeJoin(
+                left, right, node.on, node.how, node.schema,
+                props_for(node.schema, est),
+                presorted=self.options.assume_sorted,
+            )
+        if algorithm == "nested" and node.how == "inner":
+            return P.PhysNestedLoopJoin(
+                left, right, node.on, node.how, node.schema,
+                props_for(node.schema, est),
+            )
+        if algorithm == "python":
+            return P.PhysPythonHashJoin(
+                left, right, node.on, node.how, node.schema,
+                props_for(node.schema, est),
+            )
+        workers = self.options.morsel_workers
+        return P.PhysHashJoin(
+            left, right, node.on, node.how, node.schema,
+            props_for(node.schema, est, parallelism=workers),
+            workers=workers, morsel_size=self.options.morsel_size,
+        )
+
+    def _lower_aggregate(self, node: A.Aggregate) -> PhysOp:
+        needed = set(node.group_by)
+        for spec in node.aggs:
+            if spec.arg is not None:
+                needed |= spec.arg.columns()
+        child = self._lower_narrowed(node.child, needed)
+        if node.group_by:
+            est = scale_rows(child.props.est_rows, 0.1)
+        else:
+            est = 1
+        return self._aggregate_op(
+            child, node.group_by, node.aggs, node.schema, est
+        )
+
+    def _aggregate_op(self, child, group_by, aggs, schema, est) -> PhysOp:
+        workers = self.options.morsel_workers
+        return P.PhysPartialAggregate(
+            child, tuple(group_by), tuple(aggs), schema,
+            props_for(schema, est, parallelism=workers),
+            compiled=self.options.compile_expressions,
+            workers=workers, morsel_size=self.options.morsel_size,
+        )
+
+    def _lower_regrid(self, node: A.Regrid) -> PhysOp:
+        child = self.lower(node.child)
+        coarse = P.PhysCoarsenDims(
+            child, tuple(node.factors), node.child.schema,
+            props_for(node.child.schema, child.props.est_rows),
+        )
+        factor = 1.0
+        for _, f in node.factors:
+            factor *= f
+        est = scale_rows(child.props.est_rows, 1.0 / max(factor, 1.0))
+        dims = tuple(node.child.schema.dimension_names)
+        return self._aggregate_op(coarse, dims, node.aggs, node.schema, est)
+
+
+def _probe_spec(entry, conjunct) -> tuple[str, str, object, str] | None:
+    """(column, op, value, index-kind) when a conjunct can probe an index."""
+    if not isinstance(conjunct, BinOp):
+        return None
+    left, right = conjunct.left, conjunct.right
+    if isinstance(left, Lit) and isinstance(right, Col):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                   "==": "=="}.get(conjunct.op)
+        if flipped is None:
+            return None
+        left, right = right, left
+        op = flipped
+    elif isinstance(left, Col) and isinstance(right, Lit):
+        op = conjunct.op
+    else:
+        return None
+    column, value = left.name, right.value
+    if value is None:
+        return None
+    if op == "==":
+        if column in entry.hash_indexes:
+            return column, op, value, "hash"
+        if column in entry.sorted_indexes:
+            return column, op, value, "sorted"
+        return None
+    if op in ("<", "<=", ">", ">="):
+        if column in entry.sorted_indexes:
+            return column, op, value, "sorted"
+        return None
+    return None

@@ -1,0 +1,253 @@
+"""Physical-plan layer tests: golden plan renders, plan caching, EXPLAIN.
+
+The golden snapshots pin the *lowering rules* — which physical operator
+each logical tree becomes, with which properties — for the trees the
+benchmarks care about: the E8 rewriter-ablation shape (selective filter
+over a wide join), the E10 join-algorithm matrix, and the E3 matmul in
+its lowered (join-aggregate) and native (blocked kernel) forms.  The
+hypothesis test checks the semantic contract behind all of it: executing
+a lowered plan equals interpreting the tree, for every accepting
+provider.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import algebra as A
+from repro.core.expressions import col, lit
+from repro.providers.graph_p import GraphProvider
+from repro.providers.linalg_p import LinalgProvider
+from repro.providers.relational_p import RelationalProvider
+from repro.relational.catalog import RelationalCatalog
+from repro.relational.engine import EngineOptions, RelationalEngine
+
+from .helpers import run_reference, schema, table
+
+CUSTOMERS = schema(("cid", "int"), ("name", "str"), ("country", "str"))
+ORDERS = schema(("oid", "int"), ("cust", "int"), ("amount", "float"))
+MA = schema(("i", "int", True), ("j", "int", True), ("v", "float"))
+MB = schema(("j", "int", True), ("k", "int", True), ("w", "float"))
+
+
+def _catalog() -> RelationalCatalog:
+    catalog = RelationalCatalog()
+    catalog.register(
+        "customers",
+        table(CUSTOMERS, [(i, "n", "jp") for i in range(100)]),
+    )
+    catalog.register(
+        "orders",
+        table(ORDERS, [(i, i % 10, float(i)) for i in range(500)]),
+    )
+    return catalog
+
+
+def _join_tree() -> A.Join:
+    return A.Join(
+        A.Scan("customers", CUSTOMERS), A.Scan("orders", ORDERS),
+        (("cid", "cust"),),
+    )
+
+
+def _matrix_tables():
+    ta = table(MA, [(i, j, 1.0) for i in range(4) for j in range(4)])
+    tb = table(MB, [(j, k, 2.0) for j in range(4) for k in range(4)])
+    return ta, tb
+
+
+class TestGoldenPlans:
+    def test_e10_join_algorithms(self):
+        """Each join_algorithm option lowers to its own physical operator."""
+        catalog = _catalog()
+        expected = {
+            "hash": "PhysHashJoin",
+            "merge": "PhysMergeJoin",
+            "nested": "PhysNestedLoopJoin",
+            "python": "PhysPythonHashJoin",
+        }
+        for algorithm, op_name in expected.items():
+            engine = RelationalEngine(
+                EngineOptions(join_algorithm=algorithm), _catalog()
+            )
+            assert engine.explain(_join_tree()) == (
+                f"{op_name}(inner on cid=cust)  [rows~50]\n"
+                "  PhysScan(customers)  [rows~100]\n"
+                "  PhysScan(orders)  [rows~500]"
+            ), algorithm
+        del catalog
+
+    def test_e8_filter_over_wide_join(self):
+        """The ablation shape: fused filter/project above a hash join,
+        with catalog cardinalities and selectivities in the properties."""
+        engine = RelationalEngine(None, _catalog())
+        predicate = (col("country") == lit("jp")) & (col("amount") > lit(50.0))
+        tree = A.Project(A.Filter(_join_tree(), predicate), ("name", "amount"))
+        assert engine.explain(tree) == (
+            "PhysFusedPipeline(project>filter)  [rows~16]\n"
+            "  PhysHashJoin(inner on cid=cust)  [rows~50]\n"
+            "    PhysScan(customers)  [rows~100]\n"
+            "    PhysScan(orders)  [rows~500]"
+        )
+
+    def test_e3_matmul_native_on_relational(self):
+        """A native MatMul on the relational server lowers to the fused
+        join-aggregate operator, not a generic join + aggregate pair."""
+        ta, tb = _matrix_tables()
+        provider = RelationalProvider("sql")
+        provider.register_dataset("ma", ta)
+        provider.register_dataset("mb", tb)
+        tree = A.MatMul(A.Scan("ma", MA), A.Scan("mb", MB))
+        assert provider.lower(tree).render() == (
+            "PhysMatMulJoinAgg(j=j sum(v*w))  [rows~16 dims=i,k]\n"
+            "  PhysScan(ma)  [rows~16 dims=i,j]\n"
+            "  PhysScan(mb)  [rows~16 dims=j,k]"
+        )
+
+    def test_e3_matmul_native_on_linalg(self):
+        """The same MatMul on the linalg server becomes a blocked kernel
+        call; Rename-free name threading happens statically."""
+        ta, tb = _matrix_tables()
+        provider = LinalgProvider("scalapack")
+        provider.register_dataset("ma", ta)
+        provider.register_dataset("mb", tb)
+        tree = A.MatMul(A.Scan("ma", MA), A.Scan("mb", MB))
+        plan = provider.lower(tree)
+        assert plan.engine == "linalg"
+        assert plan.render() == (
+            "PhysMatrixToTable(i,k,v)  [dims=i,k]\n"
+            "  PhysBlockedMatMul  [dims=i,k]\n"
+            "    PhysMatrixSource(ma)  [dims=i,j]\n"
+            "    PhysMatrixSource(mb)  [dims=j,k]"
+        )
+
+    def test_render_is_deterministic_and_cached(self):
+        engine = RelationalEngine(None, _catalog())
+        tree = _join_tree()
+        first = engine.plan_for(tree)
+        second = engine.plan_for(tree)
+        assert first is second  # plan cache hit, not a re-lowering
+        assert first.render() == second.render()
+
+    def test_index_creation_invalidates_plans(self):
+        """Creating an index bumps the catalog version: the same tree
+        re-lowers to an index probe instead of a filtered scan."""
+        provider = RelationalProvider("sql")
+        provider.register_dataset(
+            "orders", table(ORDERS, [(i, i % 10, float(i)) for i in range(500)])
+        )
+        tree = A.Filter(A.Scan("orders", ORDERS), col("cust") == lit(3))
+        before = provider.lower(tree).render()
+        assert "PhysIndexProbe" not in before
+        provider.create_index("orders", "cust", kind="hash")
+        after = provider.lower(tree).render()
+        assert "PhysIndexProbe" in after
+
+
+class TestExplainPhysical:
+    def test_query_explain_physical(self):
+        from repro.client.context import BigDataContext
+
+        ctx = BigDataContext()
+        ctx.add_provider(RelationalProvider("sql"))
+        ctx.load(
+            "orders",
+            table(ORDERS, [(i, i % 10, float(i)) for i in range(500)]),
+            on="sql",
+        )
+        query = ctx.table("orders").where(col("amount") > lit(50.0))
+        logical = query.explain()
+        assert "fragment 0 on sql" in logical
+        assert "Phys" not in logical  # default stays logical-only
+        physical = query.explain(physical=True)
+        assert "fragment 0 on sql" in physical
+        assert "relational engine, cost~" in physical
+        assert "PhysScan(orders)  [rows~500]" in physical
+
+    def test_explain_physical_multi_fragment(self):
+        """Each fragment shows its own server's lowered plan."""
+        from repro.client.context import BigDataContext
+
+        ta, tb = _matrix_tables()
+        ctx = BigDataContext()
+        ctx.add_provider(RelationalProvider("sql"))
+        ctx.add_provider(LinalgProvider("scalapack"))
+        ctx.load("ma", ta, on="scalapack")
+        ctx.load(
+            "orders",
+            table(ORDERS, [(i, i % 10, float(i)) for i in range(50)]),
+            on="sql",
+        )
+        tree = A.Join(
+            A.ReduceDims(
+                A.Scan("ma", MA), ("i",), (A.AggSpec("v", "sum", col("v")),)
+            ),
+            A.Scan("orders", ORDERS),
+            (("i", "cust"),),
+        )
+        text = ctx.explain(tree, physical=True)
+        assert "on scalapack" in text and "on sql" in text
+        assert "engine, cost~" in text
+
+
+# --------------------------------------------------------------------------
+# Lowered execution == reference interpretation
+# --------------------------------------------------------------------------
+
+LEFT = schema(("k", "int"), ("v", "float"), ("tag", "str"))
+RIGHT = schema(("k2", "int"), ("w", "float"))
+
+_floats = st.one_of(
+    st.none(), st.floats(allow_nan=False, allow_infinity=False, width=32)
+)
+left_rows = st.lists(
+    st.tuples(st.integers(0, 4), _floats, st.sampled_from(["x", "y"])),
+    max_size=8,
+)
+right_rows = st.lists(st.tuples(st.integers(0, 4), _floats), max_size=6)
+
+
+@st.composite
+def lowerable_tree(draw) -> A.Node:
+    """Filter/Project/Join/Aggregate trees over the left/right datasets."""
+    node: A.Node = A.Scan("left", LEFT)
+    if draw(st.booleans()):
+        node = A.Filter(node, col("k") >= lit(draw(st.integers(0, 3))))
+    if draw(st.booleans()):
+        how = draw(st.sampled_from(["inner", "left", "semi", "anti"]))
+        node = A.Join(node, A.Scan("right", RIGHT), (("k", "k2"),), how)
+    finish = draw(st.integers(0, 2))
+    if finish == 1:
+        node = A.Project(node, ("k", "v"))
+    elif finish == 2:
+        node = A.Aggregate(
+            node, ("k",),
+            (A.AggSpec("total", "sum", col("v")), A.AggSpec("n", "count")),
+        )
+    return node
+
+
+class TestLoweredExecutionAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(lowerable_tree(), left_rows, right_rows)
+    def test_plans_match_reference_on_accepting_providers(
+        self, tree, lrows, rrows
+    ):
+        datasets = {
+            "left": table(LEFT, lrows),
+            "right": table(RIGHT, rrows),
+        }
+        expected = run_reference(tree, **datasets)
+        for provider in (RelationalProvider("rel"), GraphProvider("gra")):
+            if not provider.accepts(tree):
+                continue
+            for name, data in datasets.items():
+                provider.register_dataset(name, data)
+            # the executed plan is exactly the lowered, inspectable one
+            assert provider.lower(tree) is provider.lower(tree)
+            actual = provider.execute(tree)
+            assert actual.same_rows(expected, float_tol=1e-6), (
+                f"\nprovider: {provider.name}\ntree: {tree!r}"
+                f"\nplan:\n{provider.lower(tree).render()}"
+            )
