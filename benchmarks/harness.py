@@ -174,20 +174,70 @@ def e13() -> None:
               f"{entry['speedup_vs_single_pass']:>9.2f}x")
 
 
+def e14() -> None:
+    from bench_e14_pruning import emit_json
+
+    print("\n== E14: chunked storage & zone-map scan pruning ==")
+    payload = emit_json(Path(__file__).parent.parent / "BENCH_E14.json")
+    print(f"rows: {payload['rows']}, chunks: {payload['num_chunks']}, "
+          f"cpus: {payload['cpus']}")
+    print(f"{'config':>18s} {'wall':>10s} {'vs unchunked':>13s} {'chunks':>8s}")
+    for entry in payload["configs"]:
+        chunks = (
+            f"{entry['chunks_scanned']}/{entry['chunks_total']}"
+            if entry["chunks_total"] else "-"
+        )
+        print(f"{entry['config']:>18s} {entry['wall_s'] * 1e3:>7.1f} ms "
+              f"{entry['speedup_vs_unchunked']:>12.2f}x {chunks:>8s}")
+
+
 ALL = {
     "e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5,
     "e6": e6, "e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11,
-    "e12": e12, "e13": e13,
+    "e12": e12, "e13": e13, "e14": e14,
 }
 
+#: one-line summaries for --list
+TITLES = {
+    "e1": "coverage of the canonical 14-query suite",
+    "e2": "translatability: engine vs reference interpreter",
+    "e3": "intent preservation (recognized matmul -> linalg)",
+    "e4": "server interoperation (3-server pipeline)",
+    "e5": "control iteration (PageRank round trips)",
+    "e6": "portability (same program, swapped server)",
+    "e7": "expression-tree shipping vs call-at-a-time",
+    "e8": "rewriter ablation (selective filter over wide join)",
+    "e9": "array chunk-size sweep (windowed slice)",
+    "e10": "join algorithms (nested / merge / hash)",
+    "e11": "index vs scan (equality filter)",
+    "e12": "fused execution ablation (+ BENCH_E12.json gate)",
+    "e13": "join & aggregation kernel ablation (+ BENCH_E13.json gate)",
+    "e14": "chunked storage & zone-map pruning (+ BENCH_E14.json gate)",
+}
 
-def _check_speedups() -> None:
+#: experiments whose emitted BENCH_*.json carries a --check speedup gate
+GATED = {"e8": "BENCH_E8.json", "e12": "BENCH_E12.json",
+         "e13": "BENCH_E13.json", "e14": "BENCH_E14.json"}
+
+
+def _check_speedups(wanted: list[str], strict: bool = False) -> None:
     """Perf smoke: assert the optimized configs are not slower than their
-    baselines, from the BENCH_*.json files the harness just emitted."""
+    baselines, from the BENCH_*.json files the harness just emitted.
+
+    By default a missing BENCH file is skipped silently (the experiment may
+    simply not have run); ``strict`` turns a missing file for a *wanted*
+    gated experiment into a failure, so CI cannot pass by emitting nothing.
+    """
     import json
 
     root = Path(__file__).parent.parent
     failures: list[str] = []
+
+    if strict:
+        for name in wanted:
+            bench = GATED.get(name)
+            if bench is not None and not (root / bench).exists():
+                failures.append(f"{name}: {bench} was not emitted")
 
     e8_path = root / "BENCH_E8.json"
     if e8_path.exists():
@@ -230,21 +280,53 @@ def _check_speedups() -> None:
                         f"single-pass ({entry['speedup_vs_single_pass']:.2f}x)"
                     )
 
+    e14_path = root / "BENCH_E14.json"
+    if e14_path.exists():
+        payload = json.loads(e14_path.read_text())
+        # the 3x acceptance bar applies at full scale; tiny smoke runs are
+        # dominated by fixed per-query overhead, so they only get a
+        # no-regression floor
+        bar = 3.0 if payload["rows"] >= 500_000 else 1.2
+        for entry in payload["configs"]:
+            if entry["config"] == "chunked+pruned":
+                if entry["speedup_vs_unchunked"] < bar:
+                    failures.append(
+                        f"e14: pruned scan under the {bar}x bar vs unchunked "
+                        f"({entry['speedup_vs_unchunked']:.2f}x at "
+                        f"{payload['rows']} rows)"
+                    )
+                total = entry["chunks_total"] or 1
+                if entry["chunks_scanned"] / total > 0.05:
+                    failures.append(
+                        f"e14: filter not selective — scanned "
+                        f"{entry['chunks_scanned']}/{entry['chunks_total']} "
+                        f"chunks (> 5%)"
+                    )
+
     if failures:
         raise SystemExit("perf smoke failed:\n  " + "\n  ".join(failures))
     print("\nperf smoke: optimized configs are not slower than baselines")
 
 
 def main(argv: list[str]) -> None:
+    if "--list" in argv:
+        for name in ALL:
+            gate = "  [--check gate]" if name in GATED else ""
+            print(f"{name:>4s}  {TITLES[name]}{gate}")
+        return
     check = "--check" in argv
-    wanted = [a.lower() for a in argv if a != "--check"] or list(ALL)
+    strict = "--strict" in argv
+    if strict and not check:
+        raise SystemExit("--strict only makes sense with --check")
+    flags = {"--check", "--strict"}
+    wanted = [a.lower() for a in argv if a not in flags] or list(ALL)
     unknown = [w for w in wanted if w not in ALL]
     if unknown:
         raise SystemExit(f"unknown experiments {unknown}; have {list(ALL)}")
     for name in wanted:
         ALL[name]()
     if check:
-        _check_speedups()
+        _check_speedups(wanted, strict)
 
 
 if __name__ == "__main__":

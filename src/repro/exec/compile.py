@@ -245,6 +245,13 @@ def _build_func(expr: E.Func, schema: Schema) -> Kernel:
     return string_kernel
 
 
+#: comparison ops usable on dictionary codes, mapped to their literal-first
+#: flipped form (``lit < col`` becomes ``col > lit``)
+_FLIPPED_COMPARE = {
+    "==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<=",
+}
+
+
 def _build_binop(expr: E.BinOp, schema: Schema) -> Kernel:
     from ..relational import eval as V
 
@@ -276,6 +283,36 @@ def _build_binop(expr: E.BinOp, schema: Schema) -> Kernel:
         return concat_kernel
 
     if left_t is DType.STRING or right_t is DType.STRING:
+        col_expr, lit_expr, col_op = None, None, op
+        if op in _FLIPPED_COMPARE:
+            if isinstance(expr.left, E.Col) and isinstance(expr.right, E.Lit):
+                col_expr, lit_expr = expr.left, expr.right
+            elif isinstance(expr.right, E.Col) and isinstance(expr.left, E.Lit):
+                col_expr, lit_expr = expr.right, expr.left
+                col_op = _FLIPPED_COMPARE[op]
+        if col_expr is not None and isinstance(lit_expr.value, str):
+            # column-vs-literal compares check at run time whether the
+            # column arrived dictionary-encoded: if so the comparison runs
+            # on int codes (the dictionary is sorted, so code order is
+            # string order) instead of decoding and comparing row values
+            name, lit_value = col_expr.name, lit_expr.value
+
+            def dict_compare_kernel(cols, n):
+                column = cols[name]
+                compare = getattr(column, "compare_value", None)
+                if compare is not None:
+                    values = compare(col_op, lit_value)
+                    mask = column.mask
+                    if mask is None:
+                        return values, None
+                    values[mask] = False  # match _string_compare's fill
+                    return values, mask.copy()
+                lv, lm = left(cols, n)
+                rv, rm = right(cols, n)
+                mask = V._or_masks(lm, rm)
+                return V._string_compare(op, lv, rv, mask), mask
+
+            return dict_compare_kernel
 
         def str_compare_kernel(cols, n):
             lv, lm = left(cols, n)

@@ -104,6 +104,36 @@ def _dense_codes(
     return inverse.astype(np.int64, copy=False).reshape(-1), len(uniq)
 
 
+def _dict_key_codes(cols: Sequence[Column]) -> tuple[np.ndarray, int] | None:
+    """Joint codes for one key position when every column is dict-encoded.
+
+    Dictionary-encoded strings already carry order-preserving codes, so
+    equality joins never need to hash the row values: columns sharing one
+    dictionary object (chunk slices of one stored column) use their codes
+    directly, and columns with different dictionaries remap through the
+    merged sorted dictionary — hashing ``O(|dict|)`` strings instead of
+    ``O(rows)``.  Returns None when any column is plain (mixed encodings
+    fall back to value hashing).
+    """
+    dicts = [getattr(c, "dictionary", None) for c in cols]
+    if any(d is None for d in dicts):
+        return None
+    first = dicts[0]
+    if all(d is first for d in dicts):
+        codes = (
+            cols[0].codes if len(cols) == 1  # type: ignore[attr-defined]
+            else np.concatenate([c.codes for c in cols])  # type: ignore[attr-defined]
+        )
+        return codes, len(first)
+    merged = np.unique(np.concatenate(dicts))
+    remaps = [np.searchsorted(merged, d) for d in dicts]
+    codes = np.concatenate([
+        remap[c.codes].astype(np.int64, copy=False)  # type: ignore[attr-defined]
+        for remap, c in zip(remaps, cols)
+    ])
+    return codes, len(merged)
+
+
 def _combine_codes(
     combined: np.ndarray, combined_card: int, codes: np.ndarray, card: int
 ) -> tuple[np.ndarray, int]:
@@ -114,6 +144,15 @@ def _combine_codes(
         combined = inverse.astype(np.int64, copy=False).reshape(-1)
         combined_card = max(len(uniq), 1)
     return combined * card + codes, combined_card * card
+
+
+def _fold_codes(
+    combined: np.ndarray | None, combined_card: int, codes: np.ndarray, card: int
+) -> tuple[np.ndarray, int]:
+    """Fold the next column's codes into the running combination."""
+    if combined is None:
+        return codes, card
+    return _combine_codes(combined, combined_card, codes, card)
 
 
 def encode_keys(
@@ -139,18 +178,26 @@ def encode_keys(
     combined_card = 1
     for pos in range(arity):
         cols = [p[pos] for p in parts]
-        values = (
-            cols[0].values if len(cols) == 1
-            else np.concatenate([c.values for c in cols])
-        )
         for c, start in zip(cols, offsets):
             if c.mask is not None:
                 valid[start:start + len(c)] &= ~c.mask
-        if cols[0].dtype is DType.FLOAT64:
-            nan = np.isnan(values)
-            if nan.any():
-                valid &= ~nan
-        codes, card = _dense_codes(values, cols[0].dtype, raw_ok=(arity == 1))
+        encoded = (
+            _dict_key_codes(cols) if cols[0].dtype is DType.STRING else None
+        )
+        if encoded is not None:
+            codes, card = encoded
+        else:
+            values = (
+                cols[0].values if len(cols) == 1
+                else np.concatenate([c.values for c in cols])
+            )
+            if cols[0].dtype is DType.FLOAT64:
+                nan = np.isnan(values)
+                if nan.any():
+                    valid &= ~nan
+            codes, card = _dense_codes(
+                values, cols[0].dtype, raw_ok=(arity == 1)
+            )
         if combined is None:
             combined, combined_card = codes, card if card is not None else 1
         else:
@@ -176,6 +223,18 @@ def encode_group_keys(columns: Sequence[Column]) -> np.ndarray:
     combined: np.ndarray | None = None
     combined_card = 1
     for c in columns:
+        dictionary = getattr(c, "dictionary", None)
+        if dictionary is not None:
+            # dict-encoded strings group by code: no hashing of row values
+            codes, card = c.codes, max(len(dictionary), 1)  # type: ignore[attr-defined]
+            if c.mask is not None:
+                codes = codes.copy()  # the stored codes must not mutate
+                codes[c.mask] = card
+                card += 1
+            combined, combined_card = _fold_codes(
+                combined, combined_card, codes, card
+            )
+            continue
         codes, card = _dense_codes(c.values, c.dtype, raw_ok=False)
         card = card or 1
         if c.dtype is DType.FLOAT64:
@@ -189,12 +248,9 @@ def encode_group_keys(columns: Sequence[Column]) -> np.ndarray:
         if c.mask is not None:
             codes[c.mask] = card
             card += 1
-        if combined is None:
-            combined, combined_card = codes, card
-        else:
-            combined, combined_card = _combine_codes(
-                combined, combined_card, codes, card
-            )
+        combined, combined_card = _fold_codes(
+            combined, combined_card, codes, card
+        )
     assert combined is not None
     return combined
 

@@ -52,6 +52,44 @@ def parallel_map(
         return list(pool.map(fn, items))
 
 
+def run_pipeline_chunks(
+    pipeline: FusedPipeline,
+    chunked,  # repro.storage.chunked.ChunkedTable
+    chunk_ids: list[int],
+    *,
+    workers: int = 1,
+) -> ColumnTable:
+    """Run a fused pipeline over the surviving chunks of a pruned scan.
+
+    The chunks themselves are the morsel units, so zone-map pruning and
+    morsel parallelism compose: each surviving chunk is sliced zero-copy
+    (only the pipeline's live columns), run through the pipeline, and the
+    per-chunk outputs concatenate in chunk-id order.  The chunk list and
+    the merge order are pure functions of the stored data and the
+    predicate — never of the worker count — so results are bit-identical
+    to a serial full scan minus the statically impossible rows.
+    """
+    if not chunk_ids:
+        return ColumnTable(
+            pipeline.out_schema,
+            {a.name: Column.empty(a.dtype) for a in pipeline.out_schema},
+        )
+
+    def run_chunk(chunk_id: int) -> dict[str, Column]:
+        cols, n = chunked.chunk_columns(chunk_id, pipeline.source_live)
+        out, _ = pipeline.run_columns(cols, n)
+        return out
+
+    pieces = parallel_map(run_chunk, chunk_ids, workers)
+    if len(pieces) == 1:
+        return ColumnTable(pipeline.out_schema, pieces[0])
+    merged = {
+        name: Column.concat([piece[name] for piece in pieces])
+        for name in pipeline.out_schema.names
+    }
+    return ColumnTable(pipeline.out_schema, merged)
+
+
 def run_pipeline_morsels(
     pipeline: FusedPipeline,
     table: ColumnTable,

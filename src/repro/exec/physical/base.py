@@ -120,6 +120,8 @@ class ExecCounters:
 
     fused_runs: int = 0
     index_hits: int = 0
+    chunks_scanned: int = 0
+    chunks_pruned: int = 0
 
 
 class ExecContext:

@@ -27,19 +27,19 @@ from ...relational.eval import eval_vector
 from ...relational.sorting import sort_indices
 from ...storage.column import Column
 from ...storage.table import ColumnTable
-from ..morsel import run_pipeline_morsels
+from ..morsel import run_pipeline_chunks, run_pipeline_morsels
 from ..pipeline import FusedPipeline
-from .base import ExecContext, PhysOp, PhysProps
+from .base import ExecContext, PhysOp, PhysProps, PhysScan
 
 __all__ = [
-    "PhysAsDims", "PhysCellJoin", "PhysCoarsenDims", "PhysDistinct",
-    "PhysExtend", "PhysFilter", "PhysFusedPipeline", "PhysHashJoin",
-    "PhysIndexProbe", "PhysIterate", "PhysLimit", "PhysMatMulJoinAgg",
-    "PhysMergeJoin", "PhysNestedLoopJoin", "PhysPartialAggregate",
-    "PhysProduct", "PhysProject", "PhysPythonHashJoin", "PhysRename",
-    "PhysRetag", "PhysReverse", "PhysSetOp", "PhysShiftDim",
-    "PhysSliceDims", "PhysSort", "PhysUnion", "apply_predicate",
-    "coerce_table", "tables_converged",
+    "PhysAsDims", "PhysCellJoin", "PhysChunkedScan", "PhysCoarsenDims",
+    "PhysDistinct", "PhysExtend", "PhysFilter", "PhysFusedPipeline",
+    "PhysHashJoin", "PhysIndexProbe", "PhysIterate", "PhysLimit",
+    "PhysMatMulJoinAgg", "PhysMergeJoin", "PhysNestedLoopJoin",
+    "PhysPartialAggregate", "PhysProduct", "PhysProject",
+    "PhysPythonHashJoin", "PhysRename", "PhysRetag", "PhysReverse",
+    "PhysSetOp", "PhysShiftDim", "PhysSliceDims", "PhysSort", "PhysUnion",
+    "apply_predicate", "coerce_table", "tables_converged",
 ]
 
 
@@ -68,6 +68,48 @@ def coerce_table(table: ColumnTable, schema: Schema) -> ColumnTable:
 # -- fused scans and row-at-a-time fallbacks ---------------------------------------
 
 
+class PhysChunkedScan(PhysScan):
+    """Scan a stored chunked table, skipping zone-map-pruned chunks.
+
+    ``chunk_ids`` was decided at lowering time by evaluating the filter's
+    conjunctive comparison specs against the catalog's zone maps (stale
+    plans are impossible: the plan cache keys on the catalog version).
+    Like :class:`PhysIndexProbe`, the scan reads the catalog entry's table
+    directly instead of going through the resolver.  A parent
+    :class:`PhysFusedPipeline` recognizes this operator and uses the
+    surviving chunks as its morsel units without assembling the pruned
+    table first.
+    """
+
+    cost_weight = 0.0
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        props: PhysProps,
+        *,
+        chunked,  # repro.storage.chunked.ChunkedTable
+        chunk_ids: list[int],
+    ):
+        super().__init__(name, schema, props)
+        self.chunked = chunked
+        self.chunk_ids = chunk_ids
+
+    def details(self) -> str:
+        return (
+            f"{self.name} chunks: "
+            f"{len(self.chunk_ids)}/{self.chunked.num_chunks}"
+        )
+
+    def run(self, ctx: ExecContext) -> ColumnTable:
+        ctx.counters.chunks_scanned += len(self.chunk_ids)
+        ctx.counters.chunks_pruned += (
+            self.chunked.num_chunks - len(self.chunk_ids)
+        )
+        return self.chunked.take_chunks(self.chunk_ids)
+
+
 class PhysFusedPipeline(PhysOp):
     """A maximal Filter/Project/Extend/Rename chain as one vectorized pass."""
 
@@ -92,8 +134,26 @@ class PhysFusedPipeline(PhysOp):
         return ">".join(self.steps)
 
     def run(self, ctx: ExecContext) -> ColumnTable:
-        source = self._children[0].run(ctx)
+        child = self._children[0]
         ctx.counters.fused_runs += 1
+        if isinstance(child, PhysChunkedScan) and (
+            self.workers != 1
+            or len(child.chunk_ids) < child.chunked.num_chunks
+        ):
+            # surviving chunks double as the morsel units: never assemble
+            # the pruned table, feed each chunk straight into the pipeline
+            ctx.counters.chunks_scanned += len(child.chunk_ids)
+            ctx.counters.chunks_pruned += (
+                child.chunked.num_chunks - len(child.chunk_ids)
+            )
+            started = time.perf_counter()
+            result = run_pipeline_chunks(
+                self.pipeline, child.chunked, child.chunk_ids,
+                workers=self.workers,
+            )
+            ctx.record("pipeline", started)
+            return result
+        source = child.run(ctx)
         started = time.perf_counter()
         if self.workers != 1:
             result = run_pipeline_morsels(

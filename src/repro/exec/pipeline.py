@@ -6,17 +6,25 @@ a maximal Filter/Project/Extend/Rename chain (as identified by
 :func:`repro.core.rewriter.split_fusible_chain`) and runs it as a single
 physical operator over a bare ``{name: Column}`` mapping:
 
-* **no intermediate tables** — steps pass the column dict through; schema
+* **no intermediate tables** — steps pass pipeline state through; schema
   revalidation happens once, at the final output;
 * **liveness pruning** — a backward pass computes which columns each step
-  actually needs, so filters compress only live columns and Extend skips
-  derived columns nothing downstream reads;
-* **lazy filter compression** — a filter that keeps every row leaves the
-  (possibly zero-copy) input columns untouched.
+  actually needs, so Extend skips derived columns nothing downstream reads;
+* **late materialization** — filters narrow a *selection vector* instead of
+  gathering every live column.  Source columns are gathered at most once,
+  on first use (a predicate input, an Extend input, or the final output),
+  so a chain of filters over a wide table compresses one int array per
+  step instead of every surviving column.
+
+The selection vector is an int64 row-index array into the source columns
+(``None`` = all rows).  ``flatnonzero`` on the first filter and fancy
+indexing on later ones compose to exactly the boolean-compression result,
+so outputs are bit-identical to the eager path.
 
 Pipelines are pure functions of their input columns, which is what makes
 the morsel-parallel driver (:mod:`repro.exec.morsel`) safe: the same
-pipeline object runs concurrently over disjoint row ranges.
+pipeline object runs concurrently over disjoint row ranges; all per-run
+state lives in a private :class:`_State`.
 """
 
 from __future__ import annotations
@@ -31,8 +39,8 @@ from ..storage.column import Column
 from ..storage.table import ColumnTable
 from .compile import compile_expr, expr_key
 
-#: A step maps (columns-by-name, row count) -> (columns-by-name, row count).
-Step = Callable[[dict[str, Column], int], "tuple[dict[str, Column], int]"]
+#: A step mutates the per-run pipeline state in place.
+Step = Callable[["_State"], None]
 
 
 def pipeline_key(chain: Sequence[A.Node]) -> tuple:
@@ -60,6 +68,35 @@ def pipeline_key(chain: Sequence[A.Node]) -> tuple:
                 f"{node.op_name} is not fusible; cannot key a pipeline on it"
             )
     return tuple(parts)
+
+
+class _State:
+    """Per-run pipeline state: full-length source columns plus a selection.
+
+    ``base`` maps current column names to *full-length* input columns;
+    ``sel`` is the selection vector into them (``None`` = identity);
+    ``derived`` maps names to selection-length columns — Extend outputs and
+    gathered base columns are cached here so no column is gathered twice.
+    """
+
+    __slots__ = ("base", "derived", "sel", "n")
+
+    def __init__(self, base: dict[str, Column], n: int):
+        self.base = base
+        self.derived: dict[str, Column] = {}
+        self.sel: np.ndarray | None = None
+        self.n = n
+
+    def get(self, name: str) -> Column:
+        """The selection-length column for ``name``, gathering lazily."""
+        col = self.derived.get(name)
+        if col is not None:
+            return col
+        col = self.base[name]
+        if self.sel is not None:
+            col = col.take(self.sel)
+            self.derived[name] = col
+        return col
 
 
 class FusedPipeline:
@@ -99,10 +136,12 @@ class FusedPipeline:
         self, cols: Mapping[str, Column], n: int
     ) -> tuple[dict[str, Column], int]:
         """Run over bare columns (the morsel path); no table validation."""
-        out = dict(cols)
+        state = _State(dict(cols), n)
         for step in self.steps:
-            out, n = step(out, n)
-        return out, n
+            step(state)
+        # late materialization: only the output columns are ever gathered
+        out = {name: state.get(name) for name in self.out_schema.names}
+        return out, state.n
 
     def run(self, table: ColumnTable) -> ColumnTable:
         """Run over a source table, producing the chain's output table."""
@@ -140,54 +179,77 @@ def _live_in(node: A.Node, live_after: set[str]) -> set[str]:
 
 
 def _build_step(node: A.Node, live_after: set[str], compiled: bool) -> Step:
-    # deterministic column order: follow the node's output schema
-    out_names = tuple(n for n in node.schema.names if n in live_after)
-
     if isinstance(node, A.Filter):
-        evaluate = _make_evaluator(node.predicate, node.child.schema, compiled)
+        needed, evaluate = _make_evaluator(
+            node.predicate, node.child.schema, compiled
+        )
 
-        def filter_step(cols: dict[str, Column], n: int):
-            pred = evaluate(cols, n)
+        def filter_step(state: _State) -> None:
+            pred = evaluate({name: state.get(name) for name in needed}, state.n)
             keep = pred.values.astype(bool, copy=False)
             if pred.mask is not None:
                 keep = keep & ~pred.mask  # null predicate drops the row
             kept = int(np.count_nonzero(keep))
-            if kept == n:  # fully-selective: keep the input views untouched
-                return {name: cols[name] for name in out_names}, n
-            return {name: cols[name].filter(keep) for name in out_names}, kept
+            if kept == state.n:  # fully-selective: selection unchanged
+                return
+            # narrow the selection vector; only already-materialized
+            # (derived / gathered) columns compress — base columns wait
+            if state.sel is None:
+                state.sel = np.flatnonzero(keep)
+            else:
+                state.sel = state.sel[keep]
+            if state.derived:
+                state.derived = {
+                    name: c.filter(keep) for name, c in state.derived.items()
+                }
+            state.n = kept
 
         return filter_step
 
     if isinstance(node, A.Project):
+        kept_names = frozenset(node.names)
 
-        def project_step(cols: dict[str, Column], n: int):
-            return {name: cols[name] for name in out_names}, n
+        def project_step(state: _State) -> None:
+            # dropping dead entries keeps later Rename/Extend names unique
+            state.base = {
+                k: v for k, v in state.base.items() if k in kept_names
+            }
+            state.derived = {
+                k: v for k, v in state.derived.items() if k in kept_names
+            }
 
         return project_step
 
     if isinstance(node, A.Extend):
         # derived columns nothing downstream reads are never evaluated
         evaluators = [
-            (name, _make_evaluator(expr, node.child.schema, compiled))
+            (name, *_make_evaluator(expr, node.child.schema, compiled))
             for name, expr in zip(node.names, node.exprs)
             if name in live_after
         ]
 
-        def extend_step(cols: dict[str, Column], n: int):
-            derived = {name: ev(cols, n) for name, ev in evaluators}
-            out = {}
-            for name in out_names:  # exprs see the input columns only
-                out[name] = derived[name] if name in derived else cols[name]
-            return out, n
+        def extend_step(state: _State) -> None:
+            new = [  # exprs see the input columns only: evaluate all first
+                (name, ev({c: state.get(c) for c in needed}, state.n))
+                for name, needed, ev in evaluators
+            ]
+            for name, col in new:
+                state.derived[name] = col
+                state.base.pop(name, None)  # redefinition shadows the input
 
         return extend_step
 
     if isinstance(node, A.Rename):
         forward = dict(node.mapping)
 
-        def rename_step(cols: dict[str, Column], n: int):
-            renamed = {forward.get(name, name): c for name, c in cols.items()}
-            return {name: renamed[name] for name in out_names}, n
+        def rename_step(state: _State) -> None:
+            state.base = {
+                forward.get(k, k): v for k, v in state.base.items()
+            }
+            if state.derived:
+                state.derived = {
+                    forward.get(k, k): v for k, v in state.derived.items()
+                }
 
         return rename_step
 
@@ -195,14 +257,14 @@ def _build_step(node: A.Node, live_after: set[str], compiled: bool) -> Step:
 
 
 def _make_evaluator(expr, schema, compiled: bool):
-    """An (cols, n) -> Column evaluator for one scalar expression."""
+    """``(needed_names, (cols, n) -> Column)`` for one scalar expression."""
     needed = tuple(n for n in schema.names if n in expr.columns())
     if compiled or not needed:
         # constant expressions always use the compiled kernel: the
         # interpreted walker derives the row count from its input table,
         # which a zero-column carrier cannot convey
         compiled_expr = compile_expr(expr, schema)
-        return compiled_expr.evaluate_columns
+        return needed, compiled_expr.evaluate_columns
 
     # interpreted fallback: rebuild a minimal table for the legacy walker
     from ..relational.eval import eval_vector
@@ -213,4 +275,4 @@ def _make_evaluator(expr, schema, compiled: bool):
         table = ColumnTable(sub_schema, {name: cols[name] for name in needed})
         return eval_vector(expr, table, compiled=False)
 
-    return interpret
+    return needed, interpret

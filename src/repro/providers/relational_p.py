@@ -22,14 +22,24 @@ class RelationalProvider(Provider):
 
     capabilities = capability_names(A.ALL_OPERATORS) - {"Window"}
 
-    def __init__(self, name: str, options: EngineOptions | None = None):
+    def __init__(
+        self,
+        name: str,
+        options: EngineOptions | None = None,
+        chunk_rows: int | None = None,
+    ):
         super().__init__(name)
-        self.catalog = RelationalCatalog()
+        if chunk_rows is None:
+            self.catalog = RelationalCatalog()
+        else:
+            self.catalog = RelationalCatalog(chunk_rows=chunk_rows)
         self.engine = RelationalEngine(options, self.catalog)
 
     def register_dataset(self, name: str, table: ColumnTable) -> None:
-        super().register_dataset(name, table)
-        self.catalog.register(name, table)
+        # the catalog chunks + dictionary-encodes the stored table; keep the
+        # provider's copy identical so scans and index probes agree
+        entry = self.catalog.register(name, table)
+        super().register_dataset(name, entry.table)
 
     def create_index(self, dataset: str, column: str, kind: str = "hash") -> None:
         """Build a secondary index over a stored dataset column.

@@ -63,7 +63,9 @@ def factorize(table: ColumnTable, keys: Sequence[str]) -> tuple[np.ndarray, list
     gids = remap[inverse.reshape(-1)]
     firsts = first_pos[order]
     taken = [
-        (c.values[firsts], c.mask[firsts] if c.mask is not None else None)
+        # gather_values decodes only the group-representative rows for
+        # dictionary-encoded columns (never the whole column)
+        (c.gather_values(firsts), c.mask[firsts] if c.mask is not None else None)
         for c in columns
     ]
     keys_out = [

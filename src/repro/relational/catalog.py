@@ -4,6 +4,13 @@ Statistics (row count, per-column distinct counts, min/max, null counts)
 are computed once at load and serve two masters: the local engine's
 access-path choice (index probe vs scan) and, indirectly, the federation
 cost model, which asks providers for dataset cardinalities.
+
+Registration also builds the physical storage layout: every stored table
+is wrapped in a :class:`~repro.storage.chunked.ChunkedTable` — fixed-size
+row chunks with per-column zone maps, low-cardinality string columns
+dictionary-encoded — and ``entry.table`` is the *encoded* table, so every
+read path (scans, index probes, the provider's resolver) serves the same
+representation the chunk-pruning scan uses.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ import numpy as np
 
 from ..core.errors import PlanningError, SchemaError
 from ..core.types import DType
+from ..storage.chunked import DEFAULT_CHUNK_ROWS, ChunkedTable
+from ..storage.dictionary import DictColumn
 from ..storage.table import ColumnTable
 from .indexes import HashIndex, SortedIndex
 
@@ -31,6 +40,14 @@ class ColumnStats:
     @classmethod
     def compute(cls, table: ColumnTable, name: str) -> "ColumnStats":
         column = table.column(name)
+        if isinstance(column, DictColumn) and len(column.dictionary):
+            # sorted dictionary: distinct/min/max are O(1) metadata reads
+            return cls(
+                distinct=len(column.dictionary),
+                null_count=column.null_count,
+                min=column.dictionary[0],
+                max=column.dictionary[-1],
+            )
         values = [v for v in column.to_list() if v is not None]
         if not values:
             return cls(distinct=0, null_count=column.null_count,
@@ -57,6 +74,9 @@ class TableEntry:
 
     table: ColumnTable
     stats: dict[str, ColumnStats]
+    #: the chunked layout of ``table`` (zone maps, dictionary encoding);
+    #: ``table`` is always ``chunked.table``
+    chunked: ChunkedTable | None = None
     hash_indexes: dict[str, HashIndex] = field(default_factory=dict)
     sorted_indexes: dict[str, SortedIndex] = field(default_factory=dict)
 
@@ -75,16 +95,23 @@ class TableEntry:
 class RelationalCatalog:
     """All tables stored on one relational server."""
 
-    def __init__(self):
+    def __init__(self, chunk_rows: int = DEFAULT_CHUNK_ROWS):
         self._entries: dict[str, TableEntry] = {}
+        #: rows per storage chunk for newly registered tables
+        self.chunk_rows = chunk_rows
         #: bumped on every registration / drop / index build, so cached
         #: physical plans keyed on it invalidate when access paths change
         self.version = 0
 
-    def register(self, name: str, table: ColumnTable) -> TableEntry:
+    def register(
+        self, name: str, table: ColumnTable, chunk_rows: int | None = None
+    ) -> TableEntry:
+        chunked = ChunkedTable(table, chunk_rows or self.chunk_rows)
+        table = chunked.table  # the dictionary-encoded representation
         entry = TableEntry(
             table=table,
             stats={n: ColumnStats.compute(table, n) for n in table.schema.names},
+            chunked=chunked,
         )
         self._entries[name] = entry
         self.version += 1

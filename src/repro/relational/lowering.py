@@ -254,6 +254,30 @@ class _Lowering:
             est = self.catalog.entry(node.name).row_count
         return PhysScan(node.name, node.schema, props_for(node.schema, est))
 
+    def _lower_pruned_scan(
+        self, scan: A.Scan, specs: list[tuple[str, str, object]]
+    ) -> PhysOp | None:
+        """A chunk-pruned scan of a stored table, or None when pruning
+        cannot apply (fragment input, unknown table, a single chunk, or no
+        comparison specs to evaluate against the zone maps)."""
+        if (
+            not specs
+            or self.catalog is None
+            or scan.name.startswith("@")
+            or scan.name not in self.catalog
+        ):
+            return None
+        entry = self.catalog.entry(scan.name)
+        chunked = entry.chunked
+        if chunked is None or chunked.num_chunks <= 1:
+            return None
+        chunk_ids = chunked.pruned_chunks(specs)
+        est = sum(chunked.chunk_length(cid) for cid in chunk_ids)
+        return P.PhysChunkedScan(
+            scan.name, scan.schema, props_for(scan.schema, est),
+            chunked=chunked, chunk_ids=chunk_ids,
+        )
+
     # -- fused pipelines ---------------------------------------------------------
 
     def _lower_fused(self, node: A.Node) -> PhysOp | None:
@@ -284,6 +308,10 @@ class _Lowering:
         if not trimmed:
             return source_op
 
+        if source_op is None and isinstance(source, A.Scan):
+            source_op = self._lower_pruned_scan(
+                source, _prunable_specs(trimmed)
+            )
         if source_op is None:
             source_op = self.lower(source)
         est = source_op.props.est_rows
@@ -339,7 +367,13 @@ class _Lowering:
         probe = self._lower_index_filter(node)
         if probe is not None:
             return probe
-        child = self.lower(node.child)
+        child = None
+        if isinstance(node.child, A.Scan):
+            child = self._lower_pruned_scan(
+                node.child, _prunable_specs([node])
+            )
+        if child is None:
+            child = self.lower(node.child)
         return P.PhysFilter(
             child, node.predicate, node.schema,
             props_for(node.schema,
@@ -463,6 +497,63 @@ class _Lowering:
         est = scale_rows(child.props.est_rows, 1.0 / max(factor, 1.0))
         dims = tuple(node.child.schema.dimension_names)
         return self._aggregate_op(coarse, dims, node.aggs, node.schema, est)
+
+
+_PRUNABLE_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+def _comparison_spec(conjunct) -> tuple[str, str, object] | None:
+    """(column, op, literal) when a conjunct is a Col-vs-Lit comparison."""
+    if not isinstance(conjunct, BinOp) or conjunct.op not in _PRUNABLE_OPS:
+        return None
+    left, right = conjunct.left, conjunct.right
+    if isinstance(left, Lit) and isinstance(right, Col):
+        left, right = right, left
+        op = _FLIPPED[conjunct.op]
+    elif isinstance(left, Col) and isinstance(right, Lit):
+        op = conjunct.op
+    else:
+        return None
+    if right.value is None:
+        return None
+    return left.name, op, right.value
+
+
+def _prunable_specs(chain) -> list[tuple[str, str, object]]:
+    """Comparison specs from a fusible chain, mapped to source columns.
+
+    Walks the chain bottom-up, tracking which current names still alias a
+    source column unchanged: Rename remaps, Extend invalidates the names
+    it (re)defines, Project narrows.  Every Col-op-Lit conjunct of every
+    Filter over a still-aliased column becomes a spec the zone maps can
+    evaluate — filters above the bottom prune just as safely, because a
+    chunk whose values cannot satisfy a conjunct cannot contribute any
+    output row of the conjunctive chain.
+    """
+    name_map = {n: n for n in chain[-1].child.schema.names}
+    specs: list[tuple[str, str, object]] = []
+    for node in reversed(list(chain)):
+        if isinstance(node, A.Filter):
+            for conjunct in P.split_conjuncts(node.predicate):
+                spec = _comparison_spec(conjunct)
+                if spec is not None and spec[0] in name_map:
+                    specs.append((name_map[spec[0]], spec[1], spec[2]))
+        elif isinstance(node, A.Rename):
+            forward = dict(node.mapping)
+            name_map = {
+                forward.get(cur, cur): src for cur, src in name_map.items()
+            }
+        elif isinstance(node, A.Extend):
+            for name in node.names:
+                name_map.pop(name, None)
+        elif isinstance(node, A.Project):
+            kept = set(node.names)
+            name_map = {
+                cur: src for cur, src in name_map.items() if cur in kept
+            }
+    return specs
 
 
 def _probe_spec(entry, conjunct) -> tuple[str, str, object, str] | None:

@@ -1,0 +1,207 @@
+"""Chunked storage: fixed-size row chunks with per-column zone maps.
+
+A :class:`ChunkedTable` wraps a stored :class:`ColumnTable` without copying
+it: chunks are ``[start, stop)`` row ranges, and each chunk carries one
+:class:`ZoneMap` per column (min/max over non-null values, null count, a
+NaN flag for floats).  Low-cardinality string columns are dictionary-
+encoded once at wrap time (:class:`~repro.storage.dictionary.DictColumn`),
+which makes their zone maps O(1) per chunk — code min/max decode through
+the sorted dictionary.
+
+Zone maps answer one static question — *can any row of this chunk satisfy
+``column <op> literal``?* — which is what lets the relational lowering
+skip chunks before the fused pipeline ever touches them.  ``may_match`` is
+deliberately conservative: any comparison it cannot decide (mixed types,
+unknown operator) answers True, so pruning can only ever drop chunks whose
+rows are statically impossible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.types import DType
+from .column import Column
+from .dictionary import DictColumn
+from .table import ColumnTable
+
+#: Default rows per storage chunk.  Matches the morsel-size order of
+#: magnitude so surviving chunks double as morsel units.
+DEFAULT_CHUNK_ROWS = 65_536
+
+#: (column, comparison op, literal) — the unit of chunk pruning.
+PruneSpec = "tuple[str, str, Any]"
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Summary of one column within one chunk.
+
+    ``min``/``max`` cover non-null (and, for floats, non-NaN) values and
+    are ``None`` when the chunk has none.  ``has_nan`` records float NaNs,
+    which satisfy ``!=`` against every literal despite falling outside the
+    min/max range.
+    """
+
+    min: Any
+    max: Any
+    null_count: int
+    has_nan: bool = False
+
+    def may_match(self, op: str, value: Any) -> bool:
+        """Whether any row of the chunk *could* satisfy ``col <op> value``.
+
+        Null rows never satisfy a comparison (a null predicate drops the
+        row), so an all-null chunk only survives ``!=`` when it holds NaNs.
+        Undecidable comparisons conservatively answer True.
+        """
+        lo, hi = self.min, self.max
+        if lo is None:
+            return self.has_nan and op == "!="
+        try:
+            if op == "==":
+                return bool(lo <= value) and bool(value <= hi)
+            if op == "!=":
+                return self.has_nan or not (lo == value and hi == value)
+            if op == "<":
+                return bool(lo < value)
+            if op == "<=":
+                return bool(lo <= value)
+            if op == ">":
+                return bool(hi > value)
+            if op == ">=":
+                return bool(hi >= value)
+        except TypeError:
+            return True
+        return True
+
+
+def _zone_map(column: Column, start: int, stop: int) -> ZoneMap:
+    """Compute one chunk's zone map for one column."""
+    mask = column.mask
+    chunk_mask = None if mask is None else mask[start:stop]
+    null_count = 0 if chunk_mask is None else int(chunk_mask.sum())
+    n = stop - start
+    if null_count == n:
+        return ZoneMap(None, None, null_count)
+
+    if isinstance(column, DictColumn):
+        codes = column.codes[start:stop]
+        if chunk_mask is not None and null_count:
+            codes = codes[~chunk_mask]
+        lo, hi = column.code_bounds(int(codes.min()), int(codes.max()))
+        return ZoneMap(lo, hi, null_count)
+
+    values = column.values[start:stop]
+    if chunk_mask is not None and null_count:
+        values = values[~chunk_mask]
+    if column.dtype is DType.FLOAT64:
+        nan = np.isnan(values)
+        has_nan = bool(nan.any())
+        if has_nan:
+            values = values[~nan]
+            if len(values) == 0:
+                return ZoneMap(None, None, null_count, has_nan=True)
+        return ZoneMap(
+            values.min().item(), values.max().item(), null_count,
+            has_nan=has_nan,
+        )
+    lo, hi = values.min(), values.max()
+    if column.dtype is DType.STRING:
+        return ZoneMap(lo, hi, null_count)
+    return ZoneMap(lo.item(), hi.item(), null_count)
+
+
+def encode_table(table: ColumnTable) -> ColumnTable:
+    """Dictionary-encode the low-cardinality string columns of a table."""
+    replaced = None
+    for name, column in table.columns.items():
+        if column.dtype is not DType.STRING or isinstance(column, DictColumn):
+            continue
+        encoded = DictColumn.encode(column)
+        if encoded is not None:
+            if replaced is None:
+                replaced = dict(table.columns)
+            replaced[name] = encoded
+    if replaced is None:
+        return table
+    return ColumnTable(table.schema, replaced)
+
+
+class ChunkedTable:
+    """A stored table split into row chunks with per-column zone maps."""
+
+    __slots__ = ("table", "chunk_rows", "ranges", "zone_maps")
+
+    def __init__(
+        self,
+        table: ColumnTable,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        *,
+        encode_strings: bool = True,
+    ):
+        if encode_strings:
+            table = encode_table(table)
+        self.table = table
+        self.chunk_rows = max(1, int(chunk_rows))
+        n = table.num_rows
+        self.ranges: list[tuple[int, int]] = [
+            (start, min(start + self.chunk_rows, n))
+            for start in range(0, n, self.chunk_rows)
+        ] or [(0, 0)]
+        self.zone_maps: dict[str, list[ZoneMap]] = {
+            name: [_zone_map(column, s, e) for s, e in self.ranges]
+            for name, column in table.columns.items()
+        }
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.ranges)
+
+    def chunk_length(self, chunk_id: int) -> int:
+        start, stop = self.ranges[chunk_id]
+        return stop - start
+
+    def chunk_columns(
+        self, chunk_id: int, names: Sequence[str]
+    ) -> tuple[dict[str, Column], int]:
+        """Zero-copy column slices of one chunk (the morsel unit)."""
+        start, stop = self.ranges[chunk_id]
+        cols = {
+            name: self.table.columns[name].slice(start, stop) for name in names
+        }
+        return cols, stop - start
+
+    def pruned_chunks(self, specs: Sequence[tuple[str, str, Any]]) -> list[int]:
+        """Chunk ids whose zone maps admit every conjunct in ``specs``."""
+        survivors = []
+        for chunk_id in range(self.num_chunks):
+            for column, op, value in specs:
+                maps = self.zone_maps.get(column)
+                if maps is not None and not maps[chunk_id].may_match(op, value):
+                    break
+            else:
+                survivors.append(chunk_id)
+        return survivors
+
+    def take_chunks(self, chunk_ids: Sequence[int]) -> ColumnTable:
+        """Assemble the table restricted to ``chunk_ids`` (in id order)."""
+        if len(chunk_ids) == self.num_chunks:
+            return self.table
+        if not chunk_ids:
+            return self.table.slice(0, 0)
+        pieces = [self.table.slice(*self.ranges[cid]) for cid in chunk_ids]
+        return pieces[0] if len(pieces) == 1 else ColumnTable.concat(pieces)
+
+    @property
+    def nbytes(self) -> int:
+        return self.table.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChunkedTable(rows={self.table.num_rows}, "
+            f"chunks={self.num_chunks}x{self.chunk_rows})"
+        )

@@ -27,20 +27,56 @@ _FILL = {
 
 
 class Column:
-    """One typed column of a table."""
+    """One typed column of a table.
 
-    __slots__ = ("dtype", "values", "mask")
+    Construction is O(1): the all-False-mask normalization (an O(n) scan
+    that used to run on every kernel-produced column) is deferred to the
+    first ``mask`` / ``null_count`` access and cached.  Callers that already
+    know the null count (e.g. a kernel that built the mask) pass it via
+    ``null_count`` and skip the scan entirely.
+    """
 
-    def __init__(self, dtype: DType, values: np.ndarray, mask: np.ndarray | None = None):
+    __slots__ = ("dtype", "values", "_mask", "_null_count")
+
+    def __init__(
+        self,
+        dtype: DType,
+        values: np.ndarray,
+        mask: np.ndarray | None = None,
+        *,
+        null_count: int | None = None,
+    ):
         self.dtype = dtype
         self.values = values
-        if mask is not None and not mask.any():
-            mask = None
-        self.mask = mask
         if mask is not None and len(mask) != len(values):
             raise TypeMismatchError(
                 f"mask length {len(mask)} != values length {len(values)}"
             )
+        if null_count == 0:
+            mask = None
+        self._mask = mask
+        self._null_count = 0 if mask is None else null_count
+
+    @property
+    def mask(self) -> np.ndarray | None:
+        """Validity mask, normalized lazily: all-False masks become None."""
+        mask = self._mask
+        if mask is not None and self._null_count is None:
+            count = int(mask.sum())
+            self._null_count = count
+            if count == 0:
+                self._mask = mask = None
+        return mask
+
+    @property
+    def null_count(self) -> int:
+        count = self._null_count
+        if count is None:
+            count = int(self._mask.sum())
+            self._null_count = count
+            if count == 0:
+                self._mask = None
+        return count
 
     # -- constructors ----------------------------------------------------------
 
@@ -77,7 +113,7 @@ class Column:
         if value is None:
             values = np.full(count, _FILL[dtype], dtype=dtype.to_numpy())
             mask = np.ones(count, dtype=bool) if count else None
-            return cls(dtype, values, mask)
+            return cls(dtype, values, mask, null_count=count)
         return cls(dtype, np.full(count, value, dtype=dtype.to_numpy()), None)
 
     # -- protocol ----------------------------------------------------------------
@@ -109,10 +145,6 @@ class Column:
         return [None if m else v for v, m in zip(raw, self.mask)]
 
     @property
-    def null_count(self) -> int:
-        return 0 if self.mask is None else int(self.mask.sum())
-
-    @property
     def nbytes(self) -> int:
         """Approximate in-memory size; used by transfer metering."""
         if self.dtype is DType.STRING:
@@ -124,6 +156,14 @@ class Column:
         return base
 
     # -- bulk operations -------------------------------------------------------------
+
+    def gather_values(self, indices: np.ndarray) -> np.ndarray:
+        """Raw values at ``indices`` (no mask handling; caller owns nulls).
+
+        Dictionary-encoded subclasses override this to decode only the
+        gathered rows instead of materializing the whole column.
+        """
+        return self.values[indices]
 
     def take(self, indices: np.ndarray) -> "Column":
         """Gather rows by index; ``-1`` indices produce nulls (join padding)."""
@@ -179,7 +219,6 @@ class Column:
         dtype = columns[0].dtype
         if any(c.dtype is not dtype for c in columns):
             raise TypeMismatchError("cannot concat columns of differing types")
-        values = np.concatenate([c.values for c in columns])
         if any(c.mask is not None for c in columns):
             mask = np.concatenate([
                 c.mask if c.mask is not None else np.zeros(len(c), dtype=bool)
@@ -187,6 +226,17 @@ class Column:
             ])
         else:
             mask = None
+        # pieces sliced from one dictionary-encoded column (the chunk-scan
+        # merge path) concatenate by code, staying encoded
+        dictionary = getattr(columns[0], "dictionary", None)
+        if dictionary is not None and all(
+            getattr(c, "dictionary", None) is dictionary for c in columns
+        ):
+            from .dictionary import DictColumn
+
+            codes = np.concatenate([c.codes for c in columns])  # type: ignore[attr-defined]
+            return DictColumn(dictionary, codes, mask)
+        values = np.concatenate([c.values for c in columns])
         return Column(dtype, values, mask)
 
     def equals(self, other: "Column") -> bool:

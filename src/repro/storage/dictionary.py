@@ -1,0 +1,190 @@
+"""Dictionary-encoded string columns.
+
+A :class:`DictColumn` stores a low-cardinality string column as a *sorted*
+array of distinct non-null strings (the dictionary) plus one int64 code per
+row.  Because the dictionary is sorted, code order equals lexicographic
+order, so comparisons against a literal run as integer comparisons on the
+codes (:meth:`DictColumn.compare_value`) and the join/group-by kernels can
+factorize by code instead of hashing raw strings.
+
+``DictColumn`` is a drop-in :class:`~repro.storage.column.Column`: the
+``values`` object array materializes lazily (and is cached) for any caller
+that still needs raw strings, while the bulk operations the execution
+engine uses — ``take``/``filter``/``slice``/``reverse``/``concat`` —
+operate on the codes and stay encoded end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import TypeMismatchError
+from ..core.types import DType
+from .column import Column
+
+#: never dictionary-encode beyond this many distinct values
+MAX_DICT_SIZE = 1 << 16
+
+
+class DictColumn(Column):
+    """A string column stored as sorted-dictionary codes."""
+
+    __slots__ = ("codes", "dictionary", "_materialized")
+
+    def __init__(
+        self,
+        dictionary: np.ndarray,
+        codes: np.ndarray,
+        mask: np.ndarray | None = None,
+        *,
+        null_count: int | None = None,
+    ):
+        # no super().__init__: `values` is a lazy property here, shadowing
+        # the base slot, so the base constructor's assignment would fail
+        self.dtype = DType.STRING
+        self.dictionary = dictionary
+        self.codes = codes
+        self._materialized = None
+        if mask is not None and len(mask) != len(codes):
+            raise TypeMismatchError(
+                f"mask length {len(mask)} != codes length {len(codes)}"
+            )
+        if null_count == 0:
+            mask = None
+        self._mask = mask
+        self._null_count = 0 if mask is None else null_count
+
+    @classmethod
+    def encode(cls, column: Column, max_size: int = MAX_DICT_SIZE) -> "DictColumn | None":
+        """Encode a string column, or None when encoding cannot pay off.
+
+        Declines for non-string/empty/all-null columns and when the column
+        is high-cardinality (more distinct values than ``max_size`` or than
+        a quarter of the rows — at that density code-level sharing saves
+        little and the dictionary itself becomes the cost).
+        """
+        if isinstance(column, DictColumn):
+            return column
+        if column.dtype is not DType.STRING or len(column) == 0:
+            return None
+        mask = column.mask
+        non_null = column.values if mask is None else column.values[~mask]
+        if len(non_null) == 0:
+            return None
+        dictionary, inverse = np.unique(non_null, return_inverse=True)
+        if len(dictionary) > min(max_size, max(16, len(column) // 4)):
+            return None
+        inverse = inverse.astype(np.int64, copy=False).reshape(-1)
+        if mask is None:
+            codes = inverse
+            out_mask = None
+        else:
+            codes = np.zeros(len(column), dtype=np.int64)
+            codes[~mask] = inverse
+            out_mask = mask.copy()
+        return cls(dictionary, codes, out_mask, null_count=column.null_count)
+
+    # -- protocol ----------------------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:  # type: ignore[override]
+        """Decoded object array; materialized on first access and cached."""
+        materialized = self._materialized
+        if materialized is None:
+            materialized = self.dictionary[self.codes]
+            mask = self._mask
+            if mask is not None:
+                materialized[mask] = ""  # the shared null placeholder
+            self._materialized = materialized
+        return materialized
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __getitem__(self, index: int):
+        if self._mask is not None and self._mask[index]:
+            return None
+        return self.dictionary[self.codes[index]]
+
+    @property
+    def nbytes(self) -> int:
+        """Matches the plain-column estimate so transfer metering is
+        representation-independent (the wire format ships raw strings)."""
+        lengths = np.fromiter(
+            (len(s) for s in self.dictionary), dtype=np.int64,
+            count=len(self.dictionary),
+        )
+        mask = self.mask
+        codes = self.codes if mask is None else self.codes[~mask]
+        base = int(lengths[codes].sum()) + 8 * len(self.codes)
+        if mask is not None:
+            base += int(mask.nbytes)
+        return base
+
+    # -- bulk operations ---------------------------------------------------------
+
+    def gather_values(self, indices: np.ndarray) -> np.ndarray:
+        return self.dictionary[self.codes[indices]]
+
+    def take(self, indices: np.ndarray) -> Column:
+        indices = np.asarray(indices)
+        missing = indices < 0
+        if missing.any():
+            if len(self.codes) == 0:
+                return Column.full(DType.STRING, None, len(indices))
+            safe = np.where(missing, 0, indices)
+            codes = self.codes[safe]
+            codes[missing] = 0
+            mask = missing.copy()
+            if self._mask is not None:
+                mask |= self._mask[safe]
+            return DictColumn(self.dictionary, codes, mask)
+        codes = self.codes[indices]
+        mask = None if self._mask is None else self._mask[indices]
+        return DictColumn(self.dictionary, codes, mask)
+
+    def filter(self, keep: np.ndarray) -> Column:
+        codes = self.codes[keep]
+        mask = None if self._mask is None else self._mask[keep]
+        return DictColumn(self.dictionary, codes, mask)
+
+    def slice(self, start: int, stop: int) -> Column:
+        codes = self.codes[start:stop]
+        mask = None if self._mask is None else self._mask[start:stop]
+        return DictColumn(self.dictionary, codes, mask)
+
+    def reverse(self) -> Column:
+        codes = self.codes[::-1]
+        mask = None if self._mask is None else self._mask[::-1]
+        return DictColumn(self.dictionary, codes, mask)
+
+    # -- code-level comparison -----------------------------------------------------
+
+    def compare_value(self, op: str, value: str) -> np.ndarray:
+        """Vectorized ``column <op> value`` over codes (mask NOT applied).
+
+        The sorted dictionary turns every comparison into one binary search
+        plus an integer comparison over the codes; rows under the mask get
+        arbitrary results and must be discarded by the caller.
+        """
+        d = self.dictionary
+        codes = self.codes
+        if op in ("==", "!="):
+            pos = int(np.searchsorted(d, value))
+            hit = pos < len(d) and d[pos] == value
+            if op == "==":
+                return (codes == pos) if hit else np.zeros(len(codes), dtype=bool)
+            return (codes != pos) if hit else np.ones(len(codes), dtype=bool)
+        if op == "<":
+            return codes < int(np.searchsorted(d, value, side="left"))
+        if op == "<=":
+            return codes < int(np.searchsorted(d, value, side="right"))
+        if op == ">":
+            return codes >= int(np.searchsorted(d, value, side="right"))
+        if op == ">=":
+            return codes >= int(np.searchsorted(d, value, side="left"))
+        raise TypeMismatchError(f"cannot compare dictionary column with {op!r}")
+
+    def code_bounds(self, lo: int, hi: int) -> tuple[str, str]:
+        """Decoded (min, max) for a code range — zone maps in O(1)."""
+        return self.dictionary[lo], self.dictionary[hi]

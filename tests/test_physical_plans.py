@@ -122,6 +122,55 @@ class TestGoldenPlans:
             "    PhysMatrixSource(mb)  [dims=j,k]"
         )
 
+    def test_e14_pruned_scan(self):
+        """A prunable range predicate lowers to a chunked scan that names
+        how many chunks survived its zone maps."""
+        catalog = RelationalCatalog(chunk_rows=125)
+        catalog.register(
+            "orders", table(ORDERS, [(i, i % 10, float(i)) for i in range(500)])
+        )
+        engine = RelationalEngine(None, catalog)
+        tree = A.Project(
+            A.Filter(A.Scan("orders", ORDERS), col("oid") >= lit(400)),
+            ("oid", "amount"),
+        )
+        assert engine.explain(tree) == (
+            "PhysFusedPipeline(project>filter)  [rows~41]\n"
+            "  PhysChunkedScan(orders chunks: 1/4)  [rows~125]"
+        )
+
+    def test_e14_unprunable_scan_stays_plain(self):
+        """A predicate zone maps cannot evaluate (computed column) keeps
+        the ordinary full scan."""
+        catalog = RelationalCatalog(chunk_rows=125)
+        catalog.register(
+            "orders", table(ORDERS, [(i, i % 10, float(i)) for i in range(500)])
+        )
+        engine = RelationalEngine(None, catalog)
+        tree = A.Project(
+            A.Filter(
+                A.Scan("orders", ORDERS), (col("oid") + lit(1)) > lit(400)
+            ),
+            ("oid", "amount"),
+        )
+        assert engine.explain(tree) == (
+            "PhysFusedPipeline(project>filter)  [rows~165]\n"
+            "  PhysScan(orders)  [rows~500]"
+        )
+
+    def test_e14_all_chunks_pruned(self):
+        """A statically-impossible predicate keeps zero chunks."""
+        catalog = RelationalCatalog(chunk_rows=125)
+        catalog.register(
+            "orders", table(ORDERS, [(i, i % 10, float(i)) for i in range(500)])
+        )
+        engine = RelationalEngine(None, catalog)
+        tree = A.Filter(A.Scan("orders", ORDERS), col("oid") < lit(0))
+        rendered = engine.explain(tree)
+        assert "PhysChunkedScan(orders chunks: 0/4)  [rows~0]" in rendered
+        resolver = lambda name: catalog.entry(name).table
+        assert engine.run(tree, resolver).num_rows == 0
+
     def test_render_is_deterministic_and_cached(self):
         engine = RelationalEngine(None, _catalog())
         tree = _join_tree()

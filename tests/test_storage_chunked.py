@@ -1,0 +1,258 @@
+"""Unit tests for the chunked storage layer: zone maps, dictionary
+encoding, chunk slicing, and the lazy-null-count column fast path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import DType
+from repro.relational.catalog import ColumnStats, RelationalCatalog
+from repro.storage.chunked import ChunkedTable, ZoneMap, _zone_map
+from repro.storage.column import Column
+from repro.storage.dictionary import DictColumn
+
+from .helpers import schema, table
+
+
+# --------------------------------------------------------------------------
+# ZoneMap.may_match
+# --------------------------------------------------------------------------
+
+
+class TestZoneMap:
+    def test_range_predicates(self):
+        zm = ZoneMap(min=10, max=20, null_count=0)
+        assert zm.may_match("==", 15) and not zm.may_match("==", 25)
+        assert zm.may_match("<", 11) and not zm.may_match("<", 10)
+        assert zm.may_match("<=", 10) and not zm.may_match("<=", 9)
+        assert zm.may_match(">", 19) and not zm.may_match(">", 20)
+        assert zm.may_match(">=", 20) and not zm.may_match(">=", 21)
+
+    def test_not_equal_prunes_only_constant_chunks(self):
+        constant = ZoneMap(min=7, max=7, null_count=0)
+        varied = ZoneMap(min=7, max=8, null_count=0)
+        assert not constant.may_match("!=", 7)
+        assert constant.may_match("!=", 8)
+        assert varied.may_match("!=", 7)
+
+    def test_all_null_chunk_never_matches(self):
+        zm = ZoneMap(min=None, max=None, null_count=4)
+        for op in ("==", "!=", "<", "<=", ">", ">="):
+            assert not zm.may_match(op, 3)
+
+    def test_nan_survives_not_equal(self):
+        # NaN != x is True for every x, so a chunk holding NaN cannot be
+        # pruned by !=, even when its non-NaN values are constant
+        zm = ZoneMap(min=1.0, max=1.0, null_count=0, has_nan=True)
+        assert zm.may_match("!=", 1.0)
+        all_nan = ZoneMap(min=None, max=None, null_count=0, has_nan=True)
+        assert all_nan.may_match("!=", 1.0)
+        assert not all_nan.may_match("==", 1.0)
+
+    def test_type_mismatch_is_conservative(self):
+        zm = ZoneMap(min="a", max="c", null_count=0)
+        assert zm.may_match("<", 5)  # str-vs-int raises -> must not prune
+
+
+class TestZoneMapConstruction:
+    def test_int_bounds_skip_nulls(self):
+        c = Column.from_values(DType.INT64, [5, None, 2, 9])
+        zm = _zone_map(c, 0, 4)
+        assert (zm.min, zm.max, zm.null_count) == (2, 9, 1)
+
+    def test_float_nan_flag(self):
+        c = Column(DType.FLOAT64, np.array([1.0, np.nan, 3.0]))
+        zm = _zone_map(c, 0, 3)
+        assert (zm.min, zm.max, zm.has_nan) == (1.0, 3.0, True)
+
+    def test_all_nan_range(self):
+        c = Column(DType.FLOAT64, np.array([np.nan, np.nan]))
+        zm = _zone_map(c, 0, 2)
+        assert zm.min is None and zm.has_nan
+
+    def test_dict_column_bounds_by_code(self):
+        c = DictColumn.encode(
+            Column.from_values(DType.STRING, ["b", "a", "c", "a"] * 8)
+        )
+        zm = _zone_map(c, 0, 2)  # rows "b", "a"
+        assert (zm.min, zm.max) == ("a", "b")
+
+
+# --------------------------------------------------------------------------
+# ChunkedTable
+# --------------------------------------------------------------------------
+
+
+def _events(n: int):
+    return table(
+        schema(("ts", "int"), ("tag", "str")),
+        [(i, "even" if i % 2 == 0 else "odd") for i in range(n)],
+    )
+
+
+class TestChunkedTable:
+    def test_chunk_boundaries_cover_all_rows(self):
+        chunked = ChunkedTable(_events(10), chunk_rows=4)
+        assert chunked.ranges == [(0, 4), (4, 8), (8, 10)]
+        assert chunked.num_chunks == 3
+        assert [chunked.chunk_length(i) for i in range(3)] == [4, 4, 2]
+
+    def test_empty_table_has_one_empty_chunk(self):
+        chunked = ChunkedTable(_events(0), chunk_rows=4)
+        assert chunked.num_chunks == 1
+        assert chunked.chunk_length(0) == 0
+
+    def test_zone_maps_are_per_chunk(self):
+        chunked = ChunkedTable(_events(10), chunk_rows=5)
+        maps = chunked.zone_maps["ts"]
+        assert [(m.min, m.max) for m in maps] == [(0, 4), (5, 9)]
+
+    def test_pruned_chunks_conjunction(self):
+        chunked = ChunkedTable(_events(100), chunk_rows=10)
+        assert chunked.pruned_chunks([("ts", ">=", 95)]) == [9]
+        assert chunked.pruned_chunks([("ts", ">=", 35), ("ts", "<", 42)]) == [3, 4]
+        assert chunked.pruned_chunks([("ts", "<", 0)]) == []
+        assert chunked.pruned_chunks([]) == list(range(10))
+
+    def test_take_chunks_identity_and_order(self):
+        t = _events(10)
+        chunked = ChunkedTable(t, chunk_rows=4)
+        assert chunked.take_chunks([0, 1, 2]) is t or (
+            chunked.take_chunks([0, 1, 2]).num_rows == 10
+        )
+        partial = chunked.take_chunks([0, 2])
+        assert partial.column("ts").to_list() == [0, 1, 2, 3, 8, 9]
+        assert chunked.take_chunks([]).num_rows == 0
+
+    def test_low_cardinality_strings_dictionary_encoded(self):
+        chunked = ChunkedTable(_events(64), chunk_rows=16)
+        assert isinstance(chunked.table.columns["tag"], DictColumn)
+        sliced, n = chunked.chunk_columns(1, ("tag",))
+        assert n == 16 and isinstance(sliced["tag"], DictColumn)
+
+    def test_high_cardinality_strings_stay_plain(self):
+        t = table(
+            schema(("s", "str")), [(f"unique-{i}",) for i in range(64)]
+        )
+        chunked = ChunkedTable(t, chunk_rows=16)
+        assert not isinstance(chunked.table.columns["s"], DictColumn)
+
+
+# --------------------------------------------------------------------------
+# DictColumn
+# --------------------------------------------------------------------------
+
+
+class TestDictColumn:
+    def _col(self):
+        return DictColumn.encode(
+            Column.from_values(
+                DType.STRING, ["b", "a", None, "c", "a"] * 8
+            )
+        )
+
+    def test_encode_round_trip(self):
+        c = self._col()
+        assert c is not None
+        assert list(c.dictionary) == ["a", "b", "c"]
+        assert c.to_list()[:5] == ["b", "a", None, "c", "a"]
+        assert c.null_count == 8
+
+    def test_encode_declines_all_null_and_non_string(self):
+        assert DictColumn.encode(Column.from_values(DType.STRING, [None, None])) is None
+        assert DictColumn.encode(Column.from_values(DType.INT64, [1, 2])) is None
+
+    def test_compare_value_matches_decoded(self):
+        c = self._col()
+        decoded = np.asarray(c.values)
+        for op, fn in [
+            ("==", lambda v: decoded == v), ("!=", lambda v: decoded != v),
+            ("<", lambda v: decoded < v), ("<=", lambda v: decoded <= v),
+            (">", lambda v: decoded > v), (">=", lambda v: decoded >= v),
+        ]:
+            for v in ("a", "b", "bb", "c", "z", ""):
+                got = c.compare_value(op, v)
+                want = fn(v)
+                valid = ~c.mask
+                assert np.array_equal(got[valid], want[valid]), (op, v)
+
+    def test_bulk_ops_stay_encoded(self):
+        c = self._col()
+        assert isinstance(c.take(np.array([0, 3, 2])), DictColumn)
+        assert isinstance(c.filter(np.arange(len(c)) % 2 == 0), DictColumn)
+        assert isinstance(c.slice(1, 9), DictColumn)
+        assert isinstance(c.reverse(), DictColumn)
+        assert c.slice(1, 4).to_list() == ["a", None, "c"]
+        assert c.take(np.array([3, -1, 0])).to_list() == ["c", None, "b"]
+
+    def test_concat_of_shared_dictionary_slices_stays_encoded(self):
+        c = self._col()
+        merged = Column.concat([c.slice(0, 5), c.slice(10, 15)])
+        assert isinstance(merged, DictColumn)
+        assert merged.to_list() == c.to_list()[0:5] + c.to_list()[10:15]
+
+    def test_nbytes_matches_plain_representation(self):
+        plain = Column.from_values(DType.STRING, ["b", "a", None, "c"] * 8)
+        encoded = DictColumn.encode(plain)
+        assert encoded.nbytes == plain.nbytes
+
+    def test_gather_values_decodes_only_requested_rows(self):
+        c = self._col()
+        assert list(c.gather_values(np.array([0, 3]))) == ["b", "c"]
+        assert c._materialized is None  # no full decode happened
+
+
+# --------------------------------------------------------------------------
+# Catalog integration + lazy null_count
+# --------------------------------------------------------------------------
+
+
+class TestCatalogChunking:
+    def test_register_builds_chunks_and_encodes(self):
+        catalog = RelationalCatalog(chunk_rows=16)
+        entry = catalog.register("events", _events(64))
+        assert entry.chunked is not None
+        assert entry.chunked.num_chunks == 4
+        assert isinstance(entry.table.columns["tag"], DictColumn)
+        # stats ride the sorted dictionary, no value scan
+        stats = entry.stats["tag"]
+        assert stats.distinct == 2
+        assert (stats.min, stats.max) == ("even", "odd")
+
+    def test_column_stats_dict_fast_path_agrees_with_plain(self):
+        t = table(schema(("s", "str")), [("b",), (None,), ("a",), ("b",)] * 8)
+        plain = ColumnStats.compute(t, "s")
+        encoded_col = DictColumn.encode(t.column("s"))
+        t2 = type(t)(t.schema, {"s": encoded_col})
+        encoded = ColumnStats.compute(t2, "s")
+        assert (plain.distinct, plain.min, plain.max, plain.null_count) == (
+            encoded.distinct, encoded.min, encoded.max, encoded.null_count
+        )
+
+
+class TestLazyNullCount:
+    def test_all_false_mask_normalizes_on_first_access(self):
+        mask = np.zeros(4, dtype=bool)
+        c = Column(DType.INT64, np.arange(4), mask)
+        assert c._mask is mask  # construction did not scan
+        assert c.null_count == 0
+        assert c.mask is None  # normalized and cached
+
+    def test_known_null_count_skips_the_scan(self):
+        mask = np.array([True, False, True])
+        c = Column(DType.INT64, np.zeros(3, dtype=np.int64), mask,
+                   null_count=2)
+        assert c._null_count == 2
+        assert c.null_count == 2 and c.mask is mask
+
+    def test_null_count_zero_drops_mask_eagerly(self):
+        c = Column(DType.INT64, np.arange(3),
+                   np.zeros(3, dtype=bool), null_count=0)
+        assert c._mask is None
+
+    def test_mask_length_still_validated(self):
+        from repro.core.errors import TypeMismatchError
+
+        with pytest.raises(TypeMismatchError):
+            Column(DType.INT64, np.arange(3), np.zeros(2, dtype=bool))
