@@ -18,14 +18,20 @@ from repro import RewriteOptions
 
 DEFAULT_SCALE = int(os.environ.get("E8_SCALE", "80"))
 
+# cost-based passes stay off in every config: E8 isolates the rule
+# passes, E15 (bench_e15_optimizer) ablates the cost-based ones
+_COST_OFF = dict(
+    join_reordering=False, conjunct_ordering=False, aggregate_pushdown=False,
+)
+
 CONFIGS = {
-    "all-on": RewriteOptions(),
-    "no-pushdown": RewriteOptions(predicate_pushdown=False),
-    "no-pruning": RewriteOptions(projection_pruning=False),
+    "all-on": RewriteOptions(**_COST_OFF),
+    "no-pushdown": RewriteOptions(predicate_pushdown=False, **_COST_OFF),
+    "no-pruning": RewriteOptions(projection_pruning=False, **_COST_OFF),
     "all-off": RewriteOptions(
         filter_fusion=False, predicate_pushdown=False,
         projection_pruning=False, extend_fusion=False,
-        recognize_intents=False,
+        recognize_intents=False, **_COST_OFF,
     ),
 }
 

@@ -191,10 +191,22 @@ def e14() -> None:
               f"{entry['speedup_vs_unchunked']:>12.2f}x {chunks:>8s}")
 
 
+def e15() -> None:
+    from bench_e15_optimizer import emit_json
+
+    print("\n== E15: cost-based optimizer ablation ==")
+    payload = emit_json(Path(__file__).parent.parent / "BENCH_E15.json")
+    print(f"scale: {payload['scale']} customers, cpus: {payload['cpus']}")
+    print(f"{'config':>12s} {'wall':>10s} {'vs rule-only':>13s}")
+    for entry in payload["configs"]:
+        print(f"{entry['config']:>12s} {entry['wall_s'] * 1e3:>7.1f} ms "
+              f"{entry['speedup_vs_rule_only']:>12.2f}x")
+
+
 ALL = {
     "e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5,
     "e6": e6, "e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11,
-    "e12": e12, "e13": e13, "e14": e14,
+    "e12": e12, "e13": e13, "e14": e14, "e15": e15,
 }
 
 #: one-line summaries for --list
@@ -213,11 +225,13 @@ TITLES = {
     "e12": "fused execution ablation (+ BENCH_E12.json gate)",
     "e13": "join & aggregation kernel ablation (+ BENCH_E13.json gate)",
     "e14": "chunked storage & zone-map pruning (+ BENCH_E14.json gate)",
+    "e15": "cost-based optimizer ablation (+ BENCH_E15.json gate)",
 }
 
 #: experiments whose emitted BENCH_*.json carries a --check speedup gate
 GATED = {"e8": "BENCH_E8.json", "e12": "BENCH_E12.json",
-         "e13": "BENCH_E13.json", "e14": "BENCH_E14.json"}
+         "e13": "BENCH_E13.json", "e14": "BENCH_E14.json",
+         "e15": "BENCH_E15.json"}
 
 
 def _check_speedups(wanted: list[str], strict: bool = False) -> None:
@@ -301,6 +315,17 @@ def _check_speedups(wanted: list[str], strict: bool = False) -> None:
                         f"e14: filter not selective — scanned "
                         f"{entry['chunks_scanned']}/{entry['chunks_total']} "
                         f"chunks (> 5%)"
+                    )
+
+    e15_path = root / "BENCH_E15.json"
+    if e15_path.exists():
+        payload = json.loads(e15_path.read_text())
+        for entry in payload["configs"]:
+            if entry["config"] == "cost-based":
+                if entry["speedup_vs_rule_only"] < 1.0:
+                    failures.append(
+                        f"e15: cost-based plan slower than rule-only "
+                        f"({entry['speedup_vs_rule_only']:.2f}x)"
                     )
 
     if failures:

@@ -45,8 +45,15 @@ class ArrayEngine:
 
     PLAN_CACHE_CAP = 128
 
-    def __init__(self, options: ArrayEngineOptions | None = None):
+    def __init__(self, options: ArrayEngineOptions | None = None,
+                 stats_source=None):
         self.options = options or ArrayEngineOptions()
+        #: maps dataset names to :class:`~repro.opt.stats.TableStats`; set
+        #: by the owning provider so lowered plans carry real cell counts
+        self.stats_source = stats_source
+        #: bumped by the owner whenever dataset statistics change, so
+        #: cached plans with stale estimates stamped into them invalidate
+        self.stats_version = 0
         #: stage timings of the most recent query only
         self.last_stage_seconds: dict[str, float] = {}
         self._plans: OrderedDict[tuple, PhysPlan] = OrderedDict()
@@ -61,14 +68,17 @@ class ArrayEngine:
 
     def plan_for(self, node: A.Node) -> PhysPlan:
         """The (cached) physical plan for ``node`` under current options."""
-        key = (serialize.dumps(node), self.chunk_side, self.workers)
+        key = (
+            serialize.dumps(node), self.chunk_side, self.workers,
+            self.stats_version,
+        )
         plan = self._plans.get(key)
         if plan is not None:
             self._plans.move_to_end(key)
             return plan
         from .lowering import lower_array
 
-        plan = lower_array(node, self.options)
+        plan = lower_array(node, self.options, self.stats_source)
         self._plans[key] = plan
         while len(self._plans) > self.PLAN_CACHE_CAP:
             self._plans.popitem(last=False)

@@ -15,25 +15,38 @@ from ..core import algebra as A
 from ..core.errors import ExecutionError
 from ..exec.physical import array as P
 from ..exec.physical.base import (
-    PhysInlineTable, PhysLoopVar, PhysOp, PhysPlan, PhysScan, props_for,
+    PhysInlineTable, PhysLoopVar, PhysOp, PhysPlan, PhysProps, PhysScan,
+    props_for,
 )
+from ..opt.estimator import CardinalityEstimator
 
 if TYPE_CHECKING:  # avoid a cycle: engine imports this module
     from .engine import ArrayEngineOptions
 
 
-def lower_array(node: A.Node, options: "ArrayEngineOptions") -> PhysPlan:
+def lower_array(
+    node: A.Node, options: "ArrayEngineOptions", stats_source=None
+) -> PhysPlan:
     """Lower a logical tree to a chunked-array physical plan."""
-    lowering = _Lowering(options)
+    lowering = _Lowering(options, stats_source)
     root = P.PhysArrayResult(
-        node.schema, props_for(node.schema), (lowering.lower(node),)
+        node.schema, lowering._props(node), (lowering.lower(node),)
     )
     return PhysPlan(root, engine="array")
 
 
 class _Lowering:
-    def __init__(self, options: "ArrayEngineOptions"):
+    def __init__(self, options: "ArrayEngineOptions", stats_source=None):
         self.options = options
+        self.estimator = CardinalityEstimator(stats_source)
+
+    def _props(self, node: A.Node, *, parallelism: int = 1) -> PhysProps:
+        """Props with the shared estimate (cells ≈ rows in COO form)."""
+        est = self.estimator.estimate(node)
+        return props_for(
+            node.schema, max(int(est.rows), 0), parallelism=parallelism,
+            est_source=est.source, selectivity=est.selectivity,
+        )
 
     def _common(self, node: A.Node) -> dict:
         return {
@@ -46,45 +59,45 @@ class _Lowering:
         workers = self.options.workers
         par = workers if workers != 1 else 1
         if isinstance(node, A.Scan):
-            return PhysScan(node.name, node.schema, props_for(node.schema))
+            return PhysScan(node.name, node.schema, self._props(node))
         if isinstance(node, A.InlineTable):
             return PhysInlineTable(
                 node.table_schema, node.rows,
-                props_for(node.schema, len(node.rows)),
+                self._props(node),
             )
         if isinstance(node, A.LoopVar):
-            return PhysLoopVar(node.name, node.schema, props_for(node.schema))
+            return PhysLoopVar(node.name, node.schema, self._props(node))
         if isinstance(node, A.AsDims):
             return P.PhysChunkedAsDims(
                 self.lower(node.child), node.child.schema, node.schema,
-                props_for(node.schema), chunk_side=chunk,
+                self._props(node), chunk_side=chunk,
             )
         if isinstance(node, A.SliceDims):
             return P.PhysChunkedSlice(
                 self.lower(node.child), node.child.schema, node.schema,
-                props_for(node.schema), bounds=node.bounds, chunk_side=chunk,
+                self._props(node), bounds=node.bounds, chunk_side=chunk,
             )
         if isinstance(node, A.ShiftDim):
             return P.PhysChunkedShift(
                 self.lower(node.child), node.child.schema, node.schema,
-                props_for(node.schema), dim=node.dim, offset=node.offset,
+                self._props(node), dim=node.dim, offset=node.offset,
                 chunk_side=chunk,
             )
         if isinstance(node, A.TransposeDims):
             return P.PhysChunkedTranspose(
                 self.lower(node.child), node.child.schema, node.schema,
-                props_for(node.schema), order=node.order, chunk_side=chunk,
+                self._props(node), order=node.order, chunk_side=chunk,
             )
         if isinstance(node, A.Filter):
             return P.PhysChunkedFilter(
                 self.lower(node.child), node.child.schema, node.schema,
-                props_for(node.schema, parallelism=par),
+                self._props(node, parallelism=par),
                 predicate=node.predicate, chunk_side=chunk, workers=workers,
             )
         if isinstance(node, A.Extend):
             return P.PhysChunkedExtend(
                 self.lower(node.child), node.child.schema, node.schema,
-                props_for(node.schema, parallelism=par),
+                self._props(node, parallelism=par),
                 names=node.names, exprs=node.exprs,
                 chunk_side=chunk, workers=workers,
             )
@@ -100,49 +113,49 @@ class _Lowering:
                 )
             return P.PhysChunkedProject(
                 self.lower(node.child), node.child.schema, node.schema,
-                props_for(node.schema), chunk_side=chunk,
+                self._props(node), chunk_side=chunk,
             )
         if isinstance(node, A.Rename):
             return P.PhysChunkedRename(
                 self.lower(node.child), node.child.schema, node.schema,
-                props_for(node.schema), mapping=node.mapping, chunk_side=chunk,
+                self._props(node), mapping=node.mapping, chunk_side=chunk,
             )
         if isinstance(node, A.Regrid):
             return P.PhysChunkedRegrid(
                 self.lower(node.child), node.child.schema, node.schema,
-                props_for(node.schema, parallelism=par),
+                self._props(node, parallelism=par),
                 factors=node.factors, aggs=node.aggs,
                 chunk_side=chunk, workers=workers,
             )
         if isinstance(node, A.Window):
             return P.PhysChunkedWindow(
                 self.lower(node.child), node.child.schema, node.schema,
-                props_for(node.schema), sizes=node.sizes, aggs=node.aggs,
+                self._props(node), sizes=node.sizes, aggs=node.aggs,
                 chunk_side=chunk,
             )
         if isinstance(node, A.ReduceDims):
             return P.PhysChunkedReduceDims(
                 self.lower(node.child), node.child.schema, node.schema,
-                props_for(node.schema), keep=node.keep, aggs=node.aggs,
+                self._props(node), keep=node.keep, aggs=node.aggs,
                 chunk_side=chunk,
             )
         if isinstance(node, A.CellJoin):
             return P.PhysChunkedCellJoin(
                 self.lower(node.left), self.lower(node.right),
                 node.left.schema, node.right.schema, node.schema,
-                props_for(node.schema), chunk_side=chunk,
+                self._props(node), chunk_side=chunk,
             )
         if isinstance(node, A.MatMul):
             return P.PhysChunkedMatMul(
                 self.lower(node.left), self.lower(node.right),
                 node.left.schema, node.right.schema, node.schema,
-                props_for(node.schema), chunk_side=chunk,
+                self._props(node), chunk_side=chunk,
             )
         if isinstance(node, A.Iterate):
             return P.PhysChunkedIterate(
                 self.lower(node.init), self.lower(node.body),
                 node.var, node.stop, node.max_iter, node.strict,
-                node.init.schema, node.schema, props_for(node.schema),
+                node.init.schema, node.schema, self._props(node),
                 chunk_side=chunk,
             )
         raise ExecutionError(

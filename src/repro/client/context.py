@@ -50,7 +50,9 @@ class BigDataContext:
         network: NetworkModel | None = None,
     ):
         self.catalog = FederationCatalog()
-        self.rewriter = Rewriter(rewrite)
+        # the rewriter's cost-based passes read the same federation-wide
+        # statistics the planner and each server's lowering pass use
+        self.rewriter = Rewriter(rewrite, stats_source=self.catalog.table_stats)
         self.planner = FederationPlanner(self.catalog)
         self.executor = FederatedExecutor(
             self.catalog, routing=routing, network=network
@@ -182,7 +184,11 @@ class BigDataContext:
         cost.
         """
         tree = query.node if isinstance(query, Query) else query
-        return self._plan_for(tree, None).describe(physical=physical)
+        from ..federation.cost import estimator_for
+
+        return self._plan_for(tree, None).describe(
+            physical=physical, estimator=estimator_for(self.catalog)
+        )
 
     # -- introspection ----------------------------------------------------------------
 

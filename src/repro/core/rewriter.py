@@ -14,6 +14,14 @@ can measure each one:
 * **intent recognition** — replace a lowered join-aggregate matrix multiply
   with a native ``MatMul`` (desideratum 3; see :mod:`repro.core.intents`).
 
+After the rule fixpoint, three *cost-based* passes from
+:mod:`repro.opt.rewrite` run when the rewriter was built with a
+statistics source — join reordering, eager-aggregation pushdown and
+conjunct ordering.  They are estimate-gated (applied only when the shared
+estimator says they strictly help), individually toggleable for ablation
+(E15), and skipped entirely without statistics so the rule-only path is
+unchanged.
+
 Every rule preserves semantics (property-tested against the reference
 interpreter) and preserves intent tags (checked by a dedicated test).
 """
@@ -38,13 +46,24 @@ class RewriteOptions:
     extend_fusion: bool = True
     recognize_intents: bool = True
     max_passes: int = 5
+    # cost-based passes (need a statistics source to do anything)
+    join_reordering: bool = True
+    conjunct_ordering: bool = True
+    aggregate_pushdown: bool = True
 
 
 class Rewriter:
-    """Applies the enabled rules to a fixpoint (bounded by ``max_passes``)."""
+    """Applies the enabled rules to a fixpoint (bounded by ``max_passes``).
 
-    def __init__(self, options: RewriteOptions | None = None):
+    ``stats_source`` (a ``name -> TableStats | None`` callable, usually a
+    catalog's ``table_stats``) grounds the cost-based passes; without one
+    only the rule-based passes run.
+    """
+
+    def __init__(self, options: RewriteOptions | None = None,
+                 stats_source=None):
         self.options = options or RewriteOptions()
+        self.stats_source = stats_source
 
     def rewrite(self, node: A.Node) -> A.Node:
         opts = self.options
@@ -63,7 +82,37 @@ class Rewriter:
                 break
         if opts.projection_pruning:
             current = prune_projections(current)
-        return current
+        rewritten = self._cost_based(current)
+        if opts.projection_pruning and rewritten is not current:
+            # join reordering widens intermediates by absorbing pruning
+            # wrappers; re-prune so the new order is narrow again
+            rewritten = prune_projections(rewritten)
+        return rewritten
+
+    def _cost_based(self, node: A.Node) -> A.Node:
+        """Stats-driven passes; a fresh estimator per rewrite so estimates
+        always reflect the current catalog contents."""
+        opts = self.options
+        if self.stats_source is None:
+            return node
+        if not (opts.join_reordering or opts.conjunct_ordering
+                or opts.aggregate_pushdown):
+            return node
+        from ..opt.estimator import CardinalityEstimator
+        from ..opt.rewrite import (
+            order_conjuncts,
+            push_aggregates,
+            reorder_joins,
+        )
+
+        estimator = CardinalityEstimator(self.stats_source)
+        if opts.join_reordering:
+            node = reorder_joins(node, estimator)
+        if opts.aggregate_pushdown:
+            node = push_aggregates(node, estimator)
+        if opts.conjunct_ordering:
+            node = order_conjuncts(node, estimator)
+        return node
 
 
 # --------------------------------------------------------------------------

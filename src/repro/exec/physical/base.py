@@ -41,7 +41,14 @@ Resolver = Callable[[str], Any]
 
 @dataclass(frozen=True)
 class PhysProps:
-    """Physical properties of one operator's output."""
+    """Physical properties of one operator's output.
+
+    Row estimates are stamped by lowering from the shared
+    :class:`repro.opt.estimator.CardinalityEstimator`; ``est_source``
+    carries their provenance ("stats" = grounded in dataset statistics,
+    "default" = textbook fallback) and ``selectivity`` the estimated
+    keep-fraction of filtering operators, both surfaced by EXPLAIN.
+    """
 
     #: estimated output cardinality (rows / cells); None = unknown
     est_rows: int | None = None
@@ -51,11 +58,18 @@ class PhysProps:
     dimensions: tuple[str, ...] = ()
     #: worker threads this operator may use; 1 = serial, 0 = per-CPU
     parallelism: int = 1
+    #: provenance of est_rows: "stats" or "default"
+    est_source: str = "stats"
+    #: estimated filter keep-fraction; None for non-filtering operators
+    selectivity: float | None = None
 
     def describe(self) -> str:
         parts = []
         if self.est_rows is not None:
-            parts.append(f"rows~{self.est_rows}")
+            mark = "?" if self.est_source == "default" else ""
+            parts.append(f"rows~{self.est_rows}{mark}")
+        if self.selectivity is not None:
+            parts.append(f"sel~{self.selectivity:.2f}")
         if self.ordering:
             keys = ",".join(
                 (name if asc else f"-{name}") for name, asc in self.ordering
@@ -74,6 +88,8 @@ def props_for(
     *,
     ordering: tuple[tuple[str, bool], ...] = (),
     parallelism: int = 1,
+    est_source: str = "stats",
+    selectivity: float | None = None,
 ) -> PhysProps:
     """Standard props: dimensions always mirror the output schema."""
     return PhysProps(
@@ -81,34 +97,9 @@ def props_for(
         ordering=ordering,
         dimensions=tuple(schema.dimension_names),
         parallelism=parallelism,
+        est_source=est_source,
+        selectivity=selectivity,
     )
-
-
-def scale_rows(est: int | None, factor: float) -> int | None:
-    """Estimate propagation helper; unknown (None) stays unknown."""
-    if est is None:
-        return None
-    return max(int(est * factor), 1)
-
-
-def sum_rows(*ests: int | None) -> int | None:
-    if any(e is None for e in ests):
-        return None
-    return sum(ests)  # type: ignore[arg-type]
-
-
-def join_rows(left: int | None, right: int | None, how: str) -> int | None:
-    """Textbook join-output estimate (mirrors federation.cost heuristics)."""
-    if left is None or right is None:
-        return None
-    if how in ("semi", "anti"):
-        return max(int(left * 0.5), 1)
-    matched = left * right * 0.1 / max(min(left, right), 1)
-    if how == "inner":
-        return max(int(matched), 1)
-    if how == "left":
-        return max(int(matched), left)
-    return max(int(matched), left + right)
 
 
 # -- execution context -------------------------------------------------------------

@@ -66,3 +66,16 @@ class FederationCatalog:
             if provider.has_dataset(dataset):
                 return provider.dataset(dataset).num_rows
         raise PlanningError(f"dataset {dataset!r} is not registered anywhere")
+
+    def table_stats(self, dataset: str):
+        """Shared statistics from the first server holding the dataset.
+
+        Returns :class:`~repro.opt.stats.TableStats` or None for
+        unregistered names — this is the federation's
+        :data:`~repro.opt.stats.StatsSource`, handed to the shared
+        cardinality estimator by :mod:`repro.federation.cost`.
+        """
+        for provider in self._providers.values():
+            if provider.has_dataset(dataset):
+                return provider.table_stats(dataset)
+        return None

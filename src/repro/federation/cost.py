@@ -1,150 +1,70 @@
-"""Cardinality and byte-size estimation for the federation planner.
+"""Federation-facing adapter over the shared cost layer (:mod:`repro.opt`).
 
-Deliberately coarse, textbook heuristics: the planner only needs relative
-costs good enough to prefer plans that move fewer bytes between servers.
-Estimates flow bottom-up alongside placement in the planner's DP.
+The planner used to carry its own bottom-up row-estimate walk; that
+duplicate is gone.  Every number here comes from one
+:class:`~repro.opt.estimator.CardinalityEstimator` built over the
+federation catalog's :meth:`~repro.federation.catalog.FederationCatalog.table_stats`
+— the same statistics the relational lowering pass and the cost-based
+rewriter read — so a join the local optimizer thinks is small is also the
+join the federation planner prefers to ship.
+
+The module keeps the historical call shapes (``estimate_rows(node,
+catalog)`` etc.) so planner/plan/test code reads unchanged; for repeated
+estimation over one tree, build an estimator once with
+:func:`estimator_for` and use :mod:`repro.opt.cost` directly.
 """
 
 from __future__ import annotations
 
 from ..core import algebra as A
-from ..core.schema import Schema
-from ..core.types import DType
+from ..opt.cost import (
+    WINDOW_COST_FACTOR,
+    estimated_bytes,
+    estimated_rows,
+    operator_cost as _shared_operator_cost,
+    physical_op_cost,
+    physical_plan_cost,
+    row_width,
+)
+from ..opt.estimator import (
+    DISTINCT_RATIO,
+    FILTER_SELECTIVITY,
+    GROUP_RATIO,
+    JOIN_KEY_SELECTIVITY,
+    CardinalityEstimator,
+)
 from .catalog import FederationCatalog
 
-FILTER_SELECTIVITY = 0.33
-JOIN_KEY_SELECTIVITY = 0.1
-DISTINCT_RATIO = 0.5
-GROUP_RATIO = 0.1
-WINDOW_COST_FACTOR = 3.0
+__all__ = [
+    "DISTINCT_RATIO",
+    "FILTER_SELECTIVITY",
+    "GROUP_RATIO",
+    "JOIN_KEY_SELECTIVITY",
+    "WINDOW_COST_FACTOR",
+    "estimate_bytes",
+    "estimate_rows",
+    "estimator_for",
+    "operator_cost",
+    "physical_op_cost",
+    "physical_plan_cost",
+    "row_width",
+]
 
 
-def row_width(schema: Schema) -> int:
-    """Estimated bytes per row."""
-    width = 0
-    for attr in schema:
-        if attr.dtype is DType.STRING:
-            width += 24
-        elif attr.dtype is DType.BOOL:
-            width += 1
-        else:
-            width += 8
-    return max(width, 1)
+def estimator_for(catalog: FederationCatalog) -> CardinalityEstimator:
+    """A shared estimator reading statistics from the federation catalog."""
+    return CardinalityEstimator(catalog.table_stats)
 
 
 def estimate_rows(node: A.Node, catalog: FederationCatalog) -> int:
     """Rough output cardinality of a subtree."""
-    est = _estimate(node, catalog)
-    return max(int(est), 0)
+    return estimated_rows(node, estimator_for(catalog))
 
 
 def estimate_bytes(node: A.Node, catalog: FederationCatalog) -> int:
-    return estimate_rows(node, catalog) * row_width(node.schema)
-
-
-def _estimate(node: A.Node, catalog: FederationCatalog) -> float:
-    if isinstance(node, A.Scan):
-        if node.name.startswith("@"):
-            return 1000.0  # fragment input; refined by the planner
-        try:
-            return float(catalog.rows_of(node.name))
-        except Exception:
-            return 1000.0
-    if isinstance(node, A.InlineTable):
-        return float(len(node.rows))
-    if isinstance(node, A.LoopVar):
-        return 1000.0
-    if isinstance(node, A.Filter):
-        return _estimate(node.child, catalog) * FILTER_SELECTIVITY
-    if isinstance(node, A.SliceDims):
-        return _estimate(node.child, catalog) * (FILTER_SELECTIVITY ** len(node.bounds))
-    if isinstance(node, A.Join):
-        left = _estimate(node.left, catalog)
-        right = _estimate(node.right, catalog)
-        if node.how in ("semi", "anti"):
-            return left * 0.5
-        matched = left * right * JOIN_KEY_SELECTIVITY / max(min(left, right), 1.0)
-        if node.how == "inner":
-            return max(matched, 1.0)
-        if node.how == "left":
-            return max(matched, left)
-        return max(matched, left + right)
-    if isinstance(node, A.Product):
-        return _estimate(node.left, catalog) * _estimate(node.right, catalog)
-    if isinstance(node, A.Aggregate):
-        child = _estimate(node.child, catalog)
-        if not node.group_by:
-            return 1.0
-        return max(child * GROUP_RATIO, 1.0)
-    if isinstance(node, (A.Regrid,)):
-        factor = 1.0
-        for _, f in node.factors:
-            factor *= f
-        return max(_estimate(node.child, catalog) / max(factor, 1.0), 1.0)
-    if isinstance(node, A.ReduceDims):
-        child = _estimate(node.child, catalog)
-        if not node.keep:
-            return 1.0
-        return max(child * GROUP_RATIO, 1.0)
-    if isinstance(node, A.Distinct):
-        return _estimate(node.child, catalog) * DISTINCT_RATIO
-    if isinstance(node, A.Limit):
-        return float(min(node.count, _estimate(node.child, catalog)))
-    if isinstance(node, (A.Union,)):
-        return _estimate(node.left, catalog) + _estimate(node.right, catalog)
-    if isinstance(node, (A.Intersect, A.Except)):
-        return _estimate(node.left, catalog) * 0.5
-    if isinstance(node, A.MatMul):
-        left = _estimate(node.left, catalog)
-        right = _estimate(node.right, catalog)
-        # sparse output heuristic: geometric mean of input sizes
-        return max((left * right) ** 0.5, 1.0)
-    if isinstance(node, A.CellJoin):
-        return min(_estimate(node.left, catalog), _estimate(node.right, catalog))
-    if isinstance(node, A.Iterate):
-        return _estimate(node.init, catalog)
-    children = node.children()
-    if len(children) == 1:
-        return _estimate(children[0], catalog)
-    return sum(_estimate(c, catalog) for c in children)
-
-
-def physical_op_cost(op) -> float:
-    """Abstract work estimate for one lowered physical operator.
-
-    Row estimates come from lowering (catalog statistics threaded through
-    the plan's :class:`~repro.exec.physical.base.PhysProps`); operators
-    whose inputs have unknown cardinality fall back to the same default
-    the logical estimator uses for fragment inputs.
-    """
-    rows = op.props.est_rows
-    if rows is None:
-        rows = 1000.0
-    return float(rows) * op.cost_weight
-
-
-def physical_plan_cost(plan) -> float:
-    """Total abstract cost of a lowered physical plan (sum over operators)."""
-    return sum(physical_op_cost(op) for op in plan.walk())
+    return estimated_bytes(node, estimator_for(catalog))
 
 
 def operator_cost(node: A.Node, catalog: FederationCatalog) -> float:
     """Abstract per-operator work estimate (row-visits)."""
-    rows = _estimate(node, catalog)
-    if isinstance(node, A.Sort):
-        return rows * 4.0
-    if isinstance(node, A.Window):
-        sides = 1.0
-        for _, radius in node.sizes:
-            sides *= (2 * radius + 1)
-        return rows * sides
-    if isinstance(node, A.Join):
-        return _estimate(node.left, catalog) + _estimate(node.right, catalog) + rows
-    if isinstance(node, A.MatMul):
-        return (
-            _estimate(node.left, catalog) * _estimate(node.right, catalog) ** 0.5
-        )
-    if isinstance(node, A.Iterate):
-        inner = sum(operator_cost(n, catalog) for n in node.body.walk())
-        return inner * min(node.max_iter, 20)
-    return rows
+    return _shared_operator_cost(node, estimator_for(catalog))

@@ -59,12 +59,15 @@ class PhysicalPlan:
                 out.append((source, fragment.index))
         return out
 
-    def describe(self, *, physical: bool = False) -> str:
+    def describe(self, *, physical: bool = False, estimator=None) -> str:
         """Human-readable plan summary (used by explain()).
 
-        With ``physical=True``, each fragment is followed by the lowered
-        physical plan its server would run, with per-operator properties
-        and the plan's abstract cost.
+        With an ``estimator`` (a shared
+        :class:`~repro.opt.estimator.CardinalityEstimator`), each fragment's
+        logical tree is rendered with per-node row estimates, selectivities
+        and their provenance.  With ``physical=True``, each fragment is
+        followed by the lowered physical plan its server would run, with
+        per-operator properties and the plan's abstract cost.
         """
         lines = []
         for fragment in self.fragments:
@@ -77,6 +80,11 @@ class PhysicalPlan:
             lines.append(
                 f"fragment {fragment.index} on {fragment.server}: {ops}{feeds}"
             )
+            if estimator is not None:
+                from ..opt.cost import render_estimates
+
+                for line in render_estimates(fragment.tree, estimator).splitlines():
+                    lines.append(f"  {line}")
             if physical:
                 if fragment.physical is None:
                     lines.append("  (interpreted; no physical plan)")

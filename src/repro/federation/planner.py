@@ -27,8 +27,9 @@ from dataclasses import dataclass
 
 from ..core import algebra as A
 from ..core.errors import PlanningError
+from ..opt.cost import estimated_rows, operator_cost
 from .catalog import FederationCatalog
-from .cost import estimate_rows, operator_cost
+from .cost import estimator_for
 from .plan import Fragment, PhysicalPlan, fragment_input_name
 
 #: relative weight of moving one row between servers vs visiting it locally
@@ -48,6 +49,9 @@ class FederationPlanner:
 
     def __init__(self, catalog: FederationCatalog):
         self.catalog = catalog
+        #: shared estimator over the federation's statistics; rebuilt per
+        #: plan() call so re-registered datasets never serve stale numbers
+        self._estimator = estimator_for(catalog)
 
     # -- public API -------------------------------------------------------------
 
@@ -57,6 +61,7 @@ class FederationPlanner:
         ``pin_server`` forces the whole tree onto one server (used by the
         portability experiment); it raises if that server lacks coverage.
         """
+        self._estimator = estimator_for(self.catalog)
         if pin_server is not None:
             provider = self.catalog.provider(pin_server)
             if not provider.accepts(tree):
@@ -104,7 +109,7 @@ class FederationPlanner:
             server = provider.name
             if not self._supports_here(provider, node):
                 continue
-            total = operator_cost(node, self.catalog) * provider.cost_factor(node)
+            total = operator_cost(node, self._estimator) * provider.cost_factor(node)
             child_servers = []
             feasible = True
             for child in children:
@@ -112,7 +117,7 @@ class FederationPlanner:
                 if not child_options:
                     feasible = False
                     break
-                move_cost = estimate_rows(child, self.catalog) * TRANSFER_PENALTY
+                move_cost = estimated_rows(child, self._estimator) * TRANSFER_PENALTY
                 best_child, best_cost = None, float("inf")
                 for child_server, placement in sorted(child_options.items()):
                     cost = placement.cost + (
@@ -137,7 +142,7 @@ class FederationPlanner:
         for provider in self.catalog.providers:
             if not provider.accepts(node):
                 continue
-            cost = operator_cost(node, self.catalog) * provider.cost_factor(node)
+            cost = operator_cost(node, self._estimator) * provider.cost_factor(node)
             for scan in node.walk():
                 if isinstance(scan, A.Scan) and not scan.name.startswith("@"):
                     if provider.has_dataset(scan.name):
@@ -147,7 +152,7 @@ class FederationPlanner:
                         cost = None
                         break
                     cost += (
-                        estimate_rows(scan, self.catalog) * TRANSFER_PENALTY
+                        estimated_rows(scan, self._estimator) * TRANSFER_PENALTY
                     )
             if cost is not None:
                 options[provider.name] = _Placement(cost, ())

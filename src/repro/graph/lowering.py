@@ -37,7 +37,8 @@ def lower_graph(tree: A.Node, provider: "GraphProvider") -> PhysPlan:
             fallback = engine.plan_for(tree).root
             root = PhysPageRank(
                 vertices, edges, spec, fallback, tree.schema,
-                props_for(tree.schema, vertices.props.est_rows),
+                props_for(tree.schema, vertices.props.est_rows,
+                          est_source=vertices.props.est_source),
                 provider=provider,
             )
             return PhysPlan(root, engine="graph")

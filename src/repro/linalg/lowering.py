@@ -12,28 +12,42 @@ from __future__ import annotations
 
 from ..core import algebra as A
 from ..core.errors import TranslationError
-from ..exec.physical.base import PhysOp, PhysPlan, props_for
+from ..exec.physical.base import PhysOp, PhysPlan, PhysProps, props_for
 from ..exec.physical.linalg import (
     PhysBlockedMatMul, PhysBlockedTranspose, PhysMatrixLiteral,
     PhysMatrixSource, PhysMatrixToTable,
 )
+from ..opt.estimator import CardinalityEstimator
 
 Names = tuple[str, str, str]
 
 
-def lower_linalg(tree: A.Node, block_size: int) -> PhysPlan:
+def lower_linalg(tree: A.Node, block_size: int, stats_source=None) -> PhysPlan:
     """Lower a matrix-algebra tree to a blocked physical plan."""
-    op, names = _lower(tree, block_size)
-    root = PhysMatrixToTable(op, names, tree.schema, props_for(tree.schema))
+    estimator = CardinalityEstimator(stats_source)
+    op, names = _lower(tree, block_size, estimator)
+    root = PhysMatrixToTable(
+        op, names, tree.schema, _props(tree, estimator)
+    )
     return PhysPlan(root, engine="linalg")
 
 
-def _lower(node: A.Node, block_size: int) -> tuple[PhysOp, Names]:
+def _props(node: A.Node, estimator: CardinalityEstimator) -> PhysProps:
+    """Props with the shared estimate (non-zero cells in COO form)."""
+    est = estimator.estimate(node)
+    return props_for(
+        node.schema, max(int(est.rows), 0), est_source=est.source
+    )
+
+
+def _lower(
+    node: A.Node, block_size: int, estimator: CardinalityEstimator
+) -> tuple[PhysOp, Names]:
     if isinstance(node, A.Scan):
         schema = node.schema
         names = (*schema.dimension_names, schema.value_names[0])
         op = PhysMatrixSource(
-            node.name, schema, props_for(schema), block_size=block_size
+            node.name, schema, _props(node, estimator), block_size=block_size
         )
         return op, names
     if isinstance(node, A.InlineTable):
@@ -41,24 +55,26 @@ def _lower(node: A.Node, block_size: int) -> tuple[PhysOp, Names]:
         names = (*schema.dimension_names, schema.value_names[0])
         op = PhysMatrixLiteral(
             node.table_schema, node.rows, schema,
-            props_for(schema, len(node.rows)), block_size=block_size,
+            _props(node, estimator), block_size=block_size,
         )
         return op, names
     if isinstance(node, A.MatMul):
-        left, lnames = _lower(node.left, block_size)
-        right, rnames = _lower(node.right, block_size)
+        left, lnames = _lower(node.left, block_size, estimator)
+        right, rnames = _lower(node.right, block_size, estimator)
         op = PhysBlockedMatMul(
-            node.schema, props_for(node.schema), (left, right)
+            node.schema, _props(node, estimator), (left, right)
         )
         return op, (lnames[0], rnames[1], lnames[2])
     if isinstance(node, A.TransposeDims):
-        child, names = _lower(node.child, block_size)
+        child, names = _lower(node.child, block_size, estimator)
         if node.order == node.child.schema.dimension_names:
             return child, names  # identity order: physically nothing to do
-        op = PhysBlockedTranspose(node.schema, props_for(node.schema), (child,))
+        op = PhysBlockedTranspose(
+            node.schema, _props(node, estimator), (child,)
+        )
         return op, (names[1], names[0], names[2])
     if isinstance(node, A.Rename):
-        child, names = _lower(node.child, block_size)
+        child, names = _lower(node.child, block_size, estimator)
         mapping = dict(node.mapping)
         return child, tuple(mapping.get(n, n) for n in names)
     raise TranslationError(

@@ -1,0 +1,34 @@
+"""repro.opt — the single statistics-and-cost layer.
+
+Every cardinality, selectivity and cost estimate in the framework comes
+from this package:
+
+* :mod:`repro.opt.stats` — table/column statistics (row counts, distinct
+  counts via dictionary encoding, min/max via zone maps, null counts)
+  and how to derive them from stored datasets;
+* :mod:`repro.opt.estimator` — the one cardinality/selectivity derivation
+  pass over logical algebra trees, with per-estimate provenance
+  ("stats" when grounded in real dataset statistics, "default" when a
+  textbook fallback filled the gap);
+* :mod:`repro.opt.cost` — abstract operator/plan costing on top of the
+  estimator (row widths, per-operator work, physical-plan cost);
+* :mod:`repro.opt.rewrite` — cost-based logical rewrites (join
+  reordering, conjunct ordering, eager-aggregation pushdown) driven by
+  the estimator and invoked from :class:`repro.core.rewriter.Rewriter`.
+
+Consumers — the relational lowering pass, the federation planner and
+cost adapter, and the client rewriter — hold no estimation logic of
+their own; they construct a :class:`~repro.opt.estimator.CardinalityEstimator`
+over a stats source and read estimates off it.
+"""
+
+from .estimator import CardinalityEstimator, Estimate
+from .stats import ColumnStats, StatsSource, TableStats
+
+__all__ = [
+    "CardinalityEstimator",
+    "ColumnStats",
+    "Estimate",
+    "StatsSource",
+    "TableStats",
+]

@@ -1,0 +1,565 @@
+"""The one cardinality/selectivity derivation pass over logical trees.
+
+:class:`CardinalityEstimator` annotates algebra nodes with an
+:class:`Estimate` — expected output rows, propagated per-column
+statistics, and a *provenance* tag:
+
+* ``"stats"`` — the number is grounded in real dataset statistics
+  (row counts, dictionary cardinalities, zone-map min/max);
+* ``"default"`` — a textbook fallback filled the gap (unknown dataset,
+  opaque predicate, fragment input).
+
+The estimation rules are the classical ones:
+
+* filters — equality selectivity ``1/ndv`` (0 when the literal falls
+  outside the column's [min, max]), range selectivity by min/max
+  interpolation, ``AND`` multiplies, ``OR`` adds with overlap correction;
+* joins — the containment assumption: ``|L ⋈ R| = |L|·|R| / Π max(ndv)``
+  over the key pairs;
+* group-by / distinct — output bounded by the product of key ndvs.
+
+Every selectivity is capped at :data:`MAX_SELECTIVITY` so a filter always
+estimates strictly fewer rows than its input, and every consumer — the
+relational lowering pass, the federation planner, the cost-based rewriter —
+reads estimates from this class and nowhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from ..core import algebra as A
+from ..core.expressions import BinOp, Col, Expr, IsNull, Lit, UnaryOp, eval_row
+from .stats import ColumnStats, StatsSource, TableStats
+
+#: Fallbacks, used whenever real statistics are unavailable.
+DEFAULT_ROWS = 1000.0
+FILTER_SELECTIVITY = 0.33
+JOIN_KEY_SELECTIVITY = 0.1
+DISTINCT_RATIO = 0.5
+GROUP_RATIO = 0.1
+
+#: No filter is ever estimated to keep everything: capping selectivity keeps
+#: estimates strictly decreasing through predicates, which downstream
+#: consumers (index-probe choice, conjunct ordering) rely on for tiebreaks.
+MAX_SELECTIVITY = 0.95
+
+STATS = "stats"
+DEFAULT = "default"
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+_COMPARISONS = frozenset(_FLIPPED)
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Estimated properties of one logical node's output."""
+
+    rows: float
+    source: str = DEFAULT
+    columns: Mapping[str, ColumnStats] = field(default_factory=dict)
+    selectivity: float | None = None
+
+    @property
+    def is_stats(self) -> bool:
+        return self.source == STATS
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name)
+
+    def ndv(self, name: str) -> int | None:
+        stats = self.columns.get(name)
+        if stats is None or stats.distinct <= 0:
+            return None
+        # a column cannot hold more distinct values than there are rows
+        return max(1, min(stats.distinct, int(self.rows) or 1))
+
+
+def split_conjuncts(pred: Expr) -> list[Expr]:
+    """Flatten a predicate over top-level ``and`` into its conjuncts."""
+    if isinstance(pred, BinOp) and pred.op == "and":
+        return split_conjuncts(pred.left) + split_conjuncts(pred.right)
+    return [pred]
+
+
+class CardinalityEstimator:
+    """Derives :class:`Estimate` annotations for logical algebra nodes.
+
+    ``stats_source`` maps dataset names to :class:`~repro.opt.stats.TableStats`
+    (or None for unknown datasets); with no source every estimate is a
+    textbook default.  Estimates are memoized per node object, so walking a
+    tree repeatedly (as the cost-based rewriter does) stays linear.
+    """
+
+    def __init__(self, stats_source: StatsSource | None = None):
+        self.stats_source = stats_source
+        self._memo: dict[A.Node, Estimate] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def estimate(self, node: A.Node) -> Estimate:
+        found = self._memo.get(node)
+        if found is None:
+            found = self._derive(node)
+            self._memo[node] = found
+        return found
+
+    def rows(self, node: A.Node) -> float:
+        return self.estimate(node).rows
+
+    def table_stats(self, name: str) -> TableStats | None:
+        if self.stats_source is None:
+            return None
+        try:
+            return self.stats_source(name)
+        except Exception:
+            return None
+
+    def predicate_selectivity(
+        self, pred: Expr, child: Estimate
+    ) -> tuple[float, str]:
+        """Selectivity of ``pred`` against rows described by ``child``.
+
+        Returns ``(selectivity, source)`` with selectivity in [0, 1]
+        (uncapped — callers cap at :data:`MAX_SELECTIVITY` when turning it
+        into a row estimate).
+        """
+        return self._selectivity(pred, child)
+
+    # -- derivation ---------------------------------------------------------
+
+    def _derive(self, node: A.Node) -> Estimate:
+        method = getattr(self, f"_est_{type(node).__name__.lower()}", None)
+        if method is not None:
+            return method(node)
+        children = node.children()
+        if len(children) == 1:
+            child = self.estimate(children[0])
+            return Estimate(child.rows, child.source, child.columns)
+        ests = [self.estimate(c) for c in children]
+        return Estimate(
+            sum(e.rows for e in ests),
+            STATS if ests and all(e.is_stats for e in ests) else DEFAULT,
+        )
+
+    # leaves
+
+    def _est_scan(self, node: A.Scan) -> Estimate:
+        if node.name.startswith("@"):
+            return Estimate(DEFAULT_ROWS)  # fragment input, refined later
+        stats = self.table_stats(node.name)
+        if stats is None:
+            return Estimate(DEFAULT_ROWS)
+        return Estimate(float(stats.row_count), STATS, dict(stats.columns))
+
+    def _est_inlinetable(self, node: A.InlineTable) -> Estimate:
+        return Estimate(float(len(node.rows)), STATS)
+
+    def _est_loopvar(self, node: A.LoopVar) -> Estimate:
+        return Estimate(DEFAULT_ROWS)
+
+    # row-preserving shapes
+
+    def _est_project(self, node: A.Project) -> Estimate:
+        child = self.estimate(node.child)
+        keep = set(node.names)
+        cols = {n: s for n, s in child.columns.items() if n in keep}
+        return Estimate(child.rows, child.source, cols)
+
+    def _est_rename(self, node: A.Rename) -> Estimate:
+        child = self.estimate(node.child)
+        mapping = dict(node.mapping)
+        cols = {mapping.get(n, n): s for n, s in child.columns.items()}
+        return Estimate(child.rows, child.source, cols)
+
+    def _est_extend(self, node: A.Extend) -> Estimate:
+        child = self.estimate(node.child)
+        return Estimate(child.rows, child.source, child.columns)
+
+    def _est_sort(self, node: A.Sort) -> Estimate:
+        return self.estimate(node.child)
+
+    def _est_reverse(self, node: A.Reverse) -> Estimate:
+        return self.estimate(node.child)
+
+    def _est_asdims(self, node: A.AsDims) -> Estimate:
+        return self.estimate(node.child)
+
+    def _est_transposedims(self, node: A.TransposeDims) -> Estimate:
+        return self.estimate(node.child)
+
+    def _est_window(self, node: A.Window) -> Estimate:
+        # one output row per input cell
+        child = self.estimate(node.child)
+        return Estimate(child.rows, child.source)
+
+    # filters
+
+    def _est_filter(self, node: A.Filter) -> Estimate:
+        child = self.estimate(node.child)
+        sel, sel_source = self._selectivity(node.predicate, child)
+        sel = min(sel, MAX_SELECTIVITY)
+        rows = child.rows * sel
+        source = STATS if (child.is_stats and sel_source == STATS) else DEFAULT
+        cols = self._narrow(node.predicate, child.columns, rows)
+        return Estimate(rows, source, cols, selectivity=sel)
+
+    def _est_slicedims(self, node: A.SliceDims) -> Estimate:
+        child = self.estimate(node.child)
+        sel = 1.0
+        grounded = child.is_stats
+        for dim, lo, hi in node.bounds:
+            stats = child.columns.get(dim)
+            if (
+                stats is not None
+                and isinstance(stats.min, (int, float))
+                and isinstance(stats.max, (int, float))
+                and stats.max >= stats.min
+            ):
+                span = float(stats.max - stats.min + 1)
+                kept = float(min(hi, stats.max) - max(lo, stats.min) + 1)
+                sel *= min(max(kept / span, 0.0), 1.0)
+            else:
+                sel *= FILTER_SELECTIVITY
+                grounded = False
+        sel = min(sel, MAX_SELECTIVITY)
+        return Estimate(
+            child.rows * sel,
+            STATS if grounded else DEFAULT,
+            child.columns,
+            selectivity=sel,
+        )
+
+    def _est_limit(self, node: A.Limit) -> Estimate:
+        child = self.estimate(node.child)
+        rows = float(min(node.count, max(child.rows - node.offset, 0.0)))
+        return Estimate(rows, child.source, child.columns)
+
+    # joins
+
+    def _est_join(self, node: A.Join) -> Estimate:
+        left = self.estimate(node.left)
+        right = self.estimate(node.right)
+        matched, grounded = self._matched_rows(node.on, left, right)
+        right_keys = {r for _, r in node.on}
+        cols = self._join_columns(node.on, left, right)
+        source = STATS if (grounded and left.is_stats and right.is_stats) else DEFAULT
+        if node.how == "semi":
+            rows = left.rows * self._semi_fraction(node.on, left, right)
+            return Estimate(min(rows, left.rows), source, dict(left.columns))
+        if node.how == "anti":
+            semi = left.rows * self._semi_fraction(node.on, left, right)
+            return Estimate(
+                max(left.rows - semi, 0.0), source, dict(left.columns)
+            )
+        if node.how == "inner":
+            return Estimate(max(matched, 1.0), source, cols)
+        if node.how == "left":
+            return Estimate(max(matched, left.rows), source, cols)
+        # full outer: every unmatched row on either side survives
+        _ = right_keys
+        return Estimate(max(matched, left.rows + right.rows), source, cols)
+
+    def _matched_rows(
+        self,
+        on: tuple[tuple[str, str], ...],
+        left: Estimate,
+        right: Estimate,
+    ) -> tuple[float, bool]:
+        """Containment-assumption match count, and whether ndvs grounded it."""
+        product = left.rows * right.rows
+        divisor = 1.0
+        grounded = True
+        for lkey, rkey in on:
+            l_ndv, r_ndv = left.ndv(lkey), right.ndv(rkey)
+            if l_ndv is None or r_ndv is None:
+                grounded = False
+                continue
+            divisor *= float(max(l_ndv, r_ndv))
+        if grounded:
+            return product / max(divisor, 1.0), True
+        # textbook fallback, matching the old federation heuristic
+        matched = (
+            product * JOIN_KEY_SELECTIVITY / max(min(left.rows, right.rows), 1.0)
+        )
+        return matched, False
+
+    def _semi_fraction(
+        self,
+        on: tuple[tuple[str, str], ...],
+        left: Estimate,
+        right: Estimate,
+    ) -> float:
+        """Fraction of left rows with at least one right match."""
+        fraction = 1.0
+        for lkey, rkey in on:
+            l_ndv, r_ndv = left.ndv(lkey), right.ndv(rkey)
+            if l_ndv is None or r_ndv is None:
+                return 0.5
+            fraction *= min(1.0, r_ndv / max(l_ndv, 1))
+        return fraction
+
+    def _join_columns(
+        self,
+        on: tuple[tuple[str, str], ...],
+        left: Estimate,
+        right: Estimate,
+    ) -> dict[str, ColumnStats]:
+        """Output columns: left attrs, then right attrs minus right keys."""
+        right_keys = {r for _, r in on}
+        cols = dict(left.columns)
+        for lkey, rkey in on:
+            l_stats, r_stats = left.columns.get(lkey), right.columns.get(rkey)
+            if l_stats is not None and r_stats is not None:
+                # containment: surviving key values come from the smaller side
+                cols[lkey] = replace(
+                    l_stats, distinct=min(l_stats.distinct, r_stats.distinct)
+                )
+        for name, stats in right.columns.items():
+            if name not in right_keys and name not in cols:
+                cols[name] = stats
+        return cols
+
+    def _est_product(self, node: A.Product) -> Estimate:
+        left = self.estimate(node.left)
+        right = self.estimate(node.right)
+        cols = dict(left.columns)
+        cols.update(right.columns)
+        source = STATS if (left.is_stats and right.is_stats) else DEFAULT
+        return Estimate(left.rows * right.rows, source, cols)
+
+    def _est_celljoin(self, node: A.CellJoin) -> Estimate:
+        left = self.estimate(node.left)
+        right = self.estimate(node.right)
+        source = STATS if (left.is_stats and right.is_stats) else DEFAULT
+        return Estimate(min(left.rows, right.rows), source)
+
+    def _est_matmul(self, node: A.MatMul) -> Estimate:
+        left = self.estimate(node.left)
+        right = self.estimate(node.right)
+        # sparse output heuristic: geometric mean of input sizes
+        return Estimate(max((left.rows * right.rows) ** 0.5, 1.0))
+
+    # grouping shapes
+
+    def _grouped(self, child: Estimate, keys: tuple[str, ...]) -> Estimate:
+        if not keys:
+            return Estimate(1.0, child.source)
+        groups = 1.0
+        grounded = True
+        for key in keys:
+            ndv = child.ndv(key)
+            if ndv is None:
+                grounded = False
+                break
+            groups *= float(ndv)
+        if grounded:
+            rows = min(child.rows, groups)
+            source = child.source
+        else:
+            rows = max(child.rows * GROUP_RATIO, 1.0)
+            source = DEFAULT
+        cols = {n: s for n, s in child.columns.items() if n in set(keys)}
+        return Estimate(rows, source, cols)
+
+    def _est_aggregate(self, node: A.Aggregate) -> Estimate:
+        return self._grouped(self.estimate(node.child), node.group_by)
+
+    def _est_reducedims(self, node: A.ReduceDims) -> Estimate:
+        return self._grouped(self.estimate(node.child), node.keep)
+
+    def _est_regrid(self, node: A.Regrid) -> Estimate:
+        child = self.estimate(node.child)
+        factor = 1.0
+        for _, f in node.factors:
+            factor *= f
+        return Estimate(
+            max(child.rows / max(factor, 1.0), 1.0), child.source
+        )
+
+    def _est_distinct(self, node: A.Distinct) -> Estimate:
+        child = self.estimate(node.child)
+        bound = 1.0
+        names = node.schema.names
+        for name in names:
+            ndv = child.ndv(name)
+            if ndv is None:
+                rows = child.rows * DISTINCT_RATIO
+                return Estimate(rows, DEFAULT, child.columns)
+            bound *= float(ndv)
+        return Estimate(min(child.rows, bound), child.source, child.columns)
+
+    # set operations
+
+    def _est_union(self, node: A.Union) -> Estimate:
+        left = self.estimate(node.left)
+        right = self.estimate(node.right)
+        cols: dict[str, ColumnStats] = {}
+        for name in set(left.columns) & set(right.columns):
+            a, b = left.columns[name], right.columns[name]
+            cols[name] = ColumnStats(
+                distinct=a.distinct + b.distinct,
+                null_count=a.null_count + b.null_count,
+                min=_merge(min, a.min, b.min),
+                max=_merge(max, a.max, b.max),
+            )
+        source = STATS if (left.is_stats and right.is_stats) else DEFAULT
+        return Estimate(left.rows + right.rows, source, cols)
+
+    def _est_intersect(self, node: A.Intersect) -> Estimate:
+        return Estimate(self.rows(node.left) * 0.5)
+
+    def _est_except(self, node: A.Except) -> Estimate:
+        return Estimate(self.rows(node.left) * 0.5)
+
+    def _est_iterate(self, node: A.Iterate) -> Estimate:
+        init = self.estimate(node.init)
+        return Estimate(init.rows, init.source)
+
+    # -- predicate selectivity ----------------------------------------------
+
+    def _selectivity(self, pred: Expr, child: Estimate) -> tuple[float, str]:
+        if isinstance(pred, BinOp):
+            if pred.op == "and":
+                sel, source = 1.0, STATS
+                for part in split_conjuncts(pred):
+                    s, src = self._selectivity(part, child)
+                    sel *= s
+                    if src != STATS:
+                        source = DEFAULT
+                return sel, source
+            if pred.op == "or":
+                s1, src1 = self._selectivity(pred.left, child)
+                s2, src2 = self._selectivity(pred.right, child)
+                sel = min(s1 + s2 - s1 * s2, 1.0)
+                return sel, STATS if src1 == src2 == STATS else DEFAULT
+            if pred.op in _COMPARISONS:
+                return self._comparison_selectivity(pred, child)
+        if isinstance(pred, UnaryOp) and pred.op == "not":
+            sel, source = self._selectivity(pred.operand, child)
+            return max(1.0 - sel, 0.0), source
+        if isinstance(pred, IsNull) and isinstance(pred.operand, Col):
+            stats = child.columns.get(pred.operand.name)
+            if stats is not None:
+                fraction = stats.null_count / max(child.rows, 1.0)
+                return min(fraction, 1.0), STATS
+        if isinstance(pred, Lit):
+            if pred.value is True:
+                return 1.0, STATS
+            return 0.0, STATS
+        return FILTER_SELECTIVITY, DEFAULT
+
+    def _comparison_selectivity(
+        self, pred: BinOp, child: Estimate
+    ) -> tuple[float, str]:
+        op, column, literal = _normalize_comparison(pred)
+        if column is None:
+            if (
+                pred.op in ("==", "!=")
+                and isinstance(pred.left, Col)
+                and isinstance(pred.right, Col)
+            ):
+                a = child.ndv(pred.left.name)
+                b = child.ndv(pred.right.name)
+                if a is not None and b is not None:
+                    eq = 1.0 / max(a, b)
+                    return (eq, STATS) if pred.op == "==" else (1.0 - eq, STATS)
+            return FILTER_SELECTIVITY, DEFAULT
+        if literal is None:
+            # comparing with a null literal is never True (null semantics)
+            return 0.0, STATS
+        stats = child.columns.get(column)
+        if stats is None:
+            return FILTER_SELECTIVITY, DEFAULT
+        ndv = child.ndv(column)
+        if op in ("==", "!="):
+            if ndv is None:
+                return FILTER_SELECTIVITY, DEFAULT
+            eq = 1.0 / ndv
+            if _outside_range(literal, stats):
+                eq = 0.0
+            return (eq, STATS) if op == "==" else (1.0 - eq, STATS)
+        # range comparison on [min, max]
+        lo, hi = stats.min, stats.max
+        if lo is None or hi is None:
+            return FILTER_SELECTIVITY, DEFAULT
+        try:
+            if lo == hi:
+                row = {column: lo}
+                keep = eval_row(BinOp(op, Col(column), Lit(literal)), row)
+                return (1.0 if keep is True else 0.0), STATS
+            if not (
+                isinstance(lo, (int, float))
+                and isinstance(hi, (int, float))
+                and isinstance(literal, (int, float))
+            ):
+                # comparable but not interpolatable (e.g. strings):
+                # only the boundary cases are decidable
+                if op in (">", ">=") and literal < lo:
+                    return 1.0, STATS
+                if op in ("<", "<=") and literal > hi:
+                    return 1.0, STATS
+                if op in (">", ">=") and literal > hi:
+                    return 0.0, STATS
+                if op in ("<", "<=") and literal < lo:
+                    return 0.0, STATS
+                return FILTER_SELECTIVITY, DEFAULT
+            span = float(hi) - float(lo)
+            if op in (">", ">="):
+                fraction = (float(hi) - float(literal)) / span
+            else:
+                fraction = (float(literal) - float(lo)) / span
+            return min(max(fraction, 0.0), 1.0), STATS
+        except TypeError:
+            return FILTER_SELECTIVITY, DEFAULT
+
+    def _narrow(
+        self,
+        pred: Expr,
+        columns: Mapping[str, ColumnStats],
+        rows: float,
+    ) -> dict[str, ColumnStats]:
+        """Column stats after filtering: equality pins a column to one value."""
+        cols = dict(columns)
+        for part in split_conjuncts(pred):
+            if not (isinstance(part, BinOp) and part.op == "=="):
+                continue
+            _, column, literal = _normalize_comparison(part)
+            if column is not None and column in cols:
+                cols[column] = replace(
+                    cols[column], distinct=1, min=literal, max=literal
+                )
+        return cols
+
+
+def _normalize_comparison(pred: BinOp):
+    """As ``(op, column_name, literal)`` with the column on the left,
+    or ``(op, None, None)`` when the shape doesn't match col-vs-lit."""
+    if isinstance(pred.left, Col) and isinstance(pred.right, Lit):
+        return pred.op, pred.left.name, pred.right.value
+    if isinstance(pred.left, Lit) and isinstance(pred.right, Col):
+        return _FLIPPED[pred.op], pred.right.name, pred.left.value
+    return pred.op, None, None
+
+
+def _outside_range(literal, stats: ColumnStats) -> bool:
+    try:
+        if stats.min is not None and literal < stats.min:
+            return True
+        if stats.max is not None and literal > stats.max:
+            return True
+    except TypeError:
+        return False
+    return False
+
+
+def _merge(fn, a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    try:
+        return fn(a, b)
+    except TypeError:
+        return None

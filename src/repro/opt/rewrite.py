@@ -1,0 +1,275 @@
+"""Cost-based logical rewrites, driven by the shared estimator.
+
+Three passes, each invoked by :class:`repro.core.rewriter.Rewriter` after
+the rule-based fixpoint (and each individually switchable through
+``RewriteOptions`` for ablation):
+
+* :func:`reorder_joins` — flattens left-deep chains of inner equi-joins
+  and greedily re-orders them by estimated intermediate size;
+* :func:`order_conjuncts` — sorts the conjuncts of every filter predicate
+  by estimated selectivity, cheapest-to-pass first;
+* :func:`push_aggregates` — eager aggregation: partially aggregates one
+  join input below the join when the estimated group count is much
+  smaller than the input.
+
+All three are *estimate-gated*: a rewrite is applied only when the
+estimator says it strictly helps, and join reordering / aggregate
+pushdown additionally require stats-grounded estimates, so with no
+statistics source every pass leaves the tree untouched.  Intent-tagged
+nodes (desideratum 3) are never restructured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from ..core import algebra as A
+from ..core.errors import AlgebraError, SchemaError
+from ..core.expressions import BinOp, Col, Expr
+from .estimator import CardinalityEstimator, split_conjuncts
+
+#: Eager aggregation must shrink its input at least this much to pay for
+#: the extra operator.
+PUSHDOWN_BENEFIT = 0.5
+
+_PUSHABLE_FUNCS = frozenset({"sum", "min", "max", "count"})
+
+
+def _map_children(
+    node: A.Node, fn: Callable[[A.Node], A.Node]
+) -> A.Node:
+    children = node.children()
+    if not children:
+        return node
+    rewritten = tuple(fn(c) for c in children)
+    if all(a is b for a, b in zip(rewritten, children)):
+        return node
+    return node.with_children(rewritten)
+
+
+def conjoin(parts: list[Expr]) -> Expr:
+    out = parts[0]
+    for part in parts[1:]:
+        out = BinOp("and", out, part)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Join reordering
+# --------------------------------------------------------------------------
+
+
+def reorder_joins(node: A.Node, estimator: CardinalityEstimator) -> A.Node:
+    """Greedily reorder left-deep inner-join chains by intermediate size.
+
+    The base relation stays fixed (it anchors the output row order for
+    left-major execution); the remaining relations are joined smallest
+    estimated intermediate first, subject to their key columns being
+    available.  The rewrite is applied only when the estimated total of
+    intermediate sizes strictly drops, and the original column order is
+    restored with a projection.
+    """
+    node = _map_children(node, lambda c: reorder_joins(c, estimator))
+    flat = _flatten_inner_chain(node)
+    if flat is None:
+        return node
+    base, steps, joins = flat
+    if len(steps) < 2:
+        return node
+    original_total = sum(estimator.rows(j) for j in joins)
+    try:
+        reordered, new_total = _greedy_order(base, steps, estimator)
+    except (AlgebraError, SchemaError):
+        return node
+    if reordered is None or new_total >= original_total:
+        return node
+    try:
+        if reordered.schema.names != node.schema.names:
+            reordered = A.Project(reordered, node.schema.names)
+        if reordered.schema != node.schema:
+            return node
+    except (AlgebraError, SchemaError):
+        return node
+    return reordered
+
+
+def _flatten_inner_chain(node: A.Node):
+    """``(base, [(right, on), ...], [join nodes])`` of a reorderable chain.
+
+    Only untagged inner joins participate; the first tagged or non-inner
+    join terminates the chain (its subtree becomes the base).
+    """
+    if not (
+        isinstance(node, A.Join)
+        and node.how == "inner"
+        and node.intent is None
+    ):
+        return None
+    steps: list[tuple[A.Node, tuple[tuple[str, str], ...]]] = []
+    joins: list[A.Join] = []
+    cur: A.Node = node
+    while True:
+        if (
+            isinstance(cur, A.Join)
+            and cur.how == "inner"
+            and cur.intent is None
+        ):
+            steps.append((cur.right, cur.on))
+            joins.append(cur)
+            cur = cur.left
+        elif (
+            isinstance(cur, A.Project)
+            and cur.intent is None
+            and isinstance(cur.child, A.Join)
+            and cur.child.how == "inner"
+            and cur.child.intent is None
+        ):
+            # pruning wrappers between joins are pure column subsets:
+            # absorb them so the chain stays flattenable; the outer
+            # re-projection (and the re-pruning pass after the cost
+            # rewrites) restores the narrow schemas
+            cur = cur.child
+        else:
+            break
+    steps.reverse()
+    return cur, steps, joins
+
+
+def _greedy_order(base, steps, estimator):
+    placed: A.Node = base
+    available = list(steps)
+    chosen: list[tuple[A.Node, tuple[tuple[str, str], ...]]] = []
+    total = 0.0
+    while available:
+        best = None
+        names = set(placed.schema.names)
+        for step in available:
+            right, on = step
+            if not all(lkey in names for lkey, _ in on):
+                continue
+            candidate = A.Join(placed, right, on=on, how="inner")
+            rows = estimator.rows(candidate)
+            if best is None or rows < best[0]:
+                best = (rows, candidate, step)
+        if best is None:
+            return None, 0.0  # no joinable relation; keep the original
+        rows, candidate, step = best
+        placed = candidate
+        total += rows
+        chosen.append(step)
+        available.remove(step)
+    if all(a is b for a, b in zip(chosen, steps)):
+        return None, 0.0  # same order; nothing to do
+    return placed, total
+
+
+# --------------------------------------------------------------------------
+# Conjunct ordering
+# --------------------------------------------------------------------------
+
+
+def order_conjuncts(node: A.Node, estimator: CardinalityEstimator) -> A.Node:
+    """Sort each filter's conjuncts ascending by estimated selectivity.
+
+    Cheapest-to-pass conjuncts run first, so later ones see fewer rows.
+    The sort is stable and estimates tie without statistics, so the pass
+    is a no-op on default estimates.
+    """
+    node = _map_children(node, lambda c: order_conjuncts(c, estimator))
+    if not isinstance(node, A.Filter):
+        return node
+    parts = split_conjuncts(node.predicate)
+    if len(parts) < 2:
+        return node
+    child = estimator.estimate(node.child)
+    ranked = sorted(
+        parts, key=lambda p: estimator.predicate_selectivity(p, child)[0]
+    )
+    if all(a is b for a, b in zip(ranked, parts)):
+        return node
+    return replace(node, predicate=conjoin(ranked))
+
+
+# --------------------------------------------------------------------------
+# Eager aggregation (group-by pushdown through joins)
+# --------------------------------------------------------------------------
+
+
+def push_aggregates(node: A.Node, estimator: CardinalityEstimator) -> A.Node:
+    """Partially aggregate one join input below the join when it pays.
+
+    Applies to ``Aggregate(Join(inner))`` where every aggregate argument
+    reads a single join side and every function is decomposable
+    (sum/min/max/count).  The pushed-down aggregate groups by that side's
+    share of the final group keys plus its join keys, which preserves
+    join matching and final grouping exactly; ``count`` partials are
+    summed at the top.  Gated on a stats-grounded estimate that the
+    partial output is at most :data:`PUSHDOWN_BENEFIT` of the input.
+    """
+    node = _map_children(node, lambda c: push_aggregates(c, estimator))
+    if not (
+        isinstance(node, A.Aggregate)
+        and node.intent is None
+        and isinstance(node.child, A.Join)
+        and node.child.how == "inner"
+        and node.child.intent is None
+    ):
+        return node
+    if any(spec.func not in _PUSHABLE_FUNCS for spec in node.aggs):
+        return node
+    join = node.child
+    for side_name in ("left", "right"):
+        rewritten = _try_push_side(node, join, side_name, estimator)
+        if rewritten is not None:
+            return rewritten
+    return node
+
+
+def _try_push_side(
+    agg: A.Aggregate,
+    join: A.Join,
+    side_name: str,
+    estimator: CardinalityEstimator,
+) -> A.Node | None:
+    side = getattr(join, side_name)
+    try:
+        side_columns = set(side.schema.names)
+    except (AlgebraError, SchemaError):
+        return None
+    for spec in agg.aggs:
+        if spec.arg is not None and not spec.arg.columns() <= side_columns:
+            return None
+    if side_name == "left":
+        side_keys = [lkey for lkey, _ in join.on]
+    else:
+        side_keys = [rkey for _, rkey in join.on]
+    partial_keys = tuple(
+        dict.fromkeys(
+            [k for k in agg.group_by if k in side_columns] + side_keys
+        )
+    )
+    partial_aggs = []
+    final_aggs = []
+    for spec in agg.aggs:
+        partial_aggs.append(A.AggSpec(spec.name, spec.func, spec.arg))
+        final_func = "sum" if spec.func == "count" else spec.func
+        final_aggs.append(A.AggSpec(spec.name, final_func, Col(spec.name)))
+    try:
+        partial = A.Aggregate(side, group_by=partial_keys,
+                              aggs=tuple(partial_aggs))
+        partial_est = estimator.estimate(partial)
+        side_rows = estimator.rows(side)
+        if not partial_est.is_stats:
+            return None
+        if partial_est.rows > PUSHDOWN_BENEFIT * side_rows:
+            return None
+        new_join = replace(join, **{side_name: partial})
+        rewritten = A.Aggregate(
+            new_join, group_by=agg.group_by, aggs=tuple(final_aggs)
+        )
+        if rewritten.schema != agg.schema:
+            return None
+    except (AlgebraError, SchemaError):
+        return None
+    return rewritten

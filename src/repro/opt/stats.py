@@ -1,0 +1,136 @@
+"""Table and column statistics: the ground truth under every estimate.
+
+:class:`ColumnStats` summarizes one stored column (distinct count, null
+count, min/max).  Computation exploits the physical storage layout where
+it can:
+
+* **dictionary-encoded strings** — the sorted dictionary gives distinct
+  count and min/max as O(1) metadata reads;
+* **chunk zone maps** — per-chunk min/max/null summaries fold into
+  table-level min/max and null counts without touching the values;
+* plain numpy columns fall back to one vectorized pass.
+
+:class:`TableStats` bundles the per-column stats with the row count; a
+*stats source* is any ``name -> TableStats | None`` callable — the
+relational catalog serves exact precomputed stats, generic providers
+compute (and cache) stats from their stored tables, and the federation
+catalog asks whichever provider holds the dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.types import DType
+from ..storage.dictionary import DictColumn
+from ..storage.table import ColumnTable
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics of one stored column."""
+
+    distinct: int
+    null_count: int
+    min: Any
+    max: Any
+
+    @classmethod
+    def compute(
+        cls,
+        table: ColumnTable,
+        name: str,
+        zone_maps: Sequence[Any] | None = None,
+    ) -> "ColumnStats":
+        """Stats for ``table.column(name)``.
+
+        ``zone_maps`` (per-chunk summaries from
+        :class:`~repro.storage.chunked.ChunkedTable`) supply min/max and
+        null counts without a value scan; distinct counts still need the
+        values unless the column is dictionary-encoded.
+        """
+        column = table.column(name)
+        if isinstance(column, DictColumn) and len(column.dictionary):
+            # sorted dictionary: distinct/min/max are O(1) metadata reads
+            return cls(
+                distinct=len(column.dictionary),
+                null_count=column.null_count,
+                min=column.dictionary[0],
+                max=column.dictionary[-1],
+            )
+        if zone_maps:
+            distinct = _distinct_count(column)
+            mins = [z.min for z in zone_maps if z.min is not None]
+            maxes = [z.max for z in zone_maps if z.max is not None]
+            return cls(
+                distinct=distinct,
+                null_count=sum(z.null_count for z in zone_maps),
+                min=min(mins) if mins else None,
+                max=max(maxes) if maxes else None,
+            )
+        values = [v for v in column.to_list() if v is not None]
+        if not values:
+            return cls(distinct=0, null_count=column.null_count,
+                       min=None, max=None)
+        if column.dtype in (DType.INT64, DType.FLOAT64) and column.mask is None:
+            arr = column.values
+            return cls(
+                distinct=int(len(np.unique(arr))),
+                null_count=0,
+                min=arr.min().item(),
+                max=arr.max().item(),
+            )
+        return cls(
+            distinct=len(set(values)),
+            null_count=column.null_count,
+            min=min(values),
+            max=max(values),
+        )
+
+
+def _distinct_count(column) -> int:
+    """Distinct non-null values of one column (vectorized where possible)."""
+    if column.dtype in (DType.INT64, DType.FLOAT64) and column.mask is None:
+        return int(len(np.unique(column.values)))
+    return len({v for v in column.to_list() if v is not None})
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Row count plus per-column statistics of one stored dataset."""
+
+    row_count: int
+    columns: Mapping[str, ColumnStats] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, table: ColumnTable) -> "TableStats":
+        """Compute stats for a plain stored table (any provider)."""
+        return cls(
+            row_count=table.num_rows,
+            columns={
+                n: ColumnStats.compute(table, n) for n in table.schema.names
+            },
+        )
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name)
+
+    def ndv(self, name: str) -> int | None:
+        """Distinct count of one column, or None when unknown/empty."""
+        stats = self.columns.get(name)
+        if stats is None or stats.distinct <= 0:
+            return None
+        return stats.distinct
+
+    def null_fraction(self, name: str) -> float:
+        stats = self.columns.get(name)
+        if stats is None or self.row_count == 0:
+            return 0.0
+        return stats.null_count / self.row_count
+
+
+#: Resolves a dataset name to its statistics; None = unknown dataset.
+StatsSource = Callable[[str], Optional[TableStats]]

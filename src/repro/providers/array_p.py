@@ -30,11 +30,12 @@ class ArrayProvider(Provider):
 
     def __init__(self, name: str, options: ArrayEngineOptions | None = None):
         super().__init__(name)
-        self.engine = ArrayEngine(options)
+        self.engine = ArrayEngine(options, stats_source=self.table_stats)
         self._chunked: dict[str, ChunkedArray] = {}
 
     def register_dataset(self, name: str, table: ColumnTable) -> None:
         super().register_dataset(name, table)
+        self.engine.stats_version += 1  # invalidate plans with stale estimates
         if table.schema.dimensions:
             self._chunked[name] = ChunkedArray.from_table(
                 table, self.engine.chunk_side

@@ -83,6 +83,7 @@ class Provider(abc.ABC):
     def __init__(self, name: str):
         self.name = name
         self._datasets: dict[str, ColumnTable] = {}
+        self._table_stats: dict[str, "TableStats"] = {}
         self.stats = ProviderStats()
 
     # -- dataset management ----------------------------------------------------
@@ -90,6 +91,25 @@ class Provider(abc.ABC):
     def register_dataset(self, name: str, table: ColumnTable) -> None:
         """Load (or replace) a named dataset on this server."""
         self._datasets[name] = table
+        self._table_stats.pop(name, None)  # recompute on next request
+
+    def table_stats(self, name: str) -> "TableStats | None":
+        """Shared statistics for one stored dataset (None = unknown).
+
+        Computed lazily from the stored table and cached until the dataset
+        is re-registered.  Engine-backed providers with richer metadata
+        (the relational catalog's dictionary/zone-map statistics) override
+        this to serve their precomputed numbers.
+        """
+        if name not in self._datasets:
+            return None
+        found = self._table_stats.get(name)
+        if found is None:
+            from ..opt.stats import TableStats
+
+            found = TableStats.of(self._datasets[name])
+            self._table_stats[name] = found
+        return found
 
     def dataset(self, name: str) -> ColumnTable:
         try:

@@ -36,11 +36,15 @@ class LinalgProvider(Provider):
         super().__init__(name)
         self.block_size = block_size
         self._matrices: dict[str, BlockedMatrix] = {}
-        self._plans: OrderedDict[str, PhysPlan] = OrderedDict()
+        self._plans: OrderedDict[tuple, PhysPlan] = OrderedDict()
+        # bumped on re-registration so cached plans with stale row
+        # estimates stamped into their props invalidate
+        self._stats_version = 0
 
     def register_dataset(self, name: str, table: ColumnTable) -> None:
         super().register_dataset(name, table)
         self._matrices.pop(name, None)
+        self._stats_version += 1
 
     def matrix(self, name: str) -> BlockedMatrix:
         """The blocked form of a registered matrix dataset (cached)."""
@@ -68,14 +72,14 @@ class LinalgProvider(Provider):
 
     def lower(self, tree: A.Node) -> PhysPlan:
         """The cached physical plan this provider would execute ``tree`` with."""
-        key = serialize.dumps(tree)
+        key = (serialize.dumps(tree), self._stats_version)
         plan = self._plans.get(key)
         if plan is not None:
             self._plans.move_to_end(key)
             return plan
         from ..linalg.lowering import lower_linalg
 
-        plan = lower_linalg(tree, self.block_size)
+        plan = lower_linalg(tree, self.block_size, self.table_stats)
         self._plans[key] = plan
         while len(self._plans) > self.PLAN_CACHE_CAP:
             self._plans.popitem(last=False)

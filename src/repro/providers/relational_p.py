@@ -41,6 +41,11 @@ class RelationalProvider(Provider):
         entry = self.catalog.register(name, table)
         super().register_dataset(name, entry.table)
 
+    def table_stats(self, name: str):
+        # serve the catalog's precomputed dictionary/zone-map statistics
+        # instead of the base class's full-table derivation
+        return self.catalog.table_stats(name)
+
     def create_index(self, dataset: str, column: str, kind: str = "hash") -> None:
         """Build a secondary index over a stored dataset column.
 

@@ -1,71 +1,37 @@
 """The relational server's local catalog: stored tables, statistics, indexes.
 
 Statistics (row count, per-column distinct counts, min/max, null counts)
-are computed once at load and serve two masters: the local engine's
-access-path choice (index probe vs scan) and, indirectly, the federation
-cost model, which asks providers for dataset cardinalities.
+are computed once at load, in the shared :mod:`repro.opt.stats`
+representation, and served to every estimate consumer through
+:meth:`RelationalCatalog.table_stats` — the local lowering pass, the
+cost-based rewriter and the federation planner all read the same numbers.
 
 Registration also builds the physical storage layout: every stored table
 is wrapped in a :class:`~repro.storage.chunked.ChunkedTable` — fixed-size
 row chunks with per-column zone maps, low-cardinality string columns
 dictionary-encoded — and ``entry.table`` is the *encoded* table, so every
 read path (scans, index probes, the provider's resolver) serves the same
-representation the chunk-pruning scan uses.
+representation the chunk-pruning scan uses.  Column statistics exploit
+that layout: dictionary metadata gives distinct counts, zone maps give
+min/max and null counts without value scans.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
-
-import numpy as np
 
 from ..core.errors import PlanningError, SchemaError
-from ..core.types import DType
+from ..opt.stats import ColumnStats, TableStats
 from ..storage.chunked import DEFAULT_CHUNK_ROWS, ChunkedTable
-from ..storage.dictionary import DictColumn
 from ..storage.table import ColumnTable
 from .indexes import HashIndex, SortedIndex
 
-
-@dataclass(frozen=True)
-class ColumnStats:
-    """Summary statistics of one stored column."""
-
-    distinct: int
-    null_count: int
-    min: Any
-    max: Any
-
-    @classmethod
-    def compute(cls, table: ColumnTable, name: str) -> "ColumnStats":
-        column = table.column(name)
-        if isinstance(column, DictColumn) and len(column.dictionary):
-            # sorted dictionary: distinct/min/max are O(1) metadata reads
-            return cls(
-                distinct=len(column.dictionary),
-                null_count=column.null_count,
-                min=column.dictionary[0],
-                max=column.dictionary[-1],
-            )
-        values = [v for v in column.to_list() if v is not None]
-        if not values:
-            return cls(distinct=0, null_count=column.null_count,
-                       min=None, max=None)
-        if column.dtype in (DType.INT64, DType.FLOAT64) and column.mask is None:
-            arr = column.values
-            return cls(
-                distinct=int(len(np.unique(arr))),
-                null_count=0,
-                min=arr.min().item(),
-                max=arr.max().item(),
-            )
-        return cls(
-            distinct=len(set(values)),
-            null_count=column.null_count,
-            min=min(values),
-            max=max(values),
-        )
+__all__ = [
+    "ColumnStats",
+    "RelationalCatalog",
+    "TableEntry",
+    "TableStats",
+]
 
 
 @dataclass
@@ -110,7 +76,10 @@ class RelationalCatalog:
         table = chunked.table  # the dictionary-encoded representation
         entry = TableEntry(
             table=table,
-            stats={n: ColumnStats.compute(table, n) for n in table.schema.names},
+            stats={
+                n: ColumnStats.compute(table, n, chunked.zone_maps.get(n))
+                for n in table.schema.names
+            },
             chunked=chunked,
         )
         self._entries[name] = entry
@@ -120,6 +89,18 @@ class RelationalCatalog:
     def drop(self, name: str) -> None:
         self._entries.pop(name, None)
         self.version += 1
+
+    def table_stats(self, name: str) -> TableStats | None:
+        """The shared-statistics view of one stored table (None = unknown).
+
+        This is the catalog's :data:`~repro.opt.stats.StatsSource`
+        implementation: the lowering pass, the cost-based rewriter and the
+        federation cost adapter all estimate from what it returns.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            return None
+        return TableStats(row_count=entry.row_count, columns=entry.stats)
 
     def entry(self, name: str) -> TableEntry:
         try:

@@ -9,17 +9,23 @@ as pure, inspectable rules over the rewritten logical tree:
   indexable conjunct matches a hash/sorted index lowers to a
   :class:`PhysIndexProbe`, residual conjuncts applied over the subset;
 * **join algorithm selection** — ``EngineOptions.join_algorithm`` picks
-  hash / merge / nested-loop / python-hash at lowering time;
+  hash / merge / nested-loop / python-hash at lowering time, and the
+  default "auto" mode additionally switches to a no-sort merge join when
+  both inputs are already ordered on the join keys;
 * **input narrowing** — pipeline breakers (joins, aggregates) push a
   synthetic projection into fusible inputs so dead columns never
   materialize.
 
 Nothing here touches data: lowering a tree is side-effect free and
 deterministic, which is what makes physical plans cacheable and the
-golden-plan tests meaningful.  Cardinality estimates (propagated through
-:class:`~repro.exec.physical.base.PhysProps`) come from catalog statistics
-at the leaves and textbook selectivities above them — the same heuristics
-the federation cost model uses.
+golden-plan tests meaningful.  Every cardinality estimate stamped into
+:class:`~repro.exec.physical.base.PhysProps` comes from the shared
+:class:`repro.opt.estimator.CardinalityEstimator` over the catalog's
+statistics — the same estimates the cost-based rewriter and the
+federation planner use — along with its provenance ("stats" vs
+"default") and filter selectivities.  Parallelism is estimate-gated: a
+morsel-parallel operator whose statistics prove the input fits one
+morsel runs serial instead of paying thread overhead.
 """
 
 from __future__ import annotations
@@ -33,15 +39,14 @@ from ..core.rewriter import split_fusible_chain
 from ..exec.physical import relational as P
 from ..exec.physical.base import (
     PhysInlineTable, PhysLoopVar, PhysOp, PhysPlan, PhysProps, PhysScan,
-    join_rows, props_for, scale_rows, sum_rows,
+    props_for,
 )
 from ..exec.pipeline import FusedPipeline, pipeline_key
+from ..opt.estimator import STATS, CardinalityEstimator, Estimate
 from .catalog import RelationalCatalog
 
 if TYPE_CHECKING:  # avoid a cycle: engine imports this module
     from .engine import EngineOptions
-
-FILTER_SELECTIVITY = 0.33
 
 _FUSIBLE = (A.Filter, A.Project, A.Extend, A.Rename)
 
@@ -71,6 +76,42 @@ class _Lowering:
         self.options = options
         self.catalog = catalog
         self.pipelines = pipeline_cache if pipeline_cache is not None else {}
+        self.estimator = CardinalityEstimator(
+            catalog.table_stats if catalog is not None else None
+        )
+
+    # -- shared estimates --------------------------------------------------------
+
+    def _est(self, node: A.Node) -> Estimate:
+        return self.estimator.estimate(node)
+
+    def _props(
+        self,
+        node: A.Node,
+        *,
+        ordering: tuple[tuple[str, bool], ...] = (),
+        parallelism: int = 1,
+        selectivity: float | None = None,
+    ) -> PhysProps:
+        est = self._est(node)
+        sel = est.selectivity if selectivity is None else selectivity
+        return props_for(
+            node.schema, int(est.rows),
+            ordering=ordering, parallelism=parallelism,
+            est_source=est.source, selectivity=sel,
+        )
+
+    def _workers(self, node: A.Node) -> int:
+        """Morsel workers for one operator, gated on the shared estimate:
+        when statistics prove the input fits a single morsel, parallel
+        execution cannot split the work and only pays thread overhead."""
+        workers = self.options.morsel_workers
+        if workers == 1:
+            return 1
+        est = self._est(node)
+        if est.source == STATS and est.rows <= self.options.morsel_size:
+            return 1
+        return workers
 
     # -- dispatcher --------------------------------------------------------------
 
@@ -83,43 +124,35 @@ class _Lowering:
             return self._lower_scan(node)
         if isinstance(node, A.InlineTable):
             return PhysInlineTable(
-                node.table_schema, node.rows,
-                props_for(node.schema, len(node.rows)),
+                node.table_schema, node.rows, self._props(node),
             )
         if isinstance(node, A.LoopVar):
-            return PhysLoopVar(node.name, node.schema, props_for(node.schema))
+            return PhysLoopVar(node.name, node.schema, self._props(node))
         if isinstance(node, A.Filter):
             return self._lower_filter(node)
         if isinstance(node, A.Project):
             child = self.lower(node.child)
             return P.PhysProject(
                 child, node.names, node.schema,
-                props_for(node.schema, child.props.est_rows,
-                          ordering=child.props.ordering),
+                self._props(node, ordering=child.props.ordering),
             )
         if isinstance(node, A.Extend):
             child = self.lower(node.child)
             return P.PhysExtend(
                 child, node.names, node.exprs, node.schema,
-                props_for(node.schema, child.props.est_rows),
+                self._props(node),
                 compiled=self.options.compile_expressions,
             )
         if isinstance(node, A.Rename):
             child = self.lower(node.child)
             return P.PhysRename(
-                child, node.mapping, node.schema,
-                props_for(node.schema, child.props.est_rows),
+                child, node.mapping, node.schema, self._props(node),
             )
         if isinstance(node, A.Join):
             return self._lower_join(node)
         if isinstance(node, A.Product):
             left, right = self.lower(node.left), self.lower(node.right)
-            est = None
-            if left.props.est_rows is not None and right.props.est_rows is not None:
-                est = left.props.est_rows * right.props.est_rows
-            return P.PhysProduct(
-                node.schema, props_for(node.schema, est), (left, right)
-            )
+            return P.PhysProduct(node.schema, self._props(node), (left, right))
         if isinstance(node, A.Aggregate):
             return self._lower_aggregate(node)
         if isinstance(node, A.Sort):
@@ -127,63 +160,43 @@ class _Lowering:
             ordering = tuple(zip(node.keys, node.ascending))
             return P.PhysSort(
                 child, node.keys, node.ascending, node.schema,
-                props_for(node.schema, child.props.est_rows,
-                          ordering=ordering),
+                self._props(node, ordering=ordering),
             )
         if isinstance(node, A.Limit):
             child = self.lower(node.child)
-            est = child.props.est_rows
-            est = node.count if est is None else min(node.count, est)
             return P.PhysLimit(
                 child, node.count, node.offset, node.schema,
-                props_for(node.schema, est, ordering=child.props.ordering),
+                self._props(node, ordering=child.props.ordering),
             )
         if isinstance(node, A.Reverse):
             child = self.lower(node.child)
-            return P.PhysReverse(
-                node.schema,
-                props_for(node.schema, child.props.est_rows), (child,)
-            )
+            return P.PhysReverse(node.schema, self._props(node), (child,))
         if isinstance(node, A.Distinct):
             child = self.lower(node.child)
-            return P.PhysDistinct(
-                node.schema,
-                props_for(node.schema, scale_rows(child.props.est_rows, 0.5)),
-                (child,),
-            )
+            return P.PhysDistinct(node.schema, self._props(node), (child,))
         if isinstance(node, A.Union):
             left, right = self.lower(node.left), self.lower(node.right)
-            return P.PhysUnion(
-                node.schema,
-                props_for(node.schema,
-                          sum_rows(left.props.est_rows, right.props.est_rows)),
-                (left, right),
-            )
+            return P.PhysUnion(node.schema, self._props(node), (left, right))
         if isinstance(node, (A.Intersect, A.Except)):
             left, right = self.lower(node.left), self.lower(node.right)
             return P.PhysSetOp(
                 left, right, isinstance(node, A.Intersect), node.schema,
-                props_for(node.schema, scale_rows(left.props.est_rows, 0.5)),
+                self._props(node),
             )
         if isinstance(node, A.AsDims):
             child = self.lower(node.child)
             return P.PhysAsDims(
-                child, node.dims, node.schema,
-                props_for(node.schema, child.props.est_rows),
+                child, node.dims, node.schema, self._props(node),
             )
         if isinstance(node, A.SliceDims):
             child = self.lower(node.child)
-            est = scale_rows(
-                child.props.est_rows, FILTER_SELECTIVITY ** len(node.bounds)
-            )
             return P.PhysSliceDims(
-                child, node.bounds, node.schema, props_for(node.schema, est)
+                child, node.bounds, node.schema, self._props(node),
             )
         if isinstance(node, A.ShiftDim):
             child = self.lower(node.child)
             return P.PhysShiftDim(
-                child, node.dim, node.offset, node.schema,
-                props_for(node.schema, child.props.est_rows),
+                child, node.dim, node.offset, node.schema, self._props(node),
             )
         if isinstance(node, A.Regrid):
             return self._lower_regrid(node)
@@ -194,40 +207,28 @@ class _Lowering:
                 d for d in node.child.schema.dimension_names
                 if d in set(node.keep)
             )
-            est = scale_rows(child.props.est_rows, 0.1) if keep else 1
-            return self._aggregate_op(child, keep, node.aggs, node.schema, est)
+            return self._aggregate_op(child, keep, node.aggs, node)
         if isinstance(node, A.TransposeDims):
             child = self.lower(node.child)
-            return P.PhysRetag(
-                node.schema,
-                props_for(node.schema, child.props.est_rows), (child,)
-            )
+            return P.PhysRetag(node.schema, self._props(node), (child,))
         if isinstance(node, A.CellJoin):
             left, right = self.lower(node.left), self.lower(node.right)
-            ests = (left.props.est_rows, right.props.est_rows)
-            est = None if None in ests else min(ests)
+            workers = self._workers(node)
             return P.PhysCellJoin(
                 left, right, tuple(node.schema.dimension_names),
                 tuple(node.right.schema.value_names),
                 node.schema,
-                props_for(node.schema, est,
-                          parallelism=self.options.morsel_workers),
-                workers=self.options.morsel_workers,
+                self._props(node, parallelism=workers),
+                workers=workers,
                 morsel_size=self.options.morsel_size,
             )
         if isinstance(node, A.MatMul):
             left, right = self.lower(node.left), self.lower(node.right)
-            est = None
-            if left.props.est_rows is not None and right.props.est_rows is not None:
-                # sparse output heuristic: geometric mean of input sizes
-                est = max(
-                    int((left.props.est_rows * right.props.est_rows) ** 0.5), 1
-                )
+            workers = self._workers(node)
             return P.PhysMatMulJoinAgg(
                 left, right, node.left.schema, node.right.schema, node.schema,
-                props_for(node.schema, est,
-                          parallelism=self.options.morsel_workers),
-                workers=self.options.morsel_workers,
+                self._props(node, parallelism=workers),
+                workers=workers,
                 morsel_size=self.options.morsel_size,
             )
         if isinstance(node, A.Iterate):
@@ -235,8 +236,7 @@ class _Lowering:
             body = self.lower(node.body)
             return P.PhysIterate(
                 init, body, node.var, node.stop, node.max_iter, node.strict,
-                node.init.schema, node.schema,
-                props_for(node.schema, init.props.est_rows),
+                node.init.schema, node.schema, self._props(node),
             )
         raise ExecutionError(
             f"relational engine: unsupported operator {node.op_name}"
@@ -245,14 +245,7 @@ class _Lowering:
     # -- leaves ------------------------------------------------------------------
 
     def _lower_scan(self, node: A.Scan) -> PhysOp:
-        est = None
-        if (
-            self.catalog is not None
-            and not node.name.startswith("@")
-            and node.name in self.catalog
-        ):
-            est = self.catalog.entry(node.name).row_count
-        return PhysScan(node.name, node.schema, props_for(node.schema, est))
+        return PhysScan(node.name, node.schema, self._props(node))
 
     def _lower_pruned_scan(
         self, scan: A.Scan, specs: list[tuple[str, str, object]]
@@ -272,9 +265,12 @@ class _Lowering:
         if chunked is None or chunked.num_chunks <= 1:
             return None
         chunk_ids = chunked.pruned_chunks(specs)
+        # zone maps give an exact surviving-chunk row count: tighter than
+        # (and consistent with) the estimator's table-level statistics
         est = sum(chunked.chunk_length(cid) for cid in chunk_ids)
         return P.PhysChunkedScan(
-            scan.name, scan.schema, props_for(scan.schema, est),
+            scan.name, scan.schema,
+            props_for(scan.schema, est, est_source=STATS),
             chunked=chunked, chunk_ids=chunk_ids,
         )
 
@@ -314,17 +310,34 @@ class _Lowering:
             )
         if source_op is None:
             source_op = self.lower(source)
-        est = source_op.props.est_rows
-        for step in trimmed:
-            if isinstance(step, A.Filter):
-                est = scale_rows(est, FILTER_SELECTIVITY)
-        workers = self.options.morsel_workers
+        workers = self._workers(node)
+        est = self._est(node)
+        rows = int(est.rows)
+        if source_op.props.est_rows is not None:
+            # the chain only drops rows: chunk pruning may already bound the
+            # source below what table-level statistics predict
+            rows = min(rows, source_op.props.est_rows)
         return P.PhysFusedPipeline(
             source_op, self._pipeline_for(trimmed), P.fused_steps(trimmed),
             node.schema,
-            props_for(node.schema, est, parallelism=workers),
+            props_for(
+                node.schema, rows,
+                parallelism=workers, est_source=est.source,
+                selectivity=self._chain_selectivity(trimmed),
+            ),
             workers=workers, morsel_size=self.options.morsel_size,
         )
+
+    def _chain_selectivity(self, chain: list[A.Node]) -> float | None:
+        """Combined keep-fraction of a fused chain's filters, if any."""
+        selectivity: float | None = None
+        for step in chain:
+            step_sel = self._est(step).selectivity
+            if step_sel is not None:
+                selectivity = (
+                    step_sel if selectivity is None else selectivity * step_sel
+                )
+        return selectivity
 
     def _pipeline_for(self, chain: list[A.Node]) -> FusedPipeline:
         source_schema = chain[-1].child.schema
@@ -374,11 +387,15 @@ class _Lowering:
             )
         if child is None:
             child = self.lower(node.child)
+        est = self._est(node)
+        rows = int(est.rows)
+        if child.props.est_rows is not None:
+            rows = min(rows, child.props.est_rows)
         return P.PhysFilter(
             child, node.predicate, node.schema,
-            props_for(node.schema,
-                      scale_rows(child.props.est_rows, FILTER_SELECTIVITY),
-                      ordering=child.props.ordering),
+            props_for(node.schema, rows,
+                      ordering=child.props.ordering,
+                      est_source=est.source, selectivity=est.selectivity),
             compiled=self.options.compile_expressions,
         )
 
@@ -389,7 +406,8 @@ class _Lowering:
         with a probe/range lookup, and leaves the rest as residual
         predicates over the (usually much smaller) fetched subset.  Every
         input to this decision — index existence, comparison shape, literal
-        non-nullness — is static, so it belongs in lowering.
+        non-nullness — is static, so it belongs in lowering; the row
+        estimate is the shared estimator's for the whole filter.
         """
         if self.catalog is None:
             return None
@@ -411,17 +429,15 @@ class _Lowering:
                 continue
             column, op, value, kind = spec
             residual = tuple(conjuncts[:pos] + conjuncts[pos + 1:])
-            if op == "==":
-                selectivity = entry.selectivity_of_equality(column)
-            else:
-                selectivity = FILTER_SELECTIVITY
-            est = scale_rows(entry.row_count, selectivity)
-            est = scale_rows(est, FILTER_SELECTIVITY ** len(residual))
+            est = self._est(node)
             out_schema = node.schema if project is None else project.schema
             return P.PhysIndexProbe(
                 entry, name, column, op, value, kind,
                 None if project is None else project.names,
-                residual, out_schema, props_for(out_schema, est),
+                residual, out_schema,
+                props_for(out_schema, int(est.rows),
+                          est_source=est.source,
+                          selectivity=est.selectivity),
                 compiled=self.options.compile_expressions,
             )
         return None
@@ -436,29 +452,40 @@ class _Lowering:
             right = self._lower_narrowed(node.right, set(rkeys))
         else:
             right = self.lower(node.right)
-        est = join_rows(left.props.est_rows, right.props.est_rows, node.how)
 
         algorithm = self.options.join_algorithm
         if algorithm == "merge" and node.how in ("inner", "left"):
             return P.PhysMergeJoin(
                 left, right, node.on, node.how, node.schema,
-                props_for(node.schema, est),
+                self._props(node),
                 presorted=self.options.assume_sorted,
             )
         if algorithm == "nested" and node.how == "inner":
             return P.PhysNestedLoopJoin(
                 left, right, node.on, node.how, node.schema,
-                props_for(node.schema, est),
+                self._props(node),
             )
         if algorithm == "python":
             return P.PhysPythonHashJoin(
                 left, right, node.on, node.how, node.schema,
-                props_for(node.schema, est),
+                self._props(node),
             )
-        workers = self.options.morsel_workers
+        if (
+            algorithm == "auto"
+            and node.how in ("inner", "left")
+            and _ordered_on(left, [l for l, _ in node.on])
+            and _ordered_on(right, rkeys)
+        ):
+            # both inputs already sorted on the keys: merge without sorting
+            return P.PhysMergeJoin(
+                left, right, node.on, node.how, node.schema,
+                self._props(node),
+                presorted=True,
+            )
+        workers = self._workers(node)
         return P.PhysHashJoin(
             left, right, node.on, node.how, node.schema,
-            props_for(node.schema, est, parallelism=workers),
+            self._props(node, parallelism=workers),
             workers=workers, morsel_size=self.options.morsel_size,
         )
 
@@ -468,19 +495,13 @@ class _Lowering:
             if spec.arg is not None:
                 needed |= spec.arg.columns()
         child = self._lower_narrowed(node.child, needed)
-        if node.group_by:
-            est = scale_rows(child.props.est_rows, 0.1)
-        else:
-            est = 1
-        return self._aggregate_op(
-            child, node.group_by, node.aggs, node.schema, est
-        )
+        return self._aggregate_op(child, node.group_by, node.aggs, node)
 
-    def _aggregate_op(self, child, group_by, aggs, schema, est) -> PhysOp:
-        workers = self.options.morsel_workers
+    def _aggregate_op(self, child, group_by, aggs, node: A.Node) -> PhysOp:
+        workers = self._workers(node)
         return P.PhysPartialAggregate(
-            child, tuple(group_by), tuple(aggs), schema,
-            props_for(schema, est, parallelism=workers),
+            child, tuple(group_by), tuple(aggs), node.schema,
+            self._props(node, parallelism=workers),
             compiled=self.options.compile_expressions,
             workers=workers, morsel_size=self.options.morsel_size,
         )
@@ -489,14 +510,20 @@ class _Lowering:
         child = self.lower(node.child)
         coarse = P.PhysCoarsenDims(
             child, tuple(node.factors), node.child.schema,
-            props_for(node.child.schema, child.props.est_rows),
+            self._props(node.child),
         )
-        factor = 1.0
-        for _, f in node.factors:
-            factor *= f
-        est = scale_rows(child.props.est_rows, 1.0 / max(factor, 1.0))
         dims = tuple(node.child.schema.dimension_names)
-        return self._aggregate_op(coarse, dims, node.aggs, node.schema, est)
+        return self._aggregate_op(coarse, dims, node.aggs, node)
+
+
+def _ordered_on(op: PhysOp, keys: list[str]) -> bool:
+    """Whether ``op``'s output is sorted ascending on ``keys`` (as prefix)."""
+    if not keys or len(op.props.ordering) < len(keys):
+        return False
+    return all(
+        have == (want, True)
+        for have, want in zip(op.props.ordering, keys)
+    )
 
 
 _PRUNABLE_OPS = ("==", "!=", "<", "<=", ">", ">=")

@@ -1,0 +1,420 @@
+"""Tests for the unified statistics and cost layer (:mod:`repro.opt`).
+
+Covers statistics derivation from the chunked storage layout (dictionary
+ndv, zone-map min/max), the shared cardinality estimator's provenance and
+rules, the cost-based rewrite passes, and — via Hypothesis — that
+cost-based plans stay bit-identical to rule-only plans and the reference
+interpreter at any worker count.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import BigDataContext, RewriteOptions, Rewriter
+from repro.core import algebra as A
+from repro.core.expressions import BinOp, col, lit
+from repro.opt.estimator import (
+    DEFAULT, MAX_SELECTIVITY, STATS, CardinalityEstimator, split_conjuncts,
+)
+from repro.opt.rewrite import order_conjuncts, push_aggregates, reorder_joins
+from repro.opt.stats import ColumnStats, TableStats
+from repro.providers import ReferenceProvider, RelationalProvider
+from repro.relational.catalog import RelationalCatalog
+from repro.relational.engine import EngineOptions
+from repro.storage.dictionary import DictColumn
+
+from .helpers import (
+    CUSTOMERS, ORDERS, customers_table, orders_table, run_reference,
+    schema, table,
+)
+
+CUST = A.Scan("customers", CUSTOMERS)
+ORD = A.Scan("orders", ORDERS)
+
+
+def _catalog() -> RelationalCatalog:
+    catalog = RelationalCatalog()
+    catalog.register("customers", customers_table())
+    catalog.register("orders", orders_table())
+    return catalog
+
+
+def _estimator(catalog: RelationalCatalog | None = None) -> CardinalityEstimator:
+    if catalog is None:
+        catalog = _catalog()
+    return CardinalityEstimator(catalog.table_stats)
+
+
+# --------------------------------------------------------------------------
+# Statistics derivation from chunked storage
+# --------------------------------------------------------------------------
+
+
+class TestStatsDerivation:
+    def test_ndv_from_dictionary_column(self):
+        """Low-cardinality strings are dictionary-encoded at registration;
+        their distinct count comes from the dictionary, not a value scan."""
+        sch = schema(("tag", "str"), ("v", "int"))
+        rows = [("ab" if i % 3 else "cd", i) for i in range(600)]
+        catalog = RelationalCatalog()
+        entry = catalog.register("t", table(sch, rows))
+        assert isinstance(entry.table.column("tag"), DictColumn)
+        stats = entry.stats["tag"]
+        assert stats.distinct == 2
+        assert stats.min == "ab" and stats.max == "cd"
+
+    def test_minmax_and_nulls_from_zone_maps(self):
+        sch = schema(("x", "int"), ("y", "float"))
+        rows = [(i, None if i % 50 == 0 else float(i)) for i in range(300)]
+        catalog = RelationalCatalog(chunk_rows=64)
+        entry = catalog.register("t", table(sch, rows))
+        assert entry.stats["x"].min == 0 and entry.stats["x"].max == 299
+        assert entry.stats["x"].null_count == 0
+        assert entry.stats["y"].null_count == 6
+        assert entry.stats["y"].max == 299.0
+
+    def test_table_stats_lookup(self):
+        catalog = _catalog()
+        stats = catalog.table_stats("orders")
+        assert isinstance(stats, TableStats)
+        assert stats.row_count == 5
+        assert stats.ndv("cust") == 4
+        assert catalog.table_stats("nope") is None
+        assert stats.null_fraction("amount") == 0.0
+
+    def test_stats_refresh_on_reregistration(self):
+        """Re-registering a table bumps the catalog version and serves the
+        new statistics — no stale numbers survive."""
+        catalog = _catalog()
+        before = catalog.version
+        assert catalog.table_stats("orders").row_count == 5
+        catalog.register(
+            "orders", table(ORDERS, [(i, i, float(i)) for i in range(7)])
+        )
+        assert catalog.version == before + 1
+        refreshed = catalog.table_stats("orders")
+        assert refreshed.row_count == 7
+        assert refreshed.ndv("cust") == 7
+
+    def test_provider_stats_cached_and_invalidated(self):
+        """Non-relational providers derive stats from the stored table,
+        cache them, and recompute after re-registration."""
+        provider = ReferenceProvider("ref")
+        provider.register_dataset("orders", orders_table())
+        first = provider.table_stats("orders")
+        assert first.row_count == 5
+        assert provider.table_stats("orders") is first  # cached
+        provider.register_dataset(
+            "orders", table(ORDERS, [(1, 1, 1.0)])
+        )
+        assert provider.table_stats("orders").row_count == 1
+        assert provider.table_stats("missing") is None
+
+    def test_federation_catalog_delegates_to_holding_provider(self):
+        ctx = BigDataContext()
+        ctx.add_provider(RelationalProvider("sql"))
+        ctx.load("orders", orders_table(), on="sql")
+        stats = ctx.catalog.table_stats("orders")
+        assert stats is not None and stats.row_count == 5
+        assert ctx.catalog.table_stats("unknown") is None
+
+    def test_column_stats_of_whole_table(self):
+        stats = TableStats.of(orders_table())
+        assert stats.row_count == 5
+        assert stats.column("amount").min == 5.0
+        assert stats.column("amount").max == 300.0
+
+
+# --------------------------------------------------------------------------
+# The shared estimator
+# --------------------------------------------------------------------------
+
+
+class TestEstimator:
+    def test_scan_provenance(self):
+        est = _estimator()
+        known = est.estimate(ORD)
+        assert known.rows == 5 and known.source == STATS
+        unknown = est.estimate(A.Scan("mystery", ORDERS))
+        assert unknown.rows == 1000 and unknown.source == DEFAULT
+
+    def test_equality_selectivity_is_one_over_ndv(self):
+        est = _estimator()
+        hit = est.estimate(A.Filter(ORD, col("cust") == lit(2)))
+        assert hit.source == STATS
+        assert hit.selectivity == 0.25  # ndv(cust) == 4
+
+    def test_equality_outside_range_estimates_zero(self):
+        est = _estimator()
+        miss = est.estimate(A.Filter(ORD, col("cust") == lit(50)))
+        assert miss.selectivity == 0.0 and miss.rows == 0
+
+    def test_selectivity_never_reaches_one(self):
+        est = _estimator()
+        keep_all = est.estimate(A.Filter(ORD, col("amount") > lit(0.0)))
+        assert keep_all.selectivity <= MAX_SELECTIVITY
+        assert keep_all.rows < 5
+
+    def test_opaque_predicate_falls_back_to_default(self):
+        est = _estimator()
+        opaque = est.estimate(
+            A.Filter(ORD, (col("amount") * lit(2.0)) > lit(10.0))
+        )
+        assert opaque.source == DEFAULT
+        assert opaque.selectivity == 0.33
+
+    def test_join_containment(self):
+        est = _estimator()
+        join = A.Join(ORD, CUST, (("cust", "cid"),))
+        # |O|*|C| / max(ndv(cust), ndv(cid)) = 5*4/4
+        assert est.rows(join) == 5.0
+        assert est.estimate(join).source == STATS
+
+    def test_group_by_bounded_by_ndv(self):
+        est = _estimator()
+        agg = A.Aggregate(
+            ORD, ("cust",), (A.AggSpec("total", "sum", col("amount")),)
+        )
+        assert est.rows(agg) == 4.0  # ndv(cust)
+
+
+# --------------------------------------------------------------------------
+# Cost-based rewrite passes
+# --------------------------------------------------------------------------
+
+FACT = schema(("k1", "int"), ("k2", "int"), ("v", "float"))
+DIM1 = schema(("d1", "int"), ("x", "float"))
+DIM2 = schema(("d2", "int"), ("y", "float"))
+
+
+def _star_stats(name):
+    """Synthetic warehouse stats: dim2 is tiny, dim1 matches everything."""
+    shapes = {
+        "fact": (10_000, {"k1": 100, "k2": 100, "v": 5_000}),
+        "dim1": (100, {"d1": 100, "x": 100}),
+        "dim2": (5, {"d2": 5, "y": 5}),
+    }
+    if name not in shapes:
+        return None
+    rows, ndvs = shapes[name]
+    return TableStats(
+        row_count=rows,
+        columns={
+            c: ColumnStats(distinct=n, null_count=0, min=0, max=n)
+            for c, n in ndvs.items()
+        },
+    )
+
+
+def _star_join() -> A.Node:
+    return A.Join(
+        A.Join(A.Scan("fact", FACT), A.Scan("dim1", DIM1), (("k1", "d1"),)),
+        A.Scan("dim2", DIM2),
+        (("k2", "d2"),),
+    )
+
+
+def _star_data() -> dict:
+    return {
+        "fact": table(FACT, [(i % 4, i % 3, float(i)) for i in range(12)]),
+        "dim1": table(DIM1, [(i, float(i)) for i in range(4)]),
+        "dim2": table(DIM2, [(i, float(10 + i)) for i in range(3)]),
+    }
+
+
+class TestJoinReordering:
+    def test_selective_dimension_joins_first(self):
+        tree = _star_join()
+        out = reorder_joins(tree, CardinalityEstimator(_star_stats))
+        # column order changed, so a projection restores it
+        assert isinstance(out, A.Project)
+        inner = out.child
+        assert isinstance(inner, A.Join)
+        assert isinstance(inner.right, A.Scan) and inner.right.name == "dim1"
+        first = inner.left
+        assert isinstance(first.right, A.Scan) and first.right.name == "dim2"
+        assert out.schema == tree.schema
+
+    def test_reordered_plan_matches_reference(self):
+        tree = _star_join()
+        out = reorder_joins(tree, CardinalityEstimator(_star_stats))
+        data = _star_data()
+        assert run_reference(out, **data).same_rows(
+            run_reference(tree, **data), float_tol=0.0
+        )
+
+    def test_no_stats_no_reorder(self):
+        tree = _star_join()
+        assert reorder_joins(tree, CardinalityEstimator(None)) is tree
+
+    def test_intent_tagged_join_untouched(self):
+        tree = _star_join().with_intent("pinned")
+        assert reorder_joins(tree, CardinalityEstimator(_star_stats)) is tree
+
+    def test_rewriter_integration(self):
+        """The full rewriter applies the reorder when given a stats source
+        and leaves the tree alone without one."""
+        tree = _star_join()
+        plain = Rewriter().rewrite(tree)
+        assert plain.same_as(tree)
+        cost_based = Rewriter(stats_source=_star_stats).rewrite(tree)
+        assert isinstance(cost_based, A.Project)
+
+
+class TestConjunctOrdering:
+    def test_most_selective_conjunct_first(self):
+        pred = (col("amount") > lit(4.0)) & (col("cust") == lit(2))
+        tree = A.Filter(ORD, pred)
+        out = order_conjuncts(tree, _estimator())
+        parts = split_conjuncts(out.predicate)
+        # equality (sel 0.25) must now precede the near-total range scan
+        assert isinstance(parts[0], BinOp) and parts[0].op == "=="
+        data = {"orders": orders_table(), "customers": customers_table()}
+        assert run_reference(out, **data).same_rows(
+            run_reference(tree, **data), float_tol=0.0
+        )
+
+    def test_noop_without_stats(self):
+        pred = (col("amount") > lit(4.0)) & (col("cust") == lit(2))
+        tree = A.Filter(ORD, pred)
+        assert order_conjuncts(tree, CardinalityEstimator(None)) is tree
+
+
+class TestAggregatePushdown:
+    BIG = schema(("g", "int"), ("amount", "float"))
+    SMALL = schema(("gid", "int"), ("label", "str"))
+
+    def _stats(self, name):
+        shapes = {
+            "big": (1_000, {"g": 4, "amount": 500}),
+            "small": (4, {"gid": 4, "label": 4}),
+        }
+        if name not in shapes:
+            return None
+        rows, ndvs = shapes[name]
+        return TableStats(
+            row_count=rows,
+            columns={
+                c: ColumnStats(distinct=n, null_count=0, min=0, max=n)
+                for c, n in ndvs.items()
+            },
+        )
+
+    def _tree(self) -> A.Aggregate:
+        join = A.Join(
+            A.Scan("big", self.BIG), A.Scan("small", self.SMALL),
+            (("g", "gid"),),
+        )
+        return A.Aggregate(
+            join, ("g",),
+            (
+                A.AggSpec("total", "sum", col("amount")),
+                A.AggSpec("n", "count", None),
+            ),
+        )
+
+    def _data(self) -> dict:
+        return {
+            "big": table(
+                self.BIG, [(i % 3, float(i)) for i in range(30)]
+            ),
+            "small": table(
+                self.SMALL, [(0, "a"), (1, "b"), (1, "b"), (2, "c")]
+            ),
+        }
+
+    def test_pushdown_applies_below_join(self):
+        out = push_aggregates(self._tree(), CardinalityEstimator(self._stats))
+        assert isinstance(out, A.Aggregate)
+        join = out.child
+        assert isinstance(join, A.Join)
+        assert isinstance(join.left, A.Aggregate)  # partial on the big side
+        assert join.left.group_by == ("g",)
+
+    def test_pushdown_matches_reference(self):
+        tree = self._tree()
+        out = push_aggregates(tree, CardinalityEstimator(self._stats))
+        data = self._data()
+        assert run_reference(out, **data).same_rows(
+            run_reference(tree, **data), float_tol=1e-9
+        )
+
+    def test_gated_off_without_benefit(self):
+        """When the group count is close to the input size the pushdown
+        would not pay, so the tree stays put."""
+
+        def stats(name):
+            base = self._stats(name)
+            if name != "big" or base is None:
+                return base
+            return TableStats(
+                row_count=1_000,
+                columns={
+                    "g": ColumnStats(
+                        distinct=900, null_count=0, min=0, max=900
+                    ),
+                    "amount": ColumnStats(
+                        distinct=500, null_count=0, min=0, max=500
+                    ),
+                },
+            )
+
+        tree = self._tree()
+        assert push_aggregates(tree, CardinalityEstimator(stats)) is tree
+
+    def test_noop_without_stats(self):
+        tree = self._tree()
+        assert push_aggregates(tree, CardinalityEstimator(None)) is tree
+
+
+# --------------------------------------------------------------------------
+# Property: cost-based == rule-only == reference, at any worker count
+# --------------------------------------------------------------------------
+
+R0 = schema(("k", "int"), ("a", "float"))
+R1 = schema(("k1", "int"), ("b", "float"))
+R2 = schema(("k2", "int"), ("c", "float"))
+
+_rel = lambda key_hi: st.lists(
+    st.tuples(
+        st.integers(0, key_hi), st.integers(-8, 8).map(float)
+    ),
+    max_size=12,
+)
+
+RULE_ONLY = RewriteOptions(
+    join_reordering=False, conjunct_ordering=False, aggregate_pushdown=False,
+)
+
+
+class TestCostBasedPlansAgree:
+    @settings(deadline=None, max_examples=25)
+    @given(r0=_rel(3), r1=_rel(3), r2=_rel(4), cut=st.integers(-4, 4))
+    def test_multi_join_trees_agree(self, r0, r1, r2, cut):
+        t0, t1, t2 = table(R0, r0), table(R1, r1), table(R2, r2)
+        tree = A.Aggregate(
+            A.Filter(
+                A.Join(
+                    A.Join(A.Scan("r0", R0), A.Scan("r1", R1), (("k", "k1"),)),
+                    A.Scan("r2", R2),
+                    (("k", "k2"),),
+                ),
+                (col("a") > lit(float(cut))) & (col("k") >= lit(0)),
+            ),
+            ("k",),
+            (
+                A.AggSpec("total", "sum", col("b")),
+                A.AggSpec("n", "count", None),
+            ),
+        )
+        expected = run_reference(tree, r0=t0, r1=t1, r2=t2)
+        for workers in (1, 3):
+            for options in (RewriteOptions(), RULE_ONLY):
+                ctx = BigDataContext(rewrite=options)
+                ctx.add_provider(RelationalProvider(
+                    "sql", EngineOptions(morsel_workers=workers, morsel_size=4)
+                ))
+                ctx.load("r0", t0, on="sql")
+                ctx.load("r1", t1, on="sql")
+                ctx.load("r2", t2, on="sql")
+                result = ctx.run(ctx.query(tree)).table
+                assert result.same_rows(expected, float_tol=0.0)

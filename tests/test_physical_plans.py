@@ -72,7 +72,7 @@ class TestGoldenPlans:
                 EngineOptions(join_algorithm=algorithm), _catalog()
             )
             assert engine.explain(_join_tree()) == (
-                f"{op_name}(inner on cid=cust)  [rows~50]\n"
+                f"{op_name}(inner on cid=cust)  [rows~500]\n"
                 "  PhysScan(customers)  [rows~100]\n"
                 "  PhysScan(orders)  [rows~500]"
             ), algorithm
@@ -85,8 +85,8 @@ class TestGoldenPlans:
         predicate = (col("country") == lit("jp")) & (col("amount") > lit(50.0))
         tree = A.Project(A.Filter(_join_tree(), predicate), ("name", "amount"))
         assert engine.explain(tree) == (
-            "PhysFusedPipeline(project>filter)  [rows~16]\n"
-            "  PhysHashJoin(inner on cid=cust)  [rows~50]\n"
+            "PhysFusedPipeline(project>filter)  [rows~449 sel~0.90]\n"
+            "  PhysHashJoin(inner on cid=cust)  [rows~500]\n"
             "    PhysScan(customers)  [rows~100]\n"
             "    PhysScan(orders)  [rows~500]"
         )
@@ -100,7 +100,7 @@ class TestGoldenPlans:
         provider.register_dataset("mb", tb)
         tree = A.MatMul(A.Scan("ma", MA), A.Scan("mb", MB))
         assert provider.lower(tree).render() == (
-            "PhysMatMulJoinAgg(j=j sum(v*w))  [rows~16 dims=i,k]\n"
+            "PhysMatMulJoinAgg(j=j sum(v*w))  [rows~16? dims=i,k]\n"
             "  PhysScan(ma)  [rows~16 dims=i,j]\n"
             "  PhysScan(mb)  [rows~16 dims=j,k]"
         )
@@ -116,10 +116,10 @@ class TestGoldenPlans:
         plan = provider.lower(tree)
         assert plan.engine == "linalg"
         assert plan.render() == (
-            "PhysMatrixToTable(i,k,v)  [dims=i,k]\n"
-            "  PhysBlockedMatMul  [dims=i,k]\n"
-            "    PhysMatrixSource(ma)  [dims=i,j]\n"
-            "    PhysMatrixSource(mb)  [dims=j,k]"
+            "PhysMatrixToTable(i,k,v)  [rows~16? dims=i,k]\n"
+            "  PhysBlockedMatMul  [rows~16? dims=i,k]\n"
+            "    PhysMatrixSource(ma)  [rows~16 dims=i,j]\n"
+            "    PhysMatrixSource(mb)  [rows~16 dims=j,k]"
         )
 
     def test_e14_pruned_scan(self):
@@ -135,7 +135,7 @@ class TestGoldenPlans:
             ("oid", "amount"),
         )
         assert engine.explain(tree) == (
-            "PhysFusedPipeline(project>filter)  [rows~41]\n"
+            "PhysFusedPipeline(project>filter)  [rows~99 sel~0.20]\n"
             "  PhysChunkedScan(orders chunks: 1/4)  [rows~125]"
         )
 
@@ -154,7 +154,7 @@ class TestGoldenPlans:
             ("oid", "amount"),
         )
         assert engine.explain(tree) == (
-            "PhysFusedPipeline(project>filter)  [rows~165]\n"
+            "PhysFusedPipeline(project>filter)  [rows~165? sel~0.33]\n"
             "  PhysScan(orders)  [rows~500]"
         )
 
